@@ -1,0 +1,189 @@
+// Command sdbench regenerates the paper's evaluation artifacts: Table 3
+// (area and power breakdown), Figure 11 (DNN speedups), Table 4
+// (workload characterization), and Figures 12-15 (MachSuite vs
+// iso-performance ASICs).
+//
+// Usage:
+//
+//	sdbench              # everything
+//	sdbench -table 3     # one table
+//	sdbench -fig 11      # one figure (12-15 run the same study)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"softbrain/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only this table (3 or 4)")
+	fig := flag.Int("fig", 0, "print only this figure (11-15)")
+	ablate := flag.Bool("ablate", false, "run the microarchitecture ablation study")
+	flag.Parse()
+
+	if *ablate {
+		if err := printAblations(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	all := *table == 0 && *fig == 0
+	if all || *table == 3 {
+		printTable3()
+	}
+	if all || *fig == 11 {
+		if err := printFig11(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if all || *table == 4 {
+		printTable4()
+	}
+	if all || (*fig >= 12 && *fig <= 15) {
+		if err := printMachSuite(*fig); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func printAblations() error {
+	fmt.Println("Ablation study: warm-run cycles with features disabled")
+	rows, err := bench.Ablations()
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "workload\tbaseline\t-all-in-flight\t-dispatch-window\t-balance\twindow=2\thalf-depth ports\tcold base\tcold -inflight")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.Workload, r.Baseline, r.NoAllInFlight, r.InOrderIssue,
+			r.NoBalanceUnit, r.SmallWindow, r.ShallowPorts,
+			r.ColdBaseline, r.ColdNoAllInFlight)
+	}
+	w.Flush()
+	return nil
+}
+
+func tw() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func printTable3() {
+	r := bench.Table3()
+	fmt.Println("Table 3: Area and Power Breakdown / Comparison (55 nm)")
+	w := tw()
+	fmt.Fprintln(w, "component\tarea (mm^2)\tpower (mW)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.1f\n", row.Component, row.AreaMM2, row.PowerMW)
+	}
+	fmt.Fprintf(w, "1 Softbrain Total\t%.2f\t%.1f\n", r.UnitArea, r.UnitPower)
+	fmt.Fprintf(w, "8 Softbrain Units\t%.2f\t%.1f\n", r.TotalArea, r.TotalPower)
+	fmt.Fprintf(w, "DianNao\t%.2f\t%.1f\n", r.DianNaoArea, r.DianNaoPower)
+	fmt.Fprintf(w, "Softbrain/DianNao Overhead\t%.2fx\t%.2fx\n", r.AreaOverhead, r.PowerOverhead)
+	w.Flush()
+	fmt.Println()
+}
+
+func printFig11() error {
+	fmt.Println("Figure 11: Performance on DNN Workloads (speedup vs 1-thread CPU)")
+	rows, err := bench.Fig11()
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "workload\tGPU\tDianNao\tSoftbrain\tSoftbrain cycles\tpower (mW)")
+	for _, r := range rows {
+		if r.SoftbrainCycles == 0 {
+			fmt.Fprintf(w, "%s\t%.1fx\t%.1fx\t%.1fx\t\t\n", r.Workload, r.GPU, r.DianNao, r.Softbrain)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.1fx\t%.1fx\t%.1fx\t%d\t%.1f\n",
+			r.Workload, r.GPU, r.DianNao, r.Softbrain, r.SoftbrainCycles, r.SoftbrainPowerMW)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func printTable4() {
+	fmt.Println("Table 4: Workload Characterization")
+	w := tw()
+	fmt.Fprintln(w, "workload\tstream patterns\tdatapath")
+	for _, r := range bench.Table4() {
+		if r.Unsuitable {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\n", r.Workload, r.Patterns, r.Datapath)
+	}
+	w.Flush()
+	fmt.Println("\nUnsuitable codes:")
+	w = tw()
+	for _, r := range bench.Table4() {
+		if r.Unsuitable {
+			fmt.Fprintf(w, "%s\t%s\n", r.Workload, r.Reason)
+		}
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func printMachSuite(fig int) error {
+	rows, err := bench.MachSuiteStudy()
+	if err != nil {
+		return err
+	}
+	show := func(n int) bool { return fig == 0 || fig == n }
+	if show(12) {
+		fmt.Println("Figure 12: Speedup vs OOO4 baseline")
+		w := tw()
+		fmt.Fprintln(w, "workload\tSoftbrain\tASIC")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.2fx\t%.2fx\n", r.Workload, r.SoftbrainSpeedup, r.ASICSpeedup)
+		}
+		w.Flush()
+		fmt.Println()
+	}
+	if show(13) {
+		fmt.Println("Figure 13: Power efficiency vs OOO4 baseline")
+		w := tw()
+		fmt.Fprintln(w, "workload\tSoftbrain\tASIC")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.1fx\t%.1fx\n", r.Workload, r.SoftbrainPowerEff, r.ASICPowerEff)
+		}
+		w.Flush()
+		fmt.Println()
+	}
+	if show(14) {
+		fmt.Println("Figure 14: Energy efficiency vs OOO4 baseline")
+		w := tw()
+		fmt.Fprintln(w, "workload\tSoftbrain\tASIC")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.1fx\t%.1fx\n", r.Workload, r.SoftbrainEnergyEff, r.ASICEnergyEff)
+		}
+		w.Flush()
+		fmt.Println()
+	}
+	if show(15) {
+		fmt.Println("Figure 15: ASIC area relative to Softbrain")
+		w := tw()
+		fmt.Fprintln(w, "workload\tASIC/Softbrain area\tASIC design")
+		for _, r := range rows {
+			if r.Workload == "GM" {
+				fmt.Fprintf(w, "%s\t%.3fx\t\n", r.Workload, r.ASICAreaRel)
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%.3fx\tunroll=%d pipelined=%v %.3f mm^2\n",
+				r.Workload, r.ASICAreaRel, r.ASICDesign.Unroll, r.ASICDesign.Pipelined, r.ASICDesign.AreaMM2)
+		}
+		w.Flush()
+		sb := bench.Table3().UnitArea
+		fmt.Printf("\nAll eight ASICs together: %.2f mm^2 = %.2fx one Softbrain (%.2f mm^2)\n\n",
+			bench.TotalASICArea(rows), bench.TotalASICArea(rows)/sb, sb)
+	}
+	return nil
+}

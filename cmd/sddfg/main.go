@@ -1,0 +1,108 @@
+// Command sddfg compiles a dataflow graph in the .dfg text format onto
+// a CGRA fabric and reports the schedule: placement, routing, delay
+// matching, vector-port mapping, pipeline depth and configuration size.
+//
+// Usage:
+//
+//	sddfg path/to/graph.dfg
+//	sddfg -fabric dnn -v graph.dfg
+//	echo 'dfg f ...' | sddfg -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"softbrain/internal/cgra"
+	"softbrain/internal/dfg"
+	"softbrain/internal/sched"
+)
+
+func main() {
+	fabricName := flag.String("fabric", "broad", "fabric to target: broad or dnn")
+	verbose := flag.Bool("v", false, "print per-connection routes")
+	dot := flag.Bool("dot", false, "emit the DFG in Graphviz format and exit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sddfg [-fabric broad|dnn] [-v] <file.dfg | ->")
+		os.Exit(2)
+	}
+
+	var src io.Reader
+	if flag.Arg(0) == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	g, err := dfg.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dot {
+		fmt.Print(g.Dot())
+		return
+	}
+
+	var fabric *cgra.Fabric
+	switch *fabricName {
+	case "broad":
+		fabric = cgra.BroadFabric()
+	case "dnn":
+		fabric = cgra.DNNFabric()
+	default:
+		log.Fatalf("unknown fabric %q (want broad or dnn)", *fabricName)
+	}
+
+	s, err := sched.Schedule(fabric, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("dfg %s: %d instructions, %d inputs, %d outputs\n",
+		g.Name, len(g.Nodes), len(g.Ins), len(g.Outs))
+	fmt.Printf("mapped onto %dx%d fabric\n", fabric.Rows, fabric.Cols)
+	fmt.Printf("pipeline depth: %d cycles, config bitstream: %d bytes\n\n", s.Depth, s.ConfigBytes())
+
+	fmt.Println("placement (row,col: node):")
+	for _, n := range g.Nodes {
+		r, c := fabric.Pos(s.Place[n.ID])
+		name := n.Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", n.ID)
+		}
+		fmt.Printf("  (%d,%d): %s = %v, fires at cycle %d\n", r, c, name, n.Op, s.NodeFire[n.ID])
+	}
+	fmt.Println("\nport mapping:")
+	for i, in := range g.Ins {
+		fmt.Printf("  input %-8s -> hardware port %d (width %d words)\n",
+			in.Name, s.InPortMap[i], fabric.InPorts[s.InPortMap[i]].Width)
+	}
+	for i, out := range g.Outs {
+		fmt.Printf("  output %-7s -> hardware port %d, arrives at cycle %d\n",
+			out.Name, s.OutPortMap[i], s.OutArrive[i])
+	}
+	if *verbose {
+		fmt.Println("\nroutes (PE path, +delay FIFO setting):")
+		for _, n := range g.Nodes {
+			for i, c := range s.Operand[n.ID] {
+				if c.Path == nil {
+					continue
+				}
+				fmt.Printf("  %v -> node %d arg %d: %v +%d\n", c.Val, n.ID, i, c.Path, c.Delay)
+			}
+		}
+		for p := range g.Outs {
+			for w, c := range s.OutConn[p] {
+				fmt.Printf("  %v -> output %s word %d: %v +%d\n", c.Val, g.Outs[p].Name, w, c.Path, c.Delay)
+			}
+		}
+	}
+}

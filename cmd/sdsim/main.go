@@ -1,0 +1,129 @@
+// Command sdsim runs one workload on the Softbrain simulator, verifies
+// its output against the golden model, and prints statistics and power.
+//
+// Usage:
+//
+//	sdsim -list
+//	sdsim -w gemm -scale 2
+//	sdsim -w conv3p            # DNN layers run on the 8-unit cluster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"softbrain/internal/core"
+	"softbrain/internal/power"
+	"softbrain/internal/workloads"
+	"softbrain/internal/workloads/dnn"
+	"softbrain/internal/workloads/ext"
+	"softbrain/internal/workloads/machsuite"
+)
+
+func main() {
+	name := flag.String("w", "", "workload name (see -list)")
+	scale := flag.Int("scale", 1, "problem scale for MachSuite workloads")
+	warm := flag.Bool("warm", false, "measure a cache-warm (second) run")
+	list := flag.Bool("list", false, "list available workloads")
+	doTrace := flag.Bool("trace", false, "print an execution timeline (single-unit workloads)")
+	flag.Parse()
+
+	if *list || *name == "" {
+		fmt.Println("MachSuite workloads (single unit, broadly provisioned):")
+		for _, e := range machsuite.All() {
+			fmt.Printf("  %-14s %s / %s\n", e.Name, e.Patterns, e.Datapath)
+		}
+		fmt.Println("Extension workloads (the paper's footnote-3 codes):")
+		for _, e := range ext.All() {
+			fmt.Printf("  %-14s %s / %s\n", e.Name, e.Patterns, e.Datapath)
+		}
+		fmt.Println("DNN layers (8-unit DNN-provisioned cluster):")
+		for _, l := range dnn.Layers() {
+			fmt.Printf("  %s", l.Name)
+		}
+		fmt.Println()
+		return
+	}
+
+	inst, cfg, units, err := build(*name, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *doTrace && units == 1 {
+		if err := runTraced(inst, cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	run := inst.Run
+	if *warm {
+		run = inst.RunWarm
+	}
+	stats, err := run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model := power.NewModel(cfg)
+	fmt.Printf("%s: verified OK on %d unit(s)\n\n", inst.Name, units)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "cycles\t%d\n", stats.Cycles)
+	fmt.Fprintf(w, "dataflow instances\t%d\n", stats.Instances)
+	fmt.Fprintf(w, "functional-unit ops\t%d\n", stats.FUOps)
+	fmt.Fprintf(w, "stream commands\t%d\n", stats.Commands)
+	fmt.Fprintf(w, "control-core instructions\t%d\n", stats.CoreInstrs)
+	fmt.Fprintf(w, "memory read / written\t%d / %d bytes\n", stats.MemBytesRead, stats.MemBytesWritten)
+	fmt.Fprintf(w, "cache hits / misses\t%d / %d\n", stats.CacheHits, stats.CacheMisses)
+	fmt.Fprintf(w, "scratchpad read / written\t%d / %d bytes\n", stats.ScratchBytesRead, stats.ScratchBytesWrit)
+	fmt.Fprintf(w, "recurrence traffic\t%d bytes\n", stats.RecurrenceBytes)
+	fmt.Fprintf(w, "average power\t%.1f mW\n", model.AveragePower(stats, units))
+	fmt.Fprintf(w, "energy\t%.1f nJ\n", model.EnergyNJ(stats, units))
+	w.Flush()
+}
+
+// runTraced executes a single-unit instance with the timeline recorder
+// attached and prints the Figure 4(b)-style Gantt chart.
+func runTraced(inst *workloads.Instance, cfg core.Config) error {
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return err
+	}
+	if inst.Init != nil {
+		inst.Init(m.Sys.Mem)
+	}
+	m.EnableTrace(4096)
+	stats, err := m.Run(inst.Progs[0])
+	if err != nil {
+		return err
+	}
+	if inst.Check != nil {
+		if err := inst.Check(m.Sys.Mem); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: verified OK, %d cycles\n\n", inst.Name, stats.Cycles)
+	fmt.Print(m.Trace().Gantt(100))
+	return nil
+}
+
+func build(name string, scale int) (*workloads.Instance, core.Config, int, error) {
+	if l, err := dnn.Find(name); err == nil {
+		cfg := dnn.Config()
+		inst, err := l.Build(cfg, dnn.Units)
+		return inst, cfg, dnn.Units, err
+	}
+	cfg := core.DefaultConfig()
+	if e, err := machsuite.Find(name); err == nil {
+		inst, err := e.Build(cfg, scale)
+		return inst, cfg, 1, err
+	}
+	e, err := ext.Find(name)
+	if err != nil {
+		return nil, core.Config{}, 0, fmt.Errorf("unknown workload %q (see -list)", name)
+	}
+	inst, err := e.Build(cfg, scale)
+	return inst, cfg, 1, err
+}

@@ -1,0 +1,3 @@
+module softbrain
+
+go 1.22

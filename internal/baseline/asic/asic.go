@@ -1,0 +1,191 @@
+// Package asic is the Aladdin-like pre-RTL fixed-function accelerator
+// model used for the MachSuite comparison (Figures 12-15). Following the
+// paper's methodology, it enumerates a design space over the prescribed
+// hardware transformations — loop unrolling, pipelining and memory/array
+// partitioning — estimates cycles, power and area per point from the
+// workload's datapath graph, and picks a Pareto-optimal design within an
+// iso-performance band of the Softbrain result (power prioritized over
+// area, Section 7.3).
+package asic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"softbrain/internal/dfg"
+	"softbrain/internal/power"
+)
+
+// Kernel describes one workload to the accelerator generator.
+type Kernel struct {
+	Name  string
+	Graph *dfg.Graph // datapath of one loop iteration (one instance)
+	Iters uint64     // loop iterations (computation instances)
+
+	BytesPerIter float64 // average memory-interface traffic per iteration
+	LocalSRAM    int     // bytes of local buffering the datapath needs
+	SerialFrac   float64 // fraction of iterations that cannot overlap (0..1)
+}
+
+// Design is one evaluated accelerator configuration.
+type Design struct {
+	Unroll    int
+	Partition int
+	Pipelined bool
+
+	Cycles  uint64
+	PowerMW float64
+	AreaMM2 float64
+}
+
+// ControlOverheadMW is the fixed power of an accelerator's clock tree,
+// sequencing control and memory interface at 55 nm, which activity
+// cannot gate away.
+const ControlOverheadMW = 18
+
+// unrollFactors is the explored transformation space.
+var unrollFactors = []int{1, 2, 4, 8, 16, 32}
+
+// Explore enumerates the design space for k.
+func Explore(k Kernel) ([]Design, error) {
+	if k.Graph == nil || k.Iters == 0 {
+		return nil, fmt.Errorf("asic: kernel %s is empty", k.Name)
+	}
+	depth := pipelineDepth(k.Graph)
+	iterEnergy := iterationEnergyPJ(k.Graph)
+	iterArea := datapathArea(k.Graph)
+
+	var out []Design
+	for _, u := range unrollFactors {
+		for _, pipelined := range []bool{true, false} {
+			// Array partitioning scales local memory ports with the
+			// unroll factor (Aladdin's partition factor).
+			part := u
+			ii := 1.0
+			if !pipelined {
+				ii = float64(depth)
+			}
+			perIterCycles := ii / float64(u)
+			compute := float64(k.Iters)*perIterCycles + float64(depth)
+			compute += k.SerialFrac * float64(k.Iters) * float64(depth)
+			memory := float64(k.Iters) * k.BytesPerIter / 64.0
+			cycles := compute
+			if memory > cycles {
+				cycles = memory
+			}
+
+			// Energy: datapath ops plus SRAM traffic. Power adds the
+			// overheads Aladdin's designs carry — clock tree, control
+			// FSM and memory interface, plus leakage over logic and the
+			// partitioned local SRAM arrays (Section 7.3 notes these
+			// memory structures are included and can dominate).
+			sramAccesses := float64(k.Iters) * k.BytesPerIter / 8.0
+			energyPJ := float64(k.Iters)*iterEnergy + sramAccesses*power.SRAMEnergyPJ
+			area := iterArea*float64(u) + power.SRAMArea(k.LocalSRAM*part)
+			leakMW := area * 30 // logic + SRAM leakage per mm^2 at 55 nm
+			// pJ per cycle at 1 GHz is pJ/ns = mW.
+			powerMW := energyPJ/cycles + leakMW + ControlOverheadMW
+
+			out = append(out, Design{
+				Unroll: u, Partition: part, Pipelined: pipelined,
+				Cycles:  uint64(cycles),
+				PowerMW: powerMW,
+				AreaMM2: area,
+			})
+		}
+	}
+	return out, nil
+}
+
+// SelectIso picks the design matching the paper's selection rule: among
+// designs within 10% of the target performance (where possible), the
+// Pareto-optimal point with power prioritized over area. If no design is
+// fast enough, the fastest is returned.
+func SelectIso(designs []Design, targetCycles uint64) (Design, error) {
+	if len(designs) == 0 {
+		return Design{}, fmt.Errorf("asic: empty design space")
+	}
+	limit := float64(targetCycles) * 1.10
+	var band []Design
+	for _, d := range designs {
+		if float64(d.Cycles) <= limit {
+			band = append(band, d)
+		}
+	}
+	if len(band) == 0 {
+		// No point is iso-performance; fall back to the fastest.
+		best := designs[0]
+		for _, d := range designs[1:] {
+			if d.Cycles < best.Cycles {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	sort.Slice(band, func(i, j int) bool {
+		if band[i].PowerMW != band[j].PowerMW {
+			return band[i].PowerMW < band[j].PowerMW
+		}
+		if band[i].AreaMM2 != band[j].AreaMM2 {
+			return band[i].AreaMM2 < band[j].AreaMM2
+		}
+		return band[i].Cycles < band[j].Cycles
+	})
+	return band[0], nil
+}
+
+// Generate explores and selects in one step.
+func Generate(k Kernel, targetCycles uint64) (Design, error) {
+	ds, err := Explore(k)
+	if err != nil {
+		return Design{}, err
+	}
+	return SelectIso(ds, targetCycles)
+}
+
+// pipelineDepth is the datapath's critical path in cycles.
+func pipelineDepth(g *dfg.Graph) int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 1
+	}
+	depth := make(map[dfg.NodeID]int)
+	maxDepth := 1
+	for _, id := range order {
+		d := 0
+		for _, a := range g.Nodes[id].Args {
+			if a.Kind == dfg.RefNode && depth[a.Node] > d {
+				d = depth[a.Node]
+			}
+		}
+		depth[id] = d + g.Nodes[id].Op.Latency()
+		if depth[id] > maxDepth {
+			maxDepth = depth[id]
+		}
+	}
+	return maxDepth
+}
+
+// iterationEnergyPJ sums per-op energy over one iteration of the
+// datapath, lane-weighted.
+func iterationEnergyPJ(g *dfg.Graph) float64 {
+	e := 0.0
+	for _, n := range g.Nodes {
+		c := power.FUClassCosts[n.Op.Class()]
+		e += c.EnergyPJ * float64(n.Op.Lanes()) / 4.0
+	}
+	if e == 0 {
+		e = 0.5
+	}
+	return e
+}
+
+// datapathArea sums FU area over one unrolled copy of the datapath.
+func datapathArea(g *dfg.Graph) float64 {
+	a := 0.0
+	for _, n := range g.Nodes {
+		a += power.FUClassCosts[n.Op.Class()].AreaMM2
+	}
+	return math.Max(a, 0.002)
+}

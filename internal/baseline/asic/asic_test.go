@@ -1,0 +1,120 @@
+package asic
+
+import (
+	"testing"
+
+	"softbrain/internal/dfg"
+)
+
+func macKernel(t testing.TB, iters uint64) Kernel {
+	t.Helper()
+	b := dfg.NewBuilder("mac")
+	v := b.Input("V", 1)
+	x := b.Input("X", 1)
+	r := b.Input("R", 1)
+	b.Output("Y", b.N(dfg.Acc(64), b.N(dfg.Mul(64), v.W(0), x.W(0)), r.W(0)))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Kernel{Name: "mac", Graph: g, Iters: iters, BytesPerIter: 16, LocalSRAM: 1024}
+}
+
+func TestExploreSpansTradeoffs(t *testing.T) {
+	ds, err := Explore(macKernel(t, 100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) < 8 {
+		t.Fatalf("only %d design points", len(ds))
+	}
+	var minCyc, maxCyc uint64 = ^uint64(0), 0
+	var minArea, maxArea float64 = 1e9, 0
+	for _, d := range ds {
+		if d.Cycles == 0 || d.PowerMW <= 0 || d.AreaMM2 <= 0 {
+			t.Fatalf("degenerate design %+v", d)
+		}
+		if d.Cycles < minCyc {
+			minCyc = d.Cycles
+		}
+		if d.Cycles > maxCyc {
+			maxCyc = d.Cycles
+		}
+		if d.AreaMM2 < minArea {
+			minArea = d.AreaMM2
+		}
+		if d.AreaMM2 > maxArea {
+			maxArea = d.AreaMM2
+		}
+	}
+	if maxCyc < 4*minCyc {
+		t.Error("unrolling should span a wide performance range")
+	}
+	if maxArea < 2*minArea {
+		t.Error("unrolling should span a wide area range")
+	}
+}
+
+func TestUnrollingHelpsUntilMemoryBound(t *testing.T) {
+	k := macKernel(t, 1000000)
+	k.BytesPerIter = 64 // 1 line per iteration: memory bound immediately
+	ds, _ := Explore(k)
+	for _, d := range ds {
+		if d.Pipelined && d.Cycles < k.Iters {
+			t.Errorf("memory-bound design faster than bandwidth allows: %+v", d)
+		}
+	}
+}
+
+func TestSelectIsoPrefersLowPower(t *testing.T) {
+	designs := []Design{
+		{Unroll: 8, Cycles: 1000, PowerMW: 50, AreaMM2: 0.2},
+		{Unroll: 4, Cycles: 1050, PowerMW: 20, AreaMM2: 0.1},
+		{Unroll: 16, Cycles: 600, PowerMW: 90, AreaMM2: 0.4},
+	}
+	d, err := SelectIso(designs, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PowerMW != 20 {
+		t.Errorf("selected %+v, want the low-power iso design", d)
+	}
+}
+
+func TestSelectIsoFallsBackToFastest(t *testing.T) {
+	designs := []Design{
+		{Cycles: 5000, PowerMW: 10},
+		{Cycles: 3000, PowerMW: 30},
+	}
+	d, err := SelectIso(designs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cycles != 3000 {
+		t.Errorf("fallback picked %+v", d)
+	}
+}
+
+func TestGenerateEndToEnd(t *testing.T) {
+	k := macKernel(t, 500000)
+	k.BytesPerIter = 8 // memory bound at 62500 cycles
+	d, err := Generate(k, 70000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(d.Cycles) > 1.1*70000 && d.Unroll != 32 {
+		t.Errorf("iso selection missed: %+v", d)
+	}
+	if d.AreaMM2 > 1.0 {
+		t.Errorf("a MAC accelerator should be tiny, got %.3f mm^2", d.AreaMM2)
+	}
+}
+
+func TestExploreRejectsEmptyKernel(t *testing.T) {
+	if _, err := Explore(Kernel{}); err == nil {
+		t.Error("empty kernel accepted")
+	}
+	if _, err := SelectIso(nil, 10); err == nil {
+		t.Error("empty design space accepted")
+	}
+}

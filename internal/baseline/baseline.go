@@ -1,0 +1,122 @@
+// Package baseline provides the comparison models of Section 6: an
+// analytic single-thread CPU and OOO4 core (the i7-2600K reference), a
+// Kepler-class GPU, and the DianNao model the paper itself uses —
+// "optimistic... perfect hardware pipelining and scratchpad reuse; bound
+// only by parallelism in the neural network topology and by memory
+// bandwidth". All power and area constants are normalized to 55 nm, as
+// in the paper.
+package baseline
+
+// Profile characterizes one workload kernel for the analytic models.
+// The simulator-side workload builders fill it from the same golden
+// computation that verifies the accelerator's output, so the baselines
+// run exactly the work the accelerator ran.
+type Profile struct {
+	Name      string
+	KernelOps uint64 // useful scalar ALU/compare operations
+	MACs      uint64 // multiply-accumulate count (DNN models)
+	MemBytes  uint64 // compulsory memory traffic in bytes
+	BranchOps uint64 // data-dependent control operations (CPU only)
+}
+
+// CPUModel is an analytic in-order/out-of-order processor model.
+type CPUModel struct {
+	Name     string
+	FreqGHz  float64
+	EffIPC   float64 // sustained useful ops per cycle on kernel code
+	Overhead float64 // dynamic instruction expansion (address/loop/control)
+	BytesCyc float64 // sustainable memory bytes per cycle
+	PowerMW  float64
+	AreaMM2  float64
+}
+
+// SingleThreadCPU is the Figure 11 baseline: one SandyBridge thread.
+func SingleThreadCPU() CPUModel {
+	return CPUModel{Name: "CPU-1T", FreqGHz: 3.4, EffIPC: 2.0, Overhead: 2.5, BytesCyc: 8, PowerMW: 6000, AreaMM2: 18}
+}
+
+// OOO4 is the Figures 12-14 baseline: a 4-wide out-of-order core.
+func OOO4() CPUModel {
+	return CPUModel{Name: "OOO4", FreqGHz: 3.4, EffIPC: 2.8, Overhead: 2.5, BytesCyc: 16, PowerMW: 6000, AreaMM2: 18}
+}
+
+// TimeNS is the kernel's wall-clock time in nanoseconds; accelerator
+// comparisons are in time, since clocks differ.
+func (m CPUModel) TimeNS(p Profile) float64 {
+	return float64(m.Cycles(p)) / m.FreqGHz
+}
+
+// Cycles estimates the kernel's execution time on the CPU: instruction
+// throughput bound or memory bound, whichever dominates. Branchy code
+// pays a misprediction-flavored penalty per control op.
+func (m CPUModel) Cycles(p Profile) uint64 {
+	instr := float64(p.KernelOps) * m.Overhead / m.EffIPC
+	instr += float64(p.BranchOps) * 3
+	memory := float64(p.MemBytes) / m.BytesCyc
+	if memory > instr {
+		return uint64(memory)
+	}
+	return uint64(instr)
+}
+
+// GPUModel is the Kepler GTX 750 comparison of Figure 11: massive lanes
+// at modest sustained utilization, plus kernel-launch overhead.
+type GPUModel struct {
+	Name      string
+	FreqGHz   float64
+	OpsCyc    float64 // sustained ops per cycle across all SMs
+	BytesCyc  float64 // memory bandwidth in bytes per cycle
+	LaunchCyc uint64  // per-phase offload overhead
+}
+
+// KeplerGPU returns the calibrated GTX 750 model.
+func KeplerGPU() GPUModel {
+	return GPUModel{Name: "GPU", FreqGHz: 1.1, OpsCyc: 96, BytesCyc: 80, LaunchCyc: 4000}
+}
+
+// TimeNS is the kernel's wall-clock time in nanoseconds.
+func (m GPUModel) TimeNS(p Profile) float64 {
+	return float64(m.Cycles(p)) / m.FreqGHz
+}
+
+// Cycles estimates GPU execution time.
+func (m GPUModel) Cycles(p Profile) uint64 {
+	compute := float64(p.KernelOps) / m.OpsCyc
+	memory := float64(p.MemBytes) / m.BytesCyc
+	t := compute
+	if memory > t {
+		t = memory
+	}
+	return m.LaunchCyc + uint64(t)
+}
+
+// DianNaoModel follows the paper's comparison methodology: 256 16-bit
+// MACs per cycle (the NFU), perfect pipelining and scratchpad reuse,
+// bound only by topology parallelism and memory bandwidth.
+type DianNaoModel struct {
+	MACsPerCycle float64
+	BytesCyc     float64
+	AreaMM2      float64 // Table 3, normalized to 55 nm
+	PowerMW      float64
+}
+
+// DianNao returns the published configuration (1 GHz).
+func DianNao() DianNaoModel {
+	return DianNaoModel{MACsPerCycle: 256, BytesCyc: 32, AreaMM2: 2.16, PowerMW: 418.3}
+}
+
+// TimeNS is the layer's wall-clock time in nanoseconds at 1 GHz.
+func (m DianNaoModel) TimeNS(p Profile) float64 { return float64(m.Cycles(p)) }
+
+// Cycles estimates DianNao execution time for a DNN layer.
+func (m DianNaoModel) Cycles(p Profile) uint64 {
+	compute := float64(p.MACs) / m.MACsPerCycle
+	memory := float64(p.MemBytes) / m.BytesCyc
+	if memory > compute {
+		return uint64(memory)
+	}
+	if compute < 1 {
+		compute = 1
+	}
+	return uint64(compute)
+}

@@ -1,0 +1,70 @@
+package baseline
+
+import "testing"
+
+func TestCPUComputeVsMemoryBound(t *testing.T) {
+	m := OOO4()
+	compute := Profile{KernelOps: 1_000_000, MemBytes: 100}
+	memory := Profile{KernelOps: 100, MemBytes: 10_000_000}
+	cc := m.Cycles(compute)
+	mc := m.Cycles(memory)
+	if cc <= uint64(float64(compute.KernelOps)/m.EffIPC)-1 {
+		t.Errorf("compute-bound cycles %d below ideal", cc)
+	}
+	if mc != uint64(float64(memory.MemBytes)/m.BytesCyc) {
+		t.Errorf("memory-bound cycles %d, want bandwidth bound", mc)
+	}
+}
+
+func TestCPUBranchPenalty(t *testing.T) {
+	m := SingleThreadCPU()
+	smooth := Profile{KernelOps: 10000}
+	branchy := Profile{KernelOps: 10000, BranchOps: 5000}
+	if m.Cycles(branchy) <= m.Cycles(smooth) {
+		t.Error("branches should cost cycles")
+	}
+}
+
+func TestGPUFasterThanCPUOnBigParallelWork(t *testing.T) {
+	p := Profile{KernelOps: 50_000_000, MemBytes: 10_000_000}
+	speedup := SingleThreadCPU().TimeNS(p) / KeplerGPU().TimeNS(p)
+	if speedup < 5 || speedup > 100 {
+		t.Errorf("GPU speedup %.1f out of the plausible Figure 11 range", speedup)
+	}
+}
+
+func TestGPULaunchOverheadDominatesSmallWork(t *testing.T) {
+	p := Profile{KernelOps: 100, MemBytes: 100}
+	g := KeplerGPU()
+	if g.Cycles(p) < g.LaunchCyc {
+		t.Error("launch overhead missing")
+	}
+}
+
+func TestDianNaoComputeAndBandwidthBound(t *testing.T) {
+	d := DianNao()
+	// Classifier-like layer: MACs dominate when data is reused.
+	p := Profile{MACs: 1 << 20, MemBytes: 1 << 10}
+	if got, want := d.Cycles(p), uint64(1<<20)/256; got != want {
+		t.Errorf("compute-bound DianNao cycles %d, want %d", got, want)
+	}
+	// Bandwidth-starved layer.
+	p = Profile{MACs: 1024, MemBytes: 1 << 20}
+	if got, want := d.Cycles(p), uint64(1<<20)/32; got != want {
+		t.Errorf("memory-bound DianNao cycles %d, want %d", got, want)
+	}
+	if d.Cycles(Profile{MACs: 10}) == 0 {
+		t.Error("tiny layer should still take a cycle")
+	}
+}
+
+// The headline DNN shape of Figure 11: DianNao runs a reuse-heavy layer
+// around 100x faster than a single CPU thread.
+func TestDianNaoVsCPUShape(t *testing.T) {
+	// A conv-like layer: each MAC is 2 ops; high reuse.
+	p := Profile{KernelOps: 2 << 24, MACs: 1 << 24, MemBytes: 1 << 20}
+	speedup := SingleThreadCPU().TimeNS(p) / DianNao().TimeNS(p)
+	if speedup < 40 || speedup > 400 {
+		t.Errorf("DianNao speedup %.0fx, want order of 100x", speedup)
+	}
+}

@@ -1,0 +1,185 @@
+// Package cgra models the coarse-grained reconfigurable architecture of
+// Section 4.4: a circuit-switched mesh of processing elements (PEs), each
+// with pipelined functional units, small constant/accumulator storage and
+// per-operand delay FIFOs. The mesh has no flow control; correctness
+// relies on the compiler delay-matching every path, which the Schedule
+// type captures and validates.
+package cgra
+
+import (
+	"fmt"
+
+	"softbrain/internal/dfg"
+)
+
+// PE describes one processing element's capabilities.
+type PE struct {
+	Classes uint8 // bitmask over dfg.FUClass: which op classes its FU executes
+}
+
+// Supports reports whether the PE's FU can execute ops of class c.
+func (p PE) Supports(c dfg.FUClass) bool { return p.Classes&(1<<c) != 0 }
+
+// ClassMask builds a PE capability mask from FU classes.
+func ClassMask(classes ...dfg.FUClass) uint8 {
+	var m uint8
+	for _, c := range classes {
+		m |= 1 << c
+	}
+	return m
+}
+
+// PortSpec describes one hardware vector port.
+type PortSpec struct {
+	Width    int  // words transferable per cycle (1..8)
+	Depth    int  // FIFO capacity in words
+	Indirect bool // not connected to the CGRA; buffers indirect addresses
+}
+
+// Fabric is the static hardware description: the PE grid, its mesh
+// topology, the delay-FIFO depth, and the vector ports. Vector ports
+// attach to a spread of CGRA ports around the fabric (Section 4.4), so a
+// stream value may inject at (and eject from) any PE, bounded by the
+// per-PE channel counts below.
+type Fabric struct {
+	Rows, Cols   int
+	PEs          []PE // row-major: index r*Cols+c
+	MaxDelay     int  // per-operand delay FIFO depth in cycles
+	InjectPerPE  int  // port words/cycle one PE can accept
+	EjectPerPE   int  // port words/cycle one PE can deliver
+	LinkChannels int  // 64-bit channels per directed mesh link
+	InPorts      []PortSpec
+	OutPorts     []PortSpec
+}
+
+// NumPEs returns the PE count.
+func (f *Fabric) NumPEs() int { return f.Rows * f.Cols }
+
+// At returns the PE index at row r, column c.
+func (f *Fabric) At(r, c int) int { return r*f.Cols + c }
+
+// Pos returns the row and column of PE index i.
+func (f *Fabric) Pos(i int) (r, c int) { return i / f.Cols, i % f.Cols }
+
+// Neighbors returns the PE indices adjacent to i in the mesh.
+func (f *Fabric) Neighbors(i int) []int {
+	r, c := f.Pos(i)
+	out := make([]int, 0, 4)
+	if r > 0 {
+		out = append(out, f.At(r-1, c))
+	}
+	if r < f.Rows-1 {
+		out = append(out, f.At(r+1, c))
+	}
+	if c > 0 {
+		out = append(out, f.At(r, c-1))
+	}
+	if c < f.Cols-1 {
+		out = append(out, f.At(r, c+1))
+	}
+	return out
+}
+
+// Validate checks the fabric description.
+func (f *Fabric) Validate() error {
+	if f.Rows < 1 || f.Cols < 1 {
+		return fmt.Errorf("cgra: empty fabric %dx%d", f.Rows, f.Cols)
+	}
+	if len(f.PEs) != f.NumPEs() {
+		return fmt.Errorf("cgra: %d PEs for a %dx%d fabric", len(f.PEs), f.Rows, f.Cols)
+	}
+	if f.MaxDelay < 0 || f.InjectPerPE < 1 || f.EjectPerPE < 1 || f.LinkChannels < 1 {
+		return fmt.Errorf("cgra: invalid delay/channel parameters")
+	}
+	if len(f.InPorts) == 0 || len(f.OutPorts) == 0 {
+		return fmt.Errorf("cgra: fabric needs input and output vector ports")
+	}
+	for i, p := range append(append([]PortSpec{}, f.InPorts...), f.OutPorts...) {
+		if p.Width < 1 || p.Width > 8 || p.Depth < p.Width {
+			return fmt.Errorf("cgra: port %d has invalid width %d / depth %d", i, p.Width, p.Depth)
+		}
+	}
+	return nil
+}
+
+// FUCounts tallies how many PEs support each FU class (a PE with several
+// classes counts toward each; the power model uses dynamic activity, not
+// these static counts).
+func (f *Fabric) FUCounts() [dfg.NumFUClasses]int {
+	var out [dfg.NumFUClasses]int
+	for _, pe := range f.PEs {
+		for c := dfg.FUClass(0); c < dfg.NumFUClasses; c++ {
+			if pe.Supports(c) {
+				out[c]++
+			}
+		}
+	}
+	return out
+}
+
+// NumLinks is the number of directed mesh link channels (each adjacent
+// pair has LinkChannels channels in each direction).
+func (f *Fabric) NumLinks() int {
+	return 2 * (f.Rows*(f.Cols-1) + f.Cols*(f.Rows-1)) * f.LinkChannels
+}
+
+// defaultPorts is the port provisioning of DESIGN.md §6: a spread of
+// widths with 64-word buffers, plus two indirect ports per direction.
+func defaultPorts() (in, out []PortSpec) {
+	widths := []int{8, 8, 4, 4, 2, 2, 1, 1}
+	for _, w := range widths {
+		in = append(in, PortSpec{Width: w, Depth: 64})
+		out = append(out, PortSpec{Width: w, Depth: 64})
+	}
+	for i := 0; i < 2; i++ {
+		in = append(in, PortSpec{Width: 4, Depth: 64, Indirect: true})
+	}
+	return in, out
+}
+
+// NewFabric builds a rows x cols fabric where every PE supports the given
+// FU classes, with default ports and delay FIFOs.
+func NewFabric(rows, cols int, classes ...dfg.FUClass) *Fabric {
+	mask := ClassMask(classes...)
+	pes := make([]PE, rows*cols)
+	for i := range pes {
+		pes[i] = PE{Classes: mask}
+	}
+	in, out := defaultPorts()
+	return &Fabric{
+		Rows: rows, Cols: cols, PEs: pes,
+		MaxDelay:     63,
+		InjectPerPE:  2,
+		EjectPerPE:   2,
+		LinkChannels: 2,
+		InPorts:      in,
+		OutPorts:     out,
+	}
+}
+
+// DNNFabric is the 5x4 fabric provisioned for the DianNao comparison:
+// every PE has a 4-way 16-bit subword multiplier and ALU, and the last
+// row adds sigmoid units (Section 7.1).
+func DNNFabric() *Fabric {
+	f := NewFabric(5, 4, dfg.FUAlu, dfg.FUMul)
+	for c := 0; c < f.Cols; c++ {
+		i := f.At(f.Rows-1, c)
+		f.PEs[i].Classes |= 1 << dfg.FUSig
+	}
+	return f
+}
+
+// BroadFabric is the broadly provisioned fabric for the MachSuite study
+// (Section 7.2): the FU mix is the maximum needed across the workloads —
+// ALUs everywhere, multipliers on most PEs, plus dividers and sigmoid
+// units sprinkled in.
+func BroadFabric() *Fabric {
+	f := NewFabric(5, 4, dfg.FUAlu, dfg.FUMul)
+	for r := 0; r < f.Rows; r++ {
+		f.PEs[f.At(r, 0)].Classes |= 1 << dfg.FUDiv
+	}
+	for c := 0; c < f.Cols; c++ {
+		f.PEs[f.At(f.Rows-1, c)].Classes |= 1 << dfg.FUSig
+	}
+	return f
+}

@@ -1,0 +1,116 @@
+package cgra
+
+import (
+	"testing"
+
+	"softbrain/internal/dfg"
+)
+
+func TestGeometry(t *testing.T) {
+	f := NewFabric(5, 4, dfg.FUAlu)
+	if f.NumPEs() != 20 {
+		t.Errorf("NumPEs = %d", f.NumPEs())
+	}
+	if f.At(2, 3) != 11 {
+		t.Errorf("At(2,3) = %d", f.At(2, 3))
+	}
+	r, c := f.Pos(11)
+	if r != 2 || c != 3 {
+		t.Errorf("Pos(11) = %d,%d", r, c)
+	}
+	if f.NumLinks() != 2*(5*3+4*4)*f.LinkChannels {
+		t.Errorf("NumLinks = %d", f.NumLinks())
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	f := NewFabric(3, 3, dfg.FUAlu)
+	corner := f.Neighbors(f.At(0, 0))
+	if len(corner) != 2 {
+		t.Errorf("corner has %d neighbors", len(corner))
+	}
+	center := f.Neighbors(f.At(1, 1))
+	if len(center) != 4 {
+		t.Errorf("center has %d neighbors", len(center))
+	}
+	for _, nb := range center {
+		found := false
+		for _, back := range f.Neighbors(nb) {
+			if back == f.At(1, 1) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("neighbor relation not symmetric for %d", nb)
+		}
+	}
+}
+
+func TestClassMaskAndSupports(t *testing.T) {
+	pe := PE{Classes: ClassMask(dfg.FUAlu, dfg.FUSig)}
+	if !pe.Supports(dfg.FUAlu) || !pe.Supports(dfg.FUSig) {
+		t.Error("mask missing set classes")
+	}
+	if pe.Supports(dfg.FUMul) || pe.Supports(dfg.FUDiv) {
+		t.Error("mask has extra classes")
+	}
+}
+
+func TestFabricValidate(t *testing.T) {
+	good := NewFabric(5, 4, dfg.FUAlu, dfg.FUMul)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default fabric invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Fabric)
+	}{
+		{"zero rows", func(f *Fabric) { f.Rows = 0 }},
+		{"pe count mismatch", func(f *Fabric) { f.PEs = f.PEs[:3] }},
+		{"negative delay", func(f *Fabric) { f.MaxDelay = -1 }},
+		{"no inject channels", func(f *Fabric) { f.InjectPerPE = 0 }},
+		{"no in ports", func(f *Fabric) { f.InPorts = nil }},
+		{"no out ports", func(f *Fabric) { f.OutPorts = nil }},
+		{"bad port width", func(f *Fabric) { f.InPorts[0].Width = 9 }},
+		{"depth below width", func(f *Fabric) { f.OutPorts[0].Depth = 1 }},
+	}
+	for _, tt := range cases {
+		f := NewFabric(5, 4, dfg.FUAlu)
+		tt.mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: accepted", tt.name)
+		}
+	}
+}
+
+func TestProvisionedFabrics(t *testing.T) {
+	dnn := DNNFabric()
+	if err := dnn.Validate(); err != nil {
+		t.Fatalf("DNN fabric invalid: %v", err)
+	}
+	counts := dnn.FUCounts()
+	if counts[dfg.FUMul] != 20 {
+		t.Errorf("DNN fabric has %d multiplier PEs, want 20", counts[dfg.FUMul])
+	}
+	if counts[dfg.FUSig] != 4 {
+		t.Errorf("DNN fabric has %d sigmoid PEs, want 4", counts[dfg.FUSig])
+	}
+	broad := BroadFabric()
+	if err := broad.Validate(); err != nil {
+		t.Fatalf("broad fabric invalid: %v", err)
+	}
+	bc := broad.FUCounts()
+	if bc[dfg.FUDiv] == 0 || bc[dfg.FUSig] == 0 || bc[dfg.FUAlu] != 20 {
+		t.Errorf("broad fabric FU mix wrong: %v", bc)
+	}
+	// Indirect ports exist and are flagged.
+	indirect := 0
+	for _, p := range dnn.InPorts {
+		if p.Indirect {
+			indirect++
+		}
+	}
+	if indirect != 2 {
+		t.Errorf("%d indirect ports, want 2", indirect)
+	}
+}

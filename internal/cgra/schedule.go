@@ -1,0 +1,296 @@
+package cgra
+
+import (
+	"fmt"
+
+	"softbrain/internal/dfg"
+)
+
+// ValueID names a value flowing through the mesh: either one word of a
+// DFG input port or the result of a DFG node. Links are circuit-switched,
+// so a link may carry exactly one ValueID (fanout of the same value may
+// share links).
+type ValueID struct {
+	FromPort bool
+	Port     int // DFG input port index (FromPort)
+	Word     int // word lane within the port (FromPort)
+	Node     dfg.NodeID
+}
+
+// PortVal names word w of DFG input port p.
+func PortVal(p, w int) ValueID { return ValueID{FromPort: true, Port: p, Word: w} }
+
+// NodeVal names the result of node n.
+func NodeVal(n dfg.NodeID) ValueID { return ValueID{Node: n} }
+
+func (v ValueID) String() string {
+	if v.FromPort {
+		return fmt.Sprintf("in%d.%d", v.Port, v.Word)
+	}
+	return fmt.Sprintf("n%d", v.Node)
+}
+
+// Conn is one routed connection: the path a value takes through the mesh
+// to one consumer, plus the delay-FIFO setting that aligns its arrival.
+// Path lists PE indices from the entry PE (the injection tap for port
+// values, the producer's PE for node values) to the consumer's PE (or
+// the ejection tap for output-port connections).
+type Conn struct {
+	Val   ValueID
+	Path  []int
+	Delay int
+}
+
+// Latency is the cycles the connection adds after the value departs:
+// one cycle to enter the mesh (injection or FU output register), one per
+// link, plus the delay-FIFO setting.
+func (c Conn) Latency() int { return 1 + (len(c.Path) - 1) + c.Delay }
+
+// Schedule is a complete CGRA configuration for one DFG: placement,
+// routing, delay matching, timing, and the vector-port mapping. It is
+// what SD_Config loads; ConfigBytes is its encoded size.
+type Schedule struct {
+	Fabric *Fabric
+	Graph  *dfg.Graph
+
+	Place    []int    // node -> PE index
+	NodeFire []int    // node -> firing cycle relative to instance launch
+	Operand  [][]Conn // [node][arg]; immediate args have a zero-value Conn (nil Path)
+
+	OutConn   [][]Conn // [output port][word]
+	OutArrive []int    // per output port: arrival cycle of its words
+	Depth     int      // pipeline depth: max over OutArrive
+
+	InPortMap  []int // DFG input port -> hardware input port
+	OutPortMap []int // DFG output port -> hardware output port
+}
+
+// injectKey identifies one injection channel use: a value entering the
+// mesh at a top-row PE.
+type injectKey struct {
+	pe  int
+	val ValueID
+}
+
+// depart is the cycle the value leaves its source, relative to instance
+// launch: port words depart at 0 (synchronized dataflow firing), node
+// results after the node fires and its FU latency elapses.
+func (s *Schedule) depart(v ValueID) int {
+	if v.FromPort {
+		return 0
+	}
+	return s.NodeFire[v.Node] + s.Graph.Nodes[v.Node].Op.Latency()
+}
+
+// Validate checks every hardware constraint the schedule must satisfy:
+// capacity, FU capability, link exclusivity, channel limits, delay-FIFO
+// bounds, and exact delay matching. A Schedule that validates runs on
+// the (modeled) hardware.
+func (s *Schedule) Validate() error {
+	f, g := s.Fabric, s.Graph
+	if f == nil || g == nil {
+		return fmt.Errorf("cgra: schedule missing fabric or graph")
+	}
+	if len(s.Place) != len(g.Nodes) || len(s.NodeFire) != len(g.Nodes) || len(s.Operand) != len(g.Nodes) {
+		return fmt.Errorf("cgra: schedule shape mismatch")
+	}
+
+	// Placement: one node per PE, class supported.
+	occupied := make(map[int]dfg.NodeID)
+	for _, n := range g.Nodes {
+		pe := s.Place[n.ID]
+		if pe < 0 || pe >= f.NumPEs() {
+			return fmt.Errorf("cgra: node %d placed on PE %d of %d", n.ID, pe, f.NumPEs())
+		}
+		if prev, taken := occupied[pe]; taken {
+			return fmt.Errorf("cgra: nodes %d and %d share PE %d", prev, n.ID, pe)
+		}
+		occupied[pe] = n.ID
+		if !f.PEs[pe].Supports(n.Op.Class()) {
+			return fmt.Errorf("cgra: PE %d cannot execute %v (node %d)", pe, n.Op, n.ID)
+		}
+	}
+
+	// Routing: adjacency, link channel capacity, edge channel limits.
+	linkUse := make(map[[2]int]map[ValueID]bool)
+	injectUse := make(map[int]int)
+	injectSeen := make(map[injectKey]bool)
+	ejectUse := make(map[int]int)
+	checkPath := func(c Conn, endPE int, eject bool) error {
+		if len(c.Path) == 0 {
+			return fmt.Errorf("cgra: empty path for %v", c.Val)
+		}
+		start := c.Path[0]
+		if c.Val.FromPort {
+			// Fanout of one value shares its single injection channel.
+			if k := (injectKey{start, c.Val}); !injectSeen[k] {
+				injectSeen[k] = true
+				injectUse[start]++
+			}
+		} else if start != s.Place[c.Val.Node] {
+			return fmt.Errorf("cgra: %v departs from PE %d but is placed on %d", c.Val, start, s.Place[c.Val.Node])
+		}
+		last := c.Path[len(c.Path)-1]
+		if last != endPE {
+			return fmt.Errorf("cgra: path for %v ends at PE %d, want %d", c.Val, last, endPE)
+		}
+		if eject {
+			ejectUse[last]++
+		}
+		for i := 1; i < len(c.Path); i++ {
+			a, b := c.Path[i-1], c.Path[i]
+			adjacent := false
+			for _, nb := range f.Neighbors(a) {
+				if nb == b {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				return fmt.Errorf("cgra: path for %v hops %d->%d, not mesh neighbors", c.Val, a, b)
+			}
+			key := [2]int{a, b}
+			if linkUse[key] == nil {
+				linkUse[key] = map[ValueID]bool{}
+			}
+			linkUse[key][c.Val] = true
+			if len(linkUse[key]) > f.LinkChannels {
+				return fmt.Errorf("cgra: link %d->%d carries %d values, capacity %d",
+					a, b, len(linkUse[key]), f.LinkChannels)
+			}
+		}
+		if c.Delay < 0 || c.Delay > f.MaxDelay {
+			return fmt.Errorf("cgra: delay %d for %v exceeds FIFO depth %d", c.Delay, c.Val, f.MaxDelay)
+		}
+		return nil
+	}
+
+	// Operand connections and delay matching at each node.
+	for _, n := range g.Nodes {
+		if len(s.Operand[n.ID]) != len(n.Args) {
+			return fmt.Errorf("cgra: node %d has %d routed operands for %d args", n.ID, len(s.Operand[n.ID]), len(n.Args))
+		}
+		for i, a := range n.Args {
+			c := s.Operand[n.ID][i]
+			if a.Kind == dfg.RefImm {
+				if c.Path != nil {
+					return fmt.Errorf("cgra: node %d arg %d is immediate but routed", n.ID, i)
+				}
+				continue
+			}
+			want := PortVal(a.Port, a.Word)
+			if a.Kind == dfg.RefNode {
+				want = NodeVal(a.Node)
+			}
+			if c.Val != want {
+				return fmt.Errorf("cgra: node %d arg %d routes %v, want %v", n.ID, i, c.Val, want)
+			}
+			if err := checkPath(c, s.Place[n.ID], false); err != nil {
+				return err
+			}
+			if got := s.depart(c.Val) + c.Latency(); got != s.NodeFire[n.ID] {
+				return fmt.Errorf("cgra: node %d arg %d arrives at %d, fires at %d (delay mismatch)",
+					n.ID, i, got, s.NodeFire[n.ID])
+			}
+		}
+	}
+
+	// Output connections: each word matched to its port's arrival cycle.
+	if len(s.OutConn) != len(g.Outs) || len(s.OutArrive) != len(g.Outs) {
+		return fmt.Errorf("cgra: schedule covers %d output ports of %d", len(s.OutConn), len(g.Outs))
+	}
+	depth := 0
+	for p := range g.Outs {
+		if len(s.OutConn[p]) != g.Outs[p].Width() {
+			return fmt.Errorf("cgra: output %s has %d routed words of %d", g.Outs[p].Name, len(s.OutConn[p]), g.Outs[p].Width())
+		}
+		for w, c := range s.OutConn[p] {
+			src := g.Outs[p].Sources[w]
+			var want ValueID
+			switch src.Kind {
+			case dfg.RefNode:
+				want = NodeVal(src.Node)
+			case dfg.RefPort:
+				want = PortVal(src.Port, src.Word)
+			default:
+				return fmt.Errorf("cgra: output %s word %d sources an immediate", g.Outs[p].Name, w)
+			}
+			if c.Val != want {
+				return fmt.Errorf("cgra: output %s word %d routes %v, want %v", g.Outs[p].Name, w, c.Val, want)
+			}
+			if err := checkPath(c, c.Path[len(c.Path)-1], true); err != nil {
+				return err
+			}
+			if got := s.depart(c.Val) + c.Latency(); got != s.OutArrive[p] {
+				return fmt.Errorf("cgra: output %s word %d arrives at %d, port expects %d", g.Outs[p].Name, w, got, s.OutArrive[p])
+			}
+		}
+		if s.OutArrive[p] > depth {
+			depth = s.OutArrive[p]
+		}
+	}
+	if s.Depth != depth {
+		return fmt.Errorf("cgra: Depth = %d, computed %d", s.Depth, depth)
+	}
+
+	// Channel capacity at the fabric edges.
+	for pe, n := range injectUse {
+		if n > f.InjectPerPE {
+			return fmt.Errorf("cgra: PE %d has %d injections, limit %d", pe, n, f.InjectPerPE)
+		}
+	}
+	for pe, n := range ejectUse {
+		if n > f.EjectPerPE {
+			return fmt.Errorf("cgra: PE %d has %d ejections, limit %d", pe, n, f.EjectPerPE)
+		}
+	}
+
+	// Vector-port mapping: injective, wide enough, and not indirect.
+	return s.validatePortMaps()
+}
+
+func (s *Schedule) validatePortMaps() error {
+	f, g := s.Fabric, s.Graph
+	if len(s.InPortMap) != len(g.Ins) || len(s.OutPortMap) != len(g.Outs) {
+		return fmt.Errorf("cgra: port maps cover %d/%d ports of %d/%d",
+			len(s.InPortMap), len(s.OutPortMap), len(g.Ins), len(g.Outs))
+	}
+	used := map[int]bool{}
+	for p, hw := range s.InPortMap {
+		if hw < 0 || hw >= len(f.InPorts) {
+			return fmt.Errorf("cgra: DFG port %s maps to input port %d of %d", g.Ins[p].Name, hw, len(f.InPorts))
+		}
+		if used[hw] {
+			return fmt.Errorf("cgra: hardware input port %d mapped twice", hw)
+		}
+		used[hw] = true
+		if f.InPorts[hw].Indirect {
+			return fmt.Errorf("cgra: DFG port %s mapped to indirect port %d", g.Ins[p].Name, hw)
+		}
+		if f.InPorts[hw].Width < g.Ins[p].Width {
+			return fmt.Errorf("cgra: DFG port %s (width %d) mapped to narrower port %d (width %d)",
+				g.Ins[p].Name, g.Ins[p].Width, hw, f.InPorts[hw].Width)
+		}
+	}
+	usedOut := map[int]bool{}
+	for p, hw := range s.OutPortMap {
+		if hw < 0 || hw >= len(f.OutPorts) {
+			return fmt.Errorf("cgra: DFG port %s maps to output port %d of %d", g.Outs[p].Name, hw, len(f.OutPorts))
+		}
+		if usedOut[hw] {
+			return fmt.Errorf("cgra: hardware output port %d mapped twice", hw)
+		}
+		usedOut[hw] = true
+		if f.OutPorts[hw].Width < g.Outs[p].Width() {
+			return fmt.Errorf("cgra: DFG port %s (width %d) mapped to narrower port %d (width %d)",
+				g.Outs[p].Name, g.Outs[p].Width(), hw, f.OutPorts[hw].Width)
+		}
+	}
+	return nil
+}
+
+// ConfigBytes is the size of the configuration bitstream SD_Config
+// loads — the actual encoding of EncodeConfig.
+func (s *Schedule) ConfigBytes() uint64 {
+	return uint64(len(EncodeConfig(s)))
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"softbrain/internal/cgra"
+	"softbrain/internal/dfg"
+	"softbrain/internal/engine"
+)
+
+// pipeOut is one instance's output for one port, in flight through the
+// CGRA pipeline. Data is already narrowed to the port's element size.
+type pipeOut struct {
+	ready uint64
+	data  []byte
+}
+
+// cgraExec executes the configured DFG with dataflow firing: when every
+// mapped input port holds one instance of data and every output port has
+// room, the instance launches; results emerge after the schedule's
+// per-port pipeline latency. Initiation interval is 1 — the fabric is
+// fully pipelined (Section 4.4).
+type cgraExec struct {
+	ports *engine.Ports
+
+	sched *cgra.Schedule
+	eval  *dfg.Evaluator
+
+	inHW, outHW []int       // DFG port index -> machine port index
+	outRes      []int       // reserved bytes per machine output port
+	pipe        [][]pipeOut // per DFG output port, in flight
+
+	// Statistics.
+	Instances uint64
+	FUOps     uint64
+}
+
+func newCGRAExec(ports *engine.Ports) *cgraExec {
+	return &cgraExec{ports: ports, outRes: make([]int, len(ports.Out))}
+}
+
+// Install switches to a new configuration. Accumulator state clears, as
+// reconfiguration does on hardware.
+func (x *cgraExec) Install(s *cgra.Schedule) error {
+	ev, err := dfg.NewEvaluator(s.Graph)
+	if err != nil {
+		return err
+	}
+	for p := range x.pipe {
+		if len(x.pipe[p]) > 0 {
+			return fmt.Errorf("core: reconfiguring with %d instances in flight", len(x.pipe[p]))
+		}
+	}
+	x.sched = s
+	x.eval = ev
+	x.inHW = append(x.inHW[:0], s.InPortMap...)
+	x.outHW = append(x.outHW[:0], s.OutPortMap...)
+	x.pipe = make([][]pipeOut, len(s.Graph.Outs))
+	return nil
+}
+
+// Configured reports whether a DFG is loaded.
+func (x *cgraExec) Configured() bool { return x.sched != nil }
+
+// InFlight is the number of buffered pipeline outputs not yet delivered.
+func (x *cgraExec) InFlight() int {
+	n := 0
+	for _, q := range x.pipe {
+		n += len(q)
+	}
+	return n
+}
+
+// Tick delivers finished outputs and fires at most one new instance.
+func (x *cgraExec) Tick(now uint64) error {
+	if x.sched == nil {
+		return nil
+	}
+	// Drain pipeline outputs whose latency has elapsed, in order.
+	for p := range x.pipe {
+		hw := x.outHW[p]
+		for len(x.pipe[p]) > 0 && x.pipe[p][0].ready <= now {
+			out := x.pipe[p][0]
+			x.pipe[p] = x.pipe[p][1:]
+			x.ports.Out[hw].Push(out.data)
+			x.outRes[hw] -= len(out.data)
+		}
+	}
+
+	// Dataflow firing: one instance worth of data on every input port,
+	// and space (net of in-flight reservations) on every output port.
+	g := x.sched.Graph
+	for p, in := range g.Ins {
+		if !x.ports.In[x.inHW[p]].HasWords(in.Width) {
+			return nil
+		}
+	}
+	for p := range g.Outs {
+		hw := x.outHW[p]
+		if x.ports.Out[hw].Space()-x.outRes[hw] < g.Outs[p].BytesPerInstance() {
+			return nil
+		}
+	}
+
+	inputs := make([][]uint64, len(g.Ins))
+	for p, in := range g.Ins {
+		inputs[p] = x.ports.In[x.inHW[p]].PopWords(in.Width)
+	}
+	outs, err := x.eval.Eval(inputs)
+	if err != nil {
+		return err
+	}
+	for p := range g.Outs {
+		hw := x.outHW[p]
+		elem := g.Outs[p].ElemBytes
+		data := make([]byte, 0, g.Outs[p].BytesPerInstance())
+		for _, w := range outs[p] {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], w)
+			data = append(data, buf[:elem]...)
+		}
+		x.pipe[p] = append(x.pipe[p], pipeOut{
+			ready: now + uint64(x.sched.OutArrive[p]),
+			data:  data,
+		})
+		x.outRes[hw] += len(data)
+	}
+	x.Instances++
+	x.FUOps += uint64(g.OpsPerInstance())
+	return nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"softbrain/internal/mem"
+)
+
+// Cluster is several Softbrain units sharing one backing memory and one
+// DRAM channel — the 8-unit configuration of the DianNao comparison
+// (Section 7.1). Each unit has a private cache and memory port; units
+// contend only for DRAM bandwidth, and run in lockstep.
+type Cluster struct {
+	Units []*Machine
+	Mem   *mem.Memory
+}
+
+// NewCluster builds n identical units over a shared backing store.
+func NewCluster(cfg Config, n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: cluster of %d units", n)
+	}
+	backing := mem.NewMemory()
+	dram := mem.NewDRAM(cfg.Mem.MissInterval)
+	c := &Cluster{Mem: backing}
+	for i := 0; i < n; i++ {
+		sys, err := mem.NewSystemShared(cfg.Mem, backing, dram)
+		if err != nil {
+			return nil, err
+		}
+		u, err := NewMachineShared(cfg, sys)
+		if err != nil {
+			return nil, err
+		}
+		c.Units = append(c.Units, u)
+	}
+	return c, nil
+}
+
+// Run executes one program per unit concurrently and returns aggregated
+// statistics (Cycles is the wall-clock of the slowest unit).
+func (c *Cluster) Run(progs []*Program) (*Stats, error) {
+	if len(progs) != len(c.Units) {
+		return nil, fmt.Errorf("core: %d programs for %d units", len(progs), len(c.Units))
+	}
+	for i, u := range c.Units {
+		if err := u.Load(progs[i]); err != nil {
+			return nil, err
+		}
+	}
+	bases := make([]sysCounters, len(c.Units))
+	for i, u := range c.Units {
+		bases[i] = snapshotSys(u.Sys)
+	}
+	watchdog := c.Units[0].cfg.WatchdogCycles
+	if watchdog == 0 {
+		watchdog = defaultWatchdog
+	}
+	var now, lastProgress, lastChange uint64
+	for {
+		done := true
+		for _, u := range c.Units {
+			if u.Done() {
+				continue
+			}
+			done = false
+			if err := u.Step(now); err != nil {
+				return nil, err
+			}
+		}
+		if done {
+			break
+		}
+		var pr uint64
+		for _, u := range c.Units {
+			pr += u.progress()
+		}
+		if pr != lastProgress {
+			lastProgress, lastChange = pr, now
+		} else if now-lastChange > watchdog {
+			state := ""
+			for i, u := range c.Units {
+				if !u.Done() {
+					state += fmt.Sprintf(" unit %d:\n%s", i, u.snapshot())
+				}
+			}
+			return nil, &DeadlockError{Cycle: now, State: state}
+		}
+		now++
+	}
+	total := &Stats{}
+	for i, u := range c.Units {
+		total.Add(u.collect(now, bases[i]))
+	}
+	total.Cycles = now
+	return total, nil
+}

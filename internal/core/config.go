@@ -1,0 +1,78 @@
+// Package core assembles the Softbrain microarchitecture (Figure 7):
+// control core, stream dispatcher, the three stream engines, vector
+// ports, scratchpad, CGRA and memory interface, and runs stream-dataflow
+// programs on it cycle by cycle. It is the primary deliverable of the
+// reproduction: a functional, timing-accurate model of the paper's
+// implementation.
+package core
+
+import (
+	"fmt"
+
+	"softbrain/internal/cgra"
+	"softbrain/internal/mem"
+)
+
+// Config parameterizes one Softbrain unit.
+type Config struct {
+	Fabric *cgra.Fabric // CGRA geometry, FU mix, vector ports
+
+	Mem          mem.SysConfig // memory-system timing
+	ScratchBytes int           // programmable scratchpad capacity
+
+	CmdQueueDepth int // stream-dispatcher command queue entries
+	StreamTable   int // stream-table entries per engine direction
+	PadBufEntries int // MSE-to-SSE write buffer entries
+
+	// IssueCost is the control-core cycles consumed per instruction
+	// word of a stream command (commands are 1-3 words).
+	IssueCost int
+
+	// WatchdogCycles ends a simulation that makes no progress for this
+	// long, reporting a deadlock diagnosis. 0 uses the default.
+	WatchdogCycles uint64
+
+	// Ablation switches, normally false. They disable, respectively:
+	// the §4.5 balance arbitration unit, the §4.2 all-requests-in-flight
+	// optimization, and the dispatch window (forcing strict head-of-queue
+	// issue). See internal/bench's ablation study.
+	NoBalanceUnit bool
+	NoAllInFlight bool
+	InOrderIssue  bool
+}
+
+// DefaultConfig is the broadly provisioned Softbrain of Section 7.2.
+func DefaultConfig() Config {
+	return Config{
+		Fabric:        cgra.BroadFabric(),
+		Mem:           mem.DefaultSysConfig(),
+		ScratchBytes:  4 << 10,
+		CmdQueueDepth: 8,
+		StreamTable:   8,
+		PadBufEntries: 8,
+		IssueCost:     1,
+	}
+}
+
+// DNNConfig is the Softbrain unit provisioned for the DianNao
+// comparison (Section 7.1): 16-bit 4-way subword FUs and sigmoid units.
+func DNNConfig() Config {
+	c := DefaultConfig()
+	c.Fabric = cgra.DNNFabric()
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Fabric == nil {
+		return fmt.Errorf("core: config has no fabric")
+	}
+	if err := c.Fabric.Validate(); err != nil {
+		return err
+	}
+	if c.ScratchBytes <= 0 || c.CmdQueueDepth <= 0 || c.StreamTable <= 0 ||
+		c.PadBufEntries <= 0 || c.IssueCost <= 0 {
+		return fmt.Errorf("core: non-positive config parameter: %+v", c)
+	}
+	return nil
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"softbrain/internal/cgra"
+	"softbrain/internal/dispatch"
+	"softbrain/internal/engine"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/port"
+	"softbrain/internal/scratch"
+	"softbrain/internal/trace"
+)
+
+// Stats aggregates the observable behavior of one run; the power model
+// converts its activity counts into energy.
+type Stats struct {
+	Cycles uint64
+
+	// Control core.
+	CoreInstrs      uint64 // dynamic instructions (command words + host ops)
+	CoreStallCycles uint64
+
+	// Dispatcher.
+	Commands      uint64
+	BarrierCycles uint64
+	ResourceStall uint64
+
+	// CGRA.
+	Instances uint64
+	FUOps     uint64
+
+	// Data movement.
+	MemBytesRead     uint64
+	MemBytesWritten  uint64
+	MemLines         uint64
+	CacheHits        uint64
+	CacheMisses      uint64
+	ScratchBytesRead uint64
+	ScratchBytesWrit uint64
+	RecurrenceBytes  uint64
+
+	// Engine occupancy.
+	MSEBusy, SSEBusy, RSEBusy uint64
+}
+
+// DeadlockError reports a simulation that stopped making progress, with
+// a snapshot of the stuck state — the situation Section 4.5 discusses
+// (e.g. a recurrence longer than its vector port's buffering).
+type DeadlockError struct {
+	Cycle uint64
+	State string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("core: no progress by cycle %d; deadlock?\n%s", e.Cycle, e.State)
+}
+
+// Machine is one Softbrain unit.
+type Machine struct {
+	cfg Config
+
+	Sys    *mem.System
+	Pad    *scratch.Pad
+	Ports  *engine.Ports
+	mse    *engine.MSE
+	sse    *engine.SSE
+	rse    *engine.RSE
+	disp   *dispatch.Dispatcher
+	exec   *cgraExec
+	padBuf *engine.PadWriteBuf
+
+	prog      *Program
+	pc        int
+	busyUntil uint64
+	coreInstr uint64
+	coreStall uint64
+
+	configErr error // deferred error from the config-install callback
+
+	tracer    *trace.Recorder
+	prevBusy  [3]uint64 // MSE, SSE, RSE busy counters at last Step
+	prevInst  uint64
+	prevInstr uint64
+}
+
+// NewMachine builds a unit with a private memory system.
+func NewMachine(cfg Config) (*Machine, error) {
+	sys, err := mem.NewSystem(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	return NewMachineShared(cfg, sys)
+}
+
+// NewMachineShared builds a unit over an existing memory system, so
+// several units can share cache and DRAM bandwidth (the 8-unit DNN
+// configuration).
+func NewMachineShared(cfg Config, sys *mem.System) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := cfg.Fabric
+	in := make([]*port.Queue, len(f.InPorts))
+	for i, spec := range f.InPorts {
+		in[i] = port.New(fmt.Sprintf("in%d", i), spec.Width, spec.Depth)
+	}
+	out := make([]*port.Queue, len(f.OutPorts))
+	for i, spec := range f.OutPorts {
+		out[i] = port.New(fmt.Sprintf("out%d", i), spec.Width, spec.Depth)
+	}
+	m := &Machine{
+		cfg:    cfg,
+		Sys:    sys,
+		Pad:    scratch.New(cfg.ScratchBytes),
+		Ports:  engine.NewPorts(in, out),
+		padBuf: engine.NewPadWriteBuf(cfg.PadBufEntries),
+	}
+	m.mse = engine.NewMSE(sys, m.Ports, m.padBuf, cfg.StreamTable, m.onConfig)
+	m.mse.DisableBalance = cfg.NoBalanceUnit
+	m.mse.DisableDrain = cfg.NoAllInFlight
+	m.sse = engine.NewSSE(m.Pad, m.Ports, m.padBuf, cfg.StreamTable)
+	m.rse = engine.NewRSE(m.Ports, cfg.StreamTable)
+	m.disp = dispatch.New(m.mse, m.sse, m.rse, len(in), len(out), cfg.CmdQueueDepth)
+	m.disp.InOrderIssue = cfg.InOrderIssue
+	m.exec = newCGRAExec(m.Ports)
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// EnableTrace records an execution timeline (Figure 4b style) covering
+// the first limit cycles; render it with Trace().Gantt.
+func (m *Machine) EnableTrace(limit uint64) {
+	m.tracer = trace.NewRecorder(limit)
+	m.disp.Tracer = m.tracer
+}
+
+// Trace returns the recorder installed by EnableTrace, or nil.
+func (m *Machine) Trace() *trace.Recorder { return m.tracer }
+
+// onConfig decodes the configuration bitstream the SD_Config stream
+// just finished loading — read back from the memory image, so the
+// machine runs exactly what was stored there.
+func (m *Machine) onConfig(addr uint64) {
+	blob, ok := m.prog.Configs[addr]
+	if !ok {
+		m.configErr = fmt.Errorf("core: SD_Config loaded unknown address %#x", addr)
+		return
+	}
+	data := make([]byte, len(blob))
+	m.Sys.Mem.Read(addr, data)
+	s, err := cgra.DecodeConfig(m.cfg.Fabric, data)
+	if err != nil {
+		m.configErr = fmt.Errorf("core: decoding configuration at %#x: %w", addr, err)
+		return
+	}
+	if err := m.exec.Install(s); err != nil {
+		m.configErr = err
+	}
+}
+
+// Load prepares the machine to run p. The command stream is round-
+// tripped through the binary ISA encoding, so the machine executes the
+// architecturally encodable program, not arbitrary Go values.
+func (m *Machine) Load(p *Program) error {
+	if err := p.Err(); err != nil {
+		return err
+	}
+	if err := p.roundTrip(); err != nil {
+		return err
+	}
+	for addr, blob := range p.Configs {
+		m.Sys.Mem.Write(addr, blob)
+	}
+	m.prog = p
+	m.pc = 0
+	m.busyUntil = 0
+	return nil
+}
+
+// Done reports whether the program has fully completed.
+func (m *Machine) Done() bool {
+	return m.prog != nil && m.pc >= len(m.prog.Trace) && m.disp.Idle() && m.exec.InFlight() == 0
+}
+
+// Step advances one cycle.
+func (m *Machine) Step(now uint64) error {
+	if err := m.exec.Tick(now); err != nil {
+		return err
+	}
+	if err := m.mse.Tick(now); err != nil {
+		return err
+	}
+	if m.configErr != nil {
+		return m.configErr
+	}
+	if err := m.sse.Tick(now); err != nil {
+		return err
+	}
+	if err := m.rse.Tick(now); err != nil {
+		return err
+	}
+	if err := m.disp.Tick(now); err != nil {
+		return err
+	}
+	m.stepCore(now)
+	m.mark(now)
+	return nil
+}
+
+// mark records per-lane activity for the execution trace.
+func (m *Machine) mark(now uint64) {
+	if m.tracer == nil {
+		return
+	}
+	if b := m.mse.BusyCycles; b != m.prevBusy[0] {
+		m.prevBusy[0] = b
+		m.tracer.Mark("MSE", now)
+	}
+	if b := m.sse.BusyCycles; b != m.prevBusy[1] {
+		m.prevBusy[1] = b
+		m.tracer.Mark("SSE", now)
+	}
+	if b := m.rse.BusyCycles; b != m.prevBusy[2] {
+		m.prevBusy[2] = b
+		m.tracer.Mark("RSE", now)
+	}
+	if i := m.exec.Instances; i != m.prevInst {
+		m.prevInst = i
+		m.tracer.Mark("CGRA", now)
+	}
+	if c := m.coreInstr; c != m.prevInstr {
+		m.prevInstr = c
+		m.tracer.Mark("core", now)
+	}
+}
+
+// stepCore replays the command trace: a single-issue inorder core that
+// spends IssueCost cycles per instruction word and stalls on a full
+// queue or a pending SD_Barrier_All.
+func (m *Machine) stepCore(now uint64) {
+	if m.prog == nil || m.pc >= len(m.prog.Trace) || now < m.busyUntil {
+		return
+	}
+	op := m.prog.Trace[m.pc]
+	if op.Cmd == nil {
+		m.busyUntil = now + op.Delay
+		m.coreInstr += op.Delay // host computation: ~1 op/cycle
+		m.pc++
+		return
+	}
+	if m.disp.BlocksCore() {
+		m.coreStall++
+		return
+	}
+	if err := m.disp.Enqueue(op.Cmd); err != nil {
+		// Enqueue validated at CanEnqueue time; a failure here is a
+		// program error surfaced on the next Step.
+		m.configErr = err
+		return
+	}
+	words := uint64(op.Cmd.Words())
+	m.busyUntil = now + words*uint64(m.cfg.IssueCost)
+	m.coreInstr += words
+	m.pc++
+}
+
+// progress is a monotone counter; if it stops changing, nothing is
+// happening in the machine.
+func (m *Machine) progress() uint64 {
+	return uint64(m.pc) + m.disp.Issued + m.exec.Instances +
+		m.mse.BytesDelivered + m.mse.BytesStored + m.mse.LinesWritten +
+		m.sse.BytesIn + m.sse.BytesOut + m.rse.BytesMoved
+}
+
+// snapshot renders the stuck state for deadlock diagnostics.
+func (m *Machine) snapshot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  pc=%d/%d queue=%d active-streams: mse=%d sse=%d rse=%d cgra-inflight=%d\n",
+		m.pc, len(m.prog.Trace), m.disp.QueueLen(), m.mse.Active(), m.sse.Active(), m.rse.Active(), m.exec.InFlight())
+	for i, q := range m.Ports.In {
+		if q.Len() > 0 || m.Ports.Reserved(i) > 0 {
+			fmt.Fprintf(&b, "  in%d: %dB buffered, %dB reserved, %dB space\n", i, q.Len(), m.Ports.Reserved(i), q.Space())
+		}
+	}
+	for i, q := range m.Ports.Out {
+		if q.Len() > 0 {
+			fmt.Fprintf(&b, "  out%d: %dB buffered\n", i, q.Len())
+		}
+	}
+	return b.String()
+}
+
+const defaultWatchdog = 50_000
+
+// Run executes the program to completion and returns statistics.
+func (m *Machine) Run(p *Program) (*Stats, error) {
+	if err := m.Load(p); err != nil {
+		return nil, err
+	}
+	base := snapshotSys(m.Sys)
+	watchdog := m.cfg.WatchdogCycles
+	if watchdog == 0 {
+		watchdog = defaultWatchdog
+	}
+	var now, lastProgress, lastChange uint64
+	for !m.Done() {
+		if err := m.Step(now); err != nil {
+			return nil, err
+		}
+		if pr := m.progress(); pr != lastProgress {
+			lastProgress, lastChange = pr, now
+		} else if now-lastChange > watchdog {
+			return nil, &DeadlockError{Cycle: now, State: m.snapshot()}
+		}
+		now++
+	}
+	return m.collect(now, base), nil
+}
+
+// sysCounters is the subset of memory-system statistics snapshotted to
+// attribute shared-system activity to one run.
+type sysCounters struct {
+	reads, writes, bytesRead, bytesWritten, hits, misses uint64
+}
+
+func snapshotSys(s *mem.System) sysCounters {
+	c := sysCounters{reads: s.Reads, writes: s.Writes, bytesRead: s.BytesRead, bytesWritten: s.BytesWritten}
+	if s.Cache != nil {
+		c.hits, c.misses = s.Cache.Hits, s.Cache.Misses
+	}
+	return c
+}
+
+func (m *Machine) collect(cycles uint64, base sysCounters) *Stats {
+	cur := snapshotSys(m.Sys)
+	s := m.localStats(cycles)
+	s.MemBytesRead = cur.bytesRead - base.bytesRead
+	s.MemBytesWritten = cur.bytesWritten - base.bytesWritten
+	s.MemLines = cur.reads - base.reads + cur.writes - base.writes
+	s.CacheHits = cur.hits - base.hits
+	s.CacheMisses = cur.misses - base.misses
+	return s
+}
+
+// localStats gathers the unit-private counters (everything except the
+// possibly-shared memory system).
+func (m *Machine) localStats(cycles uint64) *Stats {
+	return &Stats{
+		Cycles:           cycles,
+		CoreInstrs:       m.coreInstr,
+		CoreStallCycles:  m.coreStall,
+		Commands:         m.disp.Issued,
+		BarrierCycles:    m.disp.BarrierCycles,
+		ResourceStall:    m.disp.ResourceStall,
+		Instances:        m.exec.Instances,
+		FUOps:            m.exec.FUOps,
+		ScratchBytesRead: m.Pad.BytesRead,
+		ScratchBytesWrit: m.Pad.BytesWritten,
+		RecurrenceBytes:  m.rse.BytesMoved,
+		MSEBusy:          m.mse.BusyCycles,
+		SSEBusy:          m.sse.BusyCycles,
+		RSEBusy:          m.rse.BusyCycles,
+	}
+}
+
+// Add accumulates other into s (for multi-unit aggregation). Cycles
+// takes the maximum: units run concurrently.
+func (s *Stats) Add(other *Stats) {
+	if other.Cycles > s.Cycles {
+		s.Cycles = other.Cycles
+	}
+	s.CoreInstrs += other.CoreInstrs
+	s.CoreStallCycles += other.CoreStallCycles
+	s.Commands += other.Commands
+	s.BarrierCycles += other.BarrierCycles
+	s.ResourceStall += other.ResourceStall
+	s.Instances += other.Instances
+	s.FUOps += other.FUOps
+	s.MemBytesRead += other.MemBytesRead
+	s.MemBytesWritten += other.MemBytesWritten
+	s.MemLines += other.MemLines
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+	s.ScratchBytesRead += other.ScratchBytesRead
+	s.ScratchBytesWrit += other.ScratchBytesWrit
+	s.RecurrenceBytes += other.RecurrenceBytes
+	s.MSEBusy += other.MSEBusy
+	s.SSEBusy += other.SSEBusy
+	s.RSEBusy += other.RSEBusy
+}
+
+// StallBreakdown exposes the dispatcher's per-command stall counters for
+// performance debugging.
+func (m *Machine) StallBreakdown() map[isa.Kind]uint64 { return m.disp.StallByKind }
+
+// DebugState renders a one-line snapshot of the dispatcher queue and
+// port occupancy for performance debugging.
+func (m *Machine) DebugState() string {
+	return fmt.Sprintf("q=%d %v | %s | %s", m.disp.QueueLen(), m.disp.QueueKinds(),
+		m.mse.DebugStreams(0), strings.ReplaceAll(m.snapshot(), "\n", " ; "))
+}

@@ -1,0 +1,112 @@
+package dfg
+
+import "fmt"
+
+// Builder constructs Graphs programmatically. Errors are deferred: every
+// method can be chained freely and the first error is reported by Build.
+//
+//	b := dfg.NewBuilder("dotprod")
+//	a, bp := b.Input("A", 3), b.Input("B", 3)
+//	m0 := b.N(dfg.Mul(64), a.W(0), bp.W(0))
+//	...
+//	b.Output("C", sum)
+//	g, err := b.Build()
+type Builder struct {
+	g   Graph
+	err error
+}
+
+// NewBuilder returns a Builder for a graph with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: Graph{Name: name}}
+}
+
+// In names an input port created by Input; W selects one of its words.
+type In struct {
+	b     *Builder
+	index int
+}
+
+// W references word w of the input port.
+func (p In) W(w int) Ref { return PortRef(p.index, w) }
+
+// Index is the port's position among the graph's input ports.
+func (p In) Index() int { return p.index }
+
+// Input declares an input port of the given width in words.
+func (b *Builder) Input(name string, width int) In {
+	b.g.Ins = append(b.g.Ins, InPort{Name: name, Width: width})
+	return In{b: b, index: len(b.g.Ins) - 1}
+}
+
+// N adds a node computing op over args and returns a Ref to its result.
+func (b *Builder) N(op Op, args ...Ref) Ref {
+	return b.Named("", op, args...)
+}
+
+// Named adds a labeled node; labels appear in the text format and traces.
+func (b *Builder) Named(name string, op Op, args ...Ref) Ref {
+	if b.err == nil && len(args) != op.Arity() {
+		b.err = fmt.Errorf("dfg %s: %v takes %d args, got %d", b.g.Name, op, op.Arity(), len(args))
+	}
+	id := NodeID(len(b.g.Nodes))
+	b.g.Nodes = append(b.g.Nodes, Node{ID: id, Name: name, Op: op, Args: args})
+	return NodeRef(id)
+}
+
+// Output declares an output port of full 64-bit elements.
+func (b *Builder) Output(name string, sources ...Ref) {
+	b.OutputElem(name, 8, sources...)
+}
+
+// OutputElem declares an output port emitting the low elemBytes of each
+// source word (sub-word results, e.g. 16-bit neuron outputs).
+func (b *Builder) OutputElem(name string, elemBytes int, sources ...Ref) {
+	b.g.Outs = append(b.g.Outs, OutPort{Name: name, Sources: sources, ElemBytes: elemBytes})
+}
+
+// Build validates and returns the graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := b.g // shallow copy; the builder is discarded by convention
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// MustBuild is Build for graphs known statically to be valid, such as the
+// workload graphs in this repository; it panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ReduceTree builds a balanced binary reduction of vals with op,
+// returning the root value. It is a convenience for the adder and
+// min trees that dominate accelerator DFGs (e.g. stencil3d's "6-1 reduce
+// and multiplier tree" in Table 4). vals must not be empty.
+func (b *Builder) ReduceTree(op Op, vals ...Ref) Ref {
+	if len(vals) == 0 {
+		if b.err == nil {
+			b.err = fmt.Errorf("dfg %s: ReduceTree of nothing", b.g.Name)
+		}
+		return Ref{}
+	}
+	for len(vals) > 1 {
+		var next []Ref
+		for i := 0; i+1 < len(vals); i += 2 {
+			next = append(next, b.N(op, vals[i], vals[i+1]))
+		}
+		if len(vals)%2 == 1 {
+			next = append(next, vals[len(vals)-1])
+		}
+		vals = next
+	}
+	return vals[0]
+}

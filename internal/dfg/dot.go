@@ -1,0 +1,57 @@
+package dfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz format: input ports on top, output
+// ports at the bottom, one node per instruction — the conventional way
+// to look at accelerator DFGs (Figure 3a).
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=TB;\n  node [fontname=\"monospace\"];\n")
+
+	b.WriteString("  { rank=source; ")
+	for i, p := range g.Ins {
+		fmt.Fprintf(&b, "in%d [shape=invhouse, label=\"%s (%d)\"]; ", i, p.Name, p.Width)
+	}
+	b.WriteString("}\n  { rank=sink; ")
+	for i, p := range g.Outs {
+		fmt.Fprintf(&b, "out%d [shape=house, label=\"%s (%d)\"]; ", i, p.Name, p.Width())
+	}
+	b.WriteString("}\n")
+
+	name := func(id NodeID) string { return fmt.Sprintf("n%d", id) }
+	for _, n := range g.Nodes {
+		label := n.Op.String()
+		if n.Name != "" {
+			label = n.Name + ": " + label
+		}
+		fmt.Fprintf(&b, "  %s [shape=box, label=%q];\n", name(n.ID), label)
+	}
+	edge := func(r Ref, dst string, port int) {
+		switch r.Kind {
+		case RefPort:
+			fmt.Fprintf(&b, "  in%d -> %s [label=\".%d\"];\n", r.Port, dst, r.Word)
+		case RefNode:
+			fmt.Fprintf(&b, "  %s -> %s;\n", name(r.Node), dst)
+		case RefImm:
+			fmt.Fprintf(&b, "  imm_%s_%d [shape=plaintext, label=\"$%d\"];\n  imm_%s_%d -> %s;\n",
+				dst, port, r.Imm, dst, port, dst)
+		}
+	}
+	for _, n := range g.Nodes {
+		for i, a := range n.Args {
+			edge(a, name(n.ID), i)
+		}
+	}
+	for pi, p := range g.Outs {
+		for _, r := range p.Sources {
+			edge(r, fmt.Sprintf("out%d", pi), 0)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package dfg
+
+import "fmt"
+
+// Evaluator executes a Graph functionally, one computation instance at a
+// time, holding accumulator state between instances exactly as the
+// processing elements do on hardware. It is used both by the CGRA timing
+// model (which wraps it with pipeline latency) and directly by tests.
+type Evaluator struct {
+	g     *Graph
+	order []NodeID
+	state []uint64 // per-node accumulator state
+	vals  []uint64 // per-node scratch for the current instance
+}
+
+// NewEvaluator returns an evaluator for g, which must be valid.
+func NewEvaluator(g *Graph) (*Evaluator, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	e := &Evaluator{
+		g:     g,
+		order: order,
+		state: make([]uint64, len(g.Nodes)),
+		vals:  make([]uint64, len(g.Nodes)),
+	}
+	e.Reset()
+	return e, nil
+}
+
+// Reset restores all accumulator state to its identity value, as a CGRA
+// reconfiguration does.
+func (e *Evaluator) Reset() {
+	for i := range e.state {
+		e.state[i] = e.g.Nodes[i].Op.InitState()
+	}
+}
+
+// Eval runs one computation instance. inputs[p] holds the words for input
+// port p (length = the port's width); the result is indexed the same way
+// over output ports. The returned slices are valid until the next Eval.
+func (e *Evaluator) Eval(inputs [][]uint64) ([][]uint64, error) {
+	g := e.g
+	if len(inputs) != len(g.Ins) {
+		return nil, fmt.Errorf("dfg %s: %d input vectors for %d ports", g.Name, len(inputs), len(g.Ins))
+	}
+	for p, in := range inputs {
+		if len(in) != g.Ins[p].Width {
+			return nil, fmt.Errorf("dfg %s: port %s got %d words, want %d", g.Name, g.Ins[p].Name, len(in), g.Ins[p].Width)
+		}
+	}
+	deref := func(r Ref) uint64 {
+		switch r.Kind {
+		case RefPort:
+			return inputs[r.Port][r.Word]
+		case RefNode:
+			return e.vals[r.Node]
+		default:
+			return r.Imm
+		}
+	}
+	var args [3]uint64
+	for _, id := range e.order {
+		n := &g.Nodes[id]
+		for i, a := range n.Args {
+			args[i] = deref(a)
+		}
+		e.vals[id], e.state[id] = n.Op.Eval(args[:len(n.Args)], e.state[id])
+	}
+	outs := make([][]uint64, len(g.Outs))
+	for p := range g.Outs {
+		words := make([]uint64, g.Outs[p].Width())
+		for w, r := range g.Outs[p].Sources {
+			words[w] = deref(r)
+		}
+		outs[p] = words
+	}
+	return outs, nil
+}

@@ -1,0 +1,321 @@
+package dfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeID identifies a node within one Graph. IDs are dense: 0..len(Nodes)-1.
+type NodeID int
+
+// RefKind discriminates the source of an operand value.
+type RefKind uint8
+
+const (
+	RefInvalid RefKind = iota
+	RefPort            // one word of an input port, per instance
+	RefNode            // the result of another node
+	RefImm             // a constant folded into the PE configuration
+)
+
+// Ref names the source of one dataflow operand.
+type Ref struct {
+	Kind RefKind
+	Port int    // input port index (RefPort)
+	Word int    // word lane within the port (RefPort)
+	Node NodeID // producing node (RefNode)
+	Imm  uint64 // immediate value (RefImm)
+}
+
+// PortRef references word w of input port p.
+func PortRef(p, w int) Ref { return Ref{Kind: RefPort, Port: p, Word: w} }
+
+// NodeRef references the output of node n.
+func NodeRef(n NodeID) Ref { return Ref{Kind: RefNode, Node: n} }
+
+// ImmRef references the constant v.
+func ImmRef(v uint64) Ref { return Ref{Kind: RefImm, Imm: v} }
+
+func (r Ref) String() string {
+	switch r.Kind {
+	case RefPort:
+		return fmt.Sprintf("in%d.%d", r.Port, r.Word)
+	case RefNode:
+		return fmt.Sprintf("n%d", r.Node)
+	case RefImm:
+		return fmt.Sprintf("$%d", r.Imm)
+	}
+	return "?"
+}
+
+// Node is one dataflow instruction.
+type Node struct {
+	ID   NodeID
+	Name string // optional label from the builder or parser
+	Op   Op
+	Args []Ref
+}
+
+// InPort declares a named DFG input port. Width is in 64-bit words per
+// computation instance: the port consumes Width words from its stream for
+// every firing.
+type InPort struct {
+	Name  string
+	Width int
+}
+
+// OutPort declares a named DFG output port; Sources lists the value
+// producing each of its Width words per instance. ElemBytes is the
+// element size the port emits: for sub-word results (e.g. 16-bit neuron
+// outputs), only the low ElemBytes of each source word enter the port's
+// FIFO.
+type OutPort struct {
+	Name      string
+	Sources   []Ref
+	ElemBytes int
+}
+
+// BytesPerInstance is the number of bytes the port emits per firing.
+func (p OutPort) BytesPerInstance() int { return len(p.Sources) * p.ElemBytes }
+
+// Width is the number of words the port emits per instance.
+func (p OutPort) Width() int { return len(p.Sources) }
+
+// Graph is a complete dataflow graph. Build one with a Builder or Parse;
+// a Graph whose Validate returns nil is immutable by convention.
+type Graph struct {
+	Name  string
+	Ins   []InPort
+	Outs  []OutPort
+	Nodes []Node
+}
+
+// FindIn returns the index of the named input port, or -1.
+func (g *Graph) FindIn(name string) int {
+	for i := range g.Ins {
+		if g.Ins[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FindOut returns the index of the named output port, or -1.
+func (g *Graph) FindOut(name string) int {
+	for i := range g.Outs {
+		if g.Outs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural well-formedness: port names unique and
+// non-empty, widths in range (1..8 words), ops valid with correct arity,
+// refs in range, and acyclicity (Acc state is internal, so the graph
+// itself must be a DAG).
+func (g *Graph) Validate() error {
+	if g.Name == "" {
+		return fmt.Errorf("dfg: graph has no name")
+	}
+	names := map[string]bool{}
+	for _, p := range g.Ins {
+		if p.Name == "" {
+			return fmt.Errorf("dfg %s: input port with empty name", g.Name)
+		}
+		if names[p.Name] {
+			return fmt.Errorf("dfg %s: duplicate port name %q", g.Name, p.Name)
+		}
+		names[p.Name] = true
+		if p.Width < 1 || p.Width > 8 {
+			return fmt.Errorf("dfg %s: port %s width %d out of range 1..8", g.Name, p.Name, p.Width)
+		}
+	}
+	checkRef := func(r Ref, where string) error {
+		switch r.Kind {
+		case RefPort:
+			if r.Port < 0 || r.Port >= len(g.Ins) {
+				return fmt.Errorf("dfg %s: %s references input port %d of %d", g.Name, where, r.Port, len(g.Ins))
+			}
+			if r.Word < 0 || r.Word >= g.Ins[r.Port].Width {
+				return fmt.Errorf("dfg %s: %s references word %d of port %s (width %d)",
+					g.Name, where, r.Word, g.Ins[r.Port].Name, g.Ins[r.Port].Width)
+			}
+		case RefNode:
+			if r.Node < 0 || int(r.Node) >= len(g.Nodes) {
+				return fmt.Errorf("dfg %s: %s references node %d of %d", g.Name, where, r.Node, len(g.Nodes))
+			}
+		case RefImm:
+		default:
+			return fmt.Errorf("dfg %s: %s has invalid ref", g.Name, where)
+		}
+		return nil
+	}
+	for i, n := range g.Nodes {
+		if n.ID != NodeID(i) {
+			return fmt.Errorf("dfg %s: node %d has ID %d", g.Name, i, n.ID)
+		}
+		if !n.Op.Valid() {
+			return fmt.Errorf("dfg %s: node %d has invalid op", g.Name, i)
+		}
+		if len(n.Args) != n.Op.Arity() {
+			return fmt.Errorf("dfg %s: node %d (%v) has %d args, want %d", g.Name, i, n.Op, len(n.Args), n.Op.Arity())
+		}
+		for j, a := range n.Args {
+			if err := checkRef(a, fmt.Sprintf("node %d arg %d", i, j)); err != nil {
+				return err
+			}
+		}
+	}
+	if len(g.Outs) == 0 {
+		return fmt.Errorf("dfg %s: no output ports", g.Name)
+	}
+	for _, p := range g.Outs {
+		if p.Name == "" {
+			return fmt.Errorf("dfg %s: output port with empty name", g.Name)
+		}
+		if names[p.Name] {
+			return fmt.Errorf("dfg %s: duplicate port name %q", g.Name, p.Name)
+		}
+		names[p.Name] = true
+		if p.Width() < 1 || p.Width() > 8 {
+			return fmt.Errorf("dfg %s: port %s width %d out of range 1..8", g.Name, p.Name, p.Width())
+		}
+		switch p.ElemBytes {
+		case 1, 2, 4, 8:
+		default:
+			return fmt.Errorf("dfg %s: port %s element size %d invalid", g.Name, p.Name, p.ElemBytes)
+		}
+		for w, r := range p.Sources {
+			if err := checkRef(r, fmt.Sprintf("output %s word %d", p.Name, w)); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns the nodes in a topological order of the dataflow
+// edges, or an error if the graph contains a cycle.
+func (g *Graph) TopoOrder() ([]NodeID, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, len(g.Nodes))
+	order := make([]NodeID, 0, len(g.Nodes))
+	var visit func(NodeID) error
+	visit = func(id NodeID) error {
+		switch color[id] {
+		case gray:
+			return fmt.Errorf("dfg %s: cycle through node %d", g.Name, id)
+		case black:
+			return nil
+		}
+		color[id] = gray
+		for _, a := range g.Nodes[id].Args {
+			if a.Kind == RefNode {
+				if err := visit(a.Node); err != nil {
+					return err
+				}
+			}
+		}
+		color[id] = black
+		order = append(order, id)
+		return nil
+	}
+	for id := range g.Nodes {
+		if err := visit(NodeID(id)); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// FUDemand counts nodes per functional-unit class: the resources the
+// graph needs from a CGRA configuration.
+func (g *Graph) FUDemand() [NumFUClasses]int {
+	var d [NumFUClasses]int
+	for _, n := range g.Nodes {
+		d[n.Op.Class()]++
+	}
+	return d
+}
+
+// OpsPerInstance is the number of scalar operations one computation
+// instance performs, counting each sub-word lane (the activity measure
+// the power model uses).
+func (g *Graph) OpsPerInstance() int {
+	total := 0
+	for _, n := range g.Nodes {
+		total += n.Op.Lanes()
+	}
+	return total
+}
+
+// InWidthWords is the total input words consumed per instance.
+func (g *Graph) InWidthWords() int {
+	t := 0
+	for _, p := range g.Ins {
+		t += p.Width
+	}
+	return t
+}
+
+// OutWidthWords is the total output words produced per instance.
+func (g *Graph) OutWidthWords() int {
+	t := 0
+	for _, p := range g.Outs {
+		t += p.Width()
+	}
+	return t
+}
+
+// String renders the graph in the .dfg text format accepted by Parse.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dfg %s\n", g.Name)
+	for _, p := range g.Ins {
+		fmt.Fprintf(&b, "input %s %d\n", p.Name, p.Width)
+	}
+	name := func(id NodeID) string {
+		if n := g.Nodes[id].Name; n != "" {
+			return n
+		}
+		return fmt.Sprintf("n%d", id)
+	}
+	ref := func(r Ref) string {
+		switch r.Kind {
+		case RefPort:
+			return fmt.Sprintf("%s.%d", g.Ins[r.Port].Name, r.Word)
+		case RefNode:
+			return name(r.Node)
+		case RefImm:
+			return fmt.Sprintf("$%d", r.Imm)
+		}
+		return "?"
+	}
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "%v %s", n.Op, name(n.ID))
+		for _, a := range n.Args {
+			fmt.Fprintf(&b, " %s", ref(a))
+		}
+		b.WriteByte('\n')
+	}
+	for _, p := range g.Outs {
+		if p.ElemBytes == 8 {
+			fmt.Fprintf(&b, "output %s", p.Name)
+		} else {
+			fmt.Fprintf(&b, "output%d %s", p.ElemBytes*8, p.Name)
+		}
+		for _, r := range p.Sources {
+			fmt.Fprintf(&b, " %s", ref(r))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

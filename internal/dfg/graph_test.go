@@ -1,0 +1,218 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+)
+
+// dotProduct builds the Figure 3a graph: 3-wide dot product with a
+// reduction tree.
+func dotProduct(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder("dotprod")
+	a := b.Input("A", 3)
+	bb := b.Input("B", 3)
+	var prods []Ref
+	for i := 0; i < 3; i++ {
+		prods = append(prods, b.N(Mul(64), a.W(i), bb.W(i)))
+	}
+	b.Output("C", b.ReduceTree(Add(64), prods...))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("building dot product: %v", err)
+	}
+	return g
+}
+
+func TestBuilderDotProduct(t *testing.T) {
+	g := dotProduct(t)
+	if len(g.Nodes) != 5 {
+		t.Errorf("dot product has %d nodes, want 5 (3 mul + 2 add)", len(g.Nodes))
+	}
+	if g.InWidthWords() != 6 || g.OutWidthWords() != 1 {
+		t.Errorf("widths: in %d out %d, want 6 and 1", g.InWidthWords(), g.OutWidthWords())
+	}
+	d := g.FUDemand()
+	if d[FUMul] != 3 || d[FUAlu] != 2 {
+		t.Errorf("FU demand = %v, want 3 mul, 2 alu", d)
+	}
+	if g.OpsPerInstance() != 5 {
+		t.Errorf("OpsPerInstance = %d, want 5", g.OpsPerInstance())
+	}
+}
+
+func TestEvaluatorDotProduct(t *testing.T) {
+	g := dotProduct(t)
+	e, err := NewEvaluator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := e.Eval([][]uint64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outs[0][0]; got != 32 {
+		t.Errorf("dot([1,2,3],[4,5,6]) = %d, want 32", got)
+	}
+}
+
+func TestEvaluatorAccumulatorStateAndReset(t *testing.T) {
+	b := NewBuilder("acc")
+	d := b.Input("D", 1)
+	r := b.Input("R", 1)
+	b.Output("S", b.N(Acc(64), d.W(0), r.W(0)))
+	g := b.MustBuild()
+	e, err := NewEvaluator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(v, reset uint64) uint64 {
+		t.Helper()
+		outs, err := e.Eval([][]uint64{{v}, {reset}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs[0][0]
+	}
+	feed(10, 0)
+	if got := feed(5, 1); got != 15 {
+		t.Errorf("acc = %d, want 15", got)
+	}
+	if got := feed(7, 0); got != 7 {
+		t.Errorf("acc after reset = %d, want 7", got)
+	}
+	e.Reset()
+	if got := feed(1, 0); got != 1 {
+		t.Errorf("acc after Reset() = %d, want 1", got)
+	}
+}
+
+func TestEvaluatorInputShapeErrors(t *testing.T) {
+	g := dotProduct(t)
+	e, _ := NewEvaluator(g)
+	if _, err := e.Eval([][]uint64{{1, 2, 3}}); err == nil {
+		t.Error("wrong port count should error")
+	}
+	if _, err := e.Eval([][]uint64{{1, 2}, {4, 5, 6}}); err == nil {
+		t.Error("wrong port width should error")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	valid := func() Graph {
+		b := NewBuilder("g")
+		a := b.Input("A", 1)
+		b.Output("O", b.N(Abs(64), a.W(0)))
+		return *b.MustBuild()
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Graph)
+	}{
+		{"empty name", func(g *Graph) { g.Name = "" }},
+		{"no outputs", func(g *Graph) { g.Outs = nil }},
+		{"zero width port", func(g *Graph) { g.Ins[0].Width = 0 }},
+		{"too wide port", func(g *Graph) { g.Ins[0].Width = 9 }},
+		{"dup port names", func(g *Graph) { g.Outs[0].Name = "A" }},
+		{"empty in name", func(g *Graph) { g.Ins[0].Name = "" }},
+		{"empty out name", func(g *Graph) { g.Outs[0].Name = "" }},
+		{"bad node id", func(g *Graph) { g.Nodes[0].ID = 5 }},
+		{"invalid op", func(g *Graph) { g.Nodes[0].Op = Op{} }},
+		{"bad arity", func(g *Graph) { g.Nodes[0].Args = nil }},
+		{"port ref out of range", func(g *Graph) { g.Nodes[0].Args[0] = PortRef(3, 0) }},
+		{"word ref out of range", func(g *Graph) { g.Nodes[0].Args[0] = PortRef(0, 2) }},
+		{"node ref out of range", func(g *Graph) { g.Nodes[0].Args[0] = NodeRef(9) }},
+		{"invalid ref kind", func(g *Graph) { g.Nodes[0].Args[0] = Ref{} }},
+		{"bad output ref", func(g *Graph) { g.Outs[0].Sources[0] = NodeRef(-1) }},
+		{"self cycle", func(g *Graph) { g.Nodes[0].Args[0] = NodeRef(0) }},
+	}
+	for _, tt := range tests {
+		g := valid()
+		tt.mutate(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken graph", tt.name)
+		}
+	}
+	g := valid()
+	if err := g.Validate(); err != nil {
+		t.Errorf("baseline graph invalid: %v", err)
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := dotProduct(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[NodeID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, n := range g.Nodes {
+		for _, a := range n.Args {
+			if a.Kind == RefNode && pos[a.Node] > pos[n.ID] {
+				t.Errorf("node %d scheduled before its producer %d", n.ID, a.Node)
+			}
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	// Hand-build a 2-cycle (builders cannot produce one).
+	g := Graph{
+		Name: "cyclic",
+		Ins:  []InPort{{Name: "A", Width: 1}},
+		Nodes: []Node{
+			{ID: 0, Op: Add(64), Args: []Ref{NodeRef(1), PortRef(0, 0)}},
+			{ID: 1, Op: Add(64), Args: []Ref{NodeRef(0), PortRef(0, 0)}},
+		},
+		Outs: []OutPort{{Name: "O", Sources: []Ref{NodeRef(0)}}},
+	}
+	if _, err := g.TopoOrder(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted a cyclic graph")
+	}
+}
+
+func TestBuilderErrorPropagation(t *testing.T) {
+	b := NewBuilder("bad")
+	a := b.Input("A", 1)
+	b.N(Add(64), a.W(0)) // wrong arity
+	b.Output("O", a.W(0))
+	if _, err := b.Build(); err == nil {
+		t.Error("builder should surface arity error")
+	}
+}
+
+func TestReduceTreeEmpty(t *testing.T) {
+	b := NewBuilder("bad")
+	a := b.Input("A", 1)
+	b.Output("O", b.ReduceTree(Add(64)), a.W(0))
+	if _, err := b.Build(); err == nil {
+		t.Error("empty ReduceTree should surface an error")
+	}
+}
+
+func TestFindPorts(t *testing.T) {
+	g := dotProduct(t)
+	if g.FindIn("B") != 1 || g.FindIn("Z") != -1 {
+		t.Error("FindIn misbehaves")
+	}
+	if g.FindOut("C") != 0 || g.FindOut("A") != -1 {
+		t.Error("FindOut misbehaves")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on invalid graph")
+		}
+	}()
+	b := NewBuilder("")
+	b.Output("O", ImmRef(1))
+	b.MustBuild()
+}

@@ -1,0 +1,282 @@
+package dfg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func evalOp(t *testing.T, op Op, args ...uint64) uint64 {
+	t.Helper()
+	r, _ := op.Eval(args, 0)
+	return r
+}
+
+func TestScalarArith(t *testing.T) {
+	tests := []struct {
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{Add(64), 3, 4, 7},
+		{Sub(64), 3, 4, ^uint64(0)}, // wraps
+		{Mul(64), 6, 7, 42},
+		{Div(64), 42, 7, 6},
+		{Div(64), negU64(42), 7, negU64(6)},
+		{Div(64), 1, 0, 0},
+		{Min(64), negU64(5), 3, negU64(5)},
+		{Max(64), negU64(5), 3, 3},
+		{And(64), 0xf0, 0x3c, 0x30},
+		{Or(64), 0xf0, 0x0c, 0xfc},
+		{Xor(64), 0xff, 0x0f, 0xf0},
+		{Shl(64), 1, 5, 32},
+		{Shr(64), 32, 5, 1},
+		{Eq(64), 5, 5, 1},
+		{Eq(64), 5, 6, 0},
+		{Lt(64), negU64(1), 0, 1},
+		{Lt(64), 1, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := evalOp(t, tt.op, tt.a, tt.b); got != tt.want {
+			t.Errorf("%v(%d, %d) = %d, want %d", tt.op, int64(tt.a), int64(tt.b), int64(got), int64(tt.want))
+		}
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	if got := evalOp(t, Abs(64), negU64(9)); got != 9 {
+		t.Errorf("abs64(-9) = %d", int64(got))
+	}
+	if got := evalOp(t, Abs(64), 9); got != 9 {
+		t.Errorf("abs64(9) = %d", int64(got))
+	}
+}
+
+func TestSelect(t *testing.T) {
+	if got := evalOp(t, Sel(64), 1, 10, 20); got != 10 {
+		t.Errorf("sel(1,10,20) = %d", got)
+	}
+	if got := evalOp(t, Sel(64), 0, 10, 20); got != 20 {
+		t.Errorf("sel(0,10,20) = %d", got)
+	}
+}
+
+// pack16 packs four 16-bit lanes into a word, lane 0 in the low bits.
+func pack16(l0, l1, l2, l3 uint16) uint64 {
+	return uint64(l0) | uint64(l1)<<16 | uint64(l2)<<32 | uint64(l3)<<48
+}
+
+func TestSubwordMul16(t *testing.T) {
+	a := pack16(2, 3, 0xffff /* -1 */, 100)
+	b := pack16(10, 10, 3, 100)
+	got := evalOp(t, Mul(16), a, b)
+	want := pack16(20, 30, 0xfffd /* -3 wraps */, 10000)
+	if got != want {
+		t.Errorf("mul16 = %#x, want %#x", got, want)
+	}
+}
+
+func TestSubwordMinSigned(t *testing.T) {
+	a := pack16(5, 0x8000 /* most negative */, 7, 0)
+	b := pack16(6, 1, 3, 0xffff /* -1 */)
+	got := evalOp(t, Min(16), a, b)
+	want := pack16(5, 0x8000, 3, 0xffff)
+	if got != want {
+		t.Errorf("min16 = %#x, want %#x", got, want)
+	}
+}
+
+func TestRedAdd16(t *testing.T) {
+	// 1 + 2 + 3 + (-1) = 5, as a 64-bit scalar.
+	in := pack16(1, 2, 3, 0xffff)
+	if got := evalOp(t, RedAdd(16), in); got != 5 {
+		t.Errorf("redadd16 = %d, want 5", int64(got))
+	}
+}
+
+func TestRedMin32(t *testing.T) {
+	in := uint64(7) | uint64(0xfffffffb)<<32 // lanes 7, -5
+	if got := evalOp(t, RedMin(32), in); int64(got) != -5 {
+		t.Errorf("redmin32 = %d, want -5", int64(got))
+	}
+}
+
+func TestAccumulate(t *testing.T) {
+	op := Acc(64)
+	var state uint64
+	var out uint64
+	for i := uint64(1); i <= 4; i++ {
+		out, state = op.Eval([]uint64{i, 0}, state)
+	}
+	if out != 10 {
+		t.Errorf("acc after 1..4 = %d, want 10", out)
+	}
+	// Reset: output still includes this instance, then state clears.
+	out, state = op.Eval([]uint64{5, 1}, state)
+	if out != 15 {
+		t.Errorf("acc with reset = %d, want 15", out)
+	}
+	if state != 0 {
+		t.Errorf("state after reset = %d, want 0", state)
+	}
+	out, _ = op.Eval([]uint64{2, 0}, state)
+	if out != 2 {
+		t.Errorf("acc after reset = %d, want 2", out)
+	}
+}
+
+func TestAccumulateSubword(t *testing.T) {
+	op := Acc(16)
+	var state, out uint64
+	for i := 0; i < 3; i++ {
+		out, state = op.Eval([]uint64{pack16(1, 2, 3, 4), 0}, state)
+	}
+	if want := pack16(3, 6, 9, 12); out != want {
+		t.Errorf("acc16 = %#x, want %#x", out, want)
+	}
+}
+
+func TestSigmoidShape(t *testing.T) {
+	op := Sig(16) // Q8.8: one == 256
+	one := uint64(256)
+	lane0 := func(x int64) uint64 { return evalOp(t, op, uint64(x)&0xffff) & 0xffff }
+	if got := lane0(-3000); got != 0 {
+		t.Errorf("sig(-3000) = %d, want 0 (saturated)", got)
+	}
+	if got := lane0(3000); got != one {
+		t.Errorf("sig(3000) = %d, want %d (saturated)", got, one)
+	}
+	if got := lane0(0); got != one/2 {
+		t.Errorf("sig(0) = %d, want %d", got, one/2)
+	}
+	// Monotone non-decreasing over the central range.
+	prev := uint64(0)
+	for x := int64(-1024); x <= 1024; x += 16 {
+		got := lane0(x)
+		if got < prev {
+			t.Fatalf("sigmoid not monotone at x=%d: %d < %d", x, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestOpParseRoundTrip(t *testing.T) {
+	for b := BaseOp(1); b < numBaseOps; b++ {
+		for _, w := range []uint8{8, 16, 32, 64} {
+			op := Op{Base: b, Width: w}
+			got, err := ParseOp(op.String())
+			if err != nil {
+				t.Errorf("ParseOp(%q): %v", op.String(), err)
+				continue
+			}
+			if got != op {
+				t.Errorf("ParseOp(%q) = %v", op.String(), got)
+			}
+		}
+	}
+}
+
+func TestParseOpErrors(t *testing.T) {
+	for _, s := range []string{"", "add", "add7", "frob64", "64", "mul"} {
+		if _, err := ParseOp(s); err == nil {
+			t.Errorf("ParseOp(%q) should fail", s)
+		}
+	}
+}
+
+func TestOpMetadata(t *testing.T) {
+	if Mul(16).Lanes() != 4 || Add(64).Lanes() != 1 || Add(8).Lanes() != 8 {
+		t.Error("wrong lane counts")
+	}
+	if Sel(32).Arity() != 3 || Abs(64).Arity() != 1 || Add(64).Arity() != 2 {
+		t.Error("wrong arities")
+	}
+	if Mul(16).Class() != FUMul || Add(64).Class() != FUAlu || Sig(16).Class() != FUSig || Div(64).Class() != FUDiv {
+		t.Error("wrong FU classes")
+	}
+	if Mul(64).Latency() <= Add(64).Latency() {
+		t.Error("multiply should be slower than add")
+	}
+	if (Op{}).Valid() || (Op{Base: OpAdd, Width: 7}).Valid() {
+		t.Error("invalid ops reported valid")
+	}
+}
+
+// Property: add and sub are lane-wise inverses at every width.
+func TestAddSubInverse(t *testing.T) {
+	for _, w := range []uint8{8, 16, 32, 64} {
+		w := w
+		f := func(a, b uint64) bool {
+			sum := evalOp(t, Add(w), a, b)
+			return evalOp(t, Sub(w), sum, b) == a
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("width %d: %v", w, err)
+		}
+	}
+}
+
+// Property: redadd16 of a word equals the sum of its sign-extended lanes.
+func TestRedAddMatchesManualSum(t *testing.T) {
+	f := func(v uint64) bool {
+		var want int64
+		for i := 0; i < 4; i++ {
+			want += int64(int16(v >> (16 * i)))
+		}
+		return evalOp(t, RedAdd(16), v) == uint64(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// negU64 is -v as a uint64, avoiding untyped-constant overflow in tables.
+func negU64(v int64) uint64 { return uint64(-v) }
+
+func TestAccMinMax(t *testing.T) {
+	op := AccMin(64)
+	state := op.InitState()
+	var out uint64
+	for _, v := range []int64{5, -3, 9} {
+		out, state = op.Eval([]uint64{uint64(v), 0}, state)
+	}
+	if int64(out) != -3 {
+		t.Errorf("accmin = %d, want -3", int64(out))
+	}
+	out, state = op.Eval([]uint64{100, 1}, state) // reset after this
+	if int64(out) != -3 {
+		t.Errorf("accmin with reset = %d, want -3", int64(out))
+	}
+	out, _ = op.Eval([]uint64{7, 0}, state)
+	if int64(out) != 7 {
+		t.Errorf("accmin after reset = %d, want 7 (identity restored)", int64(out))
+	}
+
+	mx := AccMax(16)
+	st := mx.InitState()
+	if int16(st&0xffff) != -32768 {
+		t.Errorf("accmax16 init lane = %d, want -32768", int16(st&0xffff))
+	}
+	var o uint64
+	o, st = mx.Eval([]uint64{pack16(1, 0x8000, 30, 0xffff), 0}, st)
+	o, st = mx.Eval([]uint64{pack16(4, 2, 10, 0xfff0), 0}, st)
+	_ = st
+	if want := pack16(4, 2, 30, 0xffff); o != want {
+		t.Errorf("accmax16 = %#x, want %#x", o, want)
+	}
+}
+
+func TestArithmeticShift(t *testing.T) {
+	if got := evalOp(t, Ashr(64), negU64(256), 4); int64(got) != -16 {
+		t.Errorf("ashr64(-256, 4) = %d, want -16", int64(got))
+	}
+	if got := evalOp(t, Ashr(64), 256, 4); got != 16 {
+		t.Errorf("ashr64(256, 4) = %d, want 16", got)
+	}
+	// Lane-wise: each 16-bit lane shifts with its own sign.
+	in := pack16(0x8000, 4, 0xfff0, 64)
+	got := evalOp(t, Ashr(16), in, 2)
+	want := pack16(0xe000, 1, 0xfffc, 16)
+	if got != want {
+		t.Errorf("ashr16 = %#x, want %#x", got, want)
+	}
+}

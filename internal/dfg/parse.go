@@ -1,0 +1,164 @@
+package dfg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a graph in the .dfg text format, the "simple graph
+// language" of Section 4.5:
+//
+//	# comment
+//	dfg dotprod
+//	input A 3
+//	input B 3
+//	mul64 m0 A.0 B.0
+//	mul64 m1 A.1 B.1
+//	mul64 m2 A.2 B.2
+//	add64 s0 m0 m1
+//	add64 s1 s0 m2
+//	output C s1
+//
+// Each node line is: <op><width> <name> <operand>... where an operand is
+// a port word ("A.0", or "A" as shorthand for "A.0"), a node name, or an
+// immediate ("$42", decimal or 0x-hex).
+func Parse(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	b := (*Builder)(nil)
+	ports := map[string]In{}
+	nodes := map[string]Ref{}
+	lineno := 0
+
+	parseRef := func(tok string) (Ref, error) {
+		if strings.HasPrefix(tok, "$") {
+			v, err := strconv.ParseUint(strings.TrimPrefix(tok, "$"), 0, 64)
+			if err != nil {
+				return Ref{}, fmt.Errorf("bad immediate %q", tok)
+			}
+			return ImmRef(v), nil
+		}
+		if name, word, ok := strings.Cut(tok, "."); ok {
+			p, found := ports[name]
+			if !found {
+				return Ref{}, fmt.Errorf("unknown port %q", name)
+			}
+			w, err := strconv.Atoi(word)
+			if err != nil {
+				return Ref{}, fmt.Errorf("bad port word %q", tok)
+			}
+			return p.W(w), nil
+		}
+		if n, ok := nodes[tok]; ok {
+			return n, nil
+		}
+		if p, ok := ports[tok]; ok {
+			return p.W(0), nil
+		}
+		return Ref{}, fmt.Errorf("unknown value %q", tok)
+	}
+
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) (*Graph, error) {
+			return nil, fmt.Errorf("dfg: line %d: %s", lineno, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "dfg":
+			if b != nil {
+				return fail("duplicate dfg header")
+			}
+			if len(fields) != 2 {
+				return fail("dfg header wants a name")
+			}
+			b = NewBuilder(fields[1])
+		case "input":
+			if b == nil {
+				return fail("input before dfg header")
+			}
+			if len(fields) != 3 {
+				return fail("input wants: input <name> <width>")
+			}
+			w, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return fail("bad width %q", fields[2])
+			}
+			if _, dup := ports[fields[1]]; dup {
+				return fail("duplicate port %q", fields[1])
+			}
+			ports[fields[1]] = b.Input(fields[1], w)
+		case "output", "output8", "output16", "output32", "output64":
+			if b == nil {
+				return fail("output before dfg header")
+			}
+			if len(fields) < 3 {
+				return fail("output wants: output <name> <value>...")
+			}
+			elem := 8
+			switch fields[0] {
+			case "output8":
+				elem = 1
+			case "output16":
+				elem = 2
+			case "output32":
+				elem = 4
+			}
+			var srcs []Ref
+			for _, tok := range fields[2:] {
+				r, err := parseRef(tok)
+				if err != nil {
+					return fail("%v", err)
+				}
+				srcs = append(srcs, r)
+			}
+			b.OutputElem(fields[1], elem, srcs...)
+		default:
+			if b == nil {
+				return fail("node before dfg header")
+			}
+			op, err := ParseOp(fields[0])
+			if err != nil {
+				return fail("%v", err)
+			}
+			if len(fields) < 2 {
+				return fail("node wants: %v <name> <args>...", op)
+			}
+			name := fields[1]
+			if _, dup := nodes[name]; dup {
+				return fail("duplicate node %q", name)
+			}
+			if _, dup := ports[name]; dup {
+				return fail("node %q shadows a port", name)
+			}
+			var args []Ref
+			for _, tok := range fields[2:] {
+				r, err := parseRef(tok)
+				if err != nil {
+					return fail("%v", err)
+				}
+				args = append(args, r)
+			}
+			nodes[name] = b.Named(name, op, args...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dfg: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("dfg: no dfg header found")
+	}
+	return b.Build()
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Graph, error) { return Parse(strings.NewReader(s)) }

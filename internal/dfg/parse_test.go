@@ -1,0 +1,191 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const dotprodText = `
+# Figure 3a: 3-wide dot product.
+dfg dotprod
+input A 3
+input B 3
+mul64 m0 A.0 B.0
+mul64 m1 A.1 B.1
+mul64 m2 A.2 B.2
+add64 s0 m0 m1
+add64 s1 s0 m2
+output C s1
+`
+
+func TestParseDotProduct(t *testing.T) {
+	g, err := ParseString(dotprodText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "dotprod" || len(g.Ins) != 2 || len(g.Nodes) != 5 || len(g.Outs) != 1 {
+		t.Fatalf("parsed shape wrong: %+v", g)
+	}
+	e, err := NewEvaluator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := e.Eval([][]uint64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0][0] != 32 {
+		t.Errorf("parsed dot product = %d, want 32", outs[0][0])
+	}
+}
+
+func TestParseShorthandAndImmediates(t *testing.T) {
+	g, err := ParseString(`
+dfg f
+input X 1
+add64 a X $10       # bare port name means word 0
+shl64 b a $0x2
+output O b
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEvaluator(g)
+	outs, err := e.Eval([][]uint64{{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0][0] != 60 {
+		t.Errorf("(5+10)<<2 = %d, want 60", outs[0][0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"no header", "input A 1\n"},
+		{"double header", "dfg a\ndfg b\n"},
+		{"header no name", "dfg\n"},
+		{"bad width", "dfg f\ninput A x\n"},
+		{"input arity", "dfg f\ninput A\n"},
+		{"dup port", "dfg f\ninput A 1\ninput A 1\n"},
+		{"unknown op", "dfg f\ninput A 1\nfrob64 x A.0\noutput O x\n"},
+		{"unknown value", "dfg f\ninput A 1\nadd64 x A.0 Q\noutput O x\n"},
+		{"unknown port in ref", "dfg f\ninput A 1\nadd64 x Z.0 A.0\noutput O x\n"},
+		{"bad port word", "dfg f\ninput A 1\nadd64 x A.z A.0\noutput O x\n"},
+		{"bad immediate", "dfg f\ninput A 1\nadd64 x A.0 $zz\noutput O x\n"},
+		{"dup node", "dfg f\ninput A 1\nabs64 x A.0\nabs64 x A.0\noutput O x\n"},
+		{"node shadows port", "dfg f\ninput A 1\nabs64 A A.0\noutput O A\n"},
+		{"node missing name", "dfg f\ninput A 1\nabs64\n"},
+		{"output missing value", "dfg f\ninput A 1\noutput O\n"},
+		{"output unknown value", "dfg f\ninput A 1\noutput O zz\n"},
+		{"node before header", "abs64 x A.0\n"},
+		{"input after nothing", "input A 1\n"},
+		{"empty", ""},
+		{"only comments", "# hello\n\n"},
+	}
+	for _, tt := range cases {
+		if _, err := ParseString(tt.text); err == nil {
+			t.Errorf("%s: parse should fail", tt.name)
+		}
+	}
+}
+
+// randomGraph builds a random valid DAG for round-trip testing.
+func randomGraph(r *rand.Rand) *Graph {
+	b := NewBuilder("rnd")
+	nIns := 1 + r.Intn(3)
+	var portRefs []Ref
+	for i := 0; i < nIns; i++ {
+		w := 1 + r.Intn(4)
+		in := b.Input(string(rune('A'+i)), w)
+		for j := 0; j < w; j++ {
+			portRefs = append(portRefs, in.W(j))
+		}
+	}
+	ops := []Op{Add(64), Sub(32), Mul(16), Min(64), Max(8), Abs(64), Sel(64), Acc(64), RedAdd(16), Xor(64)}
+	avail := portRefs
+	for i := 0; i < 1+r.Intn(12); i++ {
+		op := ops[r.Intn(len(ops))]
+		args := make([]Ref, op.Arity())
+		for j := range args {
+			if r.Intn(5) == 0 {
+				args[j] = ImmRef(uint64(r.Intn(100)))
+			} else {
+				args[j] = avail[r.Intn(len(avail))]
+			}
+		}
+		avail = append(avail, b.N(op, args...))
+	}
+	b.Output("O", avail[len(avail)-1])
+	return b.MustBuild()
+}
+
+// Property: String() output re-parses to a graph that evaluates
+// identically on random inputs.
+func TestStringParseRoundTripEval(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(r)
+		g2, err := ParseString(g.String())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, g.String())
+		}
+		e1, _ := NewEvaluator(g)
+		e2, _ := NewEvaluator(g2)
+		for inst := 0; inst < 5; inst++ {
+			ins := make([][]uint64, len(g.Ins))
+			for p := range ins {
+				ins[p] = make([]uint64, g.Ins[p].Width)
+				for w := range ins[p] {
+					ins[p][w] = r.Uint64()
+				}
+			}
+			o1, err1 := e1.Eval(ins)
+			o2, err2 := e2.Eval(ins)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("eval errors: %v, %v", err1, err2)
+			}
+			for p := range o1 {
+				for w := range o1[p] {
+					if o1[p][w] != o2[p][w] {
+						t.Fatalf("trial %d: round-trip eval mismatch at out %d.%d:\n%s", trial, p, w, g.String())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDotExport(t *testing.T) {
+	g, err := ParseString(dotprodText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.Dot()
+	for _, want := range []string{"digraph", "mul64", "invhouse", "house", "->"} {
+		if !containsStr(dot, want) {
+			t.Errorf("Dot() missing %q:\n%s", want, dot)
+		}
+	}
+	// Immediates render as plaintext constants.
+	g2, _ := ParseString("dfg f\ninput A 1\nadd64 x A $7\noutput O x\n")
+	if !containsStr(g2.Dot(), "$7") {
+		t.Error("immediate missing from Dot output")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && indexStr(s, sub) >= 0
+}
+
+func indexStr(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,439 @@
+// Package dispatch implements the stream dispatcher of Section 4.2: the
+// unit that enforces architectural (resource) dependences between stream
+// commands and coordinates the stream engines. It tracks vector-port and
+// stream-engine state in scoreboards, issues commands in program order
+// when their resources are free, and implements barrier semantics.
+package dispatch
+
+import (
+	"fmt"
+
+	"softbrain/internal/engine"
+	"softbrain/internal/isa"
+	"softbrain/internal/trace"
+)
+
+// engineKind selects which stream-engine pipeline executes a command.
+type engineKind uint8
+
+const (
+	engMSERead engineKind = iota
+	engMSEWrite
+	engSSERead
+	engSSEWrite
+	engRSE
+	engBarrier
+)
+
+// resources lists the scoreboard entries a command needs. A port may be
+// held in the writer role (a stream producing into it) and the reader
+// role (a stream consuming from it) by different streams simultaneously —
+// that is how index streams feed indirect streams concurrently.
+type resources struct {
+	engine    engineKind
+	inWriters []int // input ports written
+	inReaders []int // input (indirect) ports consumed
+	outReader int   // output port consumed, -1 if none
+}
+
+// classify derives the resource needs of a command.
+func classify(cmd isa.Command) (resources, error) {
+	r := resources{outReader: -1}
+	switch c := cmd.(type) {
+	case isa.Config, isa.MemScratch:
+		r.engine = engMSERead
+	case isa.MemPort:
+		r.engine = engMSERead
+		r.inWriters = []int{int(c.Dst)}
+	case isa.IndPortPort:
+		r.engine = engMSERead
+		r.inWriters = []int{int(c.Dst)}
+		r.inReaders = []int{int(c.Idx)}
+	case isa.ScratchPort:
+		r.engine = engSSERead
+		r.inWriters = []int{int(c.Dst)}
+	case isa.ConstPort:
+		r.engine = engRSE
+		r.inWriters = []int{int(c.Dst)}
+	case isa.PortPort:
+		r.engine = engRSE
+		r.inWriters = []int{int(c.Dst)}
+		r.outReader = int(c.Src)
+	case isa.CleanPort:
+		r.engine = engRSE
+		r.outReader = int(c.Src)
+	case isa.PortScratch:
+		r.engine = engSSEWrite
+		r.outReader = int(c.Src)
+	case isa.PortMem:
+		r.engine = engMSEWrite
+		r.outReader = int(c.Src)
+	case isa.IndPortMem:
+		r.engine = engMSEWrite
+		r.inReaders = []int{int(c.Idx)}
+		r.outReader = int(c.Src)
+	case isa.BarrierScratchRd, isa.BarrierScratchWr, isa.BarrierAll:
+		r.engine = engBarrier
+	default:
+		return r, fmt.Errorf("dispatch: unknown command %v", cmd)
+	}
+	return r, nil
+}
+
+// holder is one stream occupying a scoreboard entry. A draining holder
+// has all its memory requests in flight (the "all-requests-in-flight"
+// state); its port may be re-issued to a successor memory stream, whose
+// data the MSE delivers strictly after the drainer's.
+type holder struct {
+	id       int
+	draining bool
+}
+
+// Dispatcher owns the command queue and the scoreboards.
+type Dispatcher struct {
+	mse *engine.MSE
+	sse *engine.SSE
+	rse *engine.RSE
+
+	numIn, numOut int
+	queueDepth    int
+	queue         []queued
+	now           uint64
+
+	inWriter  map[int][]holder // port -> holding streams (youngest last)
+	inReader  map[int]int
+	outReader map[int]int
+	active    map[int]resources
+	nextID    int
+
+	configActive bool
+	configID     int
+
+	// InOrderIssue restricts dispatch to the queue head (disables the
+	// dispatch window); an ablation switch.
+	InOrderIssue bool
+
+	// Tracer, when set, records stream lifetimes (see internal/trace).
+	Tracer *trace.Recorder
+
+	// Statistics.
+	Issued        uint64
+	BarrierCycles uint64 // cycles a barrier held the queue head
+	ResourceStall uint64 // cycles the head command waited on resources
+	StallByKind   map[isa.Kind]uint64
+}
+
+// New builds a dispatcher over the three engines.
+func New(mse *engine.MSE, sse *engine.SSE, rse *engine.RSE, numIn, numOut, queueDepth int) *Dispatcher {
+	return &Dispatcher{
+		mse: mse, sse: sse, rse: rse,
+		numIn: numIn, numOut: numOut, queueDepth: queueDepth,
+		inWriter:    map[int][]holder{},
+		inReader:    map[int]int{},
+		outReader:   map[int]int{},
+		active:      map[int]resources{},
+		nextID:      1,
+		StallByKind: map[isa.Kind]uint64{},
+	}
+}
+
+// CanEnqueue reports whether the command queue has room; when it does
+// not, the control core stalls.
+func (d *Dispatcher) CanEnqueue() bool { return len(d.queue) < d.queueDepth }
+
+// Enqueue accepts a command from the control core. The command's ports
+// are validated here, at the architectural boundary.
+func (d *Dispatcher) Enqueue(cmd isa.Command) error {
+	if !d.CanEnqueue() {
+		return fmt.Errorf("dispatch: command queue full")
+	}
+	r, err := classify(cmd)
+	if err != nil {
+		return err
+	}
+	for _, p := range append(append([]int{}, r.inWriters...), r.inReaders...) {
+		if p < 0 || p >= d.numIn {
+			return fmt.Errorf("dispatch: %v references input port %d of %d", cmd, p, d.numIn)
+		}
+	}
+	if r.outReader >= d.numOut {
+		return fmt.Errorf("dispatch: %v references output port %d of %d", cmd, r.outReader, d.numOut)
+	}
+	d.queue = append(d.queue, queued{cmd: cmd, at: d.now})
+	return nil
+}
+
+// BlocksCore reports whether the core must stall: the queue is full or
+// an SD_Barrier_All is pending.
+func (d *Dispatcher) BlocksCore() bool {
+	if !d.CanEnqueue() {
+		return true
+	}
+	for _, q := range d.queue {
+		if q.cmd.Kind() == isa.KindBarrierAll {
+			return true
+		}
+	}
+	return false
+}
+
+// Idle reports whether no commands are queued or executing.
+func (d *Dispatcher) Idle() bool {
+	return len(d.queue) == 0 && len(d.active) == 0
+}
+
+// QueueLen is the number of commands waiting to issue.
+func (d *Dispatcher) QueueLen() int { return len(d.queue) }
+
+// Tick retires completed streams and issues at most one queued command.
+// The queue is a small dispatch window: the oldest eligible command
+// issues, where eligibility preserves program order per vector port (a
+// younger command never bypasses an older queued command that touches
+// any of the same ports) and barriers block everything behind them.
+func (d *Dispatcher) Tick(now uint64) error {
+	d.now = now
+	d.retire(now)
+	if len(d.queue) == 0 {
+		return nil
+	}
+	if d.configActive {
+		// A configuration is loading; the fabric must quiesce, so no
+		// command may issue under it.
+		return nil
+	}
+	touched := map[int]bool{} // ports referenced by older unissued commands
+	for i, q := range d.queue {
+		cmd := q.cmd
+		r, err := classify(cmd)
+		if err != nil {
+			return err
+		}
+		if cmd.Kind() == isa.KindConfig {
+			// Reconfiguration serializes: it issues only once the fabric
+			// is idle, and nothing younger may start before it finishes.
+			if i == 0 && len(d.active) == 0 {
+				id := d.nextID
+				d.nextID++
+				if err := d.start(id, cmd, r.engine); err != nil {
+					return err
+				}
+				d.active[id] = r
+				d.configActive = true
+				d.configID = id
+				d.Tracer.Issued(id, cmd.String(), q.at, now)
+				d.queue = d.queue[1:]
+				d.Issued++
+			} else if i == 0 {
+				d.ResourceStall++
+				d.StallByKind[cmd.Kind()]++
+			}
+			return nil
+		}
+		if r.engine == engBarrier {
+			if i == 0 && d.barrierMet(cmd.Kind()) {
+				d.queue = d.queue[1:]
+			} else if i == 0 {
+				d.BarrierCycles++
+			}
+			// Nothing younger may pass a barrier.
+			return nil
+		}
+		conflict := false
+		for _, p := range append(append([]int{}, r.inWriters...), r.inReaders...) {
+			if touched[p] {
+				conflict = true
+			}
+			touched[p] = true
+		}
+		if r.outReader >= 0 {
+			if touched[^r.outReader] {
+				conflict = true
+			}
+			touched[^r.outReader] = true // output ports keyed separately
+		}
+		if conflict || !d.resourcesFree(r) {
+			if i == 0 {
+				d.ResourceStall++
+				d.StallByKind[cmd.Kind()]++
+				if d.InOrderIssue {
+					return nil
+				}
+			}
+			continue
+		}
+		id := d.nextID
+		d.nextID++
+		if err := d.start(id, cmd, r.engine); err != nil {
+			return err
+		}
+		for _, p := range r.inWriters {
+			d.inWriter[p] = append(d.inWriter[p], holder{id: id})
+		}
+		for _, p := range r.inReaders {
+			d.inReader[p] = id
+		}
+		if r.outReader >= 0 {
+			d.outReader[r.outReader] = id
+		}
+		d.active[id] = r
+		d.Tracer.Issued(id, cmd.String(), q.at, now)
+		d.queue = append(d.queue[:i], d.queue[i+1:]...)
+		d.Issued++
+		return nil
+	}
+	return nil
+}
+
+// queued is one command waiting in the dispatch window.
+type queued struct {
+	cmd isa.Command
+	at  uint64 // enqueue cycle
+}
+
+func (d *Dispatcher) start(id int, cmd isa.Command, k engineKind) error {
+	switch k {
+	case engMSERead:
+		return d.mse.StartRead(id, cmd)
+	case engMSEWrite:
+		return d.mse.StartWrite(id, cmd)
+	case engSSERead:
+		return d.sse.StartRead(id, cmd.(isa.ScratchPort))
+	case engSSEWrite:
+		return d.sse.StartWrite(id, cmd.(isa.PortScratch))
+	case engRSE:
+		return d.rse.Start(id, cmd)
+	}
+	return fmt.Errorf("dispatch: cannot start %v", cmd)
+}
+
+func (d *Dispatcher) resourcesFree(r resources) bool {
+	switch r.engine {
+	case engMSERead:
+		if !d.mse.CanAcceptRead() {
+			return false
+		}
+	case engMSEWrite:
+		if !d.mse.CanAcceptWrite() {
+			return false
+		}
+	case engSSERead:
+		if !d.sse.CanAcceptRead() {
+			return false
+		}
+	case engSSEWrite:
+		if !d.sse.CanAcceptWrite() {
+			return false
+		}
+	case engRSE:
+		if !d.rse.CanAccept() {
+			return false
+		}
+	}
+	for _, p := range r.inWriters {
+		for _, h := range d.inWriter[p] {
+			if !h.draining {
+				return false
+			}
+		}
+		// Draining holders may be overlapped, but only by another memory
+		// read stream: the MSE serializes same-port delivery by age.
+		if len(d.inWriter[p]) > 0 && r.engine != engMSERead {
+			return false
+		}
+	}
+	for _, p := range r.inReaders {
+		if _, held := d.inReader[p]; held {
+			return false
+		}
+	}
+	if r.outReader >= 0 {
+		if _, held := d.outReader[r.outReader]; held {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Dispatcher) barrierMet(k isa.Kind) bool {
+	switch k {
+	case isa.KindBarrierScratchRd:
+		return d.sse.ActiveScratchReads() == 0
+	case isa.KindBarrierScratchWr:
+		return d.sse.ActiveScratchWrites() == 0 && d.mse.ActiveScratchWrites() == 0
+	case isa.KindBarrierAll:
+		return len(d.active) == 0
+	}
+	return false
+}
+
+// retire frees the scoreboard entries of completed streams and
+// downgrades drained memory streams to the all-requests-in-flight state.
+func (d *Dispatcher) retire(now uint64) {
+	free := func(ids []int) {
+		for _, id := range ids {
+			d.Tracer.Completed(id, now)
+			r, ok := d.active[id]
+			if !ok {
+				continue
+			}
+			for _, p := range r.inWriters {
+				hs := d.inWriter[p][:0]
+				for _, h := range d.inWriter[p] {
+					if h.id != id {
+						hs = append(hs, h)
+					}
+				}
+				if len(hs) == 0 {
+					delete(d.inWriter, p)
+				} else {
+					d.inWriter[p] = hs
+				}
+			}
+			for _, p := range r.inReaders {
+				if d.inReader[p] == id {
+					delete(d.inReader, p)
+				}
+			}
+			if r.outReader >= 0 && d.outReader[r.outReader] == id {
+				delete(d.outReader, r.outReader)
+			}
+			if d.configActive && id == d.configID {
+				d.configActive = false
+			}
+			delete(d.active, id)
+		}
+	}
+	free(d.mse.Done())
+	free(d.sse.Done())
+	free(d.rse.Done())
+
+	// All-requests-in-flight: mark destination ports takeover-ready and
+	// release indirect-port reader holds (indices fully consumed).
+	for _, id := range d.mse.Drained() {
+		r, ok := d.active[id]
+		if !ok {
+			continue
+		}
+		for _, p := range r.inWriters {
+			for i := range d.inWriter[p] {
+				if d.inWriter[p][i].id == id {
+					d.inWriter[p][i].draining = true
+				}
+			}
+		}
+		for _, p := range r.inReaders {
+			if d.inReader[p] == id {
+				delete(d.inReader, p)
+			}
+		}
+	}
+}
+
+// QueueKinds lists the queued commands' kinds, oldest first (debug aid).
+func (d *Dispatcher) QueueKinds() []isa.Kind {
+	out := make([]isa.Kind, len(d.queue))
+	for i, q := range d.queue {
+		out[i] = q.cmd.Kind()
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// Package engine implements the three stream engines of Section 4.3 —
+// memory (MSE), scratchpad (SSE) and recurrence (RSE) — together with
+// their stream request pipelines: stream tables, ready logic, affine and
+// indirect address generation units (AGUs), line coalescing, and the
+// balance arbitration unit of Section 4.5.
+//
+// Engines move real bytes between the memory system, the scratchpad and
+// the vector ports, and model timing: each engine owns a 512-bit bus
+// (64 bytes/cycle) and issues at most one address-generation operation
+// per cycle.
+package engine
+
+import (
+	"softbrain/internal/isa"
+)
+
+// LineBytes is the memory interface width (one request per cycle covers
+// one aligned 64-byte line).
+const LineBytes = isa.LineBytes
+
+// LineReq is one coalesced, line-aligned request produced by an AGU.
+// Offsets lists the byte offsets within the line in stream order; offsets
+// may repeat (overlapped and repeating patterns re-read bytes).
+type LineReq struct {
+	Line    uint64 // line-aligned base address
+	Offsets []uint8
+}
+
+// Bytes is the payload size of the request.
+func (r LineReq) Bytes() int { return len(r.Offsets) }
+
+// Mask returns the 64-bit byte mask of the touched offsets, the view a
+// memory interface sees (repeats collapse).
+func (r LineReq) Mask() uint64 {
+	var m uint64
+	for _, o := range r.Offsets {
+		m |= 1 << o
+	}
+	return m
+}
+
+// nextAffineLine pulls the longest same-line run of bytes (up to max)
+// from the cursor, forming the minimal next request for the stream. It
+// returns a zero request when the cursor is exhausted.
+func nextAffineLine(c *isa.AffineCursor, max int) (LineReq, bool) {
+	if c.Done() {
+		return LineReq{}, false
+	}
+	first := c.Peek()
+	req := LineReq{Line: first &^ (LineBytes - 1)}
+	for !c.Done() && len(req.Offsets) < max {
+		a := c.Peek()
+		if a&^(LineBytes-1) != req.Line {
+			break
+		}
+		req.Offsets = append(req.Offsets, uint8(a&(LineBytes-1)))
+		c.Next()
+	}
+	return req, true
+}
+
+// indirectAGU turns a stream of element addresses (derived from indices
+// popped off an indirect vector port) into line requests. It coalesces
+// up to CoalesceDegree elements into one request when they share a line.
+type indirectAGU struct {
+	queue []uint64 // pending byte addresses, stream order
+}
+
+// CoalesceDegree is how many indirect elements the AGU examines per
+// cycle ("this unit will attempt to coalesce up to four increasing
+// addresses in the current 64-byte line").
+const CoalesceDegree = 4
+
+// pushElem appends the byte addresses of one element at addr.
+func (g *indirectAGU) pushElem(addr uint64, size int) {
+	for i := 0; i < size; i++ {
+		g.queue = append(g.queue, addr+uint64(i))
+	}
+}
+
+// pending is the number of buffered element bytes.
+func (g *indirectAGU) pending() int { return len(g.queue) }
+
+// next forms one line request from the head of the queue: the longest
+// same-line prefix, capped at max bytes.
+func (g *indirectAGU) next(max int) (LineReq, bool) {
+	if len(g.queue) == 0 {
+		return LineReq{}, false
+	}
+	req := LineReq{Line: g.queue[0] &^ (LineBytes - 1)}
+	n := 0
+	for n < len(g.queue) && n < max {
+		a := g.queue[n]
+		if a&^(LineBytes-1) != req.Line {
+			break
+		}
+		req.Offsets = append(req.Offsets, uint8(a&(LineBytes-1)))
+		n++
+	}
+	g.queue = g.queue[n:]
+	return req, true
+}

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"fmt"
+
+	"softbrain/internal/port"
+)
+
+// Ports bundles the machine's vector ports with the in-flight space
+// reservations engines hold against input ports. A read stream reserves
+// destination space when it issues a request so that a response can
+// never arrive to a full FIFO (the backpressure credit scheme of
+// Section 4.3); the reservation converts to real occupancy on delivery.
+type Ports struct {
+	In  []*port.Queue
+	Out []*port.Queue
+
+	resIn []int // reserved bytes per input port
+}
+
+// NewPorts wraps the given port sets.
+func NewPorts(in, out []*port.Queue) *Ports {
+	return &Ports{In: in, Out: out, resIn: make([]int, len(in))}
+}
+
+// InAvail is the unreserved free space of input port i, in bytes.
+func (p *Ports) InAvail(i int) int { return p.In[i].Space() - p.resIn[i] }
+
+// Reserve holds n bytes of input port i for an in-flight response.
+func (p *Ports) Reserve(i, n int) {
+	if n > p.InAvail(i) {
+		panic(fmt.Sprintf("engine: reserving %d bytes on port %d with %d available", n, i, p.InAvail(i)))
+	}
+	p.resIn[i] += n
+}
+
+// Deliver converts a reservation on input port i into real occupancy.
+func (p *Ports) Deliver(i int, data []byte) {
+	if p.resIn[i] < len(data) {
+		panic(fmt.Sprintf("engine: delivering %d bytes on port %d with %d reserved", len(data), i, p.resIn[i]))
+	}
+	p.resIn[i] -= len(data)
+	p.In[i].Push(data)
+}
+
+// Reserved is the number of in-flight bytes reserved on input port i,
+// the signal the balance unit watches.
+func (p *Ports) Reserved(i int) int { return p.resIn[i] }
+
+// readPending is one issued read request awaiting its data-ready time.
+// Responses are buffered per stream and delivered strictly in issue
+// order, preserving stream order into the destination port.
+type readPending struct {
+	ready   uint64
+	data    []byte
+	padAddr uint64 // destination for scratch-bound streams
+}
+
+// PadWrite is one line-sized write traveling from the memory stream
+// engine to the scratchpad stream engine.
+type PadWrite struct {
+	Addr   uint64
+	Data   []byte
+	notify *int // outstanding-write counter of the producing stream
+}
+
+// PadWriteBuf is the bounded buffer between the MSE and the SSE
+// ("a buffer sits between the MSE and SSE... allocated on a request to
+// memory to ensure space exists").
+type PadWriteBuf struct {
+	entries  []PadWrite
+	capacity int
+	reserved int // slots promised to issued-but-undelivered requests
+}
+
+// NewPadWriteBuf returns a buffer of the given entry capacity.
+func NewPadWriteBuf(capacity int) *PadWriteBuf {
+	return &PadWriteBuf{capacity: capacity}
+}
+
+// CanReserve reports whether a slot can be promised to a new request.
+func (b *PadWriteBuf) CanReserve() bool {
+	return len(b.entries)+b.reserved < b.capacity
+}
+
+// ReserveSlot promises one slot to an in-flight memory request.
+func (b *PadWriteBuf) ReserveSlot() {
+	if !b.CanReserve() {
+		panic("engine: pad write buffer over-reserved")
+	}
+	b.reserved++
+}
+
+// Fill converts a reserved slot into a queued write.
+func (b *PadWriteBuf) Fill(w PadWrite) {
+	if b.reserved == 0 {
+		panic("engine: pad write buffer fill without reservation")
+	}
+	b.reserved--
+	b.entries = append(b.entries, w)
+}
+
+// Head returns the oldest queued write, if any.
+func (b *PadWriteBuf) Head() (PadWrite, bool) {
+	if len(b.entries) == 0 {
+		return PadWrite{}, false
+	}
+	return b.entries[0], true
+}
+
+// PopHead removes the oldest queued write and decrements its producer's
+// outstanding counter.
+func (b *PadWriteBuf) PopHead() {
+	w := b.entries[0]
+	b.entries = b.entries[1:]
+	if w.notify != nil {
+		*w.notify--
+	}
+}
+
+// Len is the number of queued (filled) writes.
+func (b *PadWriteBuf) Len() int { return len(b.entries) }

@@ -1,0 +1,539 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+)
+
+// MSE is the memory stream engine: it walks memory-side streams
+// (SD_Mem_Port, SD_Mem_Scratch, SD_Config, SD_IndPort_Port on the read
+// side; SD_Port_Mem, SD_IndPort_Mem on the write side), generating one
+// coalesced line request per cycle per direction and moving up to 64
+// bytes per cycle over its response bus.
+type MSE struct {
+	sys    *mem.System
+	ports  *Ports
+	padBuf *PadWriteBuf
+	table  int
+
+	reads  []*memRead
+	writes []*memWrite
+	done   []int
+	rr     int // round-robin pointer for response delivery
+
+	onConfig func(addr uint64)
+
+	// Ablation switches (normally false; see core.Config).
+	DisableBalance bool // issue reads first-come instead of least-outstanding
+	DisableDrain   bool // never report all-requests-in-flight
+
+	// Statistics.
+	LinesRead      uint64
+	LinesWritten   uint64
+	BytesDelivered uint64
+	BytesStored    uint64
+	BusyCycles     uint64
+}
+
+// NewMSE builds a memory stream engine with the given stream-table size
+// per direction. onConfig is called when an SD_Config stream finishes
+// loading its bitstream.
+func NewMSE(sys *mem.System, ports *Ports, padBuf *PadWriteBuf, table int, onConfig func(addr uint64)) *MSE {
+	return &MSE{sys: sys, ports: ports, padBuf: padBuf, table: table, onConfig: onConfig}
+}
+
+const (
+	dstScratch = -1
+	dstDiscard = -2
+)
+
+// memRead is one read-stream table entry.
+type memRead struct {
+	id   int
+	kind isa.Kind
+
+	cur *isa.AffineCursor // affine source (nil for indirect)
+
+	// Indirect source state (SD_IndPort_Port).
+	idxPort      int
+	idxElem      int
+	idxRemaining uint64
+	offset       uint64
+	scale        uint64
+	dataElem     int
+	agu          indirectAGU
+
+	dstPort        int // >= 0: input vector port; dstScratch; dstDiscard
+	padCur         uint64
+	padOutstanding int
+	cfgAddr        uint64
+
+	announced bool // all-requests-in-flight reported to the dispatcher
+	pending   []readPending
+}
+
+func (s *memRead) issuedAll() bool {
+	if s.cur != nil {
+		return s.cur.Done()
+	}
+	return s.idxRemaining == 0 && s.agu.pending() == 0
+}
+
+func (s *memRead) finished() bool {
+	return s.issuedAll() && len(s.pending) == 0 && s.padOutstanding == 0
+}
+
+// memWrite is one write-stream table entry.
+type memWrite struct {
+	id   int
+	kind isa.Kind
+
+	cur *isa.AffineCursor // affine destination (nil for indirect)
+
+	idxPort      int
+	idxElem      int
+	idxRemaining uint64
+	offset       uint64
+	scale        uint64
+	dataElem     int
+	agu          indirectAGU
+
+	srcPort   int
+	lastReady uint64
+}
+
+func (s *memWrite) issuedAll() bool {
+	if s.cur != nil {
+		return s.cur.Done()
+	}
+	return s.idxRemaining == 0 && s.agu.pending() == 0
+}
+
+// CanAcceptRead reports whether a read-stream table entry is free.
+func (e *MSE) CanAcceptRead() bool { return len(e.reads) < e.table }
+
+// CanAcceptWrite reports whether a write-stream table entry is free.
+func (e *MSE) CanAcceptWrite() bool { return len(e.writes) < e.table }
+
+// StartRead installs a read-side stream. id identifies the stream in
+// Done() completions.
+func (e *MSE) StartRead(id int, cmd isa.Command) error {
+	if !e.CanAcceptRead() {
+		return fmt.Errorf("engine: MSE read table full")
+	}
+	s := &memRead{id: id, kind: cmd.Kind()}
+	switch c := cmd.(type) {
+	case isa.MemPort:
+		s.cur = isa.NewAffineCursor(c.Src)
+		s.dstPort = int(c.Dst)
+	case isa.MemScratch:
+		s.cur = isa.NewAffineCursor(c.Src)
+		s.dstPort = dstScratch
+		s.padCur = c.ScratchAddr
+	case isa.Config:
+		s.cur = isa.NewAffineCursor(isa.Linear(c.Addr, c.Size))
+		s.dstPort = dstDiscard
+		s.cfgAddr = c.Addr
+	case isa.IndPortPort:
+		s.idxPort = int(c.Idx)
+		s.idxElem = int(c.IdxElem)
+		s.idxRemaining = c.Count
+		s.offset = c.Offset
+		s.scale = uint64(c.Scale)
+		s.dataElem = int(c.DataElem)
+		s.dstPort = int(c.Dst)
+	default:
+		return fmt.Errorf("engine: MSE cannot read for %v", cmd)
+	}
+	e.reads = append(e.reads, s)
+	return nil
+}
+
+// StartWrite installs a write-side stream.
+func (e *MSE) StartWrite(id int, cmd isa.Command) error {
+	if !e.CanAcceptWrite() {
+		return fmt.Errorf("engine: MSE write table full")
+	}
+	s := &memWrite{id: id, kind: cmd.Kind()}
+	switch c := cmd.(type) {
+	case isa.PortMem:
+		s.cur = isa.NewAffineCursor(c.Dst)
+		s.srcPort = int(c.Src)
+	case isa.IndPortMem:
+		s.idxPort = int(c.Idx)
+		s.idxElem = int(c.IdxElem)
+		s.idxRemaining = c.Count
+		s.offset = c.Offset
+		s.scale = uint64(c.Scale)
+		s.dataElem = int(c.DataElem)
+		s.srcPort = int(c.Src)
+	default:
+		return fmt.Errorf("engine: MSE cannot write for %v", cmd)
+	}
+	e.writes = append(e.writes, s)
+	return nil
+}
+
+// Done drains the list of streams completed since the last call.
+func (e *MSE) Done() []int {
+	d := e.done
+	e.done = nil
+	return d
+}
+
+// Drained reports read streams that have just issued their last memory
+// request: the "all-requests-in-flight" state of Section 4.2, which
+// lets the dispatcher release their destination port to a successor
+// stream early. Each stream is reported once.
+func (e *MSE) Drained() []int {
+	if e.DisableDrain {
+		return nil
+	}
+	var out []int
+	for _, s := range e.reads {
+		if !s.announced && s.issuedAll() {
+			s.announced = true
+			out = append(out, s.id)
+		}
+	}
+	return out
+}
+
+// Active is the number of live streams (both directions).
+func (e *MSE) Active() int { return len(e.reads) + len(e.writes) }
+
+// ActiveScratchWrites counts live streams that still owe scratchpad
+// writes, for SD_Barrier_Scratch_Wr.
+func (e *MSE) ActiveScratchWrites() int {
+	n := 0
+	for _, s := range e.reads {
+		if s.kind == isa.KindMemScratch {
+			n++
+		}
+	}
+	return n
+}
+
+// Tick advances the engine one cycle.
+func (e *MSE) Tick(now uint64) error {
+	busy := false
+	if e.deliver(now) {
+		busy = true
+	}
+	e.refillIndirect()
+	if e.issueRead(now) {
+		busy = true
+	}
+	if err := e.issueWrite(now, &busy); err != nil {
+		return err
+	}
+	e.retire(now)
+	if busy {
+		e.BusyCycles++
+	}
+	return nil
+}
+
+// deliver moves ready read responses, in per-stream issue order, to
+// their destinations under the 64-byte bus budget. When several streams
+// target the same port (the all-requests-in-flight overlap), only the
+// oldest may deliver, preserving stream order into the port.
+func (e *MSE) deliver(now uint64) bool {
+	oldest := map[int]int{} // port -> smallest active stream id
+	for _, s := range e.reads {
+		if s.dstPort >= 0 {
+			if cur, ok := oldest[s.dstPort]; !ok || s.id < cur {
+				oldest[s.dstPort] = s.id
+			}
+		}
+	}
+	budget := LineBytes
+	moved := false
+	n := len(e.reads)
+	for i := 0; i < n && budget > 0; i++ {
+		s := e.reads[(e.rr+i)%n]
+		if s.dstPort >= 0 && oldest[s.dstPort] != s.id {
+			continue
+		}
+		for len(s.pending) > 0 && budget > 0 {
+			head := s.pending[0]
+			if head.ready > now || len(head.data) > budget {
+				break
+			}
+			switch {
+			case s.dstPort >= 0:
+				e.ports.Deliver(s.dstPort, head.data)
+			case s.dstPort == dstScratch:
+				e.padBuf.Fill(PadWrite{Addr: head.padAddr, Data: head.data, notify: &s.padOutstanding})
+				s.padOutstanding++
+			}
+			budget -= len(head.data)
+			e.BytesDelivered += uint64(len(head.data))
+			s.pending = s.pending[1:]
+			moved = true
+		}
+	}
+	if n > 0 {
+		e.rr = (e.rr + 1) % n
+	}
+	return moved
+}
+
+// refillIndirect models the indirect AGU path: each indirect stream pops
+// up to CoalesceDegree indices per cycle from its indirect vector port.
+func (e *MSE) refillIndirect() {
+	refill := func(idxPort, idxElem int, remaining *uint64, agu *indirectAGU, offset, scale uint64, dataElem int) {
+		q := e.ports.In[idxPort]
+		for k := 0; k < CoalesceDegree && *remaining > 0 && agu.pending() < 4*LineBytes; k++ {
+			if q.Len() < idxElem {
+				break
+			}
+			raw := q.Pop(idxElem)
+			var buf [8]byte
+			copy(buf[:], raw)
+			idx := binary.LittleEndian.Uint64(buf[:])
+			agu.pushElem(offset+idx*scale, dataElem)
+			*remaining--
+		}
+	}
+	// With overlapped streams, only the oldest consumer of each indirect
+	// port that still needs indices may pop, preserving index order.
+	oldestIdx := map[int]int{}
+	for _, s := range e.reads {
+		if s.kind == isa.KindIndPortPort && s.idxRemaining > 0 {
+			if cur, ok := oldestIdx[s.idxPort]; !ok || s.id < cur {
+				oldestIdx[s.idxPort] = s.id
+			}
+		}
+	}
+	for _, s := range e.writes {
+		if s.kind == isa.KindIndPortMem && s.idxRemaining > 0 {
+			if cur, ok := oldestIdx[s.idxPort]; !ok || s.id < cur {
+				oldestIdx[s.idxPort] = s.id
+			}
+		}
+	}
+	for _, s := range e.reads {
+		if s.kind == isa.KindIndPortPort && oldestIdx[s.idxPort] == s.id {
+			refill(s.idxPort, s.idxElem, &s.idxRemaining, &s.agu, s.offset, s.scale, s.dataElem)
+		}
+	}
+	for _, s := range e.writes {
+		if s.kind == isa.KindIndPortMem && oldestIdx[s.idxPort] == s.id {
+			refill(s.idxPort, s.idxElem, &s.idxRemaining, &s.agu, s.offset, s.scale, s.dataElem)
+		}
+	}
+}
+
+// issueRead selects one ready read stream — the balance unit: least
+// outstanding bytes toward its destination first — and issues its next
+// line request.
+func (e *MSE) issueRead(now uint64) bool {
+	var best *memRead
+	bestScore := 0
+	for _, s := range e.reads {
+		if s.issuedAll() {
+			continue
+		}
+		var score int
+		switch {
+		case s.dstPort >= 0:
+			if e.ports.InAvail(s.dstPort) <= 0 {
+				continue // backpressure: no credit for a response
+			}
+			score = e.ports.Reserved(s.dstPort)
+		case s.dstPort == dstScratch:
+			if !e.padBuf.CanReserve() {
+				continue
+			}
+			score = e.padBuf.Len()
+		default:
+			score = len(s.pending)
+		}
+		if s.cur == nil && s.agu.pending() == 0 {
+			continue // indirect stream waiting for indices
+		}
+		if e.DisableBalance {
+			if best == nil {
+				best = s
+			}
+			continue
+		}
+		if best == nil || score < bestScore {
+			best, bestScore = s, score
+		}
+	}
+	if best == nil {
+		return false
+	}
+
+	maxBytes := LineBytes
+	if best.dstPort >= 0 {
+		if avail := e.ports.InAvail(best.dstPort); avail < maxBytes {
+			maxBytes = avail
+		}
+	}
+	// Generate tentatively; roll back if the memory system rejects.
+	var req LineReq
+	var ok bool
+	if best.cur != nil {
+		saved := *best.cur
+		req, ok = nextAffineLine(best.cur, maxBytes)
+		if ok {
+			if ready, accepted := e.sys.Request(now, req.Line, false, req.Bytes()); accepted {
+				e.commitRead(best, req, ready)
+				return true
+			}
+		}
+		*best.cur = saved
+		return false
+	}
+	saved := best.agu.queue
+	req, ok = best.agu.next(maxBytes)
+	if ok {
+		if ready, accepted := e.sys.Request(now, req.Line, false, req.Bytes()); accepted {
+			e.commitRead(best, req, ready)
+			return true
+		}
+	}
+	best.agu.queue = saved
+	return false
+}
+
+// commitRead reads the data functionally and queues the response.
+func (e *MSE) commitRead(s *memRead, req LineReq, ready uint64) {
+	var line [LineBytes]byte
+	e.sys.Mem.Read(req.Line, line[:])
+	data := make([]byte, len(req.Offsets))
+	for i, off := range req.Offsets {
+		data[i] = line[off]
+	}
+	p := readPending{ready: ready, data: data}
+	if s.dstPort >= 0 {
+		e.ports.Reserve(s.dstPort, len(data))
+	} else if s.dstPort == dstScratch {
+		e.padBuf.ReserveSlot()
+		p.padAddr = s.padCur
+		s.padCur += uint64(len(data))
+	}
+	s.pending = append(s.pending, p)
+	e.LinesRead++
+}
+
+// issueWrite selects the write stream with the most data available (the
+// paper's data-available priority) and issues one line write.
+func (e *MSE) issueWrite(now uint64, busy *bool) error {
+	var best *memWrite
+	bestAvail := 0
+	for _, s := range e.writes {
+		if s.issuedAll() {
+			continue
+		}
+		avail := e.ports.Out[s.srcPort].Len()
+		if avail == 0 {
+			continue
+		}
+		if s.cur == nil && s.agu.pending() == 0 {
+			continue
+		}
+		if best == nil || avail > bestAvail {
+			best, bestAvail = s, avail
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	maxBytes := LineBytes
+	if bestAvail < maxBytes {
+		maxBytes = bestAvail
+	}
+	var req LineReq
+	var ok bool
+	if best.cur != nil {
+		saved := *best.cur
+		req, ok = nextAffineLine(best.cur, maxBytes)
+		if !ok {
+			return nil
+		}
+		ready, accepted := e.sys.Request(now, req.Line, true, req.Bytes())
+		if !accepted {
+			*best.cur = saved
+			return nil
+		}
+		e.commitWrite(best, req, ready)
+		*busy = true
+		return nil
+	}
+	saved := best.agu.queue
+	req, ok = best.agu.next(maxBytes)
+	if !ok {
+		return nil
+	}
+	ready, accepted := e.sys.Request(now, req.Line, true, req.Bytes())
+	if !accepted {
+		best.agu.queue = saved
+		return nil
+	}
+	e.commitWrite(best, req, ready)
+	*busy = true
+	return nil
+}
+
+// commitWrite pops the stream's bytes from its output port and stores
+// them functionally.
+func (e *MSE) commitWrite(s *memWrite, req LineReq, ready uint64) {
+	data := e.ports.Out[s.srcPort].Pop(req.Bytes())
+	for i, off := range req.Offsets {
+		e.sys.Mem.StoreByte(req.Line+uint64(off), data[i])
+	}
+	if ready > s.lastReady {
+		s.lastReady = ready
+	}
+	e.LinesWritten++
+	e.BytesStored += uint64(req.Bytes())
+}
+
+// retire removes finished streams and reports their IDs.
+func (e *MSE) retire(now uint64) {
+	reads := e.reads[:0]
+	for _, s := range e.reads {
+		if s.finished() {
+			if s.kind == isa.KindConfig && e.onConfig != nil {
+				e.onConfig(s.cfgAddr)
+			}
+			e.done = append(e.done, s.id)
+		} else {
+			reads = append(reads, s)
+		}
+	}
+	e.reads = reads
+	writes := e.writes[:0]
+	for _, s := range e.writes {
+		if s.issuedAll() && now >= s.lastReady {
+			e.done = append(e.done, s.id)
+		} else {
+			writes = append(writes, s)
+		}
+	}
+	e.writes = writes
+}
+
+// DebugStreams renders the read-stream table state (debug aid).
+func (e *MSE) DebugStreams(now uint64) string {
+	s := ""
+	for _, r := range e.reads {
+		head := "-"
+		if len(r.pending) > 0 {
+			head = fmt.Sprintf("%d@+%d", len(r.pending[0].data), int64(r.pending[0].ready)-int64(now))
+		}
+		s += fmt.Sprintf("[id%d %v dst%d pend%d head%s all%v idxRem%d aguPend%d] ",
+			r.id, r.kind, r.dstPort, len(r.pending), head, r.issuedAll(), r.idxRemaining, r.agu.pending())
+	}
+	for _, w := range e.writes {
+		s += fmt.Sprintf("[id%d %v src%d all%v idxRem%d] ", w.id, w.kind, w.srcPort, w.issuedAll(), w.idxRemaining)
+	}
+	return s
+}

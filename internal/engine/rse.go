@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"softbrain/internal/isa"
+)
+
+// RSE is the reduction/recurrence stream engine: it forwards data from
+// output ports back to input ports (SD_Port_Port), generates constant
+// streams from the core (SD_Const_Port), and discards unneeded output
+// elements (SD_Clean_Port). It has no AGU; its bus moves up to 64 bytes
+// per cycle.
+type RSE struct {
+	ports *Ports
+	table int
+
+	streams []*rseStream
+	done    []int
+	rr      int
+
+	// Statistics.
+	BytesMoved uint64
+	BusyCycles uint64
+}
+
+// NewRSE builds a recurrence stream engine.
+func NewRSE(ports *Ports, table int) *RSE {
+	return &RSE{ports: ports, table: table}
+}
+
+type rseStream struct {
+	id        int
+	kind      isa.Kind
+	srcPort   int // output port (PortPort, CleanPort)
+	dstPort   int // input port (PortPort, ConstPort)
+	remaining uint64
+
+	// Constant generation state.
+	pattern []byte // one element of the constant, little-endian
+	phase   int    // next byte of the pattern to emit
+}
+
+// CanAccept reports whether a stream-table entry is free.
+func (e *RSE) CanAccept() bool { return len(e.streams) < e.table }
+
+// Start installs a recurrence, constant, or clean stream.
+func (e *RSE) Start(id int, cmd isa.Command) error {
+	if !e.CanAccept() {
+		return fmt.Errorf("engine: RSE table full")
+	}
+	s := &rseStream{id: id, kind: cmd.Kind()}
+	switch c := cmd.(type) {
+	case isa.PortPort:
+		s.srcPort = int(c.Src)
+		s.dstPort = int(c.Dst)
+		s.remaining = c.Count * uint64(c.Elem)
+	case isa.ConstPort:
+		s.dstPort = int(c.Dst)
+		s.remaining = c.Count * uint64(c.Elem)
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], c.Value)
+		s.pattern = buf[:c.Elem]
+	case isa.CleanPort:
+		s.srcPort = int(c.Src)
+		s.remaining = c.Count * uint64(c.Elem)
+	default:
+		return fmt.Errorf("engine: RSE cannot execute %v", cmd)
+	}
+	e.streams = append(e.streams, s)
+	return nil
+}
+
+// Done drains completed stream IDs.
+func (e *RSE) Done() []int {
+	d := e.done
+	e.done = nil
+	return d
+}
+
+// Active is the number of live streams.
+func (e *RSE) Active() int { return len(e.streams) }
+
+// Tick moves data for the active streams under the shared bus budget.
+func (e *RSE) Tick(now uint64) error {
+	budget := LineBytes
+	n := len(e.streams)
+	for i := 0; i < n && budget > 0; i++ {
+		s := e.streams[(e.rr+i)%n]
+		moved := e.step(s, budget)
+		budget -= moved
+		e.BytesMoved += uint64(moved)
+	}
+	if n > 0 {
+		e.rr = (e.rr + 1) % n
+	}
+	if budget < LineBytes {
+		e.BusyCycles++
+	}
+	e.retire()
+	return nil
+}
+
+// step moves up to budget bytes for one stream and returns how many.
+func (e *RSE) step(s *rseStream, budget int) int {
+	n := budget
+	if uint64(n) > s.remaining {
+		n = int(s.remaining)
+	}
+	if n == 0 {
+		return 0
+	}
+	switch s.kind {
+	case isa.KindPortPort:
+		if avail := e.ports.Out[s.srcPort].Len(); avail < n {
+			n = avail
+		}
+		if space := e.ports.InAvail(s.dstPort); space < n {
+			n = space
+		}
+		if n <= 0 {
+			return 0
+		}
+		data := e.ports.Out[s.srcPort].Pop(n)
+		e.ports.In[s.dstPort].Push(data)
+	case isa.KindConstPort:
+		if space := e.ports.InAvail(s.dstPort); space < n {
+			n = space
+		}
+		if n <= 0 {
+			return 0
+		}
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = s.pattern[s.phase]
+			s.phase = (s.phase + 1) % len(s.pattern)
+		}
+		e.ports.In[s.dstPort].Push(data)
+	case isa.KindCleanPort:
+		if avail := e.ports.Out[s.srcPort].Len(); avail < n {
+			n = avail
+		}
+		if n <= 0 {
+			return 0
+		}
+		e.ports.Out[s.srcPort].Discard(n)
+	}
+	s.remaining -= uint64(n)
+	return n
+}
+
+func (e *RSE) retire() {
+	live := e.streams[:0]
+	for _, s := range e.streams {
+		if s.remaining == 0 {
+			e.done = append(e.done, s.id)
+		} else {
+			live = append(live, s)
+		}
+	}
+	e.streams = live
+}

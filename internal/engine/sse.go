@@ -1,0 +1,275 @@
+package engine
+
+import (
+	"fmt"
+
+	"softbrain/internal/isa"
+	"softbrain/internal/scratch"
+)
+
+// ReadLatency is the scratchpad SRAM read latency in cycles.
+const ReadLatency = 2
+
+// SSE is the scratchpad stream engine: it walks SD_Scratch_Port reads
+// and SD_Port_Scratch writes, and drains the MSE-to-scratchpad write
+// buffer. The scratchpad has one read and one write port, each 64 bytes
+// wide per cycle.
+type SSE struct {
+	pad    *scratch.Pad
+	ports  *Ports
+	padBuf *PadWriteBuf
+	table  int
+
+	reads  []*sseRead
+	writes []*sseWrite
+	done   []int
+	rr     int
+
+	// Statistics.
+	ReadGrants  uint64
+	WriteGrants uint64
+	BytesOut    uint64
+	BytesIn     uint64
+	BusyCycles  uint64
+}
+
+// NewSSE builds a scratchpad stream engine.
+func NewSSE(pad *scratch.Pad, ports *Ports, padBuf *PadWriteBuf, table int) *SSE {
+	return &SSE{pad: pad, ports: ports, padBuf: padBuf, table: table}
+}
+
+type sseRead struct {
+	id      int
+	cur     *isa.AffineCursor
+	dstPort int
+	pending []readPending
+}
+
+type sseWrite struct {
+	id        int
+	srcPort   int
+	addr      uint64
+	remaining uint64
+}
+
+// CanAcceptRead reports whether a read-stream table entry is free.
+func (e *SSE) CanAcceptRead() bool { return len(e.reads) < e.table }
+
+// CanAcceptWrite reports whether a write-stream table entry is free.
+func (e *SSE) CanAcceptWrite() bool { return len(e.writes) < e.table }
+
+// StartRead installs an SD_Scratch_Port stream.
+func (e *SSE) StartRead(id int, c isa.ScratchPort) error {
+	if !e.CanAcceptRead() {
+		return fmt.Errorf("engine: SSE read table full")
+	}
+	e.reads = append(e.reads, &sseRead{id: id, cur: isa.NewAffineCursor(c.Src), dstPort: int(c.Dst)})
+	return nil
+}
+
+// StartWrite installs an SD_Port_Scratch stream.
+func (e *SSE) StartWrite(id int, c isa.PortScratch) error {
+	if !e.CanAcceptWrite() {
+		return fmt.Errorf("engine: SSE write table full")
+	}
+	e.writes = append(e.writes, &sseWrite{
+		id: id, srcPort: int(c.Src), addr: c.ScratchAddr,
+		remaining: c.Count * uint64(c.Elem),
+	})
+	return nil
+}
+
+// Done drains completed stream IDs.
+func (e *SSE) Done() []int {
+	d := e.done
+	e.done = nil
+	return d
+}
+
+// Active is the number of live streams.
+func (e *SSE) Active() int { return len(e.reads) + len(e.writes) }
+
+// ActiveScratchReads counts live scratchpad read streams, for
+// SD_Barrier_Scratch_Rd.
+func (e *SSE) ActiveScratchReads() int { return len(e.reads) }
+
+// ActiveScratchWrites counts live scratchpad write streams plus buffered
+// memory-to-scratch writes, for SD_Barrier_Scratch_Wr.
+func (e *SSE) ActiveScratchWrites() int {
+	n := len(e.writes)
+	if e.padBuf.Len() > 0 {
+		n++
+	}
+	return n
+}
+
+// Tick advances the engine one cycle: deliver ready read data, grant the
+// read port to one stream, grant the write port to the MSE buffer or a
+// port-to-scratch stream.
+func (e *SSE) Tick(now uint64) error {
+	busy := false
+	if e.deliver(now) {
+		busy = true
+	}
+	if err := e.issueRead(now); err != nil {
+		return err
+	}
+	if err := e.issueWrite(); err != nil {
+		return err
+	}
+	e.retire()
+	if busy {
+		e.BusyCycles++
+	}
+	return nil
+}
+
+func (e *SSE) deliver(now uint64) bool {
+	budget := LineBytes
+	moved := false
+	n := len(e.reads)
+	for i := 0; i < n && budget > 0; i++ {
+		s := e.reads[(e.rr+i)%n]
+		for len(s.pending) > 0 && budget > 0 {
+			head := s.pending[0]
+			if head.ready > now || len(head.data) > budget {
+				break
+			}
+			e.ports.Deliver(s.dstPort, head.data)
+			budget -= len(head.data)
+			e.BytesOut += uint64(len(head.data))
+			s.pending = s.pending[1:]
+			moved = true
+		}
+	}
+	if n > 0 {
+		e.rr = (e.rr + 1) % n
+	}
+	return moved
+}
+
+// issueRead grants the single SRAM read port to the stream with the
+// least outstanding data toward its destination.
+func (e *SSE) issueRead(now uint64) error {
+	var best *sseRead
+	bestScore := 0
+	for _, s := range e.reads {
+		if s.cur.Done() {
+			continue
+		}
+		if e.ports.InAvail(s.dstPort) <= 0 {
+			continue
+		}
+		score := e.ports.Reserved(s.dstPort)
+		if best == nil || score < bestScore {
+			best, bestScore = s, score
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	maxBytes := LineBytes
+	if avail := e.ports.InAvail(best.dstPort); avail < maxBytes {
+		maxBytes = avail
+	}
+	req, ok := nextAffineLine(best.cur, maxBytes)
+	if !ok {
+		return nil
+	}
+	var line [LineBytes]byte
+	if err := e.pad.Read(req.Line, line[:]); err != nil {
+		// Reads at the very end of the pad may cover a partial row.
+		if err2 := e.padReadTail(req, line[:]); err2 != nil {
+			return err2
+		}
+	}
+	data := make([]byte, len(req.Offsets))
+	for i, off := range req.Offsets {
+		data[i] = line[off]
+	}
+	e.ports.Reserve(best.dstPort, len(data))
+	best.pending = append(best.pending, readPending{ready: now + ReadLatency, data: data})
+	e.ReadGrants++
+	return nil
+}
+
+// padReadTail re-reads a row that extends past the end of the pad by
+// fetching only the bytes the request actually touches.
+func (e *SSE) padReadTail(req LineReq, line []byte) error {
+	for _, off := range req.Offsets {
+		var b [1]byte
+		if err := e.pad.Read(req.Line+uint64(off), b[:]); err != nil {
+			return err
+		}
+		line[off] = b[0]
+	}
+	return nil
+}
+
+// issueWrite grants the single SRAM write port: the MSE buffer and the
+// port-to-scratch streams alternate fairly via round-robin preference.
+func (e *SSE) issueWrite() error {
+	if w, ok := e.padBuf.Head(); ok {
+		if err := e.pad.Write(w.Addr, w.Data); err != nil {
+			return err
+		}
+		e.padBuf.PopHead()
+		e.WriteGrants++
+		e.BytesIn += uint64(len(w.Data))
+		return nil
+	}
+	var best *sseWrite
+	bestAvail := 0
+	for _, s := range e.writes {
+		if s.remaining == 0 {
+			continue
+		}
+		avail := e.ports.Out[s.srcPort].Len()
+		if avail == 0 {
+			continue
+		}
+		if best == nil || avail > bestAvail {
+			best, bestAvail = s, avail
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	n := LineBytes
+	if bestAvail < n {
+		n = bestAvail
+	}
+	if uint64(n) > best.remaining {
+		n = int(best.remaining)
+	}
+	data := e.ports.Out[best.srcPort].Pop(n)
+	if err := e.pad.Write(best.addr, data); err != nil {
+		return err
+	}
+	best.addr += uint64(n)
+	best.remaining -= uint64(n)
+	e.WriteGrants++
+	e.BytesIn += uint64(n)
+	return nil
+}
+
+func (e *SSE) retire() {
+	reads := e.reads[:0]
+	for _, s := range e.reads {
+		if s.cur.Done() && len(s.pending) == 0 {
+			e.done = append(e.done, s.id)
+		} else {
+			reads = append(reads, s)
+		}
+	}
+	e.reads = reads
+	writes := e.writes[:0]
+	for _, s := range e.writes {
+		if s.remaining == 0 {
+			e.done = append(e.done, s.id)
+		} else {
+			writes = append(writes, s)
+		}
+	}
+	e.writes = writes
+}

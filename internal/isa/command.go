@@ -1,0 +1,294 @@
+package isa
+
+import "fmt"
+
+// InPortID names an input vector port: a FIFO through which data enters
+// the CGRA (or, for indirect-capable ports, through which stream indices
+// are buffered). Input and output ports have independent ID spaces.
+type InPortID uint8
+
+// OutPortID names an output vector port: a FIFO through which DFG results
+// leave the CGRA.
+type OutPortID uint8
+
+// ElemSize is the size of one stream element in bytes.
+type ElemSize uint8
+
+// Element sizes supported by the 64-bit datapath and its sub-word modes.
+const (
+	Elem8  ElemSize = 1
+	Elem16 ElemSize = 2
+	Elem32 ElemSize = 4
+	Elem64 ElemSize = 8
+)
+
+// Valid reports whether e is one of the architected element sizes.
+func (e ElemSize) Valid() bool {
+	switch e {
+	case Elem8, Elem16, Elem32, Elem64:
+		return true
+	}
+	return false
+}
+
+// Kind discriminates stream-dataflow commands (Table 2).
+type Kind uint8
+
+const (
+	KindInvalid Kind = iota
+	KindConfig
+	KindMemScratch
+	KindScratchPort
+	KindMemPort
+	KindConstPort
+	KindCleanPort
+	KindPortPort
+	KindPortScratch
+	KindPortMem
+	KindIndPortPort
+	KindIndPortMem
+	KindBarrierScratchRd
+	KindBarrierScratchWr
+	KindBarrierAll
+	numKinds
+)
+
+var kindNames = [...]string{
+	KindInvalid:          "SD_Invalid",
+	KindConfig:           "SD_Config",
+	KindMemScratch:       "SD_Mem_Scratch",
+	KindScratchPort:      "SD_Scratch_Port",
+	KindMemPort:          "SD_Mem_Port",
+	KindConstPort:        "SD_Const_Port",
+	KindCleanPort:        "SD_Clean_Port",
+	KindPortPort:         "SD_Port_Port",
+	KindPortScratch:      "SD_Port_Scratch",
+	KindPortMem:          "SD_Port_Mem",
+	KindIndPortPort:      "SD_IndPort_Port",
+	KindIndPortMem:       "SD_IndPort_Mem",
+	KindBarrierScratchRd: "SD_Barrier_Scratch_Rd",
+	KindBarrierScratchWr: "SD_Barrier_Scratch_Wr",
+	KindBarrierAll:       "SD_Barrier_All",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Command is one stream-dataflow command as issued by the control core.
+// Commands are architectural values: immutable once built.
+type Command interface {
+	Kind() Kind
+	// Words is the number of fixed-width instruction words the command
+	// occupies when embedded in the control core's RISC ISA (1-3).
+	Words() int
+	String() string
+}
+
+// Config loads a CGRA + vector-port configuration bitstream of Size bytes
+// from memory address Addr (SD_Config).
+type Config struct {
+	Addr uint64
+	Size uint64
+}
+
+func (Config) Kind() Kind { return KindConfig }
+func (Config) Words() int { return 2 }
+func (c Config) String() string {
+	return fmt.Sprintf("SD_Config(addr=%#x, size=%d)", c.Addr, c.Size)
+}
+
+// MemScratch reads the affine pattern Src from memory and writes it
+// linearly into the scratchpad at ScratchAddr (SD_Mem_Scratch).
+type MemScratch struct {
+	Src         Affine
+	ScratchAddr uint64
+}
+
+func (MemScratch) Kind() Kind { return KindMemScratch }
+func (MemScratch) Words() int { return 3 }
+func (c MemScratch) String() string {
+	return fmt.Sprintf("SD_Mem_Scratch(%v -> scratch[%#x])", c.Src, c.ScratchAddr)
+}
+
+// ScratchPort reads the affine pattern Src from the scratchpad into input
+// vector port Dst (SD_Scratch_Port).
+type ScratchPort struct {
+	Src Affine
+	Dst InPortID
+}
+
+func (ScratchPort) Kind() Kind { return KindScratchPort }
+func (ScratchPort) Words() int { return 3 }
+func (c ScratchPort) String() string {
+	return fmt.Sprintf("SD_Scratch_Port(%v -> P%d)", c.Src, c.Dst)
+}
+
+// MemPort reads the affine pattern Src from memory into input vector
+// port Dst (SD_Mem_Port). Dst may be an indirect-capable port, in which
+// case the loaded values serve as indices for a later indirect stream.
+type MemPort struct {
+	Src Affine
+	Dst InPortID
+}
+
+func (MemPort) Kind() Kind { return KindMemPort }
+func (MemPort) Words() int { return 3 }
+func (c MemPort) String() string {
+	return fmt.Sprintf("SD_Mem_Port(%v -> P%d)", c.Src, c.Dst)
+}
+
+// ConstPort sends Count copies of the low Elem bytes of Value to input
+// vector port Dst (SD_Const_Port). Used for reset/control streams and
+// software pipelining (Figure 6).
+type ConstPort struct {
+	Value uint64
+	Elem  ElemSize
+	Count uint64
+	Dst   InPortID
+}
+
+func (ConstPort) Kind() Kind { return KindConstPort }
+func (ConstPort) Words() int { return 2 }
+func (c ConstPort) String() string {
+	return fmt.Sprintf("SD_Const_Port(%#x x%d -> P%d)", c.Value, c.Count, c.Dst)
+}
+
+// CleanPort discards Count elements of Elem bytes from output vector port
+// Src (SD_Clean_Port). Used to drop unneeded values, e.g. the partial
+// sums an accumulator emits before its final value.
+type CleanPort struct {
+	Src   OutPortID
+	Elem  ElemSize
+	Count uint64
+}
+
+func (CleanPort) Kind() Kind { return KindCleanPort }
+func (CleanPort) Words() int { return 1 }
+func (c CleanPort) String() string {
+	return fmt.Sprintf("SD_Clean_Port(P%d x%d)", c.Src, c.Count)
+}
+
+// PortPort forwards Count elements of Elem bytes from output port Src to
+// input port Dst (SD_Port_Port): the recurrence stream, used for
+// inter-iteration dependences and reductions without a memory round trip.
+type PortPort struct {
+	Src   OutPortID
+	Elem  ElemSize
+	Count uint64
+	Dst   InPortID
+}
+
+func (PortPort) Kind() Kind { return KindPortPort }
+func (PortPort) Words() int { return 2 }
+func (c PortPort) String() string {
+	return fmt.Sprintf("SD_Port_Port(P%d -> P%d x%d)", c.Src, c.Dst, c.Count)
+}
+
+// PortScratch writes Count elements of Elem bytes from output port Src
+// linearly into the scratchpad at ScratchAddr (SD_Port_Scratch).
+type PortScratch struct {
+	Src         OutPortID
+	Elem        ElemSize
+	Count       uint64
+	ScratchAddr uint64
+}
+
+func (PortScratch) Kind() Kind { return KindPortScratch }
+func (PortScratch) Words() int { return 2 }
+func (c PortScratch) String() string {
+	return fmt.Sprintf("SD_Port_Scratch(P%d x%d -> scratch[%#x])", c.Src, c.Count, c.ScratchAddr)
+}
+
+// PortMem writes data from output port Src to memory following the affine
+// pattern Dst (SD_Port_Mem).
+type PortMem struct {
+	Src OutPortID
+	Dst Affine
+}
+
+func (PortMem) Kind() Kind { return KindPortMem }
+func (PortMem) Words() int { return 3 }
+func (c PortMem) String() string {
+	return fmt.Sprintf("SD_Port_Mem(P%d -> %v)", c.Src, c.Dst)
+}
+
+// IndPortPort performs an indirect load (SD_IndPort_Port): it consumes
+// Count indices of IdxElem bytes from indirect port Idx, forms addresses
+//
+//	addr = Offset + index*uint64(Scale)
+//
+// and loads DataElem bytes from each address into input port Dst.
+// Pointer-valued indices use Offset == 0, Scale == 1.
+// Chaining IndPortPort commands yields multi-level indirection a[b[c[i]]].
+type IndPortPort struct {
+	Idx      InPortID
+	IdxElem  ElemSize
+	Offset   uint64
+	Scale    uint8
+	DataElem ElemSize
+	Count    uint64
+	Dst      InPortID
+}
+
+func (IndPortPort) Kind() Kind { return KindIndPortPort }
+func (IndPortPort) Words() int { return 3 }
+func (c IndPortPort) String() string {
+	return fmt.Sprintf("SD_IndPort_Port(P%d idx, base=%#x -> P%d x%d)", c.Idx, c.Offset, c.Dst, c.Count)
+}
+
+// IndPortMem performs an indirect store (SD_IndPort_Mem): it consumes
+// Count indices from indirect port Idx and, for each, stores DataElem
+// bytes taken from output port Src to Offset + index*uint64(Scale).
+type IndPortMem struct {
+	Idx      InPortID
+	IdxElem  ElemSize
+	Offset   uint64
+	Scale    uint8
+	DataElem ElemSize
+	Count    uint64
+	Src      OutPortID
+}
+
+func (IndPortMem) Kind() Kind { return KindIndPortMem }
+func (IndPortMem) Words() int { return 3 }
+func (c IndPortMem) String() string {
+	return fmt.Sprintf("SD_IndPort_Mem(P%d idx, P%d data -> base=%#x x%d)", c.Idx, c.Src, c.Offset, c.Count)
+}
+
+// BarrierScratchRd orders younger commands after all outstanding
+// scratchpad reads (SD_Barrier_Scratch_Rd).
+type BarrierScratchRd struct{}
+
+func (BarrierScratchRd) Kind() Kind     { return KindBarrierScratchRd }
+func (BarrierScratchRd) Words() int     { return 1 }
+func (BarrierScratchRd) String() string { return "SD_Barrier_Scratch_Rd()" }
+
+// BarrierScratchWr orders younger commands after all outstanding
+// scratchpad writes (SD_Barrier_Scratch_Wr).
+type BarrierScratchWr struct{}
+
+func (BarrierScratchWr) Kind() Kind     { return KindBarrierScratchWr }
+func (BarrierScratchWr) Words() int     { return 1 }
+func (BarrierScratchWr) String() string { return "SD_Barrier_Scratch_Wr()" }
+
+// BarrierAll waits for every outstanding command to complete and
+// synchronizes the control core (SD_Barrier_All): the end of a phase,
+// after which results are visible in the memory system.
+type BarrierAll struct{}
+
+func (BarrierAll) Kind() Kind     { return KindBarrierAll }
+func (BarrierAll) Words() int     { return 1 }
+func (BarrierAll) String() string { return "SD_Barrier_All()" }
+
+// IsBarrier reports whether c is one of the three barrier commands.
+func IsBarrier(c Command) bool {
+	switch c.Kind() {
+	case KindBarrierScratchRd, KindBarrierScratchWr, KindBarrierAll:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,290 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// The binary encoding packs each command into 1-3 little-endian 64-bit
+// instruction words, matching the paper's "1-3 instructions in a
+// fixed-width RISC ISA". Word 0 is a header:
+//
+//	[7:0]   opcode (Kind)
+//	[11:8]  element-size code (log2 bytes)
+//	[15:12] data-element-size code (indirect commands)
+//	[23:16] port A
+//	[31:24] port B
+//	[39:32] scale (indirect commands)
+//	[63:40] imm24 (small immediate: count, config size or scratch address)
+//
+// Subsequent words carry 64-bit operands (addresses, values, counts) and,
+// for affine commands, a packed pattern immediate:
+//
+//	[19:0]  access size   (< 2^20)
+//	[41:20] stride        (< 2^22)
+//	[63:42] number of strides (< 2^22)
+//
+// These field widths are architectural limits; EncodeCommand reports an
+// error for streams that exceed them (software must split such streams).
+
+const (
+	maxImm24      = 1<<24 - 1
+	maxAccessSize = 1<<20 - 1
+	maxStride     = 1<<22 - 1
+	maxStrides    = 1<<22 - 1
+)
+
+// ErrUnencodable reports a command whose fields exceed the architectural
+// immediate widths.
+var ErrUnencodable = errors.New("isa: command exceeds encodable field width")
+
+func elemCode(e ElemSize) (uint64, error) {
+	if !e.Valid() {
+		return 0, fmt.Errorf("%w: element size %d", ErrUnencodable, e)
+	}
+	return uint64(bits.TrailingZeros8(uint8(e))), nil
+}
+
+func elemFromCode(c uint64) ElemSize { return ElemSize(1 << (c & 3)) }
+
+func packAffine(a Affine) (uint64, error) {
+	if a.AccessSize > maxAccessSize || a.Stride > maxStride || a.Strides > maxStrides {
+		return 0, fmt.Errorf("%w: %v", ErrUnencodable, a)
+	}
+	return a.AccessSize | a.Stride<<20 | a.Strides<<42, nil
+}
+
+func unpackAffine(start, w uint64) Affine {
+	return Affine{
+		Start:      start,
+		AccessSize: w & maxAccessSize,
+		Stride:     w >> 20 & maxStride,
+		Strides:    w >> 42 & maxStrides,
+	}
+}
+
+type header struct {
+	kind     Kind
+	elem     ElemSize
+	dataElem ElemSize
+	portA    uint8
+	portB    uint8
+	scale    uint8
+	imm24    uint64
+}
+
+func (h header) pack() (uint64, error) {
+	ec, err := elemCode(h.elem)
+	if err != nil {
+		return 0, err
+	}
+	dc, err := elemCode(h.dataElem)
+	if err != nil {
+		return 0, err
+	}
+	if h.imm24 > maxImm24 {
+		return 0, fmt.Errorf("%w: immediate %d", ErrUnencodable, h.imm24)
+	}
+	return uint64(h.kind) | ec<<8 | dc<<12 |
+		uint64(h.portA)<<16 | uint64(h.portB)<<24 |
+		uint64(h.scale)<<32 | h.imm24<<40, nil
+}
+
+func unpackHeader(w uint64) header {
+	return header{
+		kind:     Kind(w & 0xff),
+		elem:     elemFromCode(w >> 8),
+		dataElem: elemFromCode(w >> 12),
+		portA:    uint8(w >> 16),
+		portB:    uint8(w >> 24),
+		scale:    uint8(w >> 32),
+		imm24:    w >> 40,
+	}
+}
+
+// EncodeCommand encodes c into its instruction words.
+func EncodeCommand(c Command) ([]uint64, error) {
+	h := header{kind: c.Kind(), elem: Elem64, dataElem: Elem64}
+	switch c := c.(type) {
+	case Config:
+		h.imm24 = c.Size
+		return seal(h, c.Addr)
+	case MemScratch:
+		h.imm24 = c.ScratchAddr
+		aff, err := packAffine(c.Src)
+		if err != nil {
+			return nil, err
+		}
+		return seal(h, c.Src.Start, aff)
+	case ScratchPort:
+		h.portA = uint8(c.Dst)
+		aff, err := packAffine(c.Src)
+		if err != nil {
+			return nil, err
+		}
+		return seal(h, c.Src.Start, aff)
+	case MemPort:
+		h.portA = uint8(c.Dst)
+		aff, err := packAffine(c.Src)
+		if err != nil {
+			return nil, err
+		}
+		return seal(h, c.Src.Start, aff)
+	case ConstPort:
+		h.portA = uint8(c.Dst)
+		h.elem = c.Elem
+		h.imm24 = c.Count
+		return seal(h, c.Value)
+	case CleanPort:
+		h.portA = uint8(c.Src)
+		h.elem = c.Elem
+		h.imm24 = c.Count
+		return seal(h)
+	case PortPort:
+		h.portA = uint8(c.Src)
+		h.portB = uint8(c.Dst)
+		h.elem = c.Elem
+		return seal(h, c.Count)
+	case PortScratch:
+		h.portA = uint8(c.Src)
+		h.elem = c.Elem
+		if c.Count > 1<<32-1 || c.ScratchAddr > 1<<32-1 {
+			return nil, fmt.Errorf("%w: %v", ErrUnencodable, c)
+		}
+		return seal(h, c.Count|c.ScratchAddr<<32)
+	case PortMem:
+		h.portA = uint8(c.Src)
+		aff, err := packAffine(c.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return seal(h, c.Dst.Start, aff)
+	case IndPortPort:
+		h.portA = uint8(c.Idx)
+		h.portB = uint8(c.Dst)
+		h.elem = c.IdxElem
+		h.dataElem = c.DataElem
+		h.scale = c.Scale
+		return seal(h, c.Offset, c.Count)
+	case IndPortMem:
+		h.portA = uint8(c.Idx)
+		h.portB = uint8(c.Src)
+		h.elem = c.IdxElem
+		h.dataElem = c.DataElem
+		h.scale = c.Scale
+		return seal(h, c.Offset, c.Count)
+	case BarrierScratchRd, BarrierScratchWr, BarrierAll:
+		return seal(h)
+	default:
+		return nil, fmt.Errorf("isa: unknown command type %T", c)
+	}
+}
+
+func seal(h header, operands ...uint64) ([]uint64, error) {
+	w0, err := h.pack()
+	if err != nil {
+		return nil, err
+	}
+	return append([]uint64{w0}, operands...), nil
+}
+
+// wordsFor is the instruction-word count per kind, used by DecodeCommand.
+var wordsFor = [numKinds]int{
+	KindConfig:           2,
+	KindMemScratch:       3,
+	KindScratchPort:      3,
+	KindMemPort:          3,
+	KindConstPort:        2,
+	KindCleanPort:        1,
+	KindPortPort:         2,
+	KindPortScratch:      2,
+	KindPortMem:          3,
+	KindIndPortPort:      3,
+	KindIndPortMem:       3,
+	KindBarrierScratchRd: 1,
+	KindBarrierScratchWr: 1,
+	KindBarrierAll:       1,
+}
+
+// DecodeCommand decodes the command at the start of words, returning the
+// command and the number of instruction words consumed.
+func DecodeCommand(words []uint64) (Command, int, error) {
+	if len(words) == 0 {
+		return nil, 0, errors.New("isa: empty instruction stream")
+	}
+	h := unpackHeader(words[0])
+	if h.kind == KindInvalid || int(h.kind) >= int(numKinds) {
+		return nil, 0, fmt.Errorf("isa: invalid opcode %d", h.kind)
+	}
+	n := wordsFor[h.kind]
+	if len(words) < n {
+		return nil, 0, fmt.Errorf("isa: truncated %v: have %d of %d words", h.kind, len(words), n)
+	}
+	op := func(i int) uint64 { return words[i] }
+	var c Command
+	switch h.kind {
+	case KindConfig:
+		c = Config{Addr: op(1), Size: h.imm24}
+	case KindMemScratch:
+		c = MemScratch{Src: unpackAffine(op(1), op(2)), ScratchAddr: h.imm24}
+	case KindScratchPort:
+		c = ScratchPort{Src: unpackAffine(op(1), op(2)), Dst: InPortID(h.portA)}
+	case KindMemPort:
+		c = MemPort{Src: unpackAffine(op(1), op(2)), Dst: InPortID(h.portA)}
+	case KindConstPort:
+		c = ConstPort{Value: op(1), Elem: h.elem, Count: h.imm24, Dst: InPortID(h.portA)}
+	case KindCleanPort:
+		c = CleanPort{Src: OutPortID(h.portA), Elem: h.elem, Count: h.imm24}
+	case KindPortPort:
+		c = PortPort{Src: OutPortID(h.portA), Elem: h.elem, Count: op(1), Dst: InPortID(h.portB)}
+	case KindPortScratch:
+		c = PortScratch{Src: OutPortID(h.portA), Elem: h.elem, Count: op(1) & 0xffffffff, ScratchAddr: op(1) >> 32}
+	case KindPortMem:
+		c = PortMem{Src: OutPortID(h.portA), Dst: unpackAffine(op(1), op(2))}
+	case KindIndPortPort:
+		c = IndPortPort{
+			Idx: InPortID(h.portA), IdxElem: h.elem, Offset: op(1), Scale: h.scale,
+			DataElem: h.dataElem, Count: op(2), Dst: InPortID(h.portB),
+		}
+	case KindIndPortMem:
+		c = IndPortMem{
+			Idx: InPortID(h.portA), IdxElem: h.elem, Offset: op(1), Scale: h.scale,
+			DataElem: h.dataElem, Count: op(2), Src: OutPortID(h.portB),
+		}
+	case KindBarrierScratchRd:
+		c = BarrierScratchRd{}
+	case KindBarrierScratchWr:
+		c = BarrierScratchWr{}
+	case KindBarrierAll:
+		c = BarrierAll{}
+	}
+	return c, n, nil
+}
+
+// EncodeProgram encodes a command sequence into one instruction stream.
+func EncodeProgram(cmds []Command) ([]uint64, error) {
+	var out []uint64
+	for _, c := range cmds {
+		w, err := EncodeCommand(c)
+		if err != nil {
+			return nil, fmt.Errorf("encoding %v: %w", c, err)
+		}
+		out = append(out, w...)
+	}
+	return out, nil
+}
+
+// DecodeProgram decodes an instruction stream produced by EncodeProgram.
+func DecodeProgram(words []uint64) ([]Command, error) {
+	var out []Command
+	for len(words) > 0 {
+		c, n, err := DecodeCommand(words)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+		words = words[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+package isa
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func elemSizes() []ElemSize { return []ElemSize{Elem8, Elem16, Elem32, Elem64} }
+
+func randElem(r *rand.Rand) ElemSize { return elemSizes()[r.Intn(4)] }
+
+func encodableAffine(r *rand.Rand) Affine {
+	return Affine{
+		Start:      r.Uint64(),
+		AccessSize: uint64(r.Intn(maxAccessSize + 1)),
+		Stride:     uint64(r.Intn(maxStride + 1)),
+		Strides:    uint64(r.Intn(maxStrides + 1)),
+	}
+}
+
+// randCommand builds a random valid command of each kind in rotation.
+func randCommand(r *rand.Rand) Command {
+	switch Kind(1 + r.Intn(int(numKinds)-1)) {
+	case KindConfig:
+		return Config{Addr: r.Uint64(), Size: uint64(r.Intn(maxImm24 + 1))}
+	case KindMemScratch:
+		return MemScratch{Src: encodableAffine(r), ScratchAddr: uint64(r.Intn(maxImm24 + 1))}
+	case KindScratchPort:
+		return ScratchPort{Src: encodableAffine(r), Dst: InPortID(r.Intn(256))}
+	case KindMemPort:
+		return MemPort{Src: encodableAffine(r), Dst: InPortID(r.Intn(256))}
+	case KindConstPort:
+		return ConstPort{Value: r.Uint64(), Elem: randElem(r), Count: uint64(r.Intn(maxImm24 + 1)), Dst: InPortID(r.Intn(256))}
+	case KindCleanPort:
+		return CleanPort{Src: OutPortID(r.Intn(256)), Elem: randElem(r), Count: uint64(r.Intn(maxImm24 + 1))}
+	case KindPortPort:
+		return PortPort{Src: OutPortID(r.Intn(256)), Elem: randElem(r), Count: r.Uint64(), Dst: InPortID(r.Intn(256))}
+	case KindPortScratch:
+		return PortScratch{Src: OutPortID(r.Intn(256)), Elem: randElem(r), Count: uint64(r.Uint32()), ScratchAddr: uint64(r.Uint32())}
+	case KindPortMem:
+		return PortMem{Src: OutPortID(r.Intn(256)), Dst: encodableAffine(r)}
+	case KindIndPortPort:
+		return IndPortPort{
+			Idx: InPortID(r.Intn(256)), IdxElem: randElem(r), Offset: r.Uint64(),
+			Scale: uint8(r.Intn(256)), DataElem: randElem(r), Count: r.Uint64(), Dst: InPortID(r.Intn(256)),
+		}
+	case KindIndPortMem:
+		return IndPortMem{
+			Idx: InPortID(r.Intn(256)), IdxElem: randElem(r), Offset: r.Uint64(),
+			Scale: uint8(r.Intn(256)), DataElem: randElem(r), Count: r.Uint64(), Src: OutPortID(r.Intn(256)),
+		}
+	case KindBarrierScratchRd:
+		return BarrierScratchRd{}
+	case KindBarrierScratchWr:
+		return BarrierScratchWr{}
+	default:
+		return BarrierAll{}
+	}
+}
+
+// Property: encode/decode round-trips every valid command exactly, and the
+// encoded length equals Command.Words().
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randCommand(r)
+		words, err := EncodeCommand(c)
+		if err != nil {
+			t.Logf("encode %v: %v", c, err)
+			return false
+		}
+		if len(words) != c.Words() {
+			t.Logf("%v: encoded %d words, Words() = %d", c, len(words), c.Words())
+			return false
+		}
+		got, n, err := DecodeCommand(words)
+		if err != nil {
+			t.Logf("decode %v: %v", c, err)
+			return false
+		}
+		if n != len(words) {
+			t.Logf("%v: decode consumed %d of %d words", c, n, len(words))
+			return false
+		}
+		if !reflect.DeepEqual(got, c) {
+			t.Logf("round trip: got %#v, want %#v", got, c)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeProgramRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var cmds []Command
+	for i := 0; i < 100; i++ {
+		cmds = append(cmds, randCommand(r))
+	}
+	words, err := EncodeProgram(cmds)
+	if err != nil {
+		t.Fatalf("EncodeProgram: %v", err)
+	}
+	got, err := DecodeProgram(words)
+	if err != nil {
+		t.Fatalf("DecodeProgram: %v", err)
+	}
+	if !reflect.DeepEqual(got, cmds) {
+		t.Error("program round trip mismatch")
+	}
+}
+
+func TestEncodeRejectsOversizedFields(t *testing.T) {
+	tests := []struct {
+		name string
+		cmd  Command
+	}{
+		{"huge access size", MemPort{Src: Affine{AccessSize: maxAccessSize + 1, Stride: 1, Strides: 1}}},
+		{"huge stride", MemPort{Src: Affine{AccessSize: 1, Stride: maxStride + 1, Strides: 1}}},
+		{"huge strides", MemPort{Src: Affine{AccessSize: 1, Stride: 1, Strides: maxStrides + 1}}},
+		{"huge const count", ConstPort{Elem: Elem64, Count: maxImm24 + 1}},
+		{"huge config size", Config{Size: maxImm24 + 1}},
+		{"bad elem size", ConstPort{Elem: 3, Count: 1}},
+		{"huge scratch addr", MemScratch{Src: Linear(0, 8), ScratchAddr: maxImm24 + 1}},
+	}
+	for _, tt := range tests {
+		if _, err := EncodeCommand(tt.cmd); !errors.Is(err, ErrUnencodable) {
+			t.Errorf("%s: err = %v, want ErrUnencodable", tt.name, err)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeCommand(nil); err == nil {
+		t.Error("decode of empty stream should fail")
+	}
+	if _, _, err := DecodeCommand([]uint64{uint64(KindInvalid)}); err == nil {
+		t.Error("decode of invalid opcode should fail")
+	}
+	if _, _, err := DecodeCommand([]uint64{uint64(numKinds) + 7}); err == nil {
+		t.Error("decode of out-of-range opcode should fail")
+	}
+	// A 3-word command truncated to 1 word.
+	words, err := EncodeCommand(MemPort{Src: Linear(0, 64), Dst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeCommand(words[:1]); err == nil {
+		t.Error("decode of truncated command should fail")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindConfig; k < numKinds; k++ {
+		if s := k.String(); s == "" || s == "SD_Invalid" {
+			t.Errorf("Kind(%d) has no name", k)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Error("out-of-range kind should format numerically")
+	}
+}
+
+func TestCommandStringsAndWords(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	seen := map[Kind]bool{}
+	for i := 0; i < 200; i++ {
+		c := randCommand(r)
+		if c.String() == "" {
+			t.Errorf("%v: empty String()", c.Kind())
+		}
+		if w := c.Words(); w < 1 || w > 3 {
+			t.Errorf("%v: Words() = %d, want 1..3", c.Kind(), w)
+		}
+		seen[c.Kind()] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("random commands covered only %d kinds", len(seen))
+	}
+}
+
+func TestIsBarrier(t *testing.T) {
+	if !IsBarrier(BarrierAll{}) || !IsBarrier(BarrierScratchRd{}) || !IsBarrier(BarrierScratchWr{}) {
+		t.Error("barrier commands should report IsBarrier")
+	}
+	if IsBarrier(Config{}) || IsBarrier(MemPort{}) {
+		t.Error("non-barrier commands should not report IsBarrier")
+	}
+}
+
+func TestElemSizeValid(t *testing.T) {
+	for _, e := range elemSizes() {
+		if !e.Valid() {
+			t.Errorf("ElemSize %d should be valid", e)
+		}
+	}
+	for _, e := range []ElemSize{0, 3, 5, 16} {
+		if e.Valid() {
+			t.Errorf("ElemSize %d should be invalid", e)
+		}
+	}
+}
+
+// Property: arbitrary word streams never panic the decoder — they
+// decode or error.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		words := make([]uint64, r.Intn(12))
+		for i := range words {
+			if r.Intn(2) == 0 {
+				// Bias toward plausible opcodes to reach deep paths.
+				words[i] = uint64(r.Intn(int(numKinds)+3)) | r.Uint64()<<8
+			} else {
+				words[i] = r.Uint64()
+			}
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("decoder panicked on %#x: %v", words, p)
+			}
+		}()
+		cmds, err := DecodeProgram(words)
+		// On success, everything decoded must re-encode.
+		if err == nil {
+			for _, c := range cmds {
+				if _, eerr := EncodeCommand(c); eerr != nil {
+					// Decoded commands may carry fields wider than the
+					// encodable immediates only if decode was lossy;
+					// the header fields are masked, so this must hold.
+					t.Logf("decoded %v does not re-encode: %v", c, eerr)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package isa defines the stream-dataflow instruction-set architecture:
+// the access patterns, stream commands and barriers of Table 2 of the
+// paper, plus a compact binary encoding suitable for embedding in a
+// fixed-width RISC ISA (1-3 instruction words per command).
+//
+// The ISA is the hardware/software contract. Everything here is purely
+// architectural: no microarchitectural state appears in this package.
+package isa
+
+import "fmt"
+
+// LineBytes is the width of the memory interface in bytes. Stream engines
+// move data in aligned lines of this size (the paper's 512-bit buses).
+const LineBytes = 64
+
+// Affine describes a two-dimensional affine access pattern (Figure 5):
+// accesses of the form a[C*i+j] where i counts strides and j counts bytes
+// within one access. The four classic shapes fall out of the parameters:
+//
+//	Linear:     Stride == AccessSize
+//	Strided:    Stride > AccessSize
+//	Overlapped: 0 < Stride < AccessSize
+//	Repeating:  Stride == 0
+type Affine struct {
+	Start      uint64 // byte address of the first access
+	AccessSize uint64 // bytes per contiguous access (the "access size")
+	Stride     uint64 // bytes between consecutive access starts
+	Strides    uint64 // number of accesses ("number of strides")
+}
+
+// Linear returns the pattern for a contiguous region of n bytes at start.
+func Linear(start, n uint64) Affine {
+	return Affine{Start: start, AccessSize: n, Stride: n, Strides: 1}
+}
+
+// Strided2D returns the pattern reading rows of rowBytes bytes separated
+// by pitch bytes, rows times.
+func Strided2D(start, rowBytes, pitch, rows uint64) Affine {
+	return Affine{Start: start, AccessSize: rowBytes, Stride: pitch, Strides: rows}
+}
+
+// Repeat returns the pattern that re-reads the same n bytes times times.
+func Repeat(start, n, times uint64) Affine {
+	return Affine{Start: start, AccessSize: n, Stride: 0, Strides: times}
+}
+
+// TotalBytes is the number of bytes the pattern touches in stream order
+// (bytes revisited by overlapped or repeating patterns count every visit).
+func (a Affine) TotalBytes() uint64 { return a.AccessSize * a.Strides }
+
+// Empty reports whether the pattern generates no bytes.
+func (a Affine) Empty() bool { return a.AccessSize == 0 || a.Strides == 0 }
+
+// Shape classifies the pattern per Figure 5. Purely informational.
+func (a Affine) Shape() string {
+	switch {
+	case a.Empty():
+		return "empty"
+	case a.Strides == 1 || a.Stride == a.AccessSize:
+		return "linear"
+	case a.Stride == 0:
+		return "repeating"
+	case a.Stride < a.AccessSize:
+		return "overlapped"
+	default:
+		return "strided"
+	}
+}
+
+func (a Affine) String() string {
+	return fmt.Sprintf("affine{start=%#x size=%d stride=%d n=%d}", a.Start, a.AccessSize, a.Stride, a.Strides)
+}
+
+// EachByte calls fn with every byte address of the pattern in stream
+// order. It is the reference enumeration the AGU hardware model is tested
+// against; simulation uses the incremental AffineCursor instead.
+func (a Affine) EachByte(fn func(addr uint64)) {
+	for s := uint64(0); s < a.Strides; s++ {
+		base := a.Start + s*a.Stride
+		for b := uint64(0); b < a.AccessSize; b++ {
+			fn(base + b)
+		}
+	}
+}
+
+// AffineCursor walks an Affine pattern incrementally, one byte at a time,
+// mirroring the running state a hardware AGU keeps per stream-table entry.
+// The zero cursor is invalid; use NewAffineCursor.
+type AffineCursor struct {
+	pat    Affine
+	stride uint64 // current access index
+	off    uint64 // byte offset within current access
+}
+
+// NewAffineCursor returns a cursor positioned at the first byte of p.
+func NewAffineCursor(p Affine) *AffineCursor {
+	c := &AffineCursor{pat: p}
+	if p.AccessSize == 0 {
+		c.stride = p.Strides // an empty access size exhausts the pattern
+	}
+	return c
+}
+
+// Done reports whether the pattern is exhausted.
+func (c *AffineCursor) Done() bool { return c.stride >= c.pat.Strides }
+
+// Peek returns the next byte address without advancing.
+// It must not be called when Done.
+func (c *AffineCursor) Peek() uint64 {
+	return c.pat.Start + c.stride*c.pat.Stride + c.off
+}
+
+// Next returns the next byte address and advances the cursor.
+// It must not be called when Done.
+func (c *AffineCursor) Next() uint64 {
+	addr := c.Peek()
+	c.off++
+	if c.off == c.pat.AccessSize {
+		c.off = 0
+		c.stride++
+	}
+	return addr
+}
+
+// Remaining is the number of bytes the cursor has yet to produce.
+func (c *AffineCursor) Remaining() uint64 {
+	if c.Done() {
+		return 0
+	}
+	return (c.pat.Strides-c.stride)*c.pat.AccessSize - c.off
+}

@@ -1,0 +1,139 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAffineShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		pat  Affine
+		want string
+	}{
+		{"linear single", Linear(0x100, 64), "linear"},
+		{"linear multi", Affine{Start: 0, AccessSize: 8, Stride: 8, Strides: 4}, "linear"},
+		{"strided", Strided2D(0, 8, 32, 4), "strided"},
+		{"overlapped", Affine{Start: 0, AccessSize: 16, Stride: 8, Strides: 4}, "overlapped"},
+		{"repeating", Repeat(0x40, 8, 10), "repeating"},
+		{"empty size", Affine{Start: 0, AccessSize: 0, Stride: 8, Strides: 4}, "empty"},
+		{"empty strides", Affine{Start: 0, AccessSize: 8, Stride: 8, Strides: 0}, "empty"},
+	}
+	for _, tt := range tests {
+		if got := tt.pat.Shape(); got != tt.want {
+			t.Errorf("%s: Shape() = %q, want %q", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestAffineTotalBytes(t *testing.T) {
+	p := Strided2D(0x1000, 16, 64, 8)
+	if got, want := p.TotalBytes(), uint64(128); got != want {
+		t.Errorf("TotalBytes() = %d, want %d", got, want)
+	}
+	if Linear(0, 0).TotalBytes() != 0 {
+		t.Error("empty linear pattern should have 0 bytes")
+	}
+}
+
+func TestAffineEachByteLinear(t *testing.T) {
+	p := Linear(100, 5)
+	var got []uint64
+	p.EachByte(func(a uint64) { got = append(got, a) })
+	want := []uint64{100, 101, 102, 103, 104}
+	if len(got) != len(want) {
+		t.Fatalf("got %d addresses, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("addr[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAffineEachByteOverlapped(t *testing.T) {
+	// Overlapped pattern revisits bytes: access size 4, stride 2.
+	p := Affine{Start: 0, AccessSize: 4, Stride: 2, Strides: 3}
+	var got []uint64
+	p.EachByte(func(a uint64) { got = append(got, a) })
+	want := []uint64{0, 1, 2, 3, 2, 3, 4, 5, 4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %d addresses, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("addr[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAffineEachByteRepeating(t *testing.T) {
+	p := Repeat(10, 2, 3)
+	var got []uint64
+	p.EachByte(func(a uint64) { got = append(got, a) })
+	want := []uint64{10, 11, 10, 11, 10, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("addr[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// randomAffine generates a small random pattern for property tests.
+func randomAffine(r *rand.Rand) Affine {
+	return Affine{
+		Start:      uint64(r.Intn(1 << 16)),
+		AccessSize: uint64(r.Intn(100)),
+		Stride:     uint64(r.Intn(200)),
+		Strides:    uint64(r.Intn(50)),
+	}
+}
+
+// Property: the incremental cursor produces exactly the sequence of the
+// reference enumeration.
+func TestAffineCursorMatchesEachByte(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomAffine(r)
+		var want []uint64
+		p.EachByte(func(a uint64) { want = append(want, a) })
+
+		c := NewAffineCursor(p)
+		if c.Remaining() != uint64(len(want)) {
+			t.Logf("Remaining() = %d, want %d", c.Remaining(), len(want))
+			return false
+		}
+		for i, w := range want {
+			if c.Done() {
+				t.Logf("cursor done early at %d of %d", i, len(want))
+				return false
+			}
+			if pk := c.Peek(); pk != w {
+				t.Logf("Peek[%d] = %d, want %d", i, pk, w)
+				return false
+			}
+			if got := c.Next(); got != w {
+				t.Logf("Next[%d] = %d, want %d", i, got, w)
+				return false
+			}
+		}
+		return c.Done() && c.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffineCursorRemainingDecreases(t *testing.T) {
+	p := Strided2D(0, 7, 13, 5)
+	c := NewAffineCursor(p)
+	prev := c.Remaining()
+	for !c.Done() {
+		c.Next()
+		if r := c.Remaining(); r != prev-1 {
+			t.Fatalf("Remaining() = %d after Next, want %d", r, prev-1)
+		}
+		prev--
+	}
+}

@@ -1,0 +1,86 @@
+package mem
+
+import "fmt"
+
+// Cache is a set-associative, write-allocate, LRU tag store. Data is kept
+// functionally in Memory (the simulator has a single writer per line at a
+// time, so tags alone determine timing).
+type Cache struct {
+	lineShift uint
+	sets      int
+	ways      int
+	tags      []uint64 // sets*ways entries; tag 0 means empty
+	lru       []uint64 // per-entry last-use stamp
+	stamp     uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache builds a cache of size totalBytes with the given line size and
+// associativity. Sizes must be powers of two and consistent.
+func NewCache(totalBytes, lineBytes, ways int) (*Cache, error) {
+	if totalBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("mem: non-positive cache geometry %d/%d/%d", totalBytes, lineBytes, ways)
+	}
+	if lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("mem: line size %d not a power of two", lineBytes)
+	}
+	lines := totalBytes / lineBytes
+	if lines*lineBytes != totalBytes || lines%ways != 0 {
+		return nil, fmt.Errorf("mem: cache %dB/%dB lines/%d ways does not divide evenly", totalBytes, lineBytes, ways)
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("mem: set count %d not a power of two", sets)
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &Cache{
+		lineShift: shift,
+		sets:      sets,
+		ways:      ways,
+		tags:      make([]uint64, sets*ways),
+		lru:       make([]uint64, sets*ways),
+	}, nil
+}
+
+// Access looks up the line containing addr, allocating it on miss, and
+// reports whether it hit. The address is truncated to its line.
+func (c *Cache) Access(addr uint64) (hit bool) {
+	line := addr>>c.lineShift + 1 // +1 so tag 0 means empty
+	set := int(line) & (c.sets - 1)
+	base := set * c.ways
+	c.stamp++
+	victim, oldest := base, c.lru[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == line {
+			c.lru[i] = c.stamp
+			c.Hits++
+			return true
+		}
+		if c.lru[i] < oldest {
+			victim, oldest = i, c.lru[i]
+		}
+	}
+	c.tags[victim] = line
+	c.lru[victim] = c.stamp
+	c.Misses++
+	return false
+}
+
+// Contains reports whether the line holding addr is resident, without
+// updating LRU or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr>>c.lineShift + 1
+	base := (int(line) & (c.sets - 1)) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}

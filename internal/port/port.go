@@ -1,0 +1,132 @@
+// Package port models vector ports: the wide FIFOs that sit between the
+// stream engines and the CGRA (Figure 7). Input vector ports buffer data
+// flowing toward the fabric, output vector ports buffer results flowing
+// out, and indirect vector ports (not connected to the CGRA) buffer the
+// address streams of indirect loads and stores.
+package port
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WordBytes is the datapath word size in bytes (64-bit words).
+const WordBytes = 8
+
+// Queue is one vector port: a bounded byte FIFO. Capacity and transfer
+// width are architectural parameters; the dispatcher's scoreboard state
+// for the port lives in the dispatcher, not here.
+type Queue struct {
+	name     string
+	width    int // max words transferable per cycle (1..8)
+	capacity int // buffer size in bytes
+	buf      []byte
+	head     int // index of the oldest byte in buf
+
+	// Statistics.
+	totalIn  uint64
+	totalOut uint64
+}
+
+// New returns a port named name with the given per-cycle width in words
+// and depth in words. It panics on invalid parameters, which are
+// construction-time configuration errors.
+func New(name string, widthWords, depthWords int) *Queue {
+	if widthWords < 1 || widthWords > 8 {
+		panic(fmt.Sprintf("port %s: width %d words out of range 1..8", name, widthWords))
+	}
+	if depthWords < widthWords {
+		panic(fmt.Sprintf("port %s: depth %d < width %d", name, depthWords, widthWords))
+	}
+	return &Queue{name: name, width: widthWords, capacity: depthWords * WordBytes}
+}
+
+// Name returns the port's name.
+func (q *Queue) Name() string { return q.name }
+
+// WidthWords is the port's per-cycle transfer width in words.
+func (q *Queue) WidthWords() int { return q.width }
+
+// CapacityBytes is the port's total buffer size in bytes.
+func (q *Queue) CapacityBytes() int { return q.capacity }
+
+// Len is the number of buffered bytes.
+func (q *Queue) Len() int { return len(q.buf) - q.head }
+
+// Space is the number of bytes that can be pushed without overflow.
+func (q *Queue) Space() int { return q.capacity - q.Len() }
+
+// Empty reports whether the port holds no data.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
+
+// TotalIn is the cumulative number of bytes ever pushed.
+func (q *Queue) TotalIn() uint64 { return q.totalIn }
+
+// TotalOut is the cumulative number of bytes ever popped.
+func (q *Queue) TotalOut() uint64 { return q.totalOut }
+
+// Push appends data to the FIFO. It panics if data exceeds Space: callers
+// (the stream engines) must check backpressure first, as hardware does
+// with credit signals.
+func (q *Queue) Push(data []byte) {
+	if len(data) > q.Space() {
+		panic(fmt.Sprintf("port %s: push of %d bytes with %d free", q.name, len(data), q.Space()))
+	}
+	q.compact()
+	q.buf = append(q.buf, data...)
+	q.totalIn += uint64(len(data))
+}
+
+// Pop removes and returns the oldest n bytes. It panics if fewer than n
+// bytes are buffered. The returned slice is valid until the next Push.
+func (q *Queue) Pop(n int) []byte {
+	if n > q.Len() {
+		panic(fmt.Sprintf("port %s: pop of %d bytes with %d buffered", q.name, n, q.Len()))
+	}
+	out := q.buf[q.head : q.head+n]
+	q.head += n
+	q.totalOut += uint64(n)
+	return out
+}
+
+// Peek returns the oldest n bytes without removing them.
+func (q *Queue) Peek(n int) []byte {
+	if n > q.Len() {
+		panic(fmt.Sprintf("port %s: peek of %d bytes with %d buffered", q.name, n, q.Len()))
+	}
+	return q.buf[q.head : q.head+n]
+}
+
+// Discard drops the oldest n bytes (SD_Clean_Port's engine-side action).
+func (q *Queue) Discard(n int) { q.Pop(n) }
+
+// PopWords removes and returns n 64-bit words (little-endian), the unit
+// in which the CGRA consumes port data.
+func (q *Queue) PopWords(n int) []uint64 {
+	raw := q.Pop(n * WordBytes)
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(raw[i*WordBytes:])
+	}
+	return words
+}
+
+// PushWords appends n 64-bit words (little-endian).
+func (q *Queue) PushWords(words []uint64) {
+	data := make([]byte, len(words)*WordBytes)
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(data[i*WordBytes:], w)
+	}
+	q.Push(data)
+}
+
+// HasWords reports whether at least n full words are buffered.
+func (q *Queue) HasWords(n int) bool { return q.Len() >= n*WordBytes }
+
+// compact reclaims consumed space when the dead prefix grows large.
+func (q *Queue) compact() {
+	if q.head > 0 && (q.head >= 4096 || q.head == len(q.buf)) {
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+}

@@ -1,0 +1,157 @@
+package port
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New("A", 4, 16)
+	q.Push([]byte{1, 2, 3})
+	q.Push([]byte{4, 5})
+	if got := q.Pop(4); !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Errorf("Pop(4) = %v", got)
+	}
+	if got := q.Pop(1); !bytes.Equal(got, []byte{5}) {
+		t.Errorf("Pop(1) = %v", got)
+	}
+	if !q.Empty() {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestSpaceAccounting(t *testing.T) {
+	q := New("A", 2, 4) // 32 bytes
+	if q.Space() != 32 || q.CapacityBytes() != 32 {
+		t.Fatalf("capacity wrong: space=%d", q.Space())
+	}
+	q.Push(make([]byte, 30))
+	if q.Space() != 2 || q.Len() != 30 {
+		t.Errorf("space=%d len=%d, want 2, 30", q.Space(), q.Len())
+	}
+	q.Pop(10)
+	if q.Space() != 12 {
+		t.Errorf("space=%d after pop, want 12", q.Space())
+	}
+}
+
+func TestWords(t *testing.T) {
+	q := New("W", 8, 8)
+	q.PushWords([]uint64{0x1122334455667788, 42})
+	if !q.HasWords(2) || q.HasWords(3) {
+		t.Error("HasWords wrong")
+	}
+	ws := q.PopWords(2)
+	if ws[0] != 0x1122334455667788 || ws[1] != 42 {
+		t.Errorf("PopWords = %#x", ws)
+	}
+}
+
+func TestPeekAndDiscard(t *testing.T) {
+	q := New("P", 1, 8)
+	q.Push([]byte{9, 8, 7})
+	if got := q.Peek(2); !bytes.Equal(got, []byte{9, 8}) {
+		t.Errorf("Peek = %v", got)
+	}
+	if q.Len() != 3 {
+		t.Error("Peek should not consume")
+	}
+	q.Discard(2)
+	if got := q.Pop(1); got[0] != 7 {
+		t.Errorf("after Discard, Pop = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	q := New("S", 1, 8)
+	q.Push(make([]byte, 8))
+	q.Pop(3)
+	q.Push(make([]byte, 5))
+	if q.TotalIn() != 13 || q.TotalOut() != 3 {
+		t.Errorf("stats in=%d out=%d, want 13, 3", q.TotalIn(), q.TotalOut())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("overflow push", func() {
+		q := New("q", 1, 1)
+		q.Push(make([]byte, 9))
+	})
+	expectPanic("underflow pop", func() {
+		q := New("q", 1, 4)
+		q.Pop(1)
+	})
+	expectPanic("underflow peek", func() {
+		q := New("q", 1, 4)
+		q.Push([]byte{1})
+		q.Peek(2)
+	})
+	expectPanic("zero width", func() { New("q", 0, 4) })
+	expectPanic("huge width", func() { New("q", 9, 16) })
+	expectPanic("depth below width", func() { New("q", 4, 2) })
+}
+
+// Property: any interleaving of pushes and pops preserves byte order and
+// conservation (bytes out are exactly bytes in, in order).
+func TestFIFOProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := New("prop", 8, 64) // 512 bytes
+		var pushed, popped []byte
+		next := byte(0)
+		for step := 0; step < 200; step++ {
+			if r.Intn(2) == 0 {
+				n := r.Intn(q.Space() + 1)
+				chunk := make([]byte, n)
+				for i := range chunk {
+					chunk[i] = next
+					next++
+				}
+				q.Push(chunk)
+				pushed = append(pushed, chunk...)
+			} else {
+				n := r.Intn(q.Len() + 1)
+				popped = append(popped, q.Pop(n)...)
+			}
+			if q.Len()+len(popped) != len(pushed) {
+				return false
+			}
+		}
+		popped = append(popped, q.Pop(q.Len())...)
+		return bytes.Equal(popped, pushed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactionKeepsData(t *testing.T) {
+	q := New("c", 8, 1024) // 8 KiB
+	want := byte(0)
+	got := byte(0)
+	for round := 0; round < 100; round++ {
+		chunk := make([]byte, 100)
+		for i := range chunk {
+			chunk[i] = want
+			want++
+		}
+		q.Push(chunk)
+		for _, b := range q.Pop(100) {
+			if b != got {
+				t.Fatalf("round %d: byte %d, want %d", round, b, got)
+			}
+			got++
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package power models Softbrain's area and power. The component
+// breakdown reproduces Table 3 of the paper (55 nm, 1 GHz, numbers from
+// the synthesized Chisel design): peak power corresponds to the maximum
+// activity factors the paper uses, and average power scales each
+// component's dynamic share by the activity the simulator observed.
+package power
+
+import (
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+)
+
+// FreqGHz is the design's clock; energy = power x cycles / frequency.
+const FreqGHz = 1.0
+
+// Component is one row of the Table 3 breakdown.
+type Component struct {
+	Name    string
+	AreaMM2 float64
+	PeakMW  float64
+	// StaticFrac is the fraction of peak power that burns regardless of
+	// activity (leakage + clock tree).
+	StaticFrac float64
+}
+
+// Table 3 component constants (55 nm).
+var (
+	ControlCore = Component{"Control Core + 16kB I&D$", 0.16, 39.1, 0.40}
+	CGRANetwork = Component{"CGRA Network", 0.12, 31.2, 0.25}
+	CGRAFUs     = Component{"FUs (4x5)", 0.04, 24.4, 0.15}
+	StreamEngs  = Component{"5x Stream Engines", 0.02, 18.3, 0.25}
+	Scratchpad  = Component{"Scratchpad (4KB)", 0.10, 2.6, 0.30}
+	VectorPorts = Component{"Vector Ports (In & Out)", 0.03, 3.6, 0.25}
+)
+
+// Model computes power and energy for one Softbrain unit configuration.
+type Model struct {
+	Components []Component
+	fuLanes    int // peak sub-word ops per cycle across the fabric
+}
+
+// NewModel builds the model for the given machine configuration; areas
+// and peak powers scale linearly with fabric size and scratchpad
+// capacity relative to the paper's 5x4 / 4 KB baseline.
+func NewModel(cfg core.Config) *Model {
+	f := cfg.Fabric
+	fuScale := float64(f.NumPEs()) / 20.0
+	padScale := float64(cfg.ScratchBytes) / 4096.0
+	scale := func(c Component, s float64) Component {
+		c.AreaMM2 *= s
+		c.PeakMW *= s
+		return c
+	}
+	// Peak FU throughput: every PE doing 4-way 16-bit subword ops.
+	return &Model{
+		Components: []Component{
+			ControlCore,
+			scale(CGRANetwork, fuScale),
+			scale(CGRAFUs, fuScale),
+			StreamEngs,
+			scale(Scratchpad, padScale),
+			VectorPorts,
+		},
+		fuLanes: f.NumPEs() * 4,
+	}
+}
+
+// UnitArea is the area of one Softbrain unit in mm^2.
+func (m *Model) UnitArea() float64 {
+	a := 0.0
+	for _, c := range m.Components {
+		a += c.AreaMM2
+	}
+	return a
+}
+
+// UnitPeakPower is one unit's peak power in mW.
+func (m *Model) UnitPeakPower() float64 {
+	p := 0.0
+	for _, c := range m.Components {
+		p += c.PeakMW
+	}
+	return p
+}
+
+// Activity summarizes per-component utilization in [0,1], derived from
+// run statistics.
+type Activity struct {
+	Core    float64
+	Network float64
+	FUs     float64
+	Engines float64
+	Pad     float64
+	Ports   float64
+}
+
+// ActivityOf derives activity factors from a run. units is the number of
+// Softbrain units the stats aggregate over.
+func (m *Model) ActivityOf(s *core.Stats, units int) Activity {
+	if s.Cycles == 0 || units == 0 {
+		return Activity{}
+	}
+	cyc := float64(s.Cycles) * float64(units)
+	clamp := func(x float64) float64 {
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	// Port traffic: every byte through a vector port, both directions.
+	portBytes := float64(s.MemBytesRead + s.MemBytesWritten + s.ScratchBytesRead +
+		s.ScratchBytesWrit + 2*s.RecurrenceBytes)
+	return Activity{
+		Core:    clamp(float64(s.CoreInstrs) / cyc),
+		Network: clamp(float64(s.Instances) / float64(s.Cycles) / float64(units)),
+		FUs:     clamp(float64(s.FUOps) / (cyc * float64(m.fuLanes))),
+		Engines: clamp(float64(s.MSEBusy+s.SSEBusy+s.RSEBusy) / (3 * cyc)),
+		Pad:     clamp(float64(s.ScratchBytesRead+s.ScratchBytesWrit) / (cyc * 128)),
+		Ports:   clamp(portBytes / (cyc * 128)),
+	}
+}
+
+// AveragePower is the mean power of `units` Softbrain units running the
+// given workload, in mW.
+func (m *Model) AveragePower(s *core.Stats, units int) float64 {
+	act := m.ActivityOf(s, units)
+	factors := []float64{act.Core, act.Network, act.FUs, act.Engines, act.Pad, act.Ports}
+	total := 0.0
+	for i, c := range m.Components {
+		total += c.PeakMW * (c.StaticFrac + (1-c.StaticFrac)*factors[i])
+	}
+	return total * float64(units)
+}
+
+// EnergyNJ is the energy of the run in nanojoules: mW x cycles at 1 GHz
+// = picojoules per cycle-milliwatt.
+func (m *Model) EnergyNJ(s *core.Stats, units int) float64 {
+	return m.AveragePower(s, units) * float64(s.Cycles) / FreqGHz / 1e3
+}
+
+// FUClassCosts gives per-operation energy (pJ) by FU class at 55 nm;
+// the Aladdin-like ASIC model shares these constants so the comparison
+// is apples-to-apples.
+var FUClassCosts = map[dfg.FUClass]struct {
+	AreaMM2  float64
+	EnergyPJ float64
+}{
+	dfg.FUAlu: {0.0008, 0.9},
+	dfg.FUMul: {0.0030, 3.1},
+	dfg.FUDiv: {0.0060, 7.5},
+	dfg.FUSig: {0.0040, 3.5},
+}
+
+// SRAMArea returns mm^2 for an SRAM of the given bytes (CACTI-flavored
+// sqrt-ish scaling anchored at 4 KB = 0.10 mm^2).
+func SRAMArea(bytes int) float64 {
+	return 0.10 * float64(bytes) / 4096.0
+}
+
+// SRAMEnergyPJ is the energy of one 64-bit SRAM access.
+const SRAMEnergyPJ = 1.2

@@ -1,0 +1,105 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"softbrain/internal/core"
+)
+
+func TestTable3UnitTotals(t *testing.T) {
+	m := NewModel(core.DNNConfig())
+	// Table 3: one Softbrain unit is 0.47 mm^2 and 119.3 mW peak.
+	if got := m.UnitArea(); math.Abs(got-0.47) > 0.02 {
+		t.Errorf("unit area %.3f mm^2, Table 3 says 0.47", got)
+	}
+	if got := m.UnitPeakPower(); math.Abs(got-119.3) > 2 {
+		t.Errorf("unit peak power %.1f mW, Table 3 says 119.3", got)
+	}
+}
+
+func TestEightUnitsVsDianNao(t *testing.T) {
+	m := NewModel(core.DNNConfig())
+	area8 := 8 * m.UnitArea()
+	power8 := 8 * m.UnitPeakPower()
+	// Table 3: 3.76 mm^2 and 954.4 mW for 8 units; overheads vs DianNao
+	// of 1.74x area and 2.28x power.
+	if math.Abs(area8-3.76) > 0.1 {
+		t.Errorf("8-unit area %.2f, want ~3.76", area8)
+	}
+	if math.Abs(power8-954.4) > 10 {
+		t.Errorf("8-unit power %.1f, want ~954.4", power8)
+	}
+	if r := area8 / 2.16; r < 1.5 || r > 2.1 {
+		t.Errorf("area overhead vs DianNao %.2fx, paper says 1.74x", r)
+	}
+	if r := power8 / 418.3; r < 2.0 || r > 2.6 {
+		t.Errorf("power overhead vs DianNao %.2fx, paper says 2.28x", r)
+	}
+}
+
+func TestAveragePowerScalesWithActivity(t *testing.T) {
+	m := NewModel(core.DefaultConfig())
+	idle := &core.Stats{Cycles: 1000}
+	busy := &core.Stats{
+		Cycles: 1000, CoreInstrs: 900, Instances: 1000,
+		FUOps: 80000, MSEBusy: 1000, SSEBusy: 1000, RSEBusy: 1000,
+		ScratchBytesRead: 64000, ScratchBytesWrit: 64000,
+		MemBytesRead: 64000, MemBytesWritten: 64000,
+	}
+	pi := m.AveragePower(idle, 1)
+	pb := m.AveragePower(busy, 1)
+	if pi <= 0 || pb <= pi {
+		t.Errorf("power: idle %.1f, busy %.1f", pi, pb)
+	}
+	if pb > m.UnitPeakPower()*1.01 {
+		t.Errorf("busy power %.1f exceeds peak %.1f", pb, m.UnitPeakPower())
+	}
+	// Static floor: an idle unit still burns leakage and clocks.
+	if pi < 0.15*m.UnitPeakPower() {
+		t.Errorf("idle power %.1f suspiciously low", pi)
+	}
+}
+
+func TestActivityClamped(t *testing.T) {
+	m := NewModel(core.DefaultConfig())
+	crazy := &core.Stats{Cycles: 1, CoreInstrs: 1 << 40, FUOps: 1 << 50, Instances: 1 << 40}
+	a := m.ActivityOf(crazy, 1)
+	for _, v := range []float64{a.Core, a.Network, a.FUs, a.Engines, a.Pad, a.Ports} {
+		if v < 0 || v > 1 {
+			t.Errorf("activity %v out of [0,1]", v)
+		}
+	}
+	if z := m.ActivityOf(&core.Stats{}, 1); z != (Activity{}) {
+		t.Error("zero-cycle stats should give zero activity")
+	}
+}
+
+func TestEnergyConsistency(t *testing.T) {
+	m := NewModel(core.DefaultConfig())
+	s := &core.Stats{Cycles: 2000, FUOps: 10000, CoreInstrs: 500}
+	e := m.EnergyNJ(s, 1)
+	want := m.AveragePower(s, 1) * 2000 / 1e3
+	if math.Abs(e-want) > 1e-9 {
+		t.Errorf("energy %.3f, want %.3f", e, want)
+	}
+}
+
+func TestMultiUnitPower(t *testing.T) {
+	m := NewModel(core.DNNConfig())
+	s := &core.Stats{Cycles: 1000, FUOps: 1000}
+	p1 := m.AveragePower(s, 1)
+	p8 := m.AveragePower(s, 8)
+	if p8 < 7.9*p1*0.5 || p8 > 8.1*p1 {
+		t.Errorf("8-unit power %.1f not ~8x single %.1f", p8, p1)
+	}
+}
+
+func TestSRAMScaling(t *testing.T) {
+	if SRAMArea(4096) != 0.10 {
+		t.Error("4KB anchor wrong")
+	}
+	if SRAMArea(8192) <= SRAMArea(4096) {
+		t.Error("bigger SRAM should be bigger")
+	}
+}

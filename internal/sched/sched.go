@@ -1,0 +1,415 @@
+// Package sched compiles dataflow graphs onto the CGRA: instruction
+// placement, circuit-switched routing, delay matching, and vector-port
+// mapping. It plays the role of the constraint-based DFG scheduler the
+// paper extends from prior work [22], implemented here as a randomized
+// greedy placer/router with restarts — placements that cannot be routed
+// or delay-matched are discarded and retried with a different seed, and
+// the first schedule that passes cgra.(*Schedule).Validate is returned.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"softbrain/internal/cgra"
+	"softbrain/internal/dfg"
+)
+
+// Attempts is the number of randomized restarts before giving up.
+const Attempts = 64
+
+// Schedule compiles g onto f. The result validates against the hardware
+// model; failure means the graph genuinely does not fit (too many nodes
+// of an FU class, unroutable congestion, or unmatchable delays).
+func Schedule(f *cgra.Fabric, g *dfg.Graph) (*cgra.Schedule, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkCapacity(f, g); err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < Attempts; attempt++ {
+		rng := rand.New(rand.NewSource(int64(attempt)*2654435761 + 1))
+		s, err := try(f, g, rng)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := s.Validate(); err != nil {
+			// A bug in the scheduler, not a capacity limit; surface loudly.
+			return nil, fmt.Errorf("sched: internal error: produced invalid schedule: %w", err)
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("sched: cannot map %s onto %dx%d fabric after %d attempts: %w",
+		g.Name, f.Rows, f.Cols, Attempts, lastErr)
+}
+
+// checkCapacity rejects graphs that cannot fit for static reasons,
+// giving clearer errors than route failures.
+func checkCapacity(f *cgra.Fabric, g *dfg.Graph) error {
+	if len(g.Nodes) > f.NumPEs() {
+		return fmt.Errorf("sched: %s has %d instructions, fabric has %d PEs", g.Name, len(g.Nodes), f.NumPEs())
+	}
+	demand := g.FUDemand()
+	supply := f.FUCounts()
+	for c := dfg.FUClass(0); c < dfg.NumFUClasses; c++ {
+		if demand[c] > supply[c] {
+			return fmt.Errorf("sched: %s needs %d %v units, fabric has %d", g.Name, demand[c], c, supply[c])
+		}
+	}
+	return nil
+}
+
+// state is the mutable routing state during one attempt.
+type state struct {
+	f         *cgra.Fabric
+	linkUse   map[[2]int][]cgra.ValueID
+	valSource map[cgra.ValueID]int // PE where the value enters the mesh
+	inject    map[int]int          // injection channels used per PE
+	eject     map[int]int          // ejection channels used per PE
+	peUsed    map[int]bool
+}
+
+func newState(f *cgra.Fabric) *state {
+	return &state{
+		f:         f,
+		linkUse:   map[[2]int][]cgra.ValueID{},
+		valSource: map[cgra.ValueID]int{},
+		inject:    map[int]int{},
+		eject:     map[int]int{},
+		peUsed:    map[int]bool{},
+	}
+}
+
+func (st *state) clone() *state {
+	c := newState(st.f)
+	for k, v := range st.linkUse {
+		c.linkUse[k] = append([]cgra.ValueID(nil), v...)
+	}
+	for k, v := range st.valSource {
+		c.valSource[k] = v
+	}
+	for k, v := range st.inject {
+		c.inject[k] = v
+	}
+	for k, v := range st.eject {
+		c.eject[k] = v
+	}
+	for k, v := range st.peUsed {
+		c.peUsed[k] = v
+	}
+	return c
+}
+
+// route finds a shortest path carrying val to one of the PEs for which
+// accept returns true, riding links already assigned to val for free
+// reuse. On success it commits the links and returns the path.
+func (st *state) route(val cgra.ValueID, accept func(pe int) bool) ([]int, error) {
+	f := st.f
+	var starts []int
+	if src, ok := st.valSource[val]; ok {
+		starts = []int{src}
+	} else if val.FromPort {
+		// First use of a port word: pick any tap with a free injection
+		// channel (vector ports spread their taps across the fabric).
+		for pe := 0; pe < f.NumPEs(); pe++ {
+			if st.inject[pe] < f.InjectPerPE {
+				starts = append(starts, pe)
+			}
+		}
+		if len(starts) == 0 {
+			return nil, fmt.Errorf("sched: no free injection channel for %v", val)
+		}
+	} else {
+		return nil, fmt.Errorf("sched: value %v has no source", val)
+	}
+
+	// BFS over the directed mesh. A link is traversable if free or
+	// already carrying val.
+	prev := make(map[int]int, f.NumPEs())
+	seen := make(map[int]bool, f.NumPEs())
+	queue := make([]int, 0, f.NumPEs())
+	for _, s := range starts {
+		seen[s] = true
+		prev[s] = -1
+		queue = append(queue, s)
+	}
+	goal := -1
+	for i := 0; i < len(queue); i++ {
+		pe := queue[i]
+		if accept(pe) {
+			goal = pe
+			break
+		}
+		for _, nb := range f.Neighbors(pe) {
+			if seen[nb] {
+				continue
+			}
+			if !st.linkFree([2]int{pe, nb}, val) {
+				continue
+			}
+			seen[nb] = true
+			prev[nb] = pe
+			queue = append(queue, nb)
+		}
+	}
+	if goal == -1 {
+		return nil, fmt.Errorf("sched: no route for %v", val)
+	}
+	var path []int
+	for pe := goal; pe != -1; pe = prev[pe] {
+		path = append(path, pe)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	// Commit: links and, on first use, the value's entry point.
+	if _, ok := st.valSource[val]; !ok {
+		st.valSource[val] = path[0]
+		if val.FromPort {
+			st.inject[path[0]]++
+		}
+	}
+	for i := 1; i < len(path); i++ {
+		st.claimLink([2]int{path[i-1], path[i]}, val)
+	}
+	return path, nil
+}
+
+// linkFree reports whether a channel of the link is available to val
+// (links already carrying val are reusable fanout).
+func (st *state) linkFree(key [2]int, val cgra.ValueID) bool {
+	vals := st.linkUse[key]
+	for _, v := range vals {
+		if v == val {
+			return true
+		}
+	}
+	return len(vals) < st.f.LinkChannels
+}
+
+// claimLink records val on one channel of the link, idempotently.
+func (st *state) claimLink(key [2]int, val cgra.ValueID) {
+	for _, v := range st.linkUse[key] {
+		if v == val {
+			return
+		}
+	}
+	st.linkUse[key] = append(st.linkUse[key], val)
+}
+
+func valueOf(r dfg.Ref) (cgra.ValueID, bool) {
+	switch r.Kind {
+	case dfg.RefPort:
+		return cgra.PortVal(r.Port, r.Word), true
+	case dfg.RefNode:
+		return cgra.NodeVal(r.Node), true
+	}
+	return cgra.ValueID{}, false
+}
+
+// try runs one randomized placement/routing/delay-matching pass.
+func try(f *cgra.Fabric, g *dfg.Graph, rng *rand.Rand) (*cgra.Schedule, error) {
+	s := &cgra.Schedule{
+		Fabric:   f,
+		Graph:    g,
+		Place:    make([]int, len(g.Nodes)),
+		NodeFire: make([]int, len(g.Nodes)),
+		Operand:  make([][]cgra.Conn, len(g.Nodes)),
+	}
+	if err := mapPorts(f, g, s, rng); err != nil {
+		return nil, err
+	}
+
+	st := newState(f)
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	// Place and route each node in dataflow order.
+	for _, id := range order {
+		n := &g.Nodes[id]
+		var candidates []int
+		for pe := 0; pe < f.NumPEs(); pe++ {
+			if !st.peUsed[pe] && f.PEs[pe].Supports(n.Op.Class()) {
+				candidates = append(candidates, pe)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("sched: no free PE for node %d (%v)", id, n.Op)
+		}
+		rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		if cap := 12; len(candidates) > cap {
+			candidates = candidates[:cap]
+		}
+
+		type option struct {
+			pe    int
+			cost  int
+			conns []cgra.Conn
+			st    *state
+		}
+		var best *option
+		for _, pe := range candidates {
+			trial := st.clone()
+			conns := make([]cgra.Conn, len(n.Args))
+			cost := 0
+			ok := true
+			for i, a := range n.Args {
+				val, routed := valueOf(a)
+				if !routed {
+					continue // immediate: lives in the PE configuration
+				}
+				path, err := trial.route(val, func(p int) bool { return p == pe })
+				if err != nil {
+					ok = false
+					break
+				}
+				conns[i] = cgra.Conn{Val: val, Path: path}
+				cost += len(path)
+			}
+			if !ok {
+				continue
+			}
+			if best == nil || cost < best.cost {
+				trial.peUsed[pe] = true
+				best = &option{pe: pe, cost: cost, conns: conns, st: trial}
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("sched: cannot route operands of node %d (%v)", id, n.Op)
+		}
+		st = best.st
+		st.valSource[cgra.NodeVal(id)] = best.pe
+		s.Place[id] = best.pe
+		s.Operand[id] = best.conns
+	}
+
+	// Route outputs to ejection taps.
+	s.OutConn = make([][]cgra.Conn, len(g.Outs))
+	s.OutArrive = make([]int, len(g.Outs))
+	ejectOK := func(pe int) bool { return st.eject[pe] < f.EjectPerPE }
+	for p := range g.Outs {
+		s.OutConn[p] = make([]cgra.Conn, g.Outs[p].Width())
+		for w, src := range g.Outs[p].Sources {
+			val, routed := valueOf(src)
+			if !routed {
+				return nil, fmt.Errorf("sched: output %s word %d is an immediate", g.Outs[p].Name, w)
+			}
+			path, err := st.route(val, ejectOK)
+			if err != nil {
+				return nil, fmt.Errorf("sched: output %s word %d: %w", g.Outs[p].Name, w, err)
+			}
+			st.eject[path[len(path)-1]]++
+			s.OutConn[p][w] = cgra.Conn{Val: val, Path: path}
+		}
+	}
+
+	return s, matchDelays(f, g, s, order)
+}
+
+// matchDelays computes firing times in dataflow order and sets each
+// connection's delay FIFO so that all operands of a node (and all words
+// of an output port) arrive in the same cycle.
+func matchDelays(f *cgra.Fabric, g *dfg.Graph, s *cgra.Schedule, order []dfg.NodeID) error {
+	depart := func(v cgra.ValueID) int {
+		if v.FromPort {
+			return 0
+		}
+		return s.NodeFire[v.Node] + g.Nodes[v.Node].Op.Latency()
+	}
+	align := func(conns []cgra.Conn) (int, error) {
+		arrive := 0
+		for _, c := range conns {
+			if c.Path == nil {
+				continue
+			}
+			if t := depart(c.Val) + c.Latency(); t > arrive {
+				arrive = t
+			}
+		}
+		for i := range conns {
+			if conns[i].Path == nil {
+				continue
+			}
+			base := depart(conns[i].Val) + conns[i].Latency()
+			conns[i].Delay = arrive - base
+			if conns[i].Delay > f.MaxDelay {
+				return 0, fmt.Errorf("sched: needed delay %d exceeds FIFO depth %d", conns[i].Delay, f.MaxDelay)
+			}
+		}
+		return arrive, nil
+	}
+	for _, id := range order {
+		fire, err := align(s.Operand[id])
+		if err != nil {
+			return err
+		}
+		s.NodeFire[id] = fire
+	}
+	for p := range g.Outs {
+		arrive, err := align(s.OutConn[p])
+		if err != nil {
+			return err
+		}
+		s.OutArrive[p] = arrive
+		if arrive > s.Depth {
+			s.Depth = arrive
+		}
+	}
+	return nil
+}
+
+// mapPorts assigns DFG ports to hardware vector ports, widest first
+// (best fit), with a randomized tie-break so restarts explore different
+// mappings.
+func mapPorts(f *cgra.Fabric, g *dfg.Graph, s *cgra.Schedule, rng *rand.Rand) error {
+	s.InPortMap = make([]int, len(g.Ins))
+	s.OutPortMap = make([]int, len(g.Outs))
+
+	type portReq struct{ idx, width int }
+	assign := func(reqs []portReq, hw []cgra.PortSpec, out []int, dir string) error {
+		sort.Slice(reqs, func(i, j int) bool { return reqs[i].width > reqs[j].width })
+		used := make([]bool, len(hw))
+		for _, rq := range reqs {
+			best := -1
+			for h := range hw {
+				if used[h] || hw[h].Indirect || hw[h].Width < rq.width {
+					continue
+				}
+				if best == -1 || hw[h].Width < hw[best].Width ||
+					(hw[h].Width == hw[best].Width && rng.Intn(2) == 0) {
+					best = h
+				}
+			}
+			if best == -1 {
+				return fmt.Errorf("sched: no free %s vector port of width >= %d for %s", dir, rq.width, g.Name)
+			}
+			used[best] = true
+			out[rq.idx] = best
+		}
+		return nil
+	}
+
+	inReqs := make([]portReq, len(g.Ins))
+	for i, p := range g.Ins {
+		inReqs[i] = portReq{i, p.Width}
+	}
+	if err := assign(inReqs, f.InPorts, s.InPortMap, "input"); err != nil {
+		return err
+	}
+	outReqs := make([]portReq, len(g.Outs))
+	for i, p := range g.Outs {
+		outReqs[i] = portReq{i, p.Width()}
+	}
+	return assign(outReqs, f.OutPorts, s.OutPortMap, "output")
+}

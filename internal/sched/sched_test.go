@@ -1,0 +1,238 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"softbrain/internal/cgra"
+	"softbrain/internal/dfg"
+)
+
+func dotProduct(t testing.TB, width int) *dfg.Graph {
+	t.Helper()
+	b := dfg.NewBuilder("dotprod")
+	a := b.Input("A", width)
+	bb := b.Input("B", width)
+	var prods []dfg.Ref
+	for i := 0; i < width; i++ {
+		prods = append(prods, b.N(dfg.Mul(64), a.W(i), bb.W(i)))
+	}
+	b.Output("C", b.ReduceTree(dfg.Add(64), prods...))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestScheduleDotProduct(t *testing.T) {
+	f := cgra.NewFabric(5, 4, dfg.FUAlu, dfg.FUMul)
+	g := dotProduct(t, 4)
+	s, err := Schedule(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("schedule does not validate: %v", err)
+	}
+	if s.Depth < 3 {
+		t.Errorf("pipeline depth %d suspiciously small", s.Depth)
+	}
+	if s.ConfigBytes() == 0 {
+		t.Error("config bitstream is empty")
+	}
+}
+
+func TestScheduleClassifierStyleGraph(t *testing.T) {
+	// The Figure 6 classifier DFG: 4 multipliers, reduction, accumulate,
+	// sigmoid — needs the DNN fabric's sigmoid units.
+	b := dfg.NewBuilder("classifier")
+	s := b.Input("S", 4)
+	n := b.Input("N", 4)
+	r := b.Input("R", 1)
+	var reds []dfg.Ref
+	for i := 0; i < 4; i++ {
+		m := b.N(dfg.Mul(16), s.W(i), n.W(i))
+		reds = append(reds, b.N(dfg.RedAdd(16), m))
+	}
+	sum := b.ReduceTree(dfg.Add(64), reds...)
+	acc := b.N(dfg.Acc(64), sum, r.W(0))
+	b.Output("C", b.N(dfg.Sig(16), acc))
+	g := b.MustBuild()
+
+	sch, err := Schedule(cgra.DNNFabric(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The sigmoid node must be on a sigmoid-capable PE (bottom row).
+	for _, nd := range g.Nodes {
+		if nd.Op.Base == dfg.OpSig {
+			pe := sch.Place[nd.ID]
+			if !sch.Fabric.PEs[pe].Supports(dfg.FUSig) {
+				t.Errorf("sigmoid node on PE %d without sigmoid FU", pe)
+			}
+		}
+	}
+}
+
+func TestScheduleTooManyNodes(t *testing.T) {
+	f := cgra.NewFabric(2, 2, dfg.FUAlu)
+	b := dfg.NewBuilder("big")
+	a := b.Input("A", 1)
+	v := a.W(0)
+	for i := 0; i < 5; i++ {
+		v = b.N(dfg.Add(64), v, dfg.ImmRef(1))
+	}
+	b.Output("O", v)
+	g := b.MustBuild()
+	if _, err := Schedule(f, g); err == nil || !strings.Contains(err.Error(), "instructions") {
+		t.Errorf("capacity error not reported: %v", err)
+	}
+}
+
+func TestScheduleMissingFUClass(t *testing.T) {
+	f := cgra.NewFabric(5, 4, dfg.FUAlu) // no multipliers
+	g := dotProduct(t, 2)
+	if _, err := Schedule(f, g); err == nil || !strings.Contains(err.Error(), "units") {
+		t.Errorf("FU class error not reported: %v", err)
+	}
+}
+
+func TestSchedulePortTooWide(t *testing.T) {
+	// Three 8-wide DFG input ports, but the default hardware has only
+	// two 8-wide input vector ports.
+	b := dfg.NewBuilder("wide")
+	var sums []dfg.Ref
+	for _, name := range []string{"A", "B", "C"} {
+		in := b.Input(name, 8)
+		sums = append(sums, b.N(dfg.Add(64), in.W(0), in.W(7)))
+	}
+	b.Output("O", b.ReduceTree(dfg.Add(64), sums...))
+	g := b.MustBuild()
+	if _, err := Schedule(cgra.NewFabric(5, 4, dfg.FUAlu), g); err == nil ||
+		!strings.Contains(err.Error(), "vector port") {
+		t.Errorf("port mapping error not reported: %v", err)
+	}
+}
+
+func TestScheduleDelayOverflow(t *testing.T) {
+	// A long dependence chain joined at the end with a fresh port input:
+	// the port operand would need a delay FIFO deeper than MaxDelay.
+	f := cgra.NewFabric(5, 4, dfg.FUAlu, dfg.FUMul)
+	f.MaxDelay = 3
+	b := dfg.NewBuilder("deep")
+	a := b.Input("A", 1)
+	late := b.Input("L", 1)
+	v := a.W(0)
+	for i := 0; i < 8; i++ {
+		v = b.N(dfg.Mul(64), v, dfg.ImmRef(3))
+	}
+	b.Output("O", b.N(dfg.Add(64), v, late.W(0)))
+	g := b.MustBuild()
+	if _, err := Schedule(f, g); err == nil || !strings.Contains(err.Error(), "delay") {
+		t.Errorf("delay overflow not reported: %v", err)
+	}
+}
+
+// Property: random schedulable graphs produce schedules that validate,
+// with consistent depths.
+func TestScheduleRandomGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := cgra.BroadFabric()
+	scheduled := 0
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(r)
+		s, err := Schedule(f, g)
+		if err != nil {
+			// Some random graphs legitimately exceed fabric resources.
+			continue
+		}
+		scheduled++
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid schedule: %v\n%s", trial, err, g.String())
+		}
+		if s.Depth <= 0 {
+			t.Errorf("trial %d: nonpositive depth %d", trial, s.Depth)
+		}
+	}
+	if scheduled < 15 {
+		t.Errorf("only %d of 30 random graphs scheduled; placer too weak", scheduled)
+	}
+}
+
+func randomGraph(r *rand.Rand) *dfg.Graph {
+	b := dfg.NewBuilder("rnd")
+	nIns := 1 + r.Intn(3)
+	var avail []dfg.Ref
+	for i := 0; i < nIns; i++ {
+		w := 1 + r.Intn(4)
+		in := b.Input(string(rune('A'+i)), w)
+		for j := 0; j < w; j++ {
+			avail = append(avail, in.W(j))
+		}
+	}
+	ops := []dfg.Op{
+		dfg.Add(64), dfg.Sub(32), dfg.Mul(16), dfg.Min(64),
+		dfg.Sel(64), dfg.Acc(64), dfg.RedAdd(16), dfg.Xor(64), dfg.Abs(64),
+	}
+	n := 1 + r.Intn(12)
+	for i := 0; i < n; i++ {
+		op := ops[r.Intn(len(ops))]
+		args := make([]dfg.Ref, op.Arity())
+		for j := range args {
+			if r.Intn(6) == 0 {
+				args[j] = dfg.ImmRef(uint64(r.Intn(100)))
+			} else {
+				args[j] = avail[r.Intn(len(avail))]
+			}
+		}
+		avail = append(avail, b.N(op, args...))
+	}
+	b.Output("O", avail[len(avail)-1])
+	return b.MustBuild()
+}
+
+// Mutation tests: a valid schedule stops validating when corrupted.
+func TestValidateCatchesCorruption(t *testing.T) {
+	f := cgra.NewFabric(5, 4, dfg.FUAlu, dfg.FUMul)
+	g := dotProduct(t, 3)
+	fresh := func() *cgra.Schedule {
+		s, err := Schedule(f, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		mutate func(*cgra.Schedule)
+	}{
+		{"double placement", func(s *cgra.Schedule) { s.Place[1] = s.Place[0] }},
+		{"out of range PE", func(s *cgra.Schedule) { s.Place[0] = 99 }},
+		{"late fire", func(s *cgra.Schedule) { s.NodeFire[len(s.NodeFire)-1]++ }},
+		{"bad depth", func(s *cgra.Schedule) { s.Depth += 3 }},
+		{"negative delay", func(s *cgra.Schedule) {
+			for n := range s.Operand {
+				for i := range s.Operand[n] {
+					if s.Operand[n][i].Path != nil {
+						s.Operand[n][i].Delay = -1
+						return
+					}
+				}
+			}
+		}},
+		{"dup hw port", func(s *cgra.Schedule) { s.InPortMap[1] = s.InPortMap[0] }},
+		{"truncated out conns", func(s *cgra.Schedule) { s.OutConn = nil }},
+	}
+	for _, tt := range cases {
+		s := fresh()
+		tt.mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: corruption not caught", tt.name)
+		}
+	}
+}

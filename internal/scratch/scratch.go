@@ -1,0 +1,68 @@
+// Package scratch models the programmable scratchpad: the private
+// address space stream-dataflow exposes for data reuse. It is a simple
+// SRAM with one read and one write port, each 64 bytes wide per cycle;
+// the per-cycle port arbitration lives in the scratchpad stream engine.
+package scratch
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Pad is the scratchpad storage with access statistics.
+type Pad struct {
+	data []byte
+
+	Reads        uint64 // read port grants
+	Writes       uint64 // write port grants
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// New returns a scratchpad of the given size in bytes.
+func New(size int) *Pad {
+	return &Pad{data: make([]byte, size)}
+}
+
+// Size is the scratchpad capacity in bytes.
+func (p *Pad) Size() uint64 { return uint64(len(p.data)) }
+
+// check validates an access range against the private address space.
+func (p *Pad) check(op string, addr uint64, n int) error {
+	if addr+uint64(n) > uint64(len(p.data)) || addr+uint64(n) < addr {
+		return fmt.Errorf("scratch: %s of %d bytes at %#x exceeds size %d", op, n, addr, len(p.data))
+	}
+	return nil
+}
+
+// Read copies len(buf) bytes from addr into buf, counting one read-port
+// grant.
+func (p *Pad) Read(addr uint64, buf []byte) error {
+	if err := p.check("read", addr, len(buf)); err != nil {
+		return err
+	}
+	copy(buf, p.data[addr:])
+	p.Reads++
+	p.BytesRead += uint64(len(buf))
+	return nil
+}
+
+// Write stores data at addr, counting one write-port grant.
+func (p *Pad) Write(addr uint64, data []byte) error {
+	if err := p.check("write", addr, len(data)); err != nil {
+		return err
+	}
+	copy(p.data[addr:], data)
+	p.Writes++
+	p.BytesWritten += uint64(len(data))
+	return nil
+}
+
+// ReadU64 reads a little-endian word for tests and debugging.
+func (p *Pad) ReadU64(addr uint64) (uint64, error) {
+	var buf [8]byte
+	if err := p.Read(addr, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}

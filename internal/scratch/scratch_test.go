@@ -1,0 +1,75 @@
+package scratch
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReadWrite(t *testing.T) {
+	p := New(128)
+	if err := p.Write(10, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := p.Read(10, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Read = %v", got)
+	}
+}
+
+func TestZeroInitialized(t *testing.T) {
+	p := New(64)
+	buf := []byte{0xff, 0xff}
+	if err := p.Read(62, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 || buf[1] != 0 {
+		t.Error("scratchpad not zero initialized")
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	p := New(64)
+	if err := p.Write(60, make([]byte, 8)); err == nil {
+		t.Error("overflowing write accepted")
+	}
+	if err := p.Read(64, make([]byte, 1)); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if err := p.Read(^uint64(0), make([]byte, 2)); err == nil {
+		t.Error("wrapping read accepted")
+	}
+	if err := p.Write(0, make([]byte, 64)); err != nil {
+		t.Errorf("full-size write rejected: %v", err)
+	}
+}
+
+func TestStatsAndSize(t *testing.T) {
+	p := New(256)
+	if p.Size() != 256 {
+		t.Errorf("Size = %d", p.Size())
+	}
+	p.Write(0, make([]byte, 64))
+	p.Write(64, make([]byte, 32))
+	p.Read(0, make([]byte, 16))
+	if p.Writes != 2 || p.Reads != 1 || p.BytesWritten != 96 || p.BytesRead != 16 {
+		t.Errorf("stats: %d/%d grants, %d/%d bytes", p.Reads, p.Writes, p.BytesRead, p.BytesWritten)
+	}
+}
+
+func TestReadU64(t *testing.T) {
+	p := New(64)
+	p.Write(8, []byte{0x0d, 0xf0, 0xfe, 0xca, 0, 0, 0, 0})
+	v, err := p.ReadU64(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xcafef00d {
+		t.Errorf("ReadU64 = %#x", v)
+	}
+	if _, err := p.ReadU64(60); err == nil {
+		t.Error("out-of-range ReadU64 accepted")
+	}
+}

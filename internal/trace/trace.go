@@ -1,0 +1,168 @@
+// Package trace records and renders execution timelines in the style of
+// the paper's Figures 4(b) and 6: per-resource activity lanes (control
+// core, stream engines, CGRA) and per-stream lifetime bars showing when
+// each command was enqueued, dispatched and completed.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span is one stream command's lifetime.
+type Span struct {
+	ID        int
+	Label     string
+	Enqueued  uint64
+	Issued    uint64
+	Completed uint64
+	Done      bool
+}
+
+// Recorder accumulates events during a run. The zero Recorder is
+// disabled; NewRecorder returns an enabled one. Lane activity is
+// recorded up to Limit cycles (spans are always recorded).
+type Recorder struct {
+	Limit uint64
+
+	laneOrder []string
+	lanes     map[string][]bool
+	spans     map[int]*Span
+	order     []int
+	lastCycle uint64
+}
+
+// NewRecorder returns a recorder capturing lane activity for the first
+// limit cycles.
+func NewRecorder(limit uint64) *Recorder {
+	return &Recorder{
+		Limit: limit,
+		lanes: map[string][]bool{},
+		spans: map[int]*Span{},
+	}
+}
+
+// Mark records activity on a lane at a cycle.
+func (r *Recorder) Mark(lane string, cycle uint64) {
+	if r == nil || cycle >= r.Limit {
+		return
+	}
+	if cycle > r.lastCycle {
+		r.lastCycle = cycle
+	}
+	bits, ok := r.lanes[lane]
+	if !ok {
+		r.laneOrder = append(r.laneOrder, lane)
+	}
+	for uint64(len(bits)) <= cycle {
+		bits = append(bits, false)
+	}
+	bits[cycle] = true
+	r.lanes[lane] = bits
+}
+
+// Issued records a stream command's issue, with the cycle it was
+// enqueued by the control core.
+func (r *Recorder) Issued(id int, label string, enqueued, issued uint64) {
+	if r == nil {
+		return
+	}
+	r.spans[id] = &Span{ID: id, Label: label, Enqueued: enqueued, Issued: issued}
+	r.order = append(r.order, id)
+	if issued > r.lastCycle {
+		r.lastCycle = issued
+	}
+}
+
+// Completed records a stream command's completion.
+func (r *Recorder) Completed(id int, cycle uint64) {
+	if r == nil {
+		return
+	}
+	if s, ok := r.spans[id]; ok {
+		s.Completed = cycle
+		s.Done = true
+		if cycle > r.lastCycle {
+			r.lastCycle = cycle
+		}
+	}
+}
+
+// Spans returns the recorded stream lifetimes in issue order.
+func (r *Recorder) Spans() []Span {
+	out := make([]Span, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, *r.spans[id])
+	}
+	return out
+}
+
+// Gantt renders the timeline: activity lanes on top (one character per
+// bucket of cycles) and stream lifetime bars below, Figure 4(b) style:
+//
+//	'·' enqueued, '=' dispatched and active, '>' completion.
+func (r *Recorder) Gantt(width int) string {
+	if r == nil || r.lastCycle == 0 {
+		return "(no trace recorded)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	span := r.lastCycle + 1
+	perCol := (span + uint64(width) - 1) / uint64(width)
+	col := func(cycle uint64) int { return int(cycle / perCol) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %d cycles, %d cycles/column\n\n", span, perCol)
+
+	lanes := append([]string(nil), r.laneOrder...)
+	sort.Strings(lanes)
+	nameW := 10
+	for _, l := range lanes {
+		if len(l) > nameW {
+			nameW = len(l)
+		}
+	}
+	for _, lane := range lanes {
+		bits := r.lanes[lane]
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for c, on := range bits {
+			if on {
+				row[col(uint64(c))] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, lane, row)
+	}
+
+	if len(r.order) > 0 {
+		fmt.Fprintf(&b, "\nstreams (first %d):\n", len(r.order))
+	}
+	for _, id := range r.order {
+		s := r.spans[id]
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		end := r.lastCycle
+		if s.Done {
+			end = s.Completed
+		}
+		for c := s.Enqueued; c <= end && col(c) < width; c += perCol {
+			switch {
+			case c < s.Issued:
+				row[col(c)] = '.'
+			default:
+				row[col(c)] = '='
+			}
+		}
+		if s.Done && col(s.Completed) < width {
+			row[col(s.Completed)] = '>'
+		}
+		fmt.Fprintf(&b, "%-*s |%s| %s\n", nameW, fmt.Sprintf("#%d", s.ID), row, s.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Mark("x", 1)
+	r.Issued(1, "cmd", 0, 1)
+	r.Completed(1, 5)
+	if got := r.Gantt(80); !strings.Contains(got, "no trace") {
+		t.Errorf("nil Gantt = %q", got)
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	r := NewRecorder(100)
+	r.Issued(1, "SD_Mem_Port", 2, 5)
+	r.Issued(2, "SD_Barrier_All", 3, 7)
+	r.Completed(1, 20)
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	if spans[0].Enqueued != 2 || spans[0].Issued != 5 || !spans[0].Done || spans[0].Completed != 20 {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Done {
+		t.Error("span 2 should be open")
+	}
+}
+
+func TestLaneLimit(t *testing.T) {
+	r := NewRecorder(10)
+	r.Mark("MSE", 5)
+	r.Mark("MSE", 50) // beyond limit: dropped
+	if r.lastCycle != 5 {
+		t.Errorf("lastCycle = %d", r.lastCycle)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	r := NewRecorder(1000)
+	for c := uint64(0); c < 40; c++ {
+		r.Mark("core", c)
+	}
+	r.Mark("CGRA", 90)
+	r.Issued(1, "SD_Mem_Port(...)", 0, 2)
+	r.Completed(1, 80)
+	out := r.Gantt(40)
+	for _, want := range []string{"core", "CGRA", "#1", "SD_Mem_Port", "="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Gantt missing %q:\n%s", want, out)
+		}
+	}
+	// Completion marker present.
+	if !strings.Contains(out, ">") {
+		t.Error("Gantt missing completion marker")
+	}
+	// Tiny widths are clamped rather than crashing.
+	if r.Gantt(1) == "" {
+		t.Error("narrow Gantt empty")
+	}
+}
+
+func TestGanttWithinMachineTrace(t *testing.T) {
+	// Exercised end to end by core tests; here just check bucket scaling.
+	r := NewRecorder(1 << 20)
+	r.Mark("x", 999_999)
+	out := r.Gantt(50)
+	if !strings.Contains(out, "cycles/column") {
+		t.Error("header missing")
+	}
+}

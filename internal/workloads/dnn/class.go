@@ -1,0 +1,123 @@
+package dnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// classGraph is the Figure 6 classifier DFG: four 4-way 16-bit
+// multipliers with reductions, a resettable accumulator, and a sigmoid.
+func classGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("classifier")
+	s := b.Input("S", 4)
+	n := b.Input("N", 4)
+	r := b.Input("R", 1)
+	var reds []dfg.Ref
+	for i := 0; i < 4; i++ {
+		m := b.N(dfg.Mul(16), s.W(i), n.W(i))
+		reds = append(reds, b.N(dfg.RedAdd(16), m))
+	}
+	sum := b.ReduceTree(dfg.Add(64), reds...)
+	acc := b.N(dfg.Acc(64), sum, r.W(0))
+	b.OutputElem("C", 2, b.N(dfg.Sig(16), acc))
+	return b.Build()
+}
+
+// buildClass builds a fully connected layer: synapses stream once from
+// memory, input neurons stage in each unit's scratchpad and re-stream
+// per output neuron, exactly as in the paper's example program.
+func (l Layer) buildClass(cfg core.Config, units int) (*workloads.Instance, error) {
+	if l.Ni%16 != 0 {
+		return nil, fmt.Errorf("dnn: %s Ni=%d not a multiple of 16", l.Name, l.Ni)
+	}
+	g, err := classGraph()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(71))
+	syn := make([]int16, l.Nn*l.Ni) // syn[n][i]
+	neu := make([]int16, l.Ni)
+	for i := range syn {
+		syn[i] = int16(rng.Intn(11) - 5)
+	}
+	for i := range neu {
+		neu[i] = int16(rng.Intn(7) - 3)
+	}
+
+	lay := workloads.NewLayout()
+	synAddr := lay.Alloc(uint64(l.Nn*l.Ni) * 2)
+	neuAddr := lay.Alloc(uint64(l.Ni) * 2)
+	outAddr := lay.Alloc(uint64(l.Nn) * 2)
+
+	instPerNeuron := uint64(l.Ni / 16)
+	var progs []*core.Program
+	for _, rg := range ranges(l.Nn, units) {
+		p := core.NewProgram(fmt.Sprintf("%s.u", l.Name))
+		p.CompileAndConfigure(cfg.Fabric, g)
+		n0, n1 := rg[0], rg[1]
+		if n0 == n1 {
+			progs = append(progs, p) // idle unit
+			continue
+		}
+		p.Emit(isa.MemPort{
+			Src: isa.Linear(synAddr+uint64(n0*l.Ni)*2, uint64((n1-n0)*l.Ni)*2),
+			Dst: p.In("S"),
+		})
+		p.Emit(isa.MemScratch{Src: isa.Linear(neuAddr, uint64(l.Ni)*2), ScratchAddr: 0})
+		p.Emit(isa.BarrierScratchWr{})
+		p.Emit(isa.ScratchPort{Src: isa.Repeat(0, uint64(l.Ni)*2, uint64(n1-n0)), Dst: p.In("N")})
+		for n := n0; n < n1; n++ {
+			p.Emit(isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: instPerNeuron - 1, Dst: p.In("R")})
+			p.Emit(isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: 1, Dst: p.In("R")})
+			p.Emit(isa.CleanPort{Src: p.Out("C"), Elem: isa.Elem16, Count: instPerNeuron - 1})
+			p.Emit(isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(outAddr+uint64(n)*2, 2)})
+			p.Delay(2)
+		}
+		p.Emit(isa.BarrierAll{})
+		if err := p.Err(); err != nil {
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+
+	golden := make([]uint16, l.Nn)
+	for n := 0; n < l.Nn; n++ {
+		var sum int64
+		for i := 0; i < l.Ni; i++ {
+			sum += int64(syn[n*l.Ni+i]) * int64(neu[i])
+		}
+		golden[n] = sigmoid16(sum)
+	}
+
+	macs := uint64(l.Ni) * uint64(l.Nn)
+	return &workloads.Instance{
+		Name:  l.Name,
+		Progs: progs,
+		Init: func(m *mem.Memory) {
+			for i, v := range syn {
+				writeI16(m, synAddr+uint64(2*i), v)
+			}
+			for i, v := range neu {
+				writeI16(m, neuAddr+uint64(2*i), v)
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for n := 0; n < l.Nn; n++ {
+				got := uint16(m.ReadUint(outAddr+uint64(2*n), 2))
+				if got != golden[n] {
+					return fmt.Errorf("%s: neuron[%d] = %d, want %d", l.Name, n, got, golden[n])
+				}
+			}
+			return nil
+		},
+		Profile:  l.profile(macs, 2*macs+2*uint64(l.Ni), 2*macs),
+		Patterns: "Linear, Repeating",
+		Datapath: "4x4-way 16-bit MAC + Sigmoid",
+	}, nil
+}

@@ -1,0 +1,182 @@
+package dnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// convGraph processes one 3x3xNi convolution window as a sequence of
+// instances: three row ports deliver 8 input elements each per instance,
+// three scratch ports deliver the matching weights, and a resettable
+// accumulator collects the window's dot product, finished by a sigmoid.
+func convGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("conv3x3")
+	var reds []dfg.Ref
+	var rows, wts [3]dfg.In
+	for ky := 0; ky < 3; ky++ {
+		rows[ky] = b.Input(fmt.Sprintf("N%d", ky), 2)
+		wts[ky] = b.Input(fmt.Sprintf("S%d", ky), 2)
+	}
+	r := b.Input("R", 1)
+	for ky := 0; ky < 3; ky++ {
+		for w := 0; w < 2; w++ {
+			m := b.N(dfg.Mul(16), rows[ky].W(w), wts[ky].W(w))
+			reds = append(reds, b.N(dfg.RedAdd(16), m))
+		}
+	}
+	sum := b.ReduceTree(dfg.Add(64), reds...)
+	acc := b.N(dfg.Acc(64), sum, r.W(0))
+	b.OutputElem("C", 2, b.N(dfg.Sig(16), acc))
+	return b.Build()
+}
+
+// buildConv builds a 3x3 convolution layer over channel-last input
+// in[y][x][ci]. Weights and the accumulator-reset template live in the
+// scratchpad; input rows stream with the overlapped affine pattern of
+// Figure 5, one stream per kernel row covering a whole output row.
+// Output features are partitioned across units.
+//
+// The accelerator stores every instance's (partial) activation; the
+// layer's output layout is therefore strided: the value of output pixel
+// (f, oy, ox) is the last of its instPerPixel staged elements.
+func (l Layer) buildConv(cfg core.Config, units int) (*workloads.Instance, error) {
+	if l.K != 3 {
+		return nil, fmt.Errorf("dnn: conv kernel %d unsupported (3x3 only)", l.K)
+	}
+	if (3*l.Ni)%8 != 0 {
+		return nil, fmt.Errorf("dnn: %s 3*Ni=%d not a multiple of 8", l.Name, 3*l.Ni)
+	}
+	g, err := convGraph()
+	if err != nil {
+		return nil, err
+	}
+	outW, outH := l.Nx-2, l.Ny-2
+	instPerPixel := 3 * l.Ni / 8
+	rowElems := 3 * l.Ni // elements per kernel row of one window
+
+	rng := rand.New(rand.NewSource(73))
+	in := make([]int16, l.Ny*l.Nx*l.Ni) // in[y][x][ci]
+	wt := make([]int16, l.No*3*3*l.Ni)  // wt[f][ky][kx][ci]
+	for i := range in {
+		in[i] = int16(rng.Intn(7) - 3)
+	}
+	for i := range wt {
+		wt[i] = int16(rng.Intn(9) - 4)
+	}
+
+	lay := workloads.NewLayout()
+	inAddr := lay.Alloc(uint64(len(in)) * 2)
+	wtAddr := lay.Alloc(uint64(len(wt)) * 2)
+	tmplAddr := lay.Alloc(uint64(outW*instPerPixel) * 8)
+	outAddr := lay.Alloc(uint64(l.No*outH*outW*instPerPixel) * 2)
+
+	wBytes := uint64(3 * 3 * l.Ni * 2) // one feature's weights
+	const padW = 0                     // weights at pad offset 0
+	padT := uint64(2048)               // reset template offset
+
+	stageBase := func(f, oy int) uint64 {
+		return outAddr + uint64((f*outH+oy)*outW*instPerPixel)*2
+	}
+
+	var progs []*core.Program
+	for _, rg := range ranges(l.No, units) {
+		p := core.NewProgram(fmt.Sprintf("%s.u", l.Name))
+		p.CompileAndConfigure(cfg.Fabric, g)
+		f0, f1 := rg[0], rg[1]
+		if f0 == f1 {
+			progs = append(progs, p)
+			continue
+		}
+		// The reset template is shared by every feature.
+		p.Emit(isa.MemScratch{Src: isa.Linear(tmplAddr, uint64(outW*instPerPixel)*8), ScratchAddr: padT})
+		for f := f0; f < f1; f++ {
+			p.Emit(isa.BarrierScratchRd{}) // previous feature's weight reads
+			p.Emit(isa.MemScratch{Src: isa.Linear(wtAddr+uint64(f)*wBytes, wBytes), ScratchAddr: padW})
+			p.Emit(isa.BarrierScratchWr{})
+			for oy := 0; oy < outH; oy++ {
+				for ky := 0; ky < 3; ky++ {
+					src := inAddr + uint64((oy+ky)*l.Nx*l.Ni)*2
+					p.Emit(isa.MemPort{
+						Src: isa.Strided2D(src, uint64(rowElems)*2, uint64(l.Ni)*2, uint64(outW)),
+						Dst: p.In(fmt.Sprintf("N%d", ky)),
+					})
+					p.Emit(isa.ScratchPort{
+						Src: isa.Repeat(padW+uint64(ky*rowElems)*2, uint64(rowElems)*2, uint64(outW)),
+						Dst: p.In(fmt.Sprintf("S%d", ky)),
+					})
+				}
+				p.Emit(isa.ScratchPort{Src: isa.Linear(padT, uint64(outW*instPerPixel)*8), Dst: p.In("R")})
+				p.Emit(isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(stageBase(f, oy), uint64(outW*instPerPixel)*2)})
+				p.Delay(3)
+			}
+		}
+		p.Emit(isa.BarrierAll{})
+		if err := p.Err(); err != nil {
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+
+	// Golden convolution + sigmoid.
+	golden := make([]uint16, l.No*outH*outW)
+	for f := 0; f < l.No; f++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				var sum int64
+				for ky := 0; ky < 3; ky++ {
+					for kx := 0; kx < 3; kx++ {
+						for ci := 0; ci < l.Ni; ci++ {
+							iv := in[((oy+ky)*l.Nx+ox+kx)*l.Ni+ci]
+							wv := wt[((f*3+ky)*3+kx)*l.Ni+ci]
+							sum += int64(iv) * int64(wv)
+						}
+					}
+				}
+				golden[(f*outH+oy)*outW+ox] = sigmoid16(sum)
+			}
+		}
+	}
+
+	macs := uint64(outW*outH) * uint64(9*l.Ni) * uint64(l.No)
+	memBytes := uint64(len(in))*2 + uint64(len(wt))*2 + uint64(l.No*outH*outW)*2
+	return &workloads.Instance{
+		Name:  l.Name,
+		Progs: progs,
+		Init: func(m *mem.Memory) {
+			for i, v := range in {
+				writeI16(m, inAddr+uint64(2*i), v)
+			}
+			for i, v := range wt {
+				writeI16(m, wtAddr+uint64(2*i), v)
+			}
+			// Reset template: one reset word at the end of each pixel.
+			for ox := 0; ox < outW; ox++ {
+				m.WriteU64(tmplAddr+uint64((ox*instPerPixel+instPerPixel-1))*8, 1)
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for f := 0; f < l.No; f++ {
+				for oy := 0; oy < outH; oy++ {
+					for ox := 0; ox < outW; ox++ {
+						addr := stageBase(f, oy) + uint64(ox*instPerPixel+instPerPixel-1)*2
+						got := uint16(m.ReadUint(addr, 2))
+						want := golden[(f*outH+oy)*outW+ox]
+						if got != want {
+							return fmt.Errorf("%s: out[%d][%d][%d] = %d, want %d", l.Name, f, oy, ox, got, want)
+						}
+					}
+				}
+			}
+			return nil
+		},
+		Profile:  l.profile(macs, memBytes, 2*macs),
+		Patterns: "Overlapped Affine, Repeating",
+		Datapath: "6x4-way 16-bit MAC tree + Sigmoid",
+	}, nil
+}

@@ -1,0 +1,138 @@
+// Package dnn implements the deep-neural-network workloads of the
+// DianNao comparison (Section 7.1): fully-connected classifier layers,
+// 3x3 convolution layers, and max-pooling layers, each expressed as
+// stream-dataflow programs over 16-bit fixed-point data and partitioned
+// across eight Softbrain units.
+//
+// Layer shapes are representative scaled-down versions of the DianNao
+// benchmark layers (the original dimensions are impractically large for
+// cycle-level simulation); each layer preserves the compute-versus-
+// bandwidth character of its class: classifier layers stream their
+// synapses once (bandwidth-bound), convolution layers reuse weights from
+// the scratchpad (compute-bound), and pooling layers re-read overlapped
+// windows (modest compute, high read traffic). See DESIGN.md §5.
+package dnn
+
+import (
+	"fmt"
+
+	"softbrain/internal/baseline"
+	"softbrain/internal/core"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// Kind discriminates layer types.
+type Kind int
+
+const (
+	Class Kind = iota // fully connected + sigmoid
+	Conv              // 3x3 convolution + sigmoid
+	Pool              // KxK max pooling, stride 1
+)
+
+// Layer describes one DNN layer benchmark.
+type Layer struct {
+	Name string
+	Kind Kind
+
+	// Class parameters.
+	Ni int // input neurons / input channels
+	Nn int // output neurons
+
+	// Conv and Pool parameters.
+	Nx, Ny int // input width and height
+	K      int // kernel/window size (always 3 for conv)
+	No     int // output feature maps (conv)
+}
+
+// Layers returns the ten Figure 11 workloads.
+func Layers() []Layer {
+	return []Layer{
+		{Name: "class1p", Kind: Class, Ni: 2048, Nn: 64},
+		{Name: "class3p", Kind: Class, Ni: 960, Nn: 128},
+		{Name: "pool1p", Kind: Pool, Nx: 21, Ny: 21, K: 2, Ni: 16},
+		{Name: "pool3p", Kind: Pool, Nx: 20, Ny: 20, K: 3, Ni: 16},
+		{Name: "pool5p", Kind: Pool, Nx: 19, Ny: 19, K: 4, Ni: 16},
+		{Name: "conv1p", Kind: Conv, Nx: 18, Ny: 18, K: 3, Ni: 16, No: 16},
+		{Name: "conv2p", Kind: Conv, Nx: 16, Ny: 16, K: 3, Ni: 16, No: 32},
+		{Name: "conv3p", Kind: Conv, Nx: 14, Ny: 14, K: 3, Ni: 32, No: 16},
+		{Name: "conv4p", Kind: Conv, Nx: 14, Ny: 14, K: 3, Ni: 16, No: 16},
+		{Name: "conv5p", Kind: Conv, Nx: 12, Ny: 12, K: 3, Ni: 32, No: 8},
+	}
+}
+
+// Find returns the named layer.
+func Find(name string) (Layer, error) {
+	for _, l := range Layers() {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return Layer{}, fmt.Errorf("dnn: unknown layer %q", name)
+}
+
+// Config is the Softbrain configuration for the DNN study: the
+// DNN-provisioned fabric and a memory system matching the comparison's
+// bandwidth assumptions (32 B/cycle DRAM, as the DianNao model uses).
+func Config() core.Config {
+	cfg := core.DNNConfig()
+	cfg.Mem.MissInterval = 2
+	return cfg
+}
+
+// Units is the number of Softbrain units in the comparison (Table 3).
+const Units = 8
+
+// Build constructs the layer's instance for the given unit count.
+func (l Layer) Build(cfg core.Config, units int) (*workloads.Instance, error) {
+	switch l.Kind {
+	case Class:
+		return l.buildClass(cfg, units)
+	case Conv:
+		return l.buildConv(cfg, units)
+	case Pool:
+		return l.buildPool(cfg, units)
+	}
+	return nil, fmt.Errorf("dnn: bad layer kind %d", l.Kind)
+}
+
+// sigmoid16 is the golden copy of the hardware's Q8.8 piecewise
+// sigmoid (dfg.Sig at width 16).
+func sigmoid16(x int64) uint16 {
+	switch {
+	case x <= -1024:
+		return 0
+	case x >= 1024:
+		return 256
+	default:
+		return uint16(128 + x/8)
+	}
+}
+
+// ranges splits n items into parts nearly equal chunks; empty chunks are
+// legal for small n.
+func ranges(n, parts int) [][2]int {
+	out := make([][2]int, parts)
+	base, rem := n/parts, n%parts
+	start := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = [2]int{start, start + size}
+		start += size
+	}
+	return out
+}
+
+// writeI16 writes a 16-bit value to the memory image.
+func writeI16(m *mem.Memory, addr uint64, v int16) {
+	m.WriteUint(addr, 2, uint64(uint16(v)))
+}
+
+// profile fills the shared fields of the layer's baseline profile.
+func (l Layer) profile(macs, memBytes, ops uint64) baseline.Profile {
+	return baseline.Profile{Name: l.Name, KernelOps: ops, MACs: macs, MemBytes: memBytes}
+}

@@ -1,0 +1,148 @@
+package dnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// poolGraph max-pools a KxNi window: K row ports each deliver one
+// window column (all Ni=16 channels, 16-bit lanes) per instance; a
+// lane-wise max tree combines the rows and a resettable running maximum
+// combines the K columns of the window.
+func poolGraph(k int) (*dfg.Graph, error) {
+	b := dfg.NewBuilder(fmt.Sprintf("pool%dx%d", k, k))
+	rows := make([]dfg.In, k)
+	for ky := 0; ky < k; ky++ {
+		rows[ky] = b.Input(fmt.Sprintf("P%d", ky), 4)
+	}
+	r := b.Input("R", 1)
+	var outs []dfg.Ref
+	for w := 0; w < 4; w++ {
+		var vals []dfg.Ref
+		for ky := 0; ky < k; ky++ {
+			vals = append(vals, rows[ky].W(w))
+		}
+		tree := b.ReduceTree(dfg.Max(16), vals...)
+		outs = append(outs, b.N(dfg.AccMax(16), tree, r.W(0)))
+	}
+	b.Output("O", outs...)
+	return b.Build()
+}
+
+// buildPool builds a KxK stride-1 max-pooling layer over channel-last
+// input in[y][x][ci] with Ni=16 channels. Output rows are partitioned
+// across units. Like conv, every instance's running maximum is staged to
+// memory; the window's true maximum is the last of each pixel's K staged
+// 32-byte groups.
+func (l Layer) buildPool(cfg core.Config, units int) (*workloads.Instance, error) {
+	if l.Ni != 16 {
+		return nil, fmt.Errorf("dnn: %s pooling requires Ni=16 channels", l.Name)
+	}
+	g, err := poolGraph(l.K)
+	if err != nil {
+		return nil, err
+	}
+	outW, outH := l.Nx-l.K+1, l.Ny-l.K+1
+	rowBytes := uint64(outW*l.K) * 32 // staged bytes per output row
+
+	rng := rand.New(rand.NewSource(79))
+	in := make([]int16, l.Ny*l.Nx*l.Ni)
+	for i := range in {
+		in[i] = int16(rng.Intn(2001) - 1000)
+	}
+
+	lay := workloads.NewLayout()
+	inAddr := lay.Alloc(uint64(len(in)) * 2)
+	tmplAddr := lay.Alloc(uint64(outW*l.K) * 8)
+	outAddr := lay.Alloc(uint64(outH) * rowBytes)
+
+	var progs []*core.Program
+	for _, rg := range ranges(outH, units) {
+		p := core.NewProgram(fmt.Sprintf("%s.u", l.Name))
+		p.CompileAndConfigure(cfg.Fabric, g)
+		r0, r1 := rg[0], rg[1]
+		if r0 == r1 {
+			progs = append(progs, p)
+			continue
+		}
+		p.Emit(isa.MemScratch{Src: isa.Linear(tmplAddr, uint64(outW*l.K)*8), ScratchAddr: 0})
+		p.Emit(isa.BarrierScratchWr{})
+		for oy := r0; oy < r1; oy++ {
+			for ky := 0; ky < l.K; ky++ {
+				src := inAddr + uint64((oy+ky)*l.Nx*l.Ni)*2
+				p.Emit(isa.MemPort{
+					Src: isa.Strided2D(src, uint64(l.K*l.Ni)*2, uint64(l.Ni)*2, uint64(outW)),
+					Dst: p.In(fmt.Sprintf("P%d", ky)),
+				})
+			}
+			p.Emit(isa.ScratchPort{Src: isa.Linear(0, uint64(outW*l.K)*8), Dst: p.In("R")})
+			p.Emit(isa.PortMem{Src: p.Out("O"), Dst: isa.Linear(outAddr+uint64(oy)*rowBytes, rowBytes)})
+			p.Delay(3)
+		}
+		p.Emit(isa.BarrierAll{})
+		if err := p.Err(); err != nil {
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+
+	// Golden max pooling.
+	golden := make([]int16, outH*outW*l.Ni)
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			for ci := 0; ci < l.Ni; ci++ {
+				best := in[(oy*l.Nx+ox)*l.Ni+ci]
+				for ky := 0; ky < l.K; ky++ {
+					for kx := 0; kx < l.K; kx++ {
+						if v := in[((oy+ky)*l.Nx+ox+kx)*l.Ni+ci]; v > best {
+							best = v
+						}
+					}
+				}
+				golden[(oy*outW+ox)*l.Ni+ci] = best
+			}
+		}
+	}
+
+	pixels := uint64(outW * outH)
+	ops := pixels * uint64(l.K*l.K*l.Ni)
+	return &workloads.Instance{
+		Name:  l.Name,
+		Progs: progs,
+		Init: func(m *mem.Memory) {
+			for i, v := range in {
+				writeI16(m, inAddr+uint64(2*i), v)
+			}
+			for ox := 0; ox < outW; ox++ {
+				m.WriteU64(tmplAddr+uint64(ox*l.K+l.K-1)*8, 1)
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					base := outAddr + uint64(oy)*rowBytes + uint64((ox*l.K+l.K-1))*32
+					for ci := 0; ci < l.Ni; ci++ {
+						got := int16(uint16(m.ReadUint(base+uint64(2*ci), 2)))
+						want := golden[(oy*outW+ox)*l.Ni+ci]
+						if got != want {
+							return fmt.Errorf("%s: out[%d][%d][%d] = %d, want %d", l.Name, oy, ox, ci, got, want)
+						}
+					}
+				}
+			}
+			return nil
+		},
+		// DianNao re-fetches each overlapped window from memory; that
+		// re-read traffic is its bandwidth bound (Section 7.1 discusses
+		// Softbrain's pooling advantage).
+		Profile:  l.profile(0, ops*2+pixels*uint64(l.Ni)*2, ops),
+		Patterns: "Overlapped Affine",
+		Datapath: fmt.Sprintf("%d-way 16-bit Max tree", l.K*4),
+	}, nil
+}

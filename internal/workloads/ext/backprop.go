@@ -1,0 +1,200 @@
+package ext
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softbrain/internal/baseline"
+	"softbrain/internal/baseline/asic"
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// Fixed-point format of the backprop workload: Q.8.
+const (
+	bpFrac = 8
+	bpOne  = int64(1) << bpFrac
+)
+
+// bpDeltaGraph computes one hidden neuron's delta: the dot product of
+// its outgoing weights with the output deltas, scaled by the sigmoid
+// derivative a*(1-a) of its activation (a arrives as a per-row constant
+// stream).
+func bpDeltaGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("bp_delta")
+	w := b.Input("W", 4)
+	e := b.Input("E", 4)
+	r := b.Input("R", 1)
+	a := b.Input("A", 1)
+	var prods []dfg.Ref
+	for i := 0; i < 4; i++ {
+		prods = append(prods, b.N(dfg.Mul(64), w.W(i), e.W(i)))
+	}
+	dot := b.N(dfg.Acc(64), b.ReduceTree(dfg.Add(64), prods...), r.W(0))
+	deriv := b.N(dfg.Ashr(64),
+		b.N(dfg.Mul(64), a.W(0), b.N(dfg.Sub(64), dfg.ImmRef(uint64(bpOne)), a.W(0))),
+		dfg.ImmRef(bpFrac))
+	b.Output("D", b.N(dfg.Ashr(64), b.N(dfg.Mul(64), deriv, dot), dfg.ImmRef(bpFrac)))
+	return b.Build()
+}
+
+// bpUpdateGraph applies one row of the outer-product weight update:
+// W'[j] = W[j] + (g * D[j]) >> frac, with g = lr*x[row] as a per-row
+// constant.
+func bpUpdateGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("bp_update")
+	w := b.Input("W", 4)
+	d := b.Input("D", 4)
+	g := b.Input("G", 1)
+	var outs []dfg.Ref
+	for i := 0; i < 4; i++ {
+		scaled := b.N(dfg.Ashr(64), b.N(dfg.Mul(64), g.W(0), d.W(i)), dfg.ImmRef(bpFrac))
+		outs = append(outs, b.N(dfg.Add(64), w.W(i), scaled))
+	}
+	b.Output("O", outs...)
+	return b.Build()
+}
+
+// BuildBackprop builds one training step of an MLP hidden layer in
+// fixed point: phase 1 back-propagates the output deltas through the
+// second weight matrix to hidden deltas (dot products with a sigmoid-
+// derivative scale); phase 2 applies the outer-product update to the
+// first weight matrix. A barrier and a reconfiguration separate the
+// phases — this is the multi-DFG workload of the set.
+func BuildBackprop(cfg core.Config, scale int) (*workloads.Instance, error) {
+	nh := 32 * scale // hidden neurons
+	const nx, no = 32, 32
+	g1, err := bpDeltaGraph()
+	if err != nil {
+		return nil, err
+	}
+	g2, err := bpUpdateGraph()
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(101))
+	w2 := make([]int64, nh*no) // w2[i][j]: hidden i -> output j
+	ed := make([]int64, no)    // output deltas
+	act := make([]int64, nh)   // hidden activations, Q.8 in (0, 1)
+	x := make([]int64, nx)     // inputs
+	w1 := make([]int64, nx*nh) // w1[k][i]
+	for i := range w2 {
+		w2[i] = int64(rng.Intn(65) - 32)
+	}
+	for i := range ed {
+		ed[i] = int64(rng.Intn(33) - 16)
+	}
+	for i := range act {
+		act[i] = int64(rng.Intn(int(bpOne)-2) + 1)
+	}
+	for i := range x {
+		x[i] = int64(rng.Intn(65) - 32)
+	}
+	for i := range w1 {
+		w1[i] = int64(rng.Intn(513) - 256)
+	}
+	const lr = int64(16) // learning rate in Q.8
+
+	lay := workloads.NewLayout()
+	w2Addr := lay.Alloc(uint64(nh*no) * 8)
+	edAddr := lay.Alloc(uint64(no) * 8)
+	dhAddr := lay.Alloc(uint64(nh) * 8)
+	w1Addr := lay.Alloc(uint64(nx*nh) * 8)
+
+	p := core.NewProgram("backprop")
+	instPerRow := uint64(no / 4)
+
+	// Phase 1: hidden deltas.
+	p.CompileAndConfigure(cfg.Fabric, g1)
+	for i := 0; i < nh; i++ {
+		p.Emit(isa.MemPort{Src: isa.Linear(w2Addr+uint64(i*no)*8, uint64(no)*8), Dst: p.In("W")})
+		p.Emit(isa.MemPort{Src: isa.Linear(edAddr, uint64(no)*8), Dst: p.In("E")})
+		p.Emit(isa.ConstPort{Value: uint64(act[i]), Elem: isa.Elem64, Count: instPerRow, Dst: p.In("A")})
+		p.Emit(isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: instPerRow - 1, Dst: p.In("R")})
+		p.Emit(isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: 1, Dst: p.In("R")})
+		p.Emit(isa.CleanPort{Src: p.Out("D"), Elem: isa.Elem64, Count: instPerRow - 1})
+		p.Emit(isa.PortMem{Src: p.Out("D"), Dst: isa.Linear(dhAddr+uint64(i*8), 8)})
+		p.Delay(2)
+	}
+	p.Emit(isa.BarrierAll{})
+
+	// Phase 2: reconfigure, then update W1 row by row using the deltas.
+	p.CompileAndConfigure(cfg.Fabric, g2)
+	for k := 0; k < nx; k++ {
+		p.Emit(isa.MemPort{Src: isa.Linear(w1Addr+uint64(k*nh)*8, uint64(nh)*8), Dst: p.In("W")})
+		p.Emit(isa.MemPort{Src: isa.Linear(dhAddr, uint64(nh)*8), Dst: p.In("D")})
+		gain := (lr * x[k]) >> 0
+		p.Emit(isa.ConstPort{Value: uint64(gain), Elem: isa.Elem64, Count: uint64(nh / 4), Dst: p.In("G")})
+		p.Emit(isa.PortMem{Src: p.Out("O"), Dst: isa.Linear(w1Addr+uint64(k*nh)*8, uint64(nh)*8)})
+		p.Delay(2)
+	}
+	p.Emit(isa.BarrierAll{})
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+
+	// Golden, mirroring the fixed-point ops exactly.
+	dh := make([]int64, nh)
+	for i := 0; i < nh; i++ {
+		var dot int64
+		for j := 0; j < no; j++ {
+			dot += w2[i*no+j] * ed[j]
+		}
+		deriv := (act[i] * (bpOne - act[i])) >> bpFrac
+		dh[i] = (deriv * dot) >> bpFrac
+	}
+	w1New := append([]int64(nil), w1...)
+	for k := 0; k < nx; k++ {
+		gain := lr * x[k]
+		for i := 0; i < nh; i++ {
+			w1New[k*nh+i] += (gain * dh[i]) >> bpFrac
+		}
+	}
+
+	macs := uint64(nh*no + nx*nh)
+	return &workloads.Instance{
+		Name:  "backprop",
+		Progs: []*core.Program{p},
+		Init: func(m *mem.Memory) {
+			for i, v := range w2 {
+				m.WriteU64(w2Addr+uint64(8*i), uint64(v))
+			}
+			for i, v := range ed {
+				m.WriteU64(edAddr+uint64(8*i), uint64(v))
+			}
+			for i, v := range w1 {
+				m.WriteU64(w1Addr+uint64(8*i), uint64(v))
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for i, want := range dh {
+				if got := int64(m.ReadU64(dhAddr + uint64(8*i))); got != want {
+					return fmt.Errorf("backprop: dh[%d] = %d, want %d", i, got, want)
+				}
+			}
+			for i, want := range w1New {
+				if got := int64(m.ReadU64(w1Addr + uint64(8*i))); got != want {
+					return fmt.Errorf("backprop: w1[%d] = %d, want %d", i, got, want)
+				}
+			}
+			return nil
+		},
+		Profile: baseline.Profile{
+			Name:      "backprop",
+			KernelOps: 3 * macs,
+			MACs:      macs,
+			MemBytes:  uint64(nh*no+2*nx*nh+no+nh) * 8,
+		},
+		Kernel: &asic.Kernel{
+			Name: "backprop", Graph: g1, Iters: macs / 4,
+			BytesPerIter: 72, LocalSRAM: (no + nh) * 8,
+			SerialFrac: 0.01,
+		},
+		Patterns: "Linear, Repeating, Two-Phase",
+		Datapath: "4-Way MAC + Derivative Scale",
+	}, nil
+}

@@ -1,0 +1,40 @@
+package ext
+
+import (
+	"fmt"
+
+	"softbrain/internal/core"
+	"softbrain/internal/workloads"
+)
+
+// Builder matches the machsuite builder signature.
+type Builder func(cfg core.Config, scale int) (*workloads.Instance, error)
+
+// Entry is one extension workload.
+type Entry struct {
+	Name     string
+	Patterns string
+	Datapath string
+	Build    Builder
+}
+
+// All returns the implemented extension workloads — the codes the paper
+// lists as fitting stream-dataflow but did not implement (md-gridding
+// remains future work here too).
+func All() []Entry {
+	return []Entry{
+		{"fft", "Log-Strided, Ping-Pong", "Complex Butterfly (4-mul rotate)", BuildFFT},
+		{"nw", "Wavefront Linear, Shifted Reads", "Compare-Select + 3-Way Max", BuildNW},
+		{"backprop", "Linear, Repeating, Two-Phase", "4-Way MAC + Derivative Scale", BuildBackprop},
+	}
+}
+
+// Find returns the named extension workload.
+func Find(name string) (Entry, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("ext: unknown workload %q", name)
+}

@@ -1,0 +1,187 @@
+// Package ext implements the workloads the paper identifies as fitting
+// the stream-dataflow paradigm but left unimplemented (Section 7.2,
+// footnote 3): fft, nw and backprop. They extend the Table 4 set and
+// exercise pattern/datapath combinations the core eight do not —
+// log-strided ping-pong passes (fft), wavefront dynamic programming
+// (nw) and outer-product weight updates (backprop).
+package ext
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"softbrain/internal/baseline"
+	"softbrain/internal/baseline/asic"
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// fftFrac is the fixed-point fraction bits of the FFT twiddle factors.
+const fftFrac = 14
+
+// fftGraph is the radix-2 decimation-in-frequency butterfly over
+// interleaved complex values: port E carries (re, im) of the even
+// element, O the odd, W the twiddle; S emits the sum, T the rotated
+// difference.
+func fftGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("fft")
+	e := b.Input("E", 2)
+	o := b.Input("O", 2)
+	w := b.Input("W", 2)
+
+	sumR := b.N(dfg.Add(64), e.W(0), o.W(0))
+	sumI := b.N(dfg.Add(64), e.W(1), o.W(1))
+	difR := b.N(dfg.Sub(64), e.W(0), o.W(0))
+	difI := b.N(dfg.Sub(64), e.W(1), o.W(1))
+	// (difR + i difI) * (wr + i wi), rescaled by the twiddle fraction.
+	tR := b.N(dfg.Ashr(64),
+		b.N(dfg.Sub(64), b.N(dfg.Mul(64), difR, w.W(0)), b.N(dfg.Mul(64), difI, w.W(1))),
+		dfg.ImmRef(fftFrac))
+	tI := b.N(dfg.Ashr(64),
+		b.N(dfg.Add(64), b.N(dfg.Mul(64), difR, w.W(1)), b.N(dfg.Mul(64), difI, w.W(0))),
+		dfg.ImmRef(fftFrac))
+	b.Output("S", sumR, sumI)
+	b.Output("T", tR, tI)
+	return b.Build()
+}
+
+// BuildFFT builds an N-point radix-2 decimation-in-frequency FFT over
+// interleaved fixed-point complex data (N = 64*scale rounded up to a
+// power of two). Each stage streams the even and odd halves of every
+// group with strided patterns, rotates by a precomputed per-stage
+// twiddle table, and ping-pongs between two buffers with a barrier per
+// stage (producing the bit-reversed-order spectrum, as DIF does).
+func BuildFFT(cfg core.Config, scale int) (*workloads.Instance, error) {
+	n := 64
+	for n < 64*scale {
+		n *= 2
+	}
+	g, err := fftGraph()
+	if err != nil {
+		return nil, err
+	}
+	stages := 0
+	for 1<<stages < n {
+		stages++
+	}
+
+	rng := rand.New(rand.NewSource(97))
+	re := make([]int64, n)
+	im := make([]int64, n)
+	for i := range re {
+		re[i] = int64(rng.Intn(2001) - 1000)
+		im[i] = int64(rng.Intn(2001) - 1000)
+	}
+
+	// Per-stage twiddle tables, interleaved (wr, wi), in butterfly
+	// stream order (group-major, position-minor).
+	tw := make([][]int64, stages)
+	for s := 0; s < stages; s++ {
+		span := n >> (s + 1)
+		groups := n / (2 * span)
+		for gi := 0; gi < groups; gi++ {
+			for j := 0; j < span; j++ {
+				ang := -2 * math.Pi * float64(j*groups) / float64(n)
+				tw[s] = append(tw[s],
+					int64(math.Round(math.Cos(ang)*(1<<fftFrac))),
+					int64(math.Round(math.Sin(ang)*(1<<fftFrac))))
+			}
+		}
+	}
+
+	lay := workloads.NewLayout()
+	nu := uint64(n)
+	buf := [2]uint64{lay.Alloc(nu * 16), lay.Alloc(nu * 16)} // interleaved complex
+	twAddr := make([]uint64, stages)
+	for s := 0; s < stages; s++ {
+		twAddr[s] = lay.Alloc(nu / 2 * 16)
+	}
+
+	p := core.NewProgram("fft")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	for s := 0; s < stages; s++ {
+		src, dst := buf[s%2], buf[1-s%2]
+		span := uint64(n >> (s + 1))
+		groups := nu / (2 * span)
+		half := func(base, off uint64) isa.Affine {
+			return isa.Strided2D(base+off, span*16, 2*span*16, groups)
+		}
+		p.Emit(isa.MemPort{Src: half(src, 0), Dst: p.In("E")})
+		p.Emit(isa.MemPort{Src: half(src, span*16), Dst: p.In("O")})
+		p.Emit(isa.MemPort{Src: isa.Linear(twAddr[s], nu/2*16), Dst: p.In("W")})
+		p.Emit(isa.PortMem{Src: p.Out("S"), Dst: half(dst, 0)})
+		p.Emit(isa.PortMem{Src: p.Out("T"), Dst: half(dst, span*16)})
+		p.Emit(isa.BarrierAll{})
+		p.Delay(4)
+	}
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+
+	// Golden: identical fixed-point arithmetic.
+	gr := append([]int64(nil), re...)
+	gi := append([]int64(nil), im...)
+	for s := 0; s < stages; s++ {
+		span := n >> (s + 1)
+		nr := make([]int64, n)
+		ni := make([]int64, n)
+		t := 0
+		for base := 0; base < n; base += 2 * span {
+			for j := 0; j < span; j++ {
+				e, o := base+j, base+span+j
+				nr[e] = gr[e] + gr[o]
+				ni[e] = gi[e] + gi[o]
+				dr, di := gr[e]-gr[o], gi[e]-gi[o]
+				nr[o] = (dr*tw[s][2*t] - di*tw[s][2*t+1]) >> fftFrac
+				ni[o] = (dr*tw[s][2*t+1] + di*tw[s][2*t]) >> fftFrac
+				t++
+			}
+		}
+		gr, gi = nr, ni
+	}
+	final := buf[stages%2]
+
+	butterflies := uint64(stages) * nu / 2
+	return &workloads.Instance{
+		Name:  "fft",
+		Progs: []*core.Program{p},
+		Init: func(m *mem.Memory) {
+			for i := 0; i < n; i++ {
+				m.WriteU64(buf[0]+uint64(16*i), uint64(re[i]))
+				m.WriteU64(buf[0]+uint64(16*i+8), uint64(im[i]))
+			}
+			for s := 0; s < stages; s++ {
+				for i, v := range tw[s] {
+					m.WriteU64(twAddr[s]+uint64(8*i), uint64(v))
+				}
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for i := 0; i < n; i++ {
+				gotR := int64(m.ReadU64(final + uint64(16*i)))
+				gotI := int64(m.ReadU64(final + uint64(16*i+8)))
+				if gotR != gr[i] || gotI != gi[i] {
+					return fmt.Errorf("fft: out[%d] = (%d,%d), want (%d,%d)", i, gotR, gotI, gr[i], gi[i])
+				}
+			}
+			return nil
+		},
+		Profile: baseline.Profile{
+			Name:      "fft",
+			KernelOps: butterflies * 12,
+			MACs:      butterflies * 4,
+			MemBytes:  uint64(stages) * nu * 40, // data in+out plus twiddles
+		},
+		Kernel: &asic.Kernel{
+			Name: "fft", Graph: g, Iters: butterflies,
+			BytesPerIter: 80, LocalSRAM: n * 16,
+			SerialFrac: 0.02, // stage barriers
+		},
+		Patterns: "Log-Strided, Ping-Pong",
+		Datapath: "Complex Butterfly (4-mul rotate)",
+	}, nil
+}

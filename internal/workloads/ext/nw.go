@@ -1,0 +1,174 @@
+package ext
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softbrain/internal/baseline"
+	"softbrain/internal/baseline/asic"
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// Needleman-Wunsch scoring constants (plain integers).
+const (
+	nwMatch    = 2
+	nwMismatch = -1
+	nwGap      = -1
+)
+
+// nwGraph scores one alignment cell: the classic three-way maximum of
+// the diagonal move (plus match/mismatch, decided by a compare-select)
+// and the two gap moves.
+func nwGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("nw")
+	nwv := b.Input("NW", 1) // M[i-1][j-1]
+	nv := b.Input("N", 1)   // M[i-1][j]
+	wv := b.Input("W", 1)   // M[i][j-1]
+	a := b.Input("A", 1)    // sequence characters
+	bb := b.Input("B", 1)
+	mismatch := int64(nwMismatch)
+	gap := int64(nwGap)
+	score := b.N(dfg.Sel(64),
+		b.N(dfg.Eq(64), a.W(0), bb.W(0)),
+		dfg.ImmRef(uint64(int64(nwMatch))),
+		dfg.ImmRef(uint64(mismatch)))
+	c1 := b.N(dfg.Add(64), nwv.W(0), score)
+	c2 := b.N(dfg.Add(64), nv.W(0), dfg.ImmRef(uint64(gap)))
+	c3 := b.N(dfg.Add(64), wv.W(0), dfg.ImmRef(uint64(gap)))
+	b.Output("M", b.N(dfg.Max(64), c1, b.N(dfg.Max(64), c2, c3)))
+	return b.Build()
+}
+
+// BuildNW aligns two length-n sequences with Needleman-Wunsch dynamic
+// programming in wavefront order: the DP matrix is stored diagonal-major
+// (the host's layout job), boundary cells are host-initialized, and each
+// anti-diagonal is one phase — three shifted reads of the two previous
+// diagonals, two character streams (one over the reversed second
+// sequence), and a barrier carrying the wavefront dependence.
+func BuildNW(cfg core.Config, scale int) (*workloads.Instance, error) {
+	n := 24 * scale
+	g, err := nwGraph()
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(103))
+	seqA := make([]int64, n+1) // 1-indexed
+	seqB := make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		seqA[i] = int64(rng.Intn(4)) // ACGT
+		seqB[i] = int64(rng.Intn(4))
+	}
+
+	// Golden DP matrix.
+	m := make([][]int64, n+1)
+	for i := range m {
+		m[i] = make([]int64, n+1)
+		m[i][0] = int64(i) * nwGap
+	}
+	for j := 0; j <= n; j++ {
+		m[0][j] = int64(j) * nwGap
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			s := int64(nwMismatch)
+			if seqA[i] == seqB[j] {
+				s = nwMatch
+			}
+			best := m[i-1][j-1] + s
+			if c := m[i-1][j] + nwGap; c > best {
+				best = c
+			}
+			if c := m[i][j-1] + nwGap; c > best {
+				best = c
+			}
+			m[i][j] = best
+		}
+	}
+
+	// Diagonal-major layout: diag d holds cells (i, d-i) for
+	// i in [lo(d), hi(d)], stored ascending by i.
+	lo := func(d int) int { return max(0, d-n) }
+	hi := func(d int) int { return min(d, n) }
+	lay := workloads.NewLayout()
+	diagAddr := make([]uint64, 2*n+1)
+	for d := 0; d <= 2*n; d++ {
+		diagAddr[d] = lay.Alloc(uint64(hi(d)-lo(d)+1) * 8)
+	}
+	cellAddr := func(d, i int) uint64 { return diagAddr[d] + uint64(i-lo(d))*8 }
+	aAddr := lay.Alloc(uint64(n+1) * 8)
+	bRevAddr := lay.Alloc(uint64(n+1) * 8) // bRev[x] = seqB[n-x]
+
+	p := core.NewProgram("nw")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	for d := 2; d <= 2*n; d++ {
+		// Interior cells of this diagonal: i in [i0, i1], j = d-i >= 1.
+		i0 := max(1, d-n)
+		i1 := min(d-1, n)
+		if i0 > i1 {
+			continue
+		}
+		cnt := uint64(i1 - i0 + 1)
+		p.Emit(isa.MemPort{Src: isa.Linear(cellAddr(d-2, i0-1), cnt*8), Dst: p.In("NW")})
+		p.Emit(isa.MemPort{Src: isa.Linear(cellAddr(d-1, i0-1), cnt*8), Dst: p.In("N")})
+		p.Emit(isa.MemPort{Src: isa.Linear(cellAddr(d-1, i0), cnt*8), Dst: p.In("W")})
+		p.Emit(isa.MemPort{Src: isa.Linear(aAddr+uint64(i0)*8, cnt*8), Dst: p.In("A")})
+		// j = d-i descends as i ascends; bRev[x] with x = n-j ascends.
+		p.Emit(isa.MemPort{Src: isa.Linear(bRevAddr+uint64(n-(d-i0))*8, cnt*8), Dst: p.In("B")})
+		p.Emit(isa.PortMem{Src: p.Out("M"), Dst: isa.Linear(cellAddr(d, i0), cnt*8)})
+		p.Emit(isa.BarrierAll{}) // wavefront dependence
+		p.Delay(3)
+	}
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+
+	cells := uint64(n) * uint64(n)
+	return &workloads.Instance{
+		Name:  "nw",
+		Progs: []*core.Program{p},
+		Init: func(mm *mem.Memory) {
+			for i := 0; i <= n; i++ {
+				mm.WriteU64(aAddr+uint64(8*i), uint64(seqA[i]))
+				mm.WriteU64(bRevAddr+uint64(8*i), uint64(seqB[n-i]))
+			}
+			// Boundary cells of every diagonal (i == 0 or j == 0).
+			for d := 0; d <= 2*n; d++ {
+				if d <= n {
+					mm.WriteU64(cellAddr(d, 0), uint64(m[0][d]))
+				}
+				if d <= n {
+					mm.WriteU64(cellAddr(d, d), uint64(m[d][0]))
+				}
+			}
+		},
+		Check: func(mm *mem.Memory) error {
+			for d := 2; d <= 2*n; d++ {
+				for i := max(1, d-n); i <= min(d-1, n); i++ {
+					got := int64(mm.ReadU64(cellAddr(d, i)))
+					if got != m[i][d-i] {
+						return fmt.Errorf("nw: M[%d][%d] = %d, want %d", i, d-i, got, m[i][d-i])
+					}
+				}
+			}
+			return nil
+		},
+		Profile: baseline.Profile{
+			Name:      "nw",
+			KernelOps: 6 * cells,
+			MemBytes:  cells * 16,
+			BranchOps: cells / 2, // the data-dependent select
+		},
+		Kernel: &asic.Kernel{
+			Name: "nw", Graph: g, Iters: cells,
+			BytesPerIter: 48, LocalSRAM: 3 * (n + 1) * 8,
+			SerialFrac: 0.05, // wavefront barriers
+		},
+		Patterns: "Wavefront Linear, Shifted Reads",
+		Datapath: "Compare-Select + 3-Way Max",
+	}, nil
+}

@@ -1,0 +1,166 @@
+package machsuite
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softbrain/internal/baseline"
+	"softbrain/internal/baseline/asic"
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// bfsUnvisited marks an unreached node in the 32-bit level array.
+const bfsUnvisited = 0xFFFF_FFFF
+
+// bfsGraph is the compare/increment datapath: two edges per instance
+// (32-bit lanes), newLevel = visited ? oldLevel : currentLevel+1.
+func bfsGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("bfs")
+	lv := b.Input("LV", 1) // two gathered 32-bit levels per word
+	nl := b.Input("NL", 1) // two copies of level+1
+	unvis := b.N(dfg.Eq(32), lv.W(0), dfg.ImmRef(bfsUnvisited|uint64(bfsUnvisited)<<32))
+	b.Output("O", b.N(dfg.Sel(32), unvis, nl.W(0), lv.W(0)))
+	return b.Build()
+}
+
+// BuildBFS runs level-synchronous breadth-first search. Each level, the
+// control core has the frontier's packed edge-target list prepared (the
+// host-side work of bulk BFS); the accelerator gathers the targets'
+// levels, computes the compare/increment update, and scatters the new
+// levels back. A barrier separates levels. Duplicate targets within a
+// level race benignly: all writers store the same value.
+func BuildBFS(cfg core.Config, scale int) (*workloads.Instance, error) {
+	n := 64 * scale
+	avgDeg := 4
+	rng := rand.New(rand.NewSource(53))
+
+	// Random directed graph in CSR form.
+	adj := make([][]uint32, n)
+	edges := 0
+	for u := 0; u < n; u++ {
+		d := 1 + rng.Intn(2*avgDeg-1)
+		for j := 0; j < d; j++ {
+			adj[u] = append(adj[u], uint32(rng.Intn(n)))
+		}
+		edges += d
+	}
+
+	// Golden BFS from node 0, recording the per-level packed edge lists
+	// exactly as the host prepares them.
+	golden := make([]uint32, n+1) // +1: a scratch slot for padding
+	for i := range golden {
+		golden[i] = bfsUnvisited
+	}
+	golden[0] = 0
+	frontier := []uint32{0}
+	type level struct {
+		targets []uint32
+		depth   uint32
+	}
+	var levels []level
+	for depth := uint32(1); len(frontier) > 0; depth++ {
+		var targets []uint32
+		var next []uint32
+		for _, u := range frontier {
+			for _, v := range adj[u] {
+				targets = append(targets, v)
+				if golden[v] == bfsUnvisited {
+					golden[v] = depth
+					next = append(next, v)
+				}
+			}
+		}
+		if len(targets) == 0 {
+			break
+		}
+		if len(targets)%2 == 1 {
+			targets = append(targets, uint32(n)) // pad to the scratch slot
+		}
+		levels = append(levels, level{targets: targets, depth: depth})
+		frontier = next
+	}
+	golden[n] = bfsUnvisited // scratch slot's final value is irrelevant
+
+	g, err := bfsGraph()
+	if err != nil {
+		return nil, err
+	}
+	lay := workloads.NewLayout()
+	lvAddr := lay.Alloc(uint64(n+1) * 4)
+	var edgeAddrs []uint64
+	for _, l := range levels {
+		edgeAddrs = append(edgeAddrs, lay.Alloc(uint64(len(l.targets))*4))
+	}
+
+	p := core.NewProgram("bfs")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	ind0 := p.IndirectIn(cfg.Fabric, 0)
+	ind1 := p.IndirectIn(cfg.Fabric, 1)
+	for li, l := range levels {
+		cnt := uint64(len(l.targets))
+		// Target indices feed both the gather and the scatter.
+		p.Emit(isa.MemPort{Src: isa.Linear(edgeAddrs[li], cnt*4), Dst: ind0})
+		p.Emit(isa.MemPort{Src: isa.Linear(edgeAddrs[li], cnt*4), Dst: ind1})
+		p.Emit(isa.IndPortPort{
+			Idx: ind0, IdxElem: isa.Elem32, Offset: lvAddr, Scale: 4,
+			DataElem: isa.Elem32, Count: cnt, Dst: p.In("LV"),
+		})
+		nl := uint64(l.depth) | uint64(l.depth)<<32
+		p.Emit(isa.ConstPort{Value: nl, Elem: isa.Elem64, Count: cnt / 2, Dst: p.In("NL")})
+		p.Emit(isa.IndPortMem{
+			Idx: ind1, IdxElem: isa.Elem32, Offset: lvAddr, Scale: 4,
+			DataElem: isa.Elem32, Count: cnt, Src: p.Out("O"),
+		})
+		// The host assembles the next frontier while this level runs.
+		p.Delay(uint64(len(l.targets)))
+		p.Emit(isa.BarrierAll{})
+	}
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+
+	return &workloads.Instance{
+		Name:  "bfs",
+		Progs: []*core.Program{p},
+		Init: func(m *mem.Memory) {
+			for i := 0; i <= n; i++ {
+				v := uint64(bfsUnvisited)
+				if i == 0 {
+					v = 0
+				}
+				m.WriteUint(lvAddr+uint64(4*i), 4, v)
+			}
+			for li, l := range levels {
+				for i, t := range l.targets {
+					m.WriteUint(edgeAddrs[li]+uint64(4*i), 4, uint64(t))
+				}
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for i := 0; i < n; i++ {
+				got := uint32(m.ReadUint(lvAddr+uint64(4*i), 4))
+				if got != golden[i] {
+					return fmt.Errorf("bfs: level[%d] = %d, want %d", i, got, golden[i])
+				}
+			}
+			return nil
+		},
+		Profile: baseline.Profile{
+			Name:      "bfs",
+			KernelOps: 3 * uint64(edges),
+			MemBytes:  uint64(edges) * 12,
+			BranchOps: uint64(edges), // visited test per edge
+		},
+		Kernel: &asic.Kernel{
+			Name: "bfs", Graph: g, Iters: uint64(edges) / 2,
+			BytesPerIter: 16, LocalSRAM: n,
+			SerialFrac: 0.05, // level barriers
+		},
+		Patterns: "Indirect Loads/Stores, Recurrence",
+		Datapath: "Compare/Increment",
+	}, nil
+}

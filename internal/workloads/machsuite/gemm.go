@@ -1,0 +1,123 @@
+package machsuite
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softbrain/internal/baseline"
+	"softbrain/internal/baseline/asic"
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// gemmGraph is the 8-way multiply-accumulate row datapath:
+// Cout[j] = Cin[j] + A * B[j] for 8 columns per instance.
+func gemmGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("gemm")
+	bp := b.Input("B", 8)
+	cin := b.Input("C", 8)
+	a := b.Input("A", 1)
+	var outs []dfg.Ref
+	for j := 0; j < 8; j++ {
+		outs = append(outs, b.N(dfg.Add(64), cin.W(j), b.N(dfg.Mul(64), a.W(0), bp.W(j))))
+	}
+	b.Output("O", outs...)
+	return b.Build()
+}
+
+// BuildGEMM builds an n x n dense matrix multiply, n = 16*scale.
+// The inner row of C recirculates through a recurrence stream across the
+// k loop, B rows stream affinely, and the A scalar arrives as constants.
+func BuildGEMM(cfg core.Config, scale int) (*workloads.Instance, error) {
+	n := 16 * scale
+	if n%8 != 0 {
+		return nil, fmt.Errorf("gemm: n=%d not a multiple of 8", n)
+	}
+	g, err := gemmGraph()
+	if err != nil {
+		return nil, err
+	}
+
+	lay := workloads.NewLayout()
+	nn := uint64(n)
+	aAddr := lay.Alloc(nn * nn * 8)
+	bAddr := lay.Alloc(nn * nn * 8)
+	cAddr := lay.Alloc(nn * nn * 8)
+
+	rng := rand.New(rand.NewSource(11))
+	a := make([]int64, n*n)
+	bm := make([]int64, n*n)
+	for i := range a {
+		a[i] = int64(rng.Intn(201) - 100)
+		bm[i] = int64(rng.Intn(201) - 100)
+	}
+
+	p := core.NewProgram("gemm")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			p.Emit(isa.MemPort{Src: isa.Linear(bAddr+uint64(k*n*8), nn*8), Dst: p.In("B")})
+			p.Emit(isa.ConstPort{Value: uint64(a[i*n+k]), Elem: isa.Elem64, Count: nn / 8, Dst: p.In("A")})
+			if k == 0 {
+				p.Emit(isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: nn, Dst: p.In("C")})
+			} else {
+				p.Emit(isa.PortPort{Src: p.Out("O"), Elem: isa.Elem64, Count: nn, Dst: p.In("C")})
+			}
+			p.Delay(2) // host index arithmetic and a[i][k] load
+		}
+		p.Emit(isa.PortMem{Src: p.Out("O"), Dst: isa.Linear(cAddr+uint64(i*n*8), nn*8)})
+	}
+	p.Emit(isa.BarrierAll{})
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+
+	golden := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			for j := 0; j < n; j++ {
+				golden[i*n+j] += aik * bm[k*n+j]
+			}
+		}
+	}
+
+	return &workloads.Instance{
+		Name:  "gemm",
+		Progs: []*core.Program{p},
+		Init: func(m *mem.Memory) {
+			for i, v := range a {
+				m.WriteU64(aAddr+uint64(8*i), uint64(v))
+			}
+			for i, v := range bm {
+				m.WriteU64(bAddr+uint64(8*i), uint64(v))
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for i, want := range golden {
+				if got := int64(m.ReadU64(cAddr + uint64(8*i))); got != want {
+					return fmt.Errorf("gemm: c[%d] = %d, want %d", i, got, want)
+				}
+			}
+			return nil
+		},
+		Profile: baseline.Profile{
+			Name:      "gemm",
+			KernelOps: 2 * uint64(n) * nn * nn,
+			MACs:      uint64(n) * nn * nn,
+			MemBytes:  3 * nn * nn * 8,
+		},
+		Kernel: &asic.Kernel{
+			Name:         "gemm",
+			Graph:        g,
+			Iters:        nn * nn * nn / 8,
+			BytesPerIter: 72, // one 64B row segment of B plus C traffic
+			LocalSRAM:    n * 16,
+		},
+		Patterns: "Affine, Recurrence",
+		Datapath: "8-Way Multiply-Accumulate",
+	}, nil
+}

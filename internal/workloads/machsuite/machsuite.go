@@ -1,0 +1,67 @@
+// Package machsuite implements the MachSuite workloads of Section 7.2
+// as stream-dataflow programs, together with the golden models that
+// verify them and the characterization of Table 4. The four codes the
+// paper found unsuitable for stream-dataflow are recorded with their
+// reasons rather than implemented, as in the paper.
+package machsuite
+
+import (
+	"fmt"
+
+	"softbrain/internal/core"
+	"softbrain/internal/workloads"
+)
+
+// Builder constructs a sized instance of one workload. scale >= 1
+// multiplies the problem size; 1 is a small test size.
+type Builder func(cfg core.Config, scale int) (*workloads.Instance, error)
+
+// Entry is one implemented workload with its Table 4 characterization.
+type Entry struct {
+	Name     string
+	Patterns string
+	Datapath string
+	Build    Builder
+}
+
+// All returns the eight implemented MachSuite workloads, in the paper's
+// order.
+func All() []Entry {
+	return []Entry{
+		{"bfs", "Indirect Loads/Stores, Recurrence", "Compare/Increment", BuildBFS},
+		{"gemm", "Affine, Recurrence", "8-Way Multiply-Accumulate", BuildGEMM},
+		{"md-knn", "Indirect Loads, Recurrence", "Large Irregular Datapath", BuildMDKNN},
+		{"spmv-crs", "Indirect, Linear", "Single Multiply-Accumulate", BuildSpMVCRS},
+		{"spmv-ellpack", "Indirect, Linear, Recurrence", "4-Way Multiply-Accumulate", BuildSpMVEllpack},
+		{"stencil2d", "Affine, Recurrence", "8-Way Multiply-Accumulate", BuildStencil2D},
+		{"stencil3d", "Affine", "6-1 Reduce and Multiplier Tree", BuildStencil3D},
+		{"viterbi", "Recurrence, Linear", "4-Way Add-Minimize Tree", BuildViterbi},
+	}
+}
+
+// Find returns the named workload entry.
+func Find(name string) (Entry, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("machsuite: unknown workload %q", name)
+}
+
+// Unsuitable describes a MachSuite code the stream-dataflow abstractions
+// cannot express efficiently (Table 4, bottom).
+type Unsuitable struct {
+	Name   string
+	Reason string
+}
+
+// UnsuitableCodes lists the paper's four rejected workloads.
+func UnsuitableCodes() []Unsuitable {
+	return []Unsuitable{
+		{"aes", "Byte-level data manipulation"},
+		{"kmp", "Multi-level indirect pointer access"},
+		{"merge-sort", "Fine-grain data-dependent loads/control"},
+		{"radix-sort", "Concurrent reads/writes to same address"},
+	}
+}

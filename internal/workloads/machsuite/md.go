@@ -1,0 +1,180 @@
+package machsuite
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softbrain/internal/baseline"
+	"softbrain/internal/baseline/asic"
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// Fixed-point Lennard-Jones-flavored constants: the force magnitude is
+// f = C/r2 - D, applied along each displacement component.
+const (
+	mdForceC = int64(1) << 20
+	mdForceD = int64(8)
+)
+
+// mdGraph is the "large irregular datapath" of md-knn: displacement,
+// squared distance, a division, force magnitude, and three accumulated
+// force components.
+func mdGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("md_knn")
+	xi, yi, zi := b.Input("XI", 1), b.Input("YI", 1), b.Input("ZI", 1)
+	xj, yj, zj := b.Input("XJ", 1), b.Input("YJ", 1), b.Input("ZJ", 1)
+	r := b.Input("R", 1)
+
+	dx := b.Named("dx", dfg.Sub(64), xi.W(0), xj.W(0))
+	dy := b.Named("dy", dfg.Sub(64), yi.W(0), yj.W(0))
+	dz := b.Named("dz", dfg.Sub(64), zi.W(0), zj.W(0))
+	r2 := b.ReduceTree(dfg.Add(64),
+		b.N(dfg.Mul(64), dx, dx),
+		b.N(dfg.Mul(64), dy, dy),
+		b.N(dfg.Mul(64), dz, dz))
+	q := b.Named("q", dfg.Div(64), dfg.ImmRef(uint64(mdForceC)), r2)
+	f := b.Named("f", dfg.Sub(64), q, dfg.ImmRef(uint64(mdForceD)))
+	fx := b.N(dfg.Acc(64), b.N(dfg.Mul(64), f, dx), r.W(0))
+	fy := b.N(dfg.Acc(64), b.N(dfg.Mul(64), f, dy), r.W(0))
+	fz := b.N(dfg.Acc(64), b.N(dfg.Mul(64), f, dz), r.W(0))
+	b.Output("F", fx, fy, fz)
+	return b.Build()
+}
+
+// BuildMDKNN computes per-atom forces over a K-nearest-neighbor list:
+// neighbor indices stream through an indirect port three times to gather
+// the x, y and z position components.
+func BuildMDKNN(cfg core.Config, scale int) (*workloads.Instance, error) {
+	atoms := 16 * scale
+	const k = 16
+	g, err := mdGraph()
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	px := make([]int64, atoms)
+	py := make([]int64, atoms)
+	pz := make([]int64, atoms)
+	for i := 0; i < atoms; i++ {
+		px[i] = int64(rng.Intn(201) - 100)
+		py[i] = int64(rng.Intn(201) - 100)
+		pz[i] = int64(rng.Intn(201) - 100)
+	}
+	nl := make([]uint32, atoms*k)
+	for i := 0; i < atoms; i++ {
+		for j := 0; j < k; j++ {
+			// Any atom but self; duplicates are fine, as in MachSuite.
+			t := rng.Intn(atoms - 1)
+			if t >= i {
+				t++
+			}
+			nl[i*k+j] = uint32(t)
+		}
+	}
+
+	lay := workloads.NewLayout()
+	au := uint64(atoms)
+	pxAddr := lay.Alloc(au * 8)
+	pyAddr := lay.Alloc(au * 8)
+	pzAddr := lay.Alloc(au * 8)
+	nlAddr := lay.Alloc(au * k * 4)
+	fAddr := lay.Alloc(au * 24)
+
+	p := core.NewProgram("md-knn")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	ind := p.IndirectIn(cfg.Fabric, 0)
+	gather := func(row uint64, base uint64, dst isa.InPortID) {
+		p.Emit(isa.MemPort{Src: isa.Linear(nlAddr+row*k*4, k*4), Dst: ind})
+		p.Emit(isa.IndPortPort{
+			Idx: ind, IdxElem: isa.Elem32, Offset: base, Scale: 8,
+			DataElem: isa.Elem64, Count: k, Dst: dst,
+		})
+	}
+	for i := 0; i < atoms; i++ {
+		iu := uint64(i)
+		gather(iu, pxAddr, p.In("XJ"))
+		gather(iu, pyAddr, p.In("YJ"))
+		gather(iu, pzAddr, p.In("ZJ"))
+		p.Emit(isa.ConstPort{Value: uint64(px[i]), Elem: isa.Elem64, Count: k, Dst: p.In("XI")})
+		p.Emit(isa.ConstPort{Value: uint64(py[i]), Elem: isa.Elem64, Count: k, Dst: p.In("YI")})
+		p.Emit(isa.ConstPort{Value: uint64(pz[i]), Elem: isa.Elem64, Count: k, Dst: p.In("ZI")})
+		p.Emit(isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: k - 1, Dst: p.In("R")})
+		p.Emit(isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: 1, Dst: p.In("R")})
+		p.Emit(isa.CleanPort{Src: p.Out("F"), Elem: isa.Elem64, Count: (k - 1) * 3})
+		p.Emit(isa.PortMem{Src: p.Out("F"), Dst: isa.Linear(fAddr+iu*24, 24)})
+		p.Delay(4)
+	}
+	p.Emit(isa.BarrierAll{})
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+
+	// Golden model: identical fixed-point arithmetic.
+	gfx := make([]int64, atoms)
+	gfy := make([]int64, atoms)
+	gfz := make([]int64, atoms)
+	for i := 0; i < atoms; i++ {
+		for j := 0; j < k; j++ {
+			t := nl[i*k+j]
+			dx := px[i] - px[t]
+			dy := py[i] - py[t]
+			dz := pz[i] - pz[t]
+			r2 := dx*dx + dy*dy + dz*dz
+			var q int64
+			if r2 != 0 {
+				q = mdForceC / r2
+			}
+			f := q - mdForceD
+			gfx[i] += f * dx
+			gfy[i] += f * dy
+			gfz[i] += f * dz
+		}
+	}
+
+	pairs := au * k
+	return &workloads.Instance{
+		Name:  "md-knn",
+		Progs: []*core.Program{p},
+		Init: func(m *mem.Memory) {
+			for i := 0; i < atoms; i++ {
+				m.WriteU64(pxAddr+uint64(8*i), uint64(px[i]))
+				m.WriteU64(pyAddr+uint64(8*i), uint64(py[i]))
+				m.WriteU64(pzAddr+uint64(8*i), uint64(pz[i]))
+			}
+			for i, v := range nl {
+				m.WriteUint(nlAddr+uint64(4*i), 4, uint64(v))
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for i := 0; i < atoms; i++ {
+				fx := int64(m.ReadU64(fAddr + uint64(i*24)))
+				fy := int64(m.ReadU64(fAddr + uint64(i*24+8)))
+				fz := int64(m.ReadU64(fAddr + uint64(i*24+16)))
+				if fx != gfx[i] || fy != gfy[i] || fz != gfz[i] {
+					return fmt.Errorf("md-knn: force[%d] = (%d,%d,%d), want (%d,%d,%d)",
+						i, fx, fy, fz, gfx[i], gfy[i], gfz[i])
+				}
+			}
+			return nil
+		},
+		Profile: baseline.Profile{
+			Name:      "md-knn",
+			KernelOps: 16 * pairs, // sub/mul/add/div/mac chain per pair
+			MACs:      6 * pairs,
+			MemBytes:  pairs*(4+24) + au*24,
+			BranchOps: pairs / 2, // gather-dependent loads
+		},
+		Kernel: &asic.Kernel{
+			Name: "md-knn", Graph: g, Iters: pairs,
+			BytesPerIter: 28, LocalSRAM: atoms * 24,
+			SerialFrac: 0.01,
+		},
+		Patterns: "Indirect Loads, Recurrence",
+		Datapath: "Large Irregular Datapath",
+	}, nil
+}

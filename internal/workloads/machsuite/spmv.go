@@ -1,0 +1,259 @@
+package machsuite
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"softbrain/internal/baseline"
+	"softbrain/internal/baseline/asic"
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// sparseMatrix is a random square matrix in CRS form with sorted column
+// indices and at least one entry per row.
+type sparseMatrix struct {
+	n   int
+	ptr []int // n+1 entries
+	col []uint32
+	val []int64
+	x   []int64
+	y   []int64 // golden result
+}
+
+func randomSparse(n, avgNNZ int, seed int64) *sparseMatrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := &sparseMatrix{n: n, ptr: make([]int, n+1), x: make([]int64, n), y: make([]int64, n)}
+	for i := range m.x {
+		m.x[i] = int64(rng.Intn(41) - 20)
+	}
+	for r := 0; r < n; r++ {
+		nnz := 1 + rng.Intn(2*avgNNZ-1)
+		cols := map[uint32]bool{}
+		for len(cols) < nnz {
+			cols[uint32(rng.Intn(n))] = true
+		}
+		sorted := make([]uint32, 0, nnz)
+		for c := range cols {
+			sorted = append(sorted, c)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, c := range sorted {
+			v := int64(rng.Intn(21) - 10)
+			m.col = append(m.col, c)
+			m.val = append(m.val, v)
+			m.y[r] += v * m.x[c]
+		}
+		m.ptr[r+1] = len(m.col)
+	}
+	return m
+}
+
+// macGraph is the single multiply-accumulate datapath of spmv-crs.
+func macGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("spmv_crs")
+	v := b.Input("V", 1)
+	x := b.Input("X", 1)
+	r := b.Input("R", 1)
+	b.Output("Y", b.N(dfg.Acc(64), b.N(dfg.Mul(64), v.W(0), x.W(0)), r.W(0)))
+	return b.Build()
+}
+
+// BuildSpMVCRS builds sparse matrix-vector multiply over CRS storage:
+// column indices stream into an indirect port, gather x, and a single
+// MAC accumulates each row.
+func BuildSpMVCRS(cfg core.Config, scale int) (*workloads.Instance, error) {
+	n := 32 * scale
+	sm := randomSparse(n, 6, 23)
+	g, err := macGraph()
+	if err != nil {
+		return nil, err
+	}
+
+	lay := workloads.NewLayout()
+	nnz := uint64(len(sm.val))
+	colAddr := lay.Alloc(nnz * 4)
+	valAddr := lay.Alloc(nnz * 8)
+	xAddr := lay.Alloc(uint64(n) * 8)
+	yAddr := lay.Alloc(uint64(n) * 8)
+
+	p := core.NewProgram("spmv-crs")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	ind := p.IndirectIn(cfg.Fabric, 0)
+	for r := 0; r < n; r++ {
+		start, end := sm.ptr[r], sm.ptr[r+1]
+		cnt := uint64(end - start)
+		p.Emit(isa.MemPort{Src: isa.Linear(colAddr+uint64(start*4), cnt*4), Dst: ind})
+		p.Emit(isa.IndPortPort{
+			Idx: ind, IdxElem: isa.Elem32, Offset: xAddr, Scale: 8,
+			DataElem: isa.Elem64, Count: cnt, Dst: p.In("X"),
+		})
+		p.Emit(isa.MemPort{Src: isa.Linear(valAddr+uint64(start*8), cnt*8), Dst: p.In("V")})
+		if cnt > 1 {
+			p.Emit(isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: cnt - 1, Dst: p.In("R")})
+			p.Emit(isa.CleanPort{Src: p.Out("Y"), Elem: isa.Elem64, Count: cnt - 1})
+		}
+		p.Emit(isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: 1, Dst: p.In("R")})
+		p.Emit(isa.PortMem{Src: p.Out("Y"), Dst: isa.Linear(yAddr+uint64(r*8), 8)})
+		p.Delay(3) // host reads ptr[r+1] and advances
+	}
+	p.Emit(isa.BarrierAll{})
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+
+	inst := &workloads.Instance{
+		Name:  "spmv-crs",
+		Progs: []*core.Program{p},
+		Init: func(m *mem.Memory) {
+			for i, c := range sm.col {
+				m.WriteUint(colAddr+uint64(4*i), 4, uint64(c))
+			}
+			for i, v := range sm.val {
+				m.WriteU64(valAddr+uint64(8*i), uint64(v))
+			}
+			for i, v := range sm.x {
+				m.WriteU64(xAddr+uint64(8*i), uint64(v))
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for i, want := range sm.y {
+				if got := int64(m.ReadU64(yAddr + uint64(8*i))); got != want {
+					return fmt.Errorf("spmv-crs: y[%d] = %d, want %d", i, got, want)
+				}
+			}
+			return nil
+		},
+		Profile: baseline.Profile{
+			Name:      "spmv-crs",
+			KernelOps: 2 * nnz,
+			MACs:      nnz,
+			MemBytes:  nnz*20 + uint64(n)*16,
+			BranchOps: nnz / 2, // dependent gather loads stall the core
+		},
+		Kernel: &asic.Kernel{
+			Name: "spmv-crs", Graph: g, Iters: nnz,
+			BytesPerIter: 20, LocalSRAM: n * 8,
+			SerialFrac: 0.02, // row-boundary pipeline flushes
+		},
+		Patterns: "Indirect, Linear",
+		Datapath: "Single Multiply-Accumulate",
+	}
+	return inst, nil
+}
+
+// ellpackGraph is the 4-way multiply-accumulate datapath.
+func ellpackGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("spmv_ellpack")
+	v := b.Input("V", 4)
+	x := b.Input("X", 4)
+	r := b.Input("R", 1)
+	var prods []dfg.Ref
+	for i := 0; i < 4; i++ {
+		prods = append(prods, b.N(dfg.Mul(64), v.W(i), x.W(i)))
+	}
+	sum := b.ReduceTree(dfg.Add(64), prods...)
+	b.Output("Y", b.N(dfg.Acc(64), sum, r.W(0)))
+	return b.Build()
+}
+
+// BuildSpMVEllpack builds SpMV over ELLPACK storage: every row holds
+// exactly L entries, so rows vectorize 4-wide with a recurrence-free
+// accumulator reset per row.
+func BuildSpMVEllpack(cfg core.Config, scale int) (*workloads.Instance, error) {
+	n := 32 * scale
+	const L = 8 // entries per row, multiple of 4
+	rng := rand.New(rand.NewSource(31))
+
+	col := make([]uint32, n*L)
+	val := make([]int64, n*L)
+	x := make([]int64, n)
+	y := make([]int64, n)
+	for i := range x {
+		x[i] = int64(rng.Intn(41) - 20)
+	}
+	for r := 0; r < n; r++ {
+		for j := 0; j < L; j++ {
+			c := uint32(rng.Intn(n))
+			v := int64(rng.Intn(21) - 10)
+			col[r*L+j] = c
+			val[r*L+j] = v
+			y[r] += v * x[c]
+		}
+	}
+
+	g, err := ellpackGraph()
+	if err != nil {
+		return nil, err
+	}
+	lay := workloads.NewLayout()
+	colAddr := lay.Alloc(uint64(n*L) * 4)
+	valAddr := lay.Alloc(uint64(n*L) * 8)
+	xAddr := lay.Alloc(uint64(n) * 8)
+	yAddr := lay.Alloc(uint64(n) * 8)
+
+	p := core.NewProgram("spmv-ellpack")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	ind := p.IndirectIn(cfg.Fabric, 0)
+	instPerRow := uint64(L / 4)
+	for r := 0; r < n; r++ {
+		p.Emit(isa.MemPort{Src: isa.Linear(colAddr+uint64(r*L*4), L*4), Dst: ind})
+		p.Emit(isa.IndPortPort{
+			Idx: ind, IdxElem: isa.Elem32, Offset: xAddr, Scale: 8,
+			DataElem: isa.Elem64, Count: L, Dst: p.In("X"),
+		})
+		p.Emit(isa.MemPort{Src: isa.Linear(valAddr+uint64(r*L*8), L*8), Dst: p.In("V")})
+		p.Emit(isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: instPerRow - 1, Dst: p.In("R")})
+		p.Emit(isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: 1, Dst: p.In("R")})
+		p.Emit(isa.CleanPort{Src: p.Out("Y"), Elem: isa.Elem64, Count: instPerRow - 1})
+		p.Emit(isa.PortMem{Src: p.Out("Y"), Dst: isa.Linear(yAddr+uint64(r*8), 8)})
+		p.Delay(2)
+	}
+	p.Emit(isa.BarrierAll{})
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+
+	nnz := uint64(n * L)
+	return &workloads.Instance{
+		Name:  "spmv-ellpack",
+		Progs: []*core.Program{p},
+		Init: func(m *mem.Memory) {
+			for i, c := range col {
+				m.WriteUint(colAddr+uint64(4*i), 4, uint64(c))
+			}
+			for i, v := range val {
+				m.WriteU64(valAddr+uint64(8*i), uint64(v))
+			}
+			for i, v := range x {
+				m.WriteU64(xAddr+uint64(8*i), uint64(v))
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for i, want := range y {
+				if got := int64(m.ReadU64(yAddr + uint64(8*i))); got != want {
+					return fmt.Errorf("spmv-ellpack: y[%d] = %d, want %d", i, got, want)
+				}
+			}
+			return nil
+		},
+		Profile: baseline.Profile{
+			Name:      "spmv-ellpack",
+			KernelOps: 2 * nnz,
+			MACs:      nnz,
+			MemBytes:  nnz*20 + uint64(n)*16,
+			BranchOps: nnz / 4,
+		},
+		Kernel: &asic.Kernel{
+			Name: "spmv-ellpack", Graph: g, Iters: nnz / 4,
+			BytesPerIter: 80, LocalSRAM: n * 8,
+			SerialFrac: 0.02,
+		},
+		Patterns: "Indirect, Linear, Recurrence",
+		Datapath: "4-Way Multiply-Accumulate",
+	}, nil
+}

@@ -1,0 +1,235 @@
+package machsuite
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softbrain/internal/baseline"
+	"softbrain/internal/baseline/asic"
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// stencil2dGraph multiplies 8 neighboring pixels by a broadcast filter
+// coefficient and adds the running row of partial sums.
+func stencil2dGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("stencil2d")
+	x := b.Input("X", 8)
+	f := b.Input("F", 1)
+	cin := b.Input("C", 8)
+	var outs []dfg.Ref
+	for j := 0; j < 8; j++ {
+		outs = append(outs, b.N(dfg.Add(64), cin.W(j), b.N(dfg.Mul(64), f.W(0), x.W(j))))
+	}
+	b.Output("O", outs...)
+	return b.Build()
+}
+
+// BuildStencil2D applies a 3x3 filter over a WxH grid. Each of the nine
+// filter taps streams one shifted input row (the overlapped affine
+// pattern of Figure 5) while the output row recirculates through a
+// recurrence stream.
+func BuildStencil2D(cfg core.Config, scale int) (*workloads.Instance, error) {
+	w := 8*2*scale + 2 // output width W-2 is a multiple of 8
+	h := 6*scale + 2
+	ow, oh := w-2, h-2
+
+	g, err := stencil2dGraph()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(5))
+	in := make([]int64, w*h)
+	for i := range in {
+		in[i] = int64(rng.Intn(101) - 50)
+	}
+	filt := make([]int64, 9)
+	for i := range filt {
+		filt[i] = int64(rng.Intn(7) - 3)
+	}
+
+	lay := workloads.NewLayout()
+	inAddr := lay.Alloc(uint64(w*h) * 8)
+	outAddr := lay.Alloc(uint64(ow*oh) * 8)
+
+	p := core.NewProgram("stencil2d")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	for r := 0; r < oh; r++ {
+		tap := 0
+		for kr := 0; kr < 3; kr++ {
+			for kc := 0; kc < 3; kc++ {
+				src := inAddr + uint64(((r+kr)*w+kc)*8)
+				p.Emit(isa.MemPort{Src: isa.Linear(src, uint64(ow)*8), Dst: p.In("X")})
+				p.Emit(isa.ConstPort{Value: uint64(filt[3*kr+kc]), Elem: isa.Elem64, Count: uint64(ow / 8), Dst: p.In("F")})
+				if tap == 0 {
+					p.Emit(isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: uint64(ow), Dst: p.In("C")})
+				} else {
+					p.Emit(isa.PortPort{Src: p.Out("O"), Elem: isa.Elem64, Count: uint64(ow), Dst: p.In("C")})
+				}
+				tap++
+			}
+		}
+		p.Emit(isa.PortMem{Src: p.Out("O"), Dst: isa.Linear(outAddr+uint64(r*ow*8), uint64(ow)*8)})
+		p.Delay(3)
+	}
+	p.Emit(isa.BarrierAll{})
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+
+	golden := make([]int64, ow*oh)
+	for r := 0; r < oh; r++ {
+		for c := 0; c < ow; c++ {
+			var s int64
+			for kr := 0; kr < 3; kr++ {
+				for kc := 0; kc < 3; kc++ {
+					s += filt[3*kr+kc] * in[(r+kr)*w+c+kc]
+				}
+			}
+			golden[r*ow+c] = s
+		}
+	}
+
+	pixels := uint64(ow * oh)
+	return &workloads.Instance{
+		Name:  "stencil2d",
+		Progs: []*core.Program{p},
+		Init: func(m *mem.Memory) {
+			for i, v := range in {
+				m.WriteU64(inAddr+uint64(8*i), uint64(v))
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for i, want := range golden {
+				if got := int64(m.ReadU64(outAddr + uint64(8*i))); got != want {
+					return fmt.Errorf("stencil2d: out[%d] = %d, want %d", i, got, want)
+				}
+			}
+			return nil
+		},
+		Profile: baseline.Profile{
+			Name:      "stencil2d",
+			KernelOps: 18 * pixels,
+			MACs:      9 * pixels,
+			MemBytes:  uint64(w*h)*8 + pixels*8,
+		},
+		Kernel: &asic.Kernel{
+			Name: "stencil2d", Graph: g, Iters: pixels * 9 / 8,
+			BytesPerIter: 72, LocalSRAM: 3 * w * 8,
+		},
+		Patterns: "Affine, Recurrence",
+		Datapath: "8-Way Multiply-Accumulate",
+	}, nil
+}
+
+// stencil3dGraph is the 6-1 reduce and multiplier tree of Table 4:
+// out = c0*center + c1*(sum of the six face neighbors).
+func stencil3dGraph(c0, c1 int64) (*dfg.Graph, error) {
+	b := dfg.NewBuilder("stencil3d")
+	center := b.Input("C", 1)
+	var sum []dfg.Ref
+	for _, name := range []string{"XM", "XP", "YM", "YP", "ZM", "ZP"} {
+		in := b.Input(name, 1)
+		sum = append(sum, in.W(0))
+	}
+	tree := b.ReduceTree(dfg.Add(64), sum...)
+	a := b.N(dfg.Mul(64), center.W(0), dfg.ImmRef(uint64(c0)))
+	bb := b.N(dfg.Mul(64), tree, dfg.ImmRef(uint64(c1)))
+	b.Output("O", b.N(dfg.Add(64), a, bb))
+	return b.Build()
+}
+
+// BuildStencil3D applies a 7-point stencil over an N^3 volume; each of
+// the seven taps is an affine stream over the interior.
+func BuildStencil3D(cfg core.Config, scale int) (*workloads.Instance, error) {
+	n := 6 + 4*scale
+	const c0, c1 = 5, -2
+	g, err := stencil3dGraph(c0, c1)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(17))
+	in := make([]int64, n*n*n)
+	for i := range in {
+		in[i] = int64(rng.Intn(101) - 50)
+	}
+	lay := workloads.NewLayout()
+	inAddr := lay.Alloc(uint64(n*n*n) * 8)
+	outAddr := lay.Alloc(uint64(n*n*n) * 8)
+	at := func(i, j, k int) uint64 { return uint64(((i*n)+j)*n+k) * 8 }
+
+	p := core.NewProgram("stencil3d")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	inner := uint64(n - 2)
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			row := func(di, dj, dk int) isa.Affine {
+				return isa.Linear(inAddr+at(i+di, j+dj, 1+dk), inner*8)
+			}
+			p.Emit(isa.MemPort{Src: row(0, 0, 0), Dst: p.In("C")})
+			p.Emit(isa.MemPort{Src: row(-1, 0, 0), Dst: p.In("XM")})
+			p.Emit(isa.MemPort{Src: row(1, 0, 0), Dst: p.In("XP")})
+			p.Emit(isa.MemPort{Src: row(0, -1, 0), Dst: p.In("YM")})
+			p.Emit(isa.MemPort{Src: row(0, 1, 0), Dst: p.In("YP")})
+			p.Emit(isa.MemPort{Src: row(0, 0, -1), Dst: p.In("ZM")})
+			p.Emit(isa.MemPort{Src: row(0, 0, 1), Dst: p.In("ZP")})
+			p.Emit(isa.PortMem{Src: p.Out("O"), Dst: isa.Linear(outAddr+at(i, j, 1), inner*8)})
+			p.Delay(3)
+		}
+	}
+	p.Emit(isa.BarrierAll{})
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+
+	golden := make([]int64, n*n*n)
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			for k := 1; k < n-1; k++ {
+				idx := (i*n+j)*n + k
+				sum := in[idx-n*n] + in[idx+n*n] + in[idx-n] + in[idx+n] + in[idx-1] + in[idx+1]
+				golden[idx] = c0*in[idx] + c1*sum
+			}
+		}
+	}
+
+	points := inner * inner * inner
+	return &workloads.Instance{
+		Name:  "stencil3d",
+		Progs: []*core.Program{p},
+		Init: func(m *mem.Memory) {
+			for i, v := range in {
+				m.WriteU64(inAddr+uint64(8*i), uint64(v))
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					for k := 1; k < n-1; k++ {
+						idx := (i*n+j)*n + k
+						got := int64(m.ReadU64(outAddr + uint64(8*idx)))
+						if got != golden[idx] {
+							return fmt.Errorf("stencil3d: out[%d,%d,%d] = %d, want %d", i, j, k, got, golden[idx])
+						}
+					}
+				}
+			}
+			return nil
+		},
+		Profile: baseline.Profile{
+			Name:      "stencil3d",
+			KernelOps: 9 * points,
+			MACs:      2 * points,
+			MemBytes:  uint64(n*n*n)*8 + points*8,
+		},
+		Kernel: &asic.Kernel{
+			Name: "stencil3d", Graph: g, Iters: points,
+			BytesPerIter: 64, LocalSRAM: 3 * n * n * 8,
+		},
+		Patterns: "Affine",
+		Datapath: "6-1 Reduce and Multiplier Tree",
+	}, nil
+}

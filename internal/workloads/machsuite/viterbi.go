@@ -1,0 +1,146 @@
+package machsuite
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softbrain/internal/baseline"
+	"softbrain/internal/baseline/asic"
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// viterbiGraph is the 4-way add-minimize tree: four candidate path
+// costs per instance, a running minimum with reset, plus the emission
+// cost added to the surviving value.
+func viterbiGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("viterbi")
+	pp := b.Input("P", 4) // prev-step path costs
+	tr := b.Input("T", 4) // transition costs into the current state
+	r := b.Input("R", 1)
+	e := b.Input("E", 1) // emission cost (same value every instance)
+	var cands []dfg.Ref
+	for i := 0; i < 4; i++ {
+		cands = append(cands, b.N(dfg.Add(64), pp.W(i), tr.W(i)))
+	}
+	m := b.ReduceTree(dfg.Min(64), cands...)
+	best := b.N(dfg.AccMin(64), m, r.W(0))
+	b.Output("O", b.N(dfg.Add(64), best, e.W(0)))
+	return b.Build()
+}
+
+// BuildViterbi runs Viterbi decoding (min-plus dynamic programming)
+// over S states and T steps: previous costs stream linearly, transition
+// columns stream strided, and a barrier orders each timestep's writes
+// before the next step reads them.
+func BuildViterbi(cfg core.Config, scale int) (*workloads.Instance, error) {
+	S := 16 * scale // states, multiple of 4
+	T := 12         // timesteps
+	const nObs = 8
+	rng := rand.New(rand.NewSource(61))
+
+	trans := make([]int64, S*S) // trans[p][s]
+	emit := make([]int64, nObs*S)
+	obs := make([]int, T)
+	init := make([]int64, S)
+	for i := range trans {
+		trans[i] = int64(rng.Intn(90) + 1)
+	}
+	for i := range emit {
+		emit[i] = int64(rng.Intn(50) + 1)
+	}
+	for i := range obs {
+		obs[i] = rng.Intn(nObs)
+	}
+	for i := range init {
+		init[i] = int64(rng.Intn(100))
+	}
+
+	g, err := viterbiGraph()
+	if err != nil {
+		return nil, err
+	}
+	lay := workloads.NewLayout()
+	su := uint64(S)
+	transAddr := lay.Alloc(su * su * 8)
+	probAddr := lay.Alloc(uint64(T+1) * su * 8) // prob[t][s]
+	probAt := func(t, s int) uint64 { return probAddr + uint64(t*S+s)*8 }
+
+	p := core.NewProgram("viterbi")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	inst := su / 4
+	for t := 1; t <= T; t++ {
+		for s := 0; s < S; s++ {
+			p.Emit(isa.MemPort{Src: isa.Linear(probAt(t-1, 0), su*8), Dst: p.In("P")})
+			// Column s of the transition matrix: stride S words.
+			p.Emit(isa.MemPort{Src: isa.Strided2D(transAddr+uint64(s*8), 8, su*8, su), Dst: p.In("T")})
+			p.Emit(isa.ConstPort{Value: uint64(emit[obs[t-1]*S+s]), Elem: isa.Elem64, Count: inst, Dst: p.In("E")})
+			p.Emit(isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: inst - 1, Dst: p.In("R")})
+			p.Emit(isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: 1, Dst: p.In("R")})
+			p.Emit(isa.CleanPort{Src: p.Out("O"), Elem: isa.Elem64, Count: inst - 1})
+			p.Emit(isa.PortMem{Src: p.Out("O"), Dst: isa.Linear(probAt(t, s), 8)})
+			p.Delay(2)
+		}
+		// prob[t] must be durable before step t+1 streams it.
+		p.Emit(isa.BarrierAll{})
+	}
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+
+	// Golden min-plus recurrence.
+	prev := append([]int64(nil), init...)
+	goldenFinal := make([]int64, S)
+	for t := 1; t <= T; t++ {
+		cur := make([]int64, S)
+		for s := 0; s < S; s++ {
+			best := prev[0] + trans[s]
+			for q := 1; q < S; q++ {
+				if c := prev[q] + trans[q*S+s]; c < best {
+					best = c
+				}
+			}
+			cur[s] = best + emit[obs[t-1]*S+s]
+		}
+		prev = cur
+	}
+	copy(goldenFinal, prev)
+
+	work := uint64(T) * su * su
+	return &workloads.Instance{
+		Name:  "viterbi",
+		Progs: []*core.Program{p},
+		Init: func(m *mem.Memory) {
+			for i, v := range trans {
+				m.WriteU64(transAddr+uint64(8*i), uint64(v))
+			}
+			for s, v := range init {
+				m.WriteU64(probAt(0, s), uint64(v))
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for s := 0; s < S; s++ {
+				if got := int64(m.ReadU64(probAt(T, s))); got != goldenFinal[s] {
+					return fmt.Errorf("viterbi: prob[%d][%d] = %d, want %d", T, s, got, goldenFinal[s])
+				}
+			}
+			return nil
+		},
+		Profile: baseline.Profile{
+			Name:      "viterbi",
+			KernelOps: 3 * work, // add + compare + select per transition
+			MemBytes:  work*8 + uint64(T)*su*8,
+			BranchOps: work / 4,
+		},
+		Kernel: &asic.Kernel{
+			Name: "viterbi", Graph: g, Iters: work / 4,
+			BytesPerIter: 64, LocalSRAM: S * 16,
+			SerialFrac: 0.02, // timestep dependence
+		},
+		Patterns: "Recurrence, Linear",
+		Datapath: "4-Way Add-Minimize Tree",
+	}, nil
+}

@@ -1,0 +1,108 @@
+// Package workloads defines the common shape of the benchmark
+// workloads: a stream-dataflow program (or one per Softbrain unit), the
+// memory image initializer, a golden-model checker, and the analytic
+// profile the baseline models consume. Subpackages dnn and machsuite
+// hold the actual workloads of Sections 7.1 and 7.2.
+package workloads
+
+import (
+	"fmt"
+
+	"softbrain/internal/baseline"
+	"softbrain/internal/baseline/asic"
+	"softbrain/internal/core"
+	"softbrain/internal/mem"
+)
+
+// Instance is one concrete, sized workload ready to run.
+type Instance struct {
+	Name string
+
+	// Progs holds one program per Softbrain unit; single-unit workloads
+	// have exactly one entry.
+	Progs []*core.Program
+
+	// Init writes the input data into the memory image.
+	Init func(m *mem.Memory)
+
+	// Check compares the memory image against the golden model after
+	// the run.
+	Check func(m *mem.Memory) error
+
+	// Profile feeds the CPU/GPU/DianNao analytic models.
+	Profile baseline.Profile
+
+	// Kernel feeds the ASIC (Aladdin-like) model; nil for workloads
+	// that are not part of the MachSuite comparison.
+	Kernel *asic.Kernel
+
+	// Table 4 characterization.
+	Patterns string
+	Datapath string
+}
+
+// Units is the number of Softbrain units the instance runs on.
+func (i *Instance) Units() int { return len(i.Progs) }
+
+// Run executes the instance on a fresh machine (or cluster) with the
+// given per-unit configuration, verifies the result, and returns the
+// statistics.
+func (i *Instance) Run(cfg core.Config) (*core.Stats, error) {
+	return i.run(cfg, false)
+}
+
+// RunWarm runs the instance twice on the same machine and reports the
+// second, cache-warm run — the standard steady-state measurement, and
+// the regime the paper's accelerator comparisons operate in. Workload
+// programs are idempotent, so verification still holds.
+func (i *Instance) RunWarm(cfg core.Config) (*core.Stats, error) {
+	return i.run(cfg, true)
+}
+
+func (i *Instance) run(cfg core.Config, warm bool) (*core.Stats, error) {
+	if len(i.Progs) == 0 {
+		return nil, fmt.Errorf("workloads: %s has no programs", i.Name)
+	}
+	cl, err := core.NewCluster(cfg, len(i.Progs))
+	if err != nil {
+		return nil, err
+	}
+	if i.Init != nil {
+		i.Init(cl.Mem)
+	}
+	stats, err := cl.Run(i.Progs)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: running %s: %w", i.Name, err)
+	}
+	if warm {
+		stats, err = cl.Run(i.Progs)
+		if err != nil {
+			return nil, fmt.Errorf("workloads: warm-running %s: %w", i.Name, err)
+		}
+	}
+	if i.Check != nil {
+		if err := i.Check(cl.Mem); err != nil {
+			return nil, fmt.Errorf("workloads: verifying %s: %w", i.Name, err)
+		}
+	}
+	return stats, nil
+}
+
+// Layout is a bump allocator for laying out workload data in the memory
+// image below the configuration space.
+type Layout struct {
+	next uint64
+}
+
+// NewLayout starts allocating at a small non-zero base.
+func NewLayout() *Layout { return &Layout{next: 0x1_0000} }
+
+// Alloc reserves n bytes, 64-byte aligned, and returns the base address.
+func (l *Layout) Alloc(n uint64) uint64 {
+	addr := l.next
+	l.next += (n + 63) &^ 63
+	if l.next >= core.ConfigSpace {
+		panic("workloads: memory image overflows into configuration space")
+	}
+	return addr
+}

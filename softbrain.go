@@ -1,0 +1,201 @@
+// Package softbrain is a functional, cycle-level reproduction of the
+// stream-dataflow architecture and its Softbrain implementation from
+// "Stream-Dataflow Acceleration" (Nowatzki, Gangadhar, Ardalani,
+// Sankaralingam — ISCA 2017).
+//
+// The package is a facade over the implementation packages: it exposes
+// everything needed to build dataflow graphs, compile them onto the
+// CGRA, write stream-dataflow programs (the full Table 2 command set),
+// and run them on a simulated Softbrain unit or multi-unit cluster with
+// power and area models.
+//
+// A minimal program (the paper's Figure 4 dot product):
+//
+//	cfg := softbrain.DefaultConfig()
+//	m, _ := softbrain.NewMachine(cfg)
+//
+//	b := softbrain.NewGraph("dotprod")
+//	a, v := b.Input("A", 3), b.Input("B", 3)
+//	var prods []softbrain.Ref
+//	for i := 0; i < 3; i++ {
+//		prods = append(prods, b.N(softbrain.Mul(64), a.W(i), v.W(i)))
+//	}
+//	b.Output("C", b.ReduceTree(softbrain.Add(64), prods...))
+//	g, _ := b.Build()
+//
+//	p := softbrain.NewProgram("dotprod")
+//	p.CompileAndConfigure(cfg.Fabric, g)
+//	p.Emit(softbrain.MemPort{Src: softbrain.Linear(aAddr, n*8), Dst: p.In("A")})
+//	p.Emit(softbrain.MemPort{Src: softbrain.Linear(bAddr, n*8), Dst: p.In("B")})
+//	p.Emit(softbrain.PortMem{Src: p.Out("C"), Dst: softbrain.Linear(rAddr, n/3*8)})
+//	p.Emit(softbrain.BarrierAll{})
+//	stats, _ := m.Run(p)
+package softbrain
+
+import (
+	"softbrain/internal/cgra"
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/power"
+	"softbrain/internal/sched"
+)
+
+// Machine assembly and execution (see internal/core).
+type (
+	// Config parameterizes one Softbrain unit: fabric, memory timing,
+	// scratchpad size, queue depths and issue costs.
+	Config = core.Config
+	// Machine is one Softbrain unit: control core, dispatcher, stream
+	// engines, vector ports, scratchpad and CGRA over a memory system.
+	Machine = core.Machine
+	// Cluster is several units sharing backing memory and DRAM
+	// bandwidth, each with a private cache.
+	Cluster = core.Cluster
+	// Program is a stream-dataflow program: configurations plus the
+	// command trace the control core replays.
+	Program = core.Program
+	// Stats aggregates a run's cycle counts and activity.
+	Stats = core.Stats
+	// DeadlockError reports a run that stopped making progress.
+	DeadlockError = core.DeadlockError
+	// Memory is the byte-addressable functional backing store.
+	Memory = mem.Memory
+)
+
+// Dataflow graphs (see internal/dfg).
+type (
+	// Graph is a dataflow graph: the computation abstraction.
+	Graph = dfg.Graph
+	// GraphBuilder constructs Graphs programmatically.
+	GraphBuilder = dfg.Builder
+	// Ref names a dataflow value (port word, node result or immediate).
+	Ref = dfg.Ref
+	// Op is one dataflow operation at a sub-word lane width.
+	Op = dfg.Op
+	// Evaluator executes a Graph functionally, instance by instance.
+	Evaluator = dfg.Evaluator
+)
+
+// Hardware description and compilation (see internal/cgra and
+// internal/sched).
+type (
+	// Fabric describes the CGRA: PE grid, FU mix, links, vector ports.
+	Fabric = cgra.Fabric
+	// Schedule is a compiled CGRA configuration for one Graph.
+	Schedule = cgra.Schedule
+	// PowerModel converts run statistics into power and energy.
+	PowerModel = power.Model
+)
+
+// ISA values (see internal/isa): the Table 2 command set.
+type (
+	// Command is one stream-dataflow command.
+	Command = isa.Command
+	// Affine is the two-dimensional affine access pattern of Figure 5.
+	Affine = isa.Affine
+	// InPortID and OutPortID name hardware vector ports.
+	InPortID  = isa.InPortID
+	OutPortID = isa.OutPortID
+	// ElemSize is a stream element size in bytes.
+	ElemSize = isa.ElemSize
+
+	ConfigCmd       = isa.Config // SD_Config (machine Config is the struct above)
+	MemScratch      = isa.MemScratch
+	ScratchPort     = isa.ScratchPort
+	MemPort         = isa.MemPort
+	ConstPort       = isa.ConstPort
+	CleanPort       = isa.CleanPort
+	PortPort        = isa.PortPort
+	PortScratch     = isa.PortScratch
+	PortMem         = isa.PortMem
+	IndPortPort     = isa.IndPortPort
+	IndPortMem      = isa.IndPortMem
+	BarrierScratchR = isa.BarrierScratchRd
+	BarrierScratchW = isa.BarrierScratchWr
+	BarrierAll      = isa.BarrierAll
+)
+
+// Element sizes.
+const (
+	Elem8  = isa.Elem8
+	Elem16 = isa.Elem16
+	Elem32 = isa.Elem32
+	Elem64 = isa.Elem64
+)
+
+// DefaultConfig is the broadly provisioned Softbrain of Section 7.2.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DNNConfig is the DianNao-comparison configuration of Section 7.1.
+func DNNConfig() Config { return core.DNNConfig() }
+
+// NewMachine builds one Softbrain unit.
+func NewMachine(cfg Config) (*Machine, error) { return core.NewMachine(cfg) }
+
+// NewCluster builds n units over shared memory.
+func NewCluster(cfg Config, n int) (*Cluster, error) { return core.NewCluster(cfg, n) }
+
+// NewProgram starts an empty stream-dataflow program.
+func NewProgram(name string) *Program { return core.NewProgram(name) }
+
+// NewGraph starts a dataflow-graph builder.
+func NewGraph(name string) *GraphBuilder { return dfg.NewBuilder(name) }
+
+// ParseGraph reads a graph in the .dfg text format.
+func ParseGraph(text string) (*Graph, error) { return dfg.ParseString(text) }
+
+// Compile schedules g onto f: placement, routing, delay matching and
+// vector-port mapping.
+func Compile(f *Fabric, g *Graph) (*Schedule, error) { return sched.Schedule(f, g) }
+
+// NewPowerModel builds the Table 3 power/area model for cfg.
+func NewPowerModel(cfg Config) *PowerModel { return power.NewModel(cfg) }
+
+// NewFabric builds a custom fabric; see also DefaultConfig().Fabric.
+func NewFabric(rows, cols int) *Fabric {
+	return cgra.NewFabric(rows, cols, dfg.FUAlu, dfg.FUMul, dfg.FUDiv, dfg.FUSig)
+}
+
+// Access-pattern constructors (Figure 5).
+
+// Linear is a contiguous pattern of n bytes at start.
+func Linear(start, n uint64) Affine { return isa.Linear(start, n) }
+
+// Strided2D reads rows of rowBytes separated by pitch, rows times.
+func Strided2D(start, rowBytes, pitch, rows uint64) Affine {
+	return isa.Strided2D(start, rowBytes, pitch, rows)
+}
+
+// Repeat re-reads the same n bytes times times.
+func Repeat(start, n, times uint64) Affine { return isa.Repeat(start, n, times) }
+
+// Dataflow operation constructors; w is the lane width in bits
+// (8, 16, 32 or 64 — sub-word SIMD packs 64/w lanes per word).
+
+func Add(w uint8) Op    { return dfg.Add(w) }
+func Sub(w uint8) Op    { return dfg.Sub(w) }
+func Mul(w uint8) Op    { return dfg.Mul(w) }
+func Div(w uint8) Op    { return dfg.Div(w) }
+func Min(w uint8) Op    { return dfg.Min(w) }
+func Max(w uint8) Op    { return dfg.Max(w) }
+func Abs(w uint8) Op    { return dfg.Abs(w) }
+func And(w uint8) Op    { return dfg.And(w) }
+func Or(w uint8) Op     { return dfg.Or(w) }
+func Xor(w uint8) Op    { return dfg.Xor(w) }
+func Shl(w uint8) Op    { return dfg.Shl(w) }
+func Shr(w uint8) Op    { return dfg.Shr(w) }
+func Ashr(w uint8) Op   { return dfg.Ashr(w) }
+func Eq(w uint8) Op     { return dfg.Eq(w) }
+func Lt(w uint8) Op     { return dfg.Lt(w) }
+func Sel(w uint8) Op    { return dfg.Sel(w) }
+func Acc(w uint8) Op    { return dfg.Acc(w) }
+func AccMin(w uint8) Op { return dfg.AccMin(w) }
+func AccMax(w uint8) Op { return dfg.AccMax(w) }
+func RedAdd(w uint8) Op { return dfg.RedAdd(w) }
+func RedMin(w uint8) Op { return dfg.RedMin(w) }
+func Sig(w uint8) Op    { return dfg.Sig(w) }
+
+// ImmRef references a constant folded into the PE configuration.
+func ImmRef(v uint64) Ref { return dfg.ImmRef(v) }
