@@ -1,0 +1,20 @@
+# Tier-1 verify: build + tests, the bar every change must clear.
+.PHONY: test
+test:
+	go build ./...
+	go test ./...
+
+# Tier-1+ verify: formatting, vet, build, race-mode tests, and the
+# sdlint static hazard gate over every built-in program (docs/LINT.md).
+.PHONY: check
+check:
+	sh scripts/check.sh
+
+# Lint the built-in workload and example programs only.
+.PHONY: lint
+lint:
+	go run ./cmd/sdlint
+
+.PHONY: bench
+bench:
+	go test -bench=. -run=^$$ .

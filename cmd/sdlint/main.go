@@ -1,0 +1,151 @@
+// Command sdlint statically checks stream-dataflow programs for the
+// hazards the architecture does not police at runtime: stream races
+// that need a barrier, vector-port conflicts, instance-count imbalance
+// (static deadlock/starvation), and out-of-bounds affine footprints.
+// See internal/lint and docs/LINT.md for the check families.
+//
+// With no arguments it lints every built-in workload and example
+// program; arguments restrict the run to programs whose suite or
+// program name contains one of them as a substring. Findings print in
+// go vet style, one per line; the exit status is 1 when any
+// error-severity finding (or build failure) occurs.
+//
+//	usage: sdlint [-v] [name ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"softbrain/examples/programs"
+	"softbrain/internal/core"
+	"softbrain/internal/lint"
+	"softbrain/internal/workloads/dnn"
+	"softbrain/internal/workloads/ext"
+	"softbrain/internal/workloads/machsuite"
+)
+
+// target is one program to lint, paired with the machine configuration
+// its suite runs it under.
+type target struct {
+	suite string
+	name  string
+	prog  *core.Program
+	cfg   core.Config
+}
+
+func main() {
+	verbose := flag.Bool("v", false, "print every program checked, not just findings")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sdlint [-v] [name ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	targets, err := collect()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
+		os.Exit(1)
+	}
+	targets = filter(targets, flag.Args())
+	if len(targets) == 0 {
+		fmt.Fprintf(os.Stderr, "sdlint: no programs match %v\n", flag.Args())
+		os.Exit(1)
+	}
+
+	fail := false
+	for _, t := range targets {
+		fs, err := lint.Check(t.prog, t.cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdlint: %s/%s: %v\n", t.suite, t.name, err)
+			fail = true
+			continue
+		}
+		for _, f := range fs {
+			fmt.Printf("%s/%v\n", t.suite, f)
+			if f.Sev == lint.SevError {
+				fail = true
+			}
+		}
+		if *verbose && len(fs) == 0 {
+			fmt.Printf("%s/%s: ok (%d commands)\n", t.suite, t.name, len(t.prog.Trace))
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// collect builds every built-in program under the configuration its
+// suite uses: MachSuite and the extended workloads at test scale under
+// the default machine, the DNN layers partitioned across the standard
+// eight units under the DNN machine, and the examples under their own
+// configurations.
+func collect() ([]target, error) {
+	var out []target
+
+	cfg := core.DefaultConfig()
+	for _, e := range machsuite.All() {
+		inst, err := e.Build(cfg, 1)
+		if err != nil {
+			return nil, fmt.Errorf("building machsuite/%s: %w", e.Name, err)
+		}
+		out = append(out, instanceTargets("machsuite", e.Name, inst.Progs, cfg)...)
+	}
+	for _, e := range ext.All() {
+		inst, err := e.Build(cfg, 1)
+		if err != nil {
+			return nil, fmt.Errorf("building ext/%s: %w", e.Name, err)
+		}
+		out = append(out, instanceTargets("ext", e.Name, inst.Progs, cfg)...)
+	}
+
+	dnnCfg := dnn.Config()
+	for _, l := range dnn.Layers() {
+		inst, err := l.Build(dnnCfg, dnn.Units)
+		if err != nil {
+			return nil, fmt.Errorf("building dnn/%s: %w", l.Name, err)
+		}
+		out = append(out, instanceTargets("dnn", l.Name, inst.Progs, dnnCfg)...)
+	}
+
+	exs, err := programs.All()
+	if err != nil {
+		return nil, fmt.Errorf("building examples: %w", err)
+	}
+	for _, ex := range exs {
+		out = append(out, target{suite: "examples", name: ex.Name, prog: ex.Prog, cfg: ex.Cfg})
+	}
+	return out, nil
+}
+
+// instanceTargets names one target per Softbrain unit of the instance.
+func instanceTargets(suite, name string, progs []*core.Program, cfg core.Config) []target {
+	var out []target
+	for i, p := range progs {
+		n := name
+		if len(progs) > 1 {
+			n = fmt.Sprintf("%s#%d", name, i)
+		}
+		out = append(out, target{suite: suite, name: n, prog: p, cfg: cfg})
+	}
+	return out
+}
+
+func filter(ts []target, args []string) []target {
+	if len(args) == 0 {
+		return ts
+	}
+	var out []target
+	for _, t := range ts {
+		for _, a := range args {
+			if strings.Contains(t.suite, a) || strings.Contains(t.name, a) {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}

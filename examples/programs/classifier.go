@@ -1,0 +1,118 @@
+package programs
+
+import (
+	"fmt"
+
+	"softbrain"
+)
+
+// Classifier is the paper's Figure 6 end to end — a dense neural network
+// layer (matrix-vector product plus sigmoid) with every stream-dataflow
+// feature the example uses: the scratchpad for neuron reuse, a
+// scratch-write barrier, constant streams driving the accumulator
+// reset, port cleaning of partial sums, and 16-bit sub-word arithmetic.
+func Classifier() (Example, error) {
+	const (
+		ni = 256 // input neurons (elements of 16 bits)
+		nn = 10  // output neurons
+	)
+	cfg := softbrain.DNNConfig()
+
+	// DFG: four 4-way 16-bit multipliers, lane reductions, an adder
+	// tree, a resettable accumulator, and the sigmoid unit. One instance
+	// consumes 16 synapse and 16 neuron elements.
+	b := softbrain.NewGraph("classifier")
+	s := b.Input("S", 4)
+	n := b.Input("N", 4)
+	r := b.Input("R", 1)
+	var reds []softbrain.Ref
+	for i := 0; i < 4; i++ {
+		prod := b.N(softbrain.Mul(16), s.W(i), n.W(i))
+		reds = append(reds, b.N(softbrain.RedAdd(16), prod))
+	}
+	sum := b.ReduceTree(softbrain.Add(64), reds...)
+	acc := b.N(softbrain.Acc(64), sum, r.W(0))
+	b.OutputElem("C", 2, b.N(softbrain.Sig(16), acc))
+	g, err := b.Build()
+	if err != nil {
+		return Example{}, err
+	}
+
+	// uint16 synapse[Nn][Ni], neuron_i[Ni], neuron_n[Nn].
+	const synAddr, inAddr, outAddr = 0x10000, 0x40000, 0x50000
+	synapse := make([]int16, nn*ni)
+	neuron := make([]int16, ni)
+	for i := range neuron {
+		neuron[i] = int16(i%9 - 4)
+	}
+	for j := range synapse {
+		synapse[j] = int16(j%11 - 5)
+	}
+
+	// The stream-dataflow program of Figure 6.
+	instPerNeuron := uint64(ni / 16)
+	p := softbrain.NewProgram("classifier")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	p.Emit(softbrain.MemPort{Src: softbrain.Linear(synAddr, nn*ni*2), Dst: p.In("S")})
+	p.Emit(softbrain.MemScratch{Src: softbrain.Linear(inAddr, ni*2), ScratchAddr: 0})
+	p.Emit(softbrain.BarrierScratchW{})
+	p.Emit(softbrain.ScratchPort{Src: softbrain.Repeat(0, ni*2, nn), Dst: p.In("N")})
+	for o := 0; o < nn; o++ { // for each output neuron
+		p.Emit(softbrain.ConstPort{Value: 0, Elem: softbrain.Elem64, Count: instPerNeuron - 1, Dst: p.In("R")})
+		p.Emit(softbrain.ConstPort{Value: 1, Elem: softbrain.Elem64, Count: 1, Dst: p.In("R")})
+		p.Emit(softbrain.CleanPort{Src: p.Out("C"), Elem: softbrain.Elem16, Count: instPerNeuron - 1})
+		p.Emit(softbrain.PortMem{Src: p.Out("C"), Dst: softbrain.Linear(outAddr+2*uint64(o), 2)})
+	}
+	p.Emit(softbrain.BarrierAll{})
+
+	// The host model: Q8.8 piecewise sigmoid over the golden dot products.
+	sigmoid := func(x int64) uint16 {
+		switch {
+		case x <= -1024:
+			return 0
+		case x >= 1024:
+			return 256
+		default:
+			return uint16(128 + x/8)
+		}
+	}
+	dot := func(o int) int64 {
+		var d int64
+		for i := 0; i < ni; i++ {
+			d += int64(synapse[o*ni+i]) * int64(neuron[i])
+		}
+		return d
+	}
+
+	return Example{
+		Name: "classifier",
+		Cfg:  cfg,
+		Prog: p,
+		Init: func(m *softbrain.Memory) {
+			for i := range neuron {
+				m.WriteUint(inAddr+2*uint64(i), 2, uint64(uint16(neuron[i])))
+			}
+			for j := range synapse {
+				m.WriteUint(synAddr+2*uint64(j), 2, uint64(uint16(synapse[j])))
+			}
+		},
+		Check: func(m *softbrain.Memory) error {
+			for o := 0; o < nn; o++ {
+				got := uint16(m.ReadUint(outAddr+2*uint64(o), 2))
+				if want := sigmoid(dot(o)); got != want {
+					return fmt.Errorf("neuron_n[%d] = %d, want %d", o, got, want)
+				}
+			}
+			return nil
+		},
+		Report: func(m *softbrain.Memory, stats *softbrain.Stats) {
+			fmt.Printf("classifier %dx%d on Softbrain:\n", nn, ni)
+			for o := 0; o < nn; o++ {
+				got := uint16(m.ReadUint(outAddr+2*uint64(o), 2))
+				fmt.Printf("  neuron_n[%d] = %3d (sum %6d)\n", o, got, dot(o))
+			}
+			fmt.Printf("cycles: %d, instances: %d, MACs: %d, scratch reuse: %d bytes read\n",
+				stats.Cycles, stats.Instances, uint64(nn*ni), stats.ScratchBytesRead)
+		},
+	}, nil
+}

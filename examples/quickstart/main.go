@@ -1,75 +1,25 @@
 // Quickstart: the paper's Figure 4 program. A dataflow graph computes
 // 3-element dot products; streams load two vectors from memory, store
 // the per-instance results, and a barrier ends the phase. The loop of
-// the original C code disappears into the stream lengths.
+// the original C code disappears into the stream lengths. The program
+// itself is built in examples/programs (see Quickstart there), so the
+// linter and tests audit exactly what this binary runs.
 package main
 
 import (
-	"fmt"
 	"log"
 
-	"softbrain"
+	"softbrain/examples/programs"
 )
 
 func main() {
-	cfg := softbrain.DefaultConfig()
-	m, err := softbrain.NewMachine(cfg)
+	ex, err := programs.Quickstart()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// The DFG of Figure 3a: r = a.x*b.x + a.y*b.y + a.z*b.z.
-	b := softbrain.NewGraph("dotprod")
-	a := b.Input("A", 3)
-	v := b.Input("B", 3)
-	var prods []softbrain.Ref
-	for i := 0; i < 3; i++ {
-		prods = append(prods, b.N(softbrain.Mul(64), a.W(i), v.W(i)))
-	}
-	b.Output("C", b.ReduceTree(softbrain.Add(64), prods...))
-	g, err := b.Build()
+	m, stats, err := ex.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// The memory image: n 3-vectors in a and b.
-	const n = 64 // 3-word vectors
-	const aAddr, bAddr, rAddr = 0x1000, 0x4000, 0x8000
-	for i := uint64(0); i < 3*n; i++ {
-		m.Sys.Mem.WriteU64(aAddr+8*i, i%17)
-		m.Sys.Mem.WriteU64(bAddr+8*i, i%13)
-	}
-
-	// The stream-dataflow program of Figure 4(a).
-	p := softbrain.NewProgram("dotprod")
-	p.CompileAndConfigure(cfg.Fabric, g)
-	p.Emit(softbrain.MemPort{Src: softbrain.Linear(aAddr, 3*n*8), Dst: p.In("A")})
-	p.Emit(softbrain.MemPort{Src: softbrain.Linear(bAddr, 3*n*8), Dst: p.In("B")})
-	p.Emit(softbrain.PortMem{Src: p.Out("C"), Dst: softbrain.Linear(rAddr, n*8)})
-	p.Emit(softbrain.BarrierAll{})
-
-	stats, err := m.Run(p)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Verify against the host computation.
-	for i := uint64(0); i < n; i++ {
-		var want uint64
-		for j := uint64(0); j < 3; j++ {
-			k := 3*i + j
-			want += (k % 17) * (k % 13)
-		}
-		if got := m.Sys.Mem.ReadU64(rAddr + 8*i); got != want {
-			log.Fatalf("r[%d] = %d, want %d", i, got, want)
-		}
-	}
-
-	model := softbrain.NewPowerModel(cfg)
-	fmt.Printf("dot product of %d vectors: OK\n", n)
-	fmt.Printf("  cycles:             %d\n", stats.Cycles)
-	fmt.Printf("  dataflow instances: %d\n", stats.Instances)
-	fmt.Printf("  control commands:   %d (vs ~%d scalar instructions on a CPU)\n",
-		stats.Commands, 8*3*n)
-	fmt.Printf("  average power:      %.1f mW\n", model.AveragePower(stats, 1))
+	ex.Report(m, stats)
 }

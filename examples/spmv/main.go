@@ -2,102 +2,25 @@
 // access showcase. Column indices stream into an indirect vector port;
 // an SD_IndPort_Port stream gathers x[col[j]] through the indirect AGU
 // (coalescing up to four same-line addresses per cycle); a single
-// multiply-accumulate datapath reduces each row.
+// multiply-accumulate datapath reduces each row. The program is built
+// in examples/programs (see SpMV there), so the linter and tests audit
+// exactly what this binary runs.
 package main
 
 import (
-	"fmt"
 	"log"
-	"math/rand"
 
-	"softbrain"
+	"softbrain/examples/programs"
 )
 
 func main() {
-	cfg := softbrain.DefaultConfig()
-	m, err := softbrain.NewMachine(cfg)
+	ex, err := programs.SpMV()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// DFG: y += val * x_gathered, reset per row.
-	b := softbrain.NewGraph("spmv")
-	v := b.Input("V", 1)
-	x := b.Input("X", 1)
-	r := b.Input("R", 1)
-	b.Output("Y", b.N(softbrain.Acc(64), b.N(softbrain.Mul(64), v.W(0), x.W(0)), r.W(0)))
-	g, err := b.Build()
+	m, stats, err := ex.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// A random sparse matrix in CRS form.
-	const rows = 64
-	rng := rand.New(rand.NewSource(7))
-	ptr := []int{0}
-	var col []uint32
-	var val []int64
-	xs := make([]int64, rows)
-	for i := range xs {
-		xs[i] = int64(rng.Intn(19) - 9)
-	}
-	for i := 0; i < rows; i++ {
-		nnz := 1 + rng.Intn(9)
-		for j := 0; j < nnz; j++ {
-			col = append(col, uint32(rng.Intn(rows)))
-			val = append(val, int64(rng.Intn(11)-5))
-		}
-		ptr = append(ptr, len(col))
-	}
-
-	const colAddr, valAddr, xAddr, yAddr = 0x10000, 0x20000, 0x30000, 0x40000
-	for i, c := range col {
-		m.Sys.Mem.WriteUint(colAddr+4*uint64(i), 4, uint64(c))
-	}
-	for i, vv := range val {
-		m.Sys.Mem.WriteU64(valAddr+8*uint64(i), uint64(vv))
-	}
-	for i, vv := range xs {
-		m.Sys.Mem.WriteU64(xAddr+8*uint64(i), uint64(vv))
-	}
-
-	p := softbrain.NewProgram("spmv")
-	p.CompileAndConfigure(cfg.Fabric, g)
-	ind := p.IndirectIn(cfg.Fabric, 0)
-	for i := 0; i < rows; i++ { // the host walks the row pointers
-		cnt := uint64(ptr[i+1] - ptr[i])
-		base := uint64(ptr[i])
-		p.Emit(softbrain.MemPort{Src: softbrain.Linear(colAddr+4*base, cnt*4), Dst: ind})
-		p.Emit(softbrain.IndPortPort{
-			Idx: ind, IdxElem: softbrain.Elem32, Offset: xAddr, Scale: 8,
-			DataElem: softbrain.Elem64, Count: cnt, Dst: p.In("X"),
-		})
-		p.Emit(softbrain.MemPort{Src: softbrain.Linear(valAddr+8*base, cnt*8), Dst: p.In("V")})
-		if cnt > 1 {
-			p.Emit(softbrain.ConstPort{Value: 0, Elem: softbrain.Elem64, Count: cnt - 1, Dst: p.In("R")})
-			p.Emit(softbrain.CleanPort{Src: p.Out("Y"), Elem: softbrain.Elem64, Count: cnt - 1})
-		}
-		p.Emit(softbrain.ConstPort{Value: 1, Elem: softbrain.Elem64, Count: 1, Dst: p.In("R")})
-		p.Emit(softbrain.PortMem{Src: p.Out("Y"), Dst: softbrain.Linear(yAddr+8*uint64(i), 8)})
-	}
-	p.Emit(softbrain.BarrierAll{})
-
-	stats, err := m.Run(p)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	nnz := len(val)
-	for i := 0; i < rows; i++ {
-		var want int64
-		for j := ptr[i]; j < ptr[i+1]; j++ {
-			want += val[j] * xs[col[j]]
-		}
-		if got := int64(m.Sys.Mem.ReadU64(yAddr + 8*uint64(i))); got != want {
-			log.Fatalf("y[%d] = %d, want %d", i, got, want)
-		}
-	}
-	fmt.Printf("spmv %d rows, %d nonzeros: OK\n", rows, nnz)
-	fmt.Printf("  cycles: %d (%.2f per nonzero)\n", stats.Cycles, float64(stats.Cycles)/float64(nnz))
-	fmt.Printf("  gathers through the indirect AGU: %d\n", nnz)
+	ex.Report(m, stats)
 }

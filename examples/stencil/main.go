@@ -1,94 +1,24 @@
 // Stencil: a 3x3 filter over a 2D grid using the overlapped affine
 // access pattern of Figure 5 and a recurrence stream that recirculates
 // the output row across the nine filter taps — no partial sums ever
-// touch memory.
+// touch memory. The program is built in examples/programs (see Stencil
+// there), so the linter and tests audit exactly what this binary runs.
 package main
 
 import (
-	"fmt"
 	"log"
 
-	"softbrain"
+	"softbrain/examples/programs"
 )
 
 func main() {
-	cfg := softbrain.DefaultConfig()
-	m, err := softbrain.NewMachine(cfg)
+	ex, err := programs.Stencil()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// DFG: eight lanes of out = in*coeff + partial, per instance.
-	b := softbrain.NewGraph("stencil2d")
-	x := b.Input("X", 8)
-	f := b.Input("F", 1)
-	c := b.Input("C", 8)
-	var outs []softbrain.Ref
-	for j := 0; j < 8; j++ {
-		outs = append(outs, b.N(softbrain.Add(64), c.W(j), b.N(softbrain.Mul(64), f.W(0), x.W(j))))
-	}
-	b.Output("O", outs...)
-	g, err := b.Build()
+	m, stats, err := ex.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	const w, h = 34, 18 // grid; output is (w-2) x (h-2)
-	ow, oh := w-2, h-2
-	filter := []int64{1, 2, 1, 2, 4, 2, 1, 2, 1} // Gaussian-ish
-	const inAddr, outAddr = 0x10000, 0x40000
-	grid := make([]int64, w*h)
-	for i := range grid {
-		grid[i] = int64((i*7)%23 - 11)
-		m.Sys.Mem.WriteU64(inAddr+8*uint64(i), uint64(grid[i]))
-	}
-
-	p := softbrain.NewProgram("stencil2d")
-	p.CompileAndConfigure(cfg.Fabric, g)
-	for r := 0; r < oh; r++ {
-		tap := 0
-		for kr := 0; kr < 3; kr++ {
-			for kc := 0; kc < 3; kc++ {
-				src := inAddr + uint64(((r+kr)*w+kc)*8)
-				p.Emit(softbrain.MemPort{Src: softbrain.Linear(src, uint64(ow)*8), Dst: p.In("X")})
-				p.Emit(softbrain.ConstPort{
-					Value: uint64(filter[3*kr+kc]), Elem: softbrain.Elem64,
-					Count: uint64(ow / 8), Dst: p.In("F"),
-				})
-				if tap == 0 {
-					p.Emit(softbrain.ConstPort{Value: 0, Elem: softbrain.Elem64, Count: uint64(ow), Dst: p.In("C")})
-				} else {
-					// Recurrence: the partial row loops straight back.
-					p.Emit(softbrain.PortPort{Src: p.Out("O"), Elem: softbrain.Elem64, Count: uint64(ow), Dst: p.In("C")})
-				}
-				tap++
-			}
-		}
-		p.Emit(softbrain.PortMem{Src: p.Out("O"), Dst: softbrain.Linear(outAddr+uint64(r*ow*8), uint64(ow)*8)})
-	}
-	p.Emit(softbrain.BarrierAll{})
-
-	stats, err := m.Run(p)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	for r := 0; r < oh; r++ {
-		for cc := 0; cc < ow; cc++ {
-			var want int64
-			for kr := 0; kr < 3; kr++ {
-				for kc := 0; kc < 3; kc++ {
-					want += filter[3*kr+kc] * grid[(r+kr)*w+cc+kc]
-				}
-			}
-			got := int64(m.Sys.Mem.ReadU64(outAddr + uint64((r*ow+cc)*8)))
-			if got != want {
-				log.Fatalf("out[%d][%d] = %d, want %d", r, cc, got, want)
-			}
-		}
-	}
-	fmt.Printf("3x3 stencil over %dx%d grid: OK\n", w, h)
-	fmt.Printf("  cycles: %d, instances: %d\n", stats.Cycles, stats.Instances)
-	fmt.Printf("  recurrence traffic (partial sums kept on chip): %d bytes\n", stats.RecurrenceBytes)
-	fmt.Printf("  memory traffic: %d bytes read, %d written\n", stats.MemBytesRead, stats.MemBytesWritten)
+	ex.Report(m, stats)
 }

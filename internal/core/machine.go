@@ -62,6 +62,14 @@ func (e *DeadlockError) Error() string {
 type Machine struct {
 	cfg Config
 
+	// Lint, when set, vets programs before LoadStrict accepts them.
+	// Install internal/lint's checker with
+	//
+	//	m.Lint = lint.Hook(m.Config())
+	//
+	// (core cannot import the linter: lint analyzes core.Program).
+	Lint func(*Program) error
+
 	Sys    *mem.System
 	Pad    *scratch.Pad
 	Ports  *engine.Ports
@@ -180,6 +188,28 @@ func (m *Machine) Load(p *Program) error {
 	m.pc = 0
 	m.busyUntil = 0
 	return nil
+}
+
+// LoadStrict is Load behind the Lint hook: the program is statically
+// vetted first and refused when the hook reports a hazard. A machine
+// without a hook refuses every program — strict mode is an explicit
+// opt-in, not a silent fallback to Load.
+func (m *Machine) LoadStrict(p *Program) error {
+	if m.Lint == nil {
+		return fmt.Errorf("core: LoadStrict requires a Lint hook (install internal/lint.Hook)")
+	}
+	if err := m.Lint(p); err != nil {
+		return fmt.Errorf("core: refusing to load %s: %w", p.Name, err)
+	}
+	return m.Load(p)
+}
+
+// RunStrict is Run via LoadStrict.
+func (m *Machine) RunStrict(p *Program) (*Stats, error) {
+	if err := m.LoadStrict(p); err != nil {
+		return nil, err
+	}
+	return m.run()
 }
 
 // Done reports whether the program has fully completed.
@@ -302,6 +332,11 @@ func (m *Machine) Run(p *Program) (*Stats, error) {
 	if err := m.Load(p); err != nil {
 		return nil, err
 	}
+	return m.run()
+}
+
+// run executes the loaded program to completion.
+func (m *Machine) run() (*Stats, error) {
 	base := snapshotSys(m.Sys)
 	watchdog := m.cfg.WatchdogCycles
 	if watchdog == 0 {

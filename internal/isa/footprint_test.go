@@ -1,0 +1,122 @@
+package isa
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtent(t *testing.T) {
+	cases := []struct {
+		name   string
+		pat    Affine
+		lo, hi uint64
+		ok     bool
+	}{
+		{"linear", Linear(0x100, 64), 0x100, 0x140, true},
+		{"empty-size", Affine{Start: 8, AccessSize: 0, Stride: 8, Strides: 4}, 8, 8, true},
+		{"empty-strides", Affine{Start: 8, AccessSize: 8, Stride: 8, Strides: 0}, 8, 8, true},
+		{"strided", Strided2D(0, 8, 64, 4), 0, 3*64 + 8, true},
+		{"repeating", Repeat(0x40, 16, 100), 0x40, 0x50, true},
+		{"overlapped", Affine{Start: 0, AccessSize: 16, Stride: 8, Strides: 3}, 0, 2*8 + 16, true},
+		{"last-byte-of-space", Affine{Start: math.MaxUint64 - 7, AccessSize: 8, Stride: 8, Strides: 1}, math.MaxUint64 - 7, 0, false},
+		{"end-at-max", Affine{Start: math.MaxUint64 - 8, AccessSize: 8, Stride: 8, Strides: 1}, math.MaxUint64 - 8, math.MaxUint64, true},
+		{"stride-mul-overflow", Affine{Start: 0, AccessSize: 8, Stride: 1 << 40, Strides: 1 << 40}, 0, 0, false},
+		{"start-add-overflow", Affine{Start: math.MaxUint64 - 64, AccessSize: 8, Stride: 64, Strides: 4}, math.MaxUint64 - 64, 0, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			lo, hi, ok := c.pat.Extent()
+			if ok != c.ok {
+				t.Fatalf("Extent(%v) ok = %v, want %v", c.pat, ok, c.ok)
+			}
+			if !ok {
+				return
+			}
+			if lo != c.lo || hi != c.hi {
+				t.Fatalf("Extent(%v) = [%#x, %#x), want [%#x, %#x)", c.pat, lo, hi, c.lo, c.hi)
+			}
+		})
+	}
+}
+
+func TestTotalBytesChecked(t *testing.T) {
+	if n, ok := Linear(0, 64).TotalBytesChecked(); !ok || n != 64 {
+		t.Fatalf("TotalBytesChecked(linear 64) = %d, %v", n, ok)
+	}
+	big := Affine{AccessSize: 1 << 40, Stride: 1 << 40, Strides: 1 << 40}
+	if _, ok := big.TotalBytesChecked(); ok {
+		t.Fatalf("TotalBytesChecked did not flag %v as overflowing", big)
+	}
+}
+
+// refOverlaps is the brute-force reference: enumerate both byte sets.
+func refOverlaps(a, b Affine) bool {
+	seen := map[uint64]bool{}
+	a.EachByte(func(addr uint64) { seen[addr] = true })
+	hit := false
+	b.EachByte(func(addr uint64) {
+		if seen[addr] {
+			hit = true
+		}
+	})
+	return hit
+}
+
+func TestOverlaps(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Affine
+		want bool
+	}{
+		{"identical", Linear(0x100, 64), Linear(0x100, 64), true},
+		{"adjacent", Linear(0, 64), Linear(64, 64), false},
+		{"one-byte-overlap", Linear(0, 65), Linear(64, 64), true},
+		{"disjoint", Linear(0, 64), Linear(0x1000, 64), false},
+		{"empty-vs-anything", Affine{}, Linear(0, 1<<20), false},
+		{"repeat-inside-linear", Repeat(0x20, 8, 1000), Linear(0, 64), true},
+		{"repeat-outside-linear", Repeat(0x100, 8, 1000), Linear(0, 64), false},
+		{"overlapped-vs-linear", Affine{Start: 0, AccessSize: 16, Stride: 8, Strides: 8}, Linear(70, 8), true},
+		// Interleaved strided patterns: extents overlap, bytes never do.
+		{"interleaved-disjoint", Strided2D(0, 8, 16, 8), Strided2D(8, 8, 16, 8), false},
+		{"interleaved-colliding", Strided2D(0, 8, 16, 8), Strided2D(8, 8, 24, 8), true},
+		// A sparse pattern whose holes swallow a dense one.
+		{"linear-in-stride-hole", Strided2D(0, 8, 64, 8), Linear(16, 32), false},
+		{"linear-on-stride-row", Strided2D(0, 8, 64, 8), Linear(128, 4), true},
+		// Overflowing patterns are conservatively overlapping.
+		{"overflow-conservative", Affine{Start: math.MaxUint64 - 8, AccessSize: 64, Stride: 64, Strides: 4}, Linear(0, 8), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.a.Overlaps(c.b); got != c.want {
+				t.Fatalf("Overlaps(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+			if got := c.b.Overlaps(c.a); got != c.want {
+				t.Fatalf("Overlaps(%v, %v) = %v, want %v (asymmetric!)", c.b, c.a, got, c.want)
+			}
+		})
+	}
+}
+
+// TestOverlapsAgainstReference cross-checks Overlaps with the byte-set
+// reference over a grid of small patterns, including Stride == 0 and
+// Stride < AccessSize shapes.
+func TestOverlapsAgainstReference(t *testing.T) {
+	var pats []Affine
+	for _, start := range []uint64{0, 3, 8, 17} {
+		for _, acc := range []uint64{1, 4, 8} {
+			for _, stride := range []uint64{0, 2, 4, 8, 12, 32} {
+				for _, n := range []uint64{1, 3, 5} {
+					pats = append(pats, Affine{Start: start, AccessSize: acc, Stride: stride, Strides: n})
+				}
+			}
+		}
+	}
+	for _, a := range pats {
+		for _, b := range pats {
+			want := refOverlaps(a, b)
+			if got := a.Overlaps(b); got != want {
+				t.Fatalf("Overlaps(%v, %v) = %v, reference says %v", a, b, got, want)
+			}
+		}
+	}
+}

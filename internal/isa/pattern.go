@@ -7,7 +7,10 @@
 // architectural: no microarchitectural state appears in this package.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // LineBytes is the width of the memory interface in bytes. Stream engines
 // move data in aligned lines of this size (the paper's 512-bit buses).
@@ -65,6 +68,126 @@ func (a Affine) Shape() string {
 	default:
 		return "strided"
 	}
+}
+
+// TotalBytesChecked is TotalBytes with overflow detection: ok is false
+// when AccessSize*Strides does not fit in uint64.
+func (a Affine) TotalBytesChecked() (n uint64, ok bool) {
+	hi, lo := bits.Mul64(a.AccessSize, a.Strides)
+	return lo, hi == 0
+}
+
+// Extent returns the half-open byte range [lo, hi) the pattern touches.
+// ok is false when the last byte address overflows uint64 — the pattern
+// wraps the address space and hi is meaningless. Empty patterns return
+// an empty range at Start.
+func (a Affine) Extent() (lo, hi uint64, ok bool) {
+	if a.Empty() {
+		return a.Start, a.Start, true
+	}
+	// Last byte offset from Start: (Strides-1)*Stride + AccessSize - 1.
+	h, span := bits.Mul64(a.Strides-1, a.Stride)
+	if h != 0 {
+		return a.Start, 0, false
+	}
+	span, carry := bits.Add64(span, a.AccessSize, 0)
+	if carry != 0 {
+		return a.Start, 0, false
+	}
+	end, carry := bits.Add64(a.Start, span, 0)
+	if carry != 0 || end < a.Start { // end == 0 after exact wrap
+		return a.Start, 0, false
+	}
+	return a.Start, end, true
+}
+
+// dense reports whether the pattern touches every byte of its extent:
+// linear, overlapped, and repeating shapes have no holes.
+func (a Affine) dense() bool {
+	return a.Strides <= 1 || a.Stride <= a.AccessSize
+}
+
+// touchesInterval reports whether any access of the pattern intersects
+// the half-open byte interval [lo, hi). Patterns whose extent overflows
+// are conservatively reported as touching.
+func (a Affine) touchesInterval(lo, hi uint64) bool {
+	if hi <= lo || a.Empty() {
+		return false
+	}
+	alo, ahi, ok := a.Extent()
+	if !ok {
+		return true
+	}
+	if ahi <= lo || alo >= hi {
+		return false
+	}
+	if a.dense() {
+		return true
+	}
+	// Sparse strided pattern: access s covers [alo+s*Stride, +AccessSize).
+	// It ends after lo when s > (lo - alo - AccessSize)/Stride, and starts
+	// before hi when s <= (hi-1-alo)/Stride.
+	var smin uint64
+	if lo >= alo+a.AccessSize { // no underflow: alo+AccessSize <= ahi fits
+		smin = (lo-alo-a.AccessSize)/a.Stride + 1
+	}
+	smax := (hi - 1 - alo) / a.Stride // alo < hi, so no underflow
+	if last := a.Strides - 1; smax > last {
+		smax = last
+	}
+	return smin <= smax
+}
+
+// overlapEnumCap bounds the per-access enumeration Overlaps falls back
+// to for two sparse strided patterns; beyond it the check is
+// conservatively true.
+const overlapEnumCap = 1 << 16
+
+// Overlaps reports whether the byte footprints of a and b intersect.
+// The check is exact except for two cases reported conservatively as
+// overlapping: patterns whose extent overflows uint64, and pairs of
+// sparse strided patterns with more than overlapEnumCap accesses each.
+func (a Affine) Overlaps(b Affine) bool {
+	if a.Empty() || b.Empty() {
+		return false
+	}
+	alo, ahi, aok := a.Extent()
+	blo, bhi, bok := b.Extent()
+	if !aok || !bok {
+		return true
+	}
+	if ahi <= blo || bhi <= alo {
+		return false
+	}
+	// Extents intersect. Dense patterns cover their extent completely.
+	if a.dense() || b.dense() {
+		if a.dense() && b.dense() {
+			return true
+		}
+		// One dense: restrict to the sparse side's access grid.
+		sparse, dense := a, b
+		if a.dense() {
+			sparse, dense = b, a
+		}
+		dlo, dhi, _ := dense.Extent()
+		return sparse.touchesInterval(dlo, dhi)
+	}
+	// Both sparse: enumerate the pattern with fewer accesses.
+	p, q := a, b
+	if b.Strides < a.Strides {
+		p, q = b, a
+	}
+	if p.Strides > overlapEnumCap {
+		return true
+	}
+	plo, _, _ := p.Extent()
+	for s := uint64(0); s < p.Strides; s++ {
+		start := plo + s*p.Stride
+		if q.touchesInterval(start, start+p.AccessSize) {
+			return true
+		}
+	}
+	return false
 }
 
 func (a Affine) String() string {

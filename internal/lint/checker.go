@@ -1,0 +1,596 @@
+package lint
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"softbrain/internal/cgra"
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+)
+
+// wordBytes is the vector-port word size: input ports deliver 64-bit
+// words to the CGRA regardless of the stream's element size.
+const wordBytes = 8
+
+// access is one stream's footprint in an ordering window. ordPort names
+// the output vector port driving the access, or -1: the dispatcher
+// scoreboard serializes streams reading the same output port, so two
+// writes driven by one port are ordered even without a barrier. inPort
+// names the input vector port a read feeds, or -1; it identifies the
+// read half of a pipelined read-modify-write (see addMem).
+type access struct {
+	idx     int
+	write   bool
+	pat     isa.Affine
+	ordPort int
+	inPort  int
+	what    string
+}
+
+type checker struct {
+	p        *core.Program
+	fabric   *cgra.Fabric
+	scratch  uint64
+	findings []Finding
+
+	// Active configuration (nil before the first SD_Config).
+	sched  *cgra.Schedule
+	inMap  map[int]int // hardware input port -> DFG input port
+	outMap map[int]int // hardware output port -> DFG output port
+
+	// rmwDeps maps each hardware output port to the set of hardware
+	// input ports the active graph routes into it — the dependence that
+	// legitimizes pipelined read-modify-write over identical footprints.
+	rmwDeps map[int]map[int]bool
+
+	// Race windows. SD_Config is a full fence at dispatch (it issues
+	// only on an idle fabric and nothing younger passes it), so all
+	// three clear on reconfiguration as well as on their barriers.
+	mem   []access // memory accesses since the last SD_Barrier_All
+	padRd []access // scratchpad reads since the last Rd/All barrier
+	padWr []access // scratchpad writes since the last Wr/All barrier
+
+	// Balance accounting for the current configuration epoch.
+	inBytes  map[int]uint64 // mapped input port -> bytes streamed in
+	outBytes map[int]uint64 // mapped output port -> bytes consumed
+	indIn    map[int]uint64 // indirect port -> index bytes staged
+	indOut   map[int]uint64 // indirect port -> index bytes consumed
+	lastIn   map[int]int    // input port -> last trace index touching it
+	lastOut  map[int]int
+}
+
+func newChecker(p *core.Program, cfg core.Config) *checker {
+	c := &checker{p: p, fabric: cfg.Fabric, scratch: uint64(cfg.ScratchBytes)}
+	c.resetEpoch()
+	return c
+}
+
+func (c *checker) resetEpoch() {
+	c.inBytes = map[int]uint64{}
+	c.outBytes = map[int]uint64{}
+	c.indIn = map[int]uint64{}
+	c.indOut = map[int]uint64{}
+	c.lastIn = map[int]int{}
+	c.lastOut = map[int]int{}
+}
+
+func (c *checker) report(idx int, check string, sev Severity, format string, args ...any) {
+	c.findings = append(c.findings, Finding{
+		Prog: c.p.Name, Index: idx, Check: check, Sev: sev,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// satMul multiplies with saturation; byte accounting never wraps.
+func satMul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi != 0 {
+		return ^uint64(0)
+	}
+	return lo
+}
+
+// satAdd adds with saturation.
+func satAdd(a, b uint64) uint64 {
+	s, carry := bits.Add64(a, b, 0)
+	if carry != 0 {
+		return ^uint64(0)
+	}
+	return s
+}
+
+// command dispatches one trace operation through every check family.
+func (c *checker) command(idx int, cmd isa.Command) {
+	switch k := cmd.(type) {
+	case isa.Config:
+		c.configure(idx, k)
+	case isa.MemScratch:
+		if c.memPatternOK(idx, k.Src, "SD_Mem_Scratch source") {
+			c.addMem(access{idx: idx, pat: k.Src, ordPort: -1, inPort: -1, what: "SD_Mem_Scratch read"})
+		}
+		n, _ := k.Src.TotalBytesChecked()
+		c.padWrite(idx, isa.Linear(k.ScratchAddr, n), -1, "SD_Mem_Scratch write")
+	case isa.MemPort:
+		if c.memPatternOK(idx, k.Src, "SD_Mem_Port source") {
+			c.addMem(access{idx: idx, pat: k.Src, ordPort: -1, inPort: int(k.Dst), what: "SD_Mem_Port read"})
+		}
+		c.inPortWrite(idx, k.Dst, k.Src.TotalBytes())
+	case isa.ScratchPort:
+		c.padRead(idx, k.Src, "SD_Scratch_Port read")
+		c.inPortWrite(idx, k.Dst, k.Src.TotalBytes())
+	case isa.ConstPort:
+		c.inPortWrite(idx, k.Dst, satMul(k.Count, uint64(k.Elem)))
+	case isa.CleanPort:
+		c.outPortRead(idx, k.Src, satMul(k.Count, uint64(k.Elem)))
+	case isa.PortPort:
+		n := satMul(k.Count, uint64(k.Elem))
+		c.outPortRead(idx, k.Src, n)
+		c.inPortWrite(idx, k.Dst, n)
+	case isa.PortScratch:
+		n := satMul(k.Count, uint64(k.Elem))
+		c.outPortRead(idx, k.Src, n)
+		c.padWrite(idx, isa.Linear(k.ScratchAddr, n), int(k.Src), "SD_Port_Scratch write")
+	case isa.PortMem:
+		c.outPortRead(idx, k.Src, k.Dst.TotalBytes())
+		if c.memPatternOK(idx, k.Dst, "SD_Port_Mem destination") {
+			c.addMem(access{idx: idx, write: true, pat: k.Dst, ordPort: int(k.Src), inPort: -1, what: "SD_Port_Mem write"})
+		}
+	case isa.IndPortPort:
+		// The gather footprint is data-dependent: excluded from race and
+		// bounds analysis (see the package comment).
+		c.idxPortRead(idx, k.Idx, satMul(k.Count, uint64(k.IdxElem)))
+		c.inPortWrite(idx, k.Dst, satMul(k.Count, uint64(k.DataElem)))
+	case isa.IndPortMem:
+		// Data-dependent scatter footprint: likewise excluded.
+		c.idxPortRead(idx, k.Idx, satMul(k.Count, uint64(k.IdxElem)))
+		c.outPortRead(idx, k.Src, satMul(k.Count, uint64(k.DataElem)))
+	case isa.BarrierScratchRd:
+		c.padRd = nil
+	case isa.BarrierScratchWr:
+		c.padWr = nil
+	case isa.BarrierAll:
+		c.mem, c.padRd, c.padWr = nil, nil, nil
+	}
+}
+
+// configure ends the current epoch and installs the new configuration.
+func (c *checker) configure(idx int, k isa.Config) {
+	c.flushEpoch(idx, true)
+	c.mem, c.padRd, c.padWr = nil, nil, nil // SD_Config is a full fence
+	c.sched = nil
+	c.inMap, c.outMap = nil, nil
+	c.rmwDeps = nil
+	c.resetEpoch()
+
+	blob, ok := c.p.Configs[k.Addr]
+	if !ok {
+		c.report(idx, CheckOOB, SevError,
+			"SD_Config reads %#x, which holds no registered configuration bitstream", k.Addr)
+		return
+	}
+	s, err := cgra.DecodeConfig(c.fabric, blob)
+	if err != nil {
+		c.report(idx, CheckPortConflict, SevError,
+			"configuration at %#x does not decode for this fabric: %v", k.Addr, err)
+		return
+	}
+	c.sched = s
+	c.inMap = map[int]int{}
+	c.outMap = map[int]int{}
+	for dfgPort, hw := range s.InPortMap {
+		c.inMap[hw] = dfgPort
+	}
+	for dfgPort, hw := range s.OutPortMap {
+		c.outMap[hw] = dfgPort
+	}
+	c.rmwDeps = portDeps(s)
+}
+
+// portDeps computes, for each hardware output port of the schedule, the
+// set of hardware input ports whose values the graph routes into it.
+func portDeps(s *cgra.Schedule) map[int]map[int]bool {
+	g := s.Graph
+	memo := make([]map[int]bool, len(g.Nodes))
+	var node func(id dfg.NodeID) map[int]bool
+	var ref func(r dfg.Ref, into map[int]bool)
+	ref = func(r dfg.Ref, into map[int]bool) {
+		switch r.Kind {
+		case dfg.RefPort:
+			into[r.Port] = true
+		case dfg.RefNode:
+			for p := range node(r.Node) {
+				into[p] = true
+			}
+		}
+	}
+	node = func(id dfg.NodeID) map[int]bool {
+		if memo[id] != nil {
+			return memo[id]
+		}
+		set := map[int]bool{}
+		memo[id] = set // validated graphs are DAGs, so no cycles
+		for _, a := range g.Nodes[id].Args {
+			ref(a, set)
+		}
+		return set
+	}
+	deps := map[int]map[int]bool{}
+	for oi, out := range g.Outs {
+		set := map[int]bool{}
+		for _, src := range out.Sources {
+			ref(src, set)
+		}
+		hw := map[int]bool{}
+		for dfgIn := range set {
+			hw[s.InPortMap[dfgIn]] = true
+		}
+		deps[s.OutPortMap[oi]] = hw
+	}
+	return deps
+}
+
+// memPatternOK bounds-checks a memory footprint and reports oob
+// findings; it returns false when the pattern is unusable for overlap
+// analysis.
+func (c *checker) memPatternOK(idx int, pat isa.Affine, what string) bool {
+	if pat.Empty() {
+		return false
+	}
+	lo, hi, ok := pat.Extent()
+	if !ok {
+		c.report(idx, CheckOOB, SevError, "%s %v overflows the 64-bit address space", what, pat)
+		return false
+	}
+	if hi > core.ConfigSpace {
+		c.report(idx, CheckOOB, SevError,
+			"%s footprint [%#x, %#x) crosses into the configuration space at %#x", what, lo, hi, core.ConfigSpace)
+		return false
+	}
+	return true
+}
+
+// padPatternOK bounds-checks a scratchpad footprint.
+func (c *checker) padPatternOK(idx int, pat isa.Affine, what string) bool {
+	if pat.Empty() {
+		return false
+	}
+	lo, hi, ok := pat.Extent()
+	if !ok {
+		c.report(idx, CheckOOB, SevError, "%s %v overflows the 64-bit address space", what, pat)
+		return false
+	}
+	if hi > c.scratch {
+		c.report(idx, CheckOOB, SevError,
+			"%s footprint [%#x, %#x) exceeds the %d-byte scratchpad", what, lo, hi, c.scratch)
+		return false
+	}
+	return true
+}
+
+// addMem races the access against the open memory window and records it.
+// Only SD_Barrier_All orders memory streams (Section 3.3). One idiom is
+// exempt: a port-driven write whose footprint is *identical* to an
+// earlier read feeding an input port the active graph routes into the
+// driving output port. There, written element j depends on read element
+// j through the fabric, so the write can never overtake the read — the
+// pipelined read-modify-write of in-place update kernels (backprop's
+// weight rows). Revisiting patterns (Stride < AccessSize) stay flagged:
+// a revisit reads bytes the write already replaced.
+func (c *checker) addMem(a access) {
+	for i := len(c.mem) - 1; i >= 0; i-- {
+		o := c.mem[i]
+		if !a.write && !o.write {
+			continue
+		}
+		if a.ordPort >= 0 && a.ordPort == o.ordPort {
+			continue // same output port: serialized by the scoreboard
+		}
+		if a.write && !o.write && a.ordPort >= 0 && o.inPort >= 0 &&
+			a.pat == o.pat && (a.pat.Strides <= 1 || a.pat.Stride >= a.pat.AccessSize) &&
+			c.rmwDeps[a.ordPort][o.inPort] {
+			continue // pipelined read-modify-write through the fabric
+		}
+		if a.pat.Overlaps(o.pat) {
+			c.report(a.idx, CheckRace, SevError,
+				"%s %v overlaps the %s at trace[%d] (%v) with no intervening SD_Barrier_All",
+				a.what, a.pat, o.what, o.idx, o.pat)
+			break
+		}
+	}
+	c.mem = append(c.mem, a)
+}
+
+// padRead races a scratchpad read against unordered scratchpad writes:
+// a read of freshly written data needs SD_Barrier_Scratch_Wr first.
+func (c *checker) padRead(idx int, pat isa.Affine, what string) {
+	if !c.padPatternOK(idx, pat, what) {
+		return
+	}
+	a := access{idx: idx, pat: pat, ordPort: -1, what: what}
+	for i := len(c.padWr) - 1; i >= 0; i-- {
+		if o := c.padWr[i]; a.pat.Overlaps(o.pat) {
+			c.report(idx, CheckRace, SevError,
+				"%s %v overlaps the %s at trace[%d] (%v) with no intervening SD_Barrier_Scratch_Wr",
+				what, pat, o.what, o.idx, o.pat)
+			break
+		}
+	}
+	c.padRd = append(c.padRd, a)
+}
+
+// padWrite races a scratchpad write against unordered reads (needs
+// SD_Barrier_Scratch_Rd) and writes (needs SD_Barrier_Scratch_Wr).
+func (c *checker) padWrite(idx int, pat isa.Affine, ordPort int, what string) {
+	if !c.padPatternOK(idx, pat, what) {
+		return
+	}
+	a := access{idx: idx, write: true, pat: pat, ordPort: ordPort, what: what}
+	for i := len(c.padRd) - 1; i >= 0; i-- {
+		if o := c.padRd[i]; a.pat.Overlaps(o.pat) {
+			c.report(idx, CheckRace, SevError,
+				"%s %v overlaps the %s at trace[%d] (%v) with no intervening SD_Barrier_Scratch_Rd",
+				what, pat, o.what, o.idx, o.pat)
+			break
+		}
+	}
+	for i := len(c.padWr) - 1; i >= 0; i-- {
+		o := c.padWr[i]
+		if a.ordPort >= 0 && a.ordPort == o.ordPort {
+			continue
+		}
+		if a.pat.Overlaps(o.pat) {
+			c.report(idx, CheckRace, SevError,
+				"%s %v overlaps the %s at trace[%d] (%v) with no intervening SD_Barrier_Scratch_Wr",
+				what, pat, o.what, o.idx, o.pat)
+			break
+		}
+	}
+	c.padWr = append(c.padWr, a)
+}
+
+// inPortWrite validates and accounts a stream delivering bytes into an
+// input vector port.
+func (c *checker) inPortWrite(idx int, port isa.InPortID, n uint64) {
+	p := int(port)
+	if p >= len(c.fabric.InPorts) {
+		c.report(idx, CheckPortConflict, SevError,
+			"targets input port %d; the fabric has %d", p, len(c.fabric.InPorts))
+		return
+	}
+	c.lastIn[p] = idx
+	if c.fabric.InPorts[p].Indirect {
+		c.indIn[p] = satAdd(c.indIn[p], n)
+		return
+	}
+	if c.sched == nil {
+		c.report(idx, CheckPortConflict, SevError,
+			"targets input port %d before any SD_Config defines the fabric's ports", p)
+		return
+	}
+	if _, mapped := c.inMap[p]; !mapped {
+		c.report(idx, CheckPortConflict, SevError,
+			"targets input port %d, which configuration %s does not define", p, c.sched.Graph.Name)
+		return
+	}
+	c.inBytes[p] = satAdd(c.inBytes[p], n)
+}
+
+// idxPortRead validates and accounts an indirect stream consuming index
+// bytes from an indirect-capable port.
+func (c *checker) idxPortRead(idx int, port isa.InPortID, n uint64) {
+	p := int(port)
+	if p >= len(c.fabric.InPorts) {
+		c.report(idx, CheckPortConflict, SevError,
+			"consumes indices from input port %d; the fabric has %d", p, len(c.fabric.InPorts))
+		return
+	}
+	if !c.fabric.InPorts[p].Indirect {
+		c.report(idx, CheckPortConflict, SevError,
+			"consumes indices from port %d, which is not indirect-capable", p)
+		return
+	}
+	c.lastIn[p] = idx
+	c.indOut[p] = satAdd(c.indOut[p], n)
+}
+
+// outPortRead validates and accounts a stream consuming bytes from an
+// output vector port.
+func (c *checker) outPortRead(idx int, port isa.OutPortID, n uint64) {
+	p := int(port)
+	if p >= len(c.fabric.OutPorts) {
+		c.report(idx, CheckPortConflict, SevError,
+			"reads output port %d; the fabric has %d", p, len(c.fabric.OutPorts))
+		return
+	}
+	if c.sched == nil {
+		c.report(idx, CheckPortConflict, SevError,
+			"reads output port %d before any SD_Config defines the fabric's ports", p)
+		return
+	}
+	c.lastOut[p] = idx
+	if _, mapped := c.outMap[p]; !mapped {
+		c.report(idx, CheckPortConflict, SevError,
+			"reads output port %d, which configuration %s does not define", p, c.sched.Graph.Name)
+		return
+	}
+	c.outBytes[p] = satAdd(c.outBytes[p], n)
+}
+
+// finish closes the trailing epoch and warns when the program ends with
+// writes no barrier has ordered (results may not be architecturally
+// visible to the host).
+func (c *checker) finish() {
+	c.flushEpoch(len(c.p.Trace)-1, false)
+	unordered := len(c.padWr)
+	for _, a := range c.mem {
+		if a.write {
+			unordered++
+		}
+	}
+	if unordered > 0 {
+		c.report(len(c.p.Trace)-1, CheckRace, SevWarning,
+			"program ends with %d write stream(s) not ordered by a barrier; end the phase with SD_Barrier_All", unordered)
+	}
+}
+
+// flushEpoch runs the balance checks over the closing configuration
+// epoch. At a reconfiguration, residue is a port-conflict — leftover
+// bytes buffered in a vector port are consumed by the *next*
+// configuration's dataflow graph; at the end of the trace it is a
+// balance error.
+func (c *checker) flushEpoch(idx int, reconfig bool) {
+	residue := CheckBalance
+	if reconfig {
+		residue = CheckPortConflict
+	}
+
+	// Indirect ports: staged index bytes must match consumed exactly.
+	for _, p := range sortedKeys(c.indIn, c.indOut) {
+		in, out := c.indIn[p], c.indOut[p]
+		at := c.lastIn[p]
+		switch {
+		case out > in:
+			c.report(at, CheckBalance, SevError,
+				"indirect streams consume %d index bytes from port %d but only %d are staged: the consumer deadlocks", out, p, in)
+		case in > out:
+			c.report(at, residue, SevError,
+				"indirect port %d is left holding %d unconsumed index bytes%s", p, in-out, residueNote(reconfig))
+		}
+	}
+
+	if c.sched == nil {
+		return
+	}
+	g := c.sched.Graph
+
+	// Input ports: every mapped port must deliver a whole number of
+	// instances, and the same number as every other port.
+	type portCount struct {
+		hw, dfg   int
+		instances uint64
+	}
+	var counts []portCount
+	partial := false
+	for _, hw := range sortedKeys(c.inBytes) {
+		dfgPort := c.inMap[hw]
+		instBytes := uint64(g.Ins[dfgPort].Width) * wordBytes
+		n := c.inBytes[hw]
+		if n%instBytes != 0 {
+			partial = true
+			c.report(c.lastIn[hw], residue, SevError,
+				"input port %d (%s.%s) is fed %d bytes, not a multiple of its %d-byte instance (width %d words)",
+				hw, g.Name, g.Ins[dfgPort].Name, n, instBytes, g.Ins[dfgPort].Width)
+			continue
+		}
+		counts = append(counts, portCount{hw, dfgPort, n / instBytes})
+	}
+	// A mapped port never fed while its siblings stream starves the
+	// dataflow: count it as zero instances.
+	if len(counts) > 0 || partial {
+		for dfgPort, hw := range c.sched.InPortMap {
+			if _, fed := c.inBytes[hw]; !fed {
+				counts = append(counts, portCount{hw, dfgPort, 0})
+			}
+		}
+	}
+	instances := uint64(0)
+	consistent := !partial
+	if len(counts) > 0 {
+		instances = counts[0].instances
+		for _, pc := range counts[1:] {
+			if pc.instances != instances {
+				consistent = false
+			}
+		}
+	}
+	if consistent && len(counts) > 0 {
+		// All equal; nothing to report for inputs.
+	} else if !partial && len(counts) > 0 {
+		// Anchor at the last stream touching any counted port.
+		var parts []string
+		at := 0
+		for _, pc := range counts {
+			parts = append(parts, fmt.Sprintf("%s=%d", g.Ins[pc.dfg].Name, pc.instances))
+			if t := c.lastTouchIn(pc.hw); t > at {
+				at = t
+			}
+		}
+		c.report(at, residue, SevError,
+			"input ports of %s receive unequal instance counts (%s): the dataflow starves on the short port%s",
+			g.Name, join(parts), residueNote(reconfig))
+		consistent = false
+	}
+
+	// Output ports: consumption must match production exactly. Skip when
+	// the input side is already inconsistent — the instance count is
+	// ill-defined and every output diagnostic would be noise.
+	if !consistent {
+		return
+	}
+	for dfgPort, hw := range c.sched.OutPortMap {
+		produced := satMul(instances, uint64(g.Outs[dfgPort].BytesPerInstance()))
+		consumed := c.outBytes[hw]
+		if consumed == produced {
+			continue
+		}
+		at, ok := c.lastOut[hw]
+		if !ok {
+			at = idx
+		}
+		switch {
+		case consumed > produced:
+			c.report(at, CheckBalance, SevError,
+				"streams consume %d bytes from output port %d (%s.%s) but %d instances produce only %d: the consumer deadlocks",
+				consumed, hw, g.Name, g.Outs[dfgPort].Name, instances, produced)
+		default:
+			c.report(at, residue, SevError,
+				"output port %d (%s.%s) produces %d bytes over %d instances but streams consume only %d%s",
+				hw, g.Name, g.Outs[dfgPort].Name, produced, instances, consumed, residueNote(reconfig))
+		}
+	}
+}
+
+func (c *checker) lastTouchIn(hw int) int {
+	if t, ok := c.lastIn[hw]; ok {
+		return t
+	}
+	return 0
+}
+
+func residueNote(reconfig bool) string {
+	if reconfig {
+		return "; SD_Config retargets the fabric while the data is still buffered"
+	}
+	return ""
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+// sortedKeys merges and sorts the key sets of the given maps so
+// findings come out in a deterministic order.
+func sortedKeys(ms ...map[int]uint64) []int {
+	seen := map[int]bool{}
+	var keys []int
+	for _, m := range ms {
+		for k := range m {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,73 @@
+package lint_test
+
+import (
+	"fmt"
+	"testing"
+
+	"softbrain/examples/programs"
+	"softbrain/internal/core"
+	"softbrain/internal/lint"
+	"softbrain/internal/workloads/dnn"
+	"softbrain/internal/workloads/ext"
+	"softbrain/internal/workloads/machsuite"
+)
+
+// assertClean lints p and fails the test on any finding at all —
+// shipped programs must be warning-free too.
+func assertClean(t *testing.T, name string, p *core.Program, cfg core.Config) {
+	t.Helper()
+	fs, err := lint.Check(p, cfg)
+	if err != nil {
+		t.Errorf("%s: Check: %v", name, err)
+		return
+	}
+	for _, f := range fs {
+		t.Errorf("%s: %v", name, f)
+	}
+}
+
+// TestWorkloadsLintClean is the regression gate: every shipped workload
+// program passes the linter with zero findings.
+func TestWorkloadsLintClean(t *testing.T) {
+	cfg := core.DefaultConfig()
+	for _, e := range machsuite.All() {
+		inst, err := e.Build(cfg, 1)
+		if err != nil {
+			t.Fatalf("machsuite/%s: %v", e.Name, err)
+		}
+		for i, p := range inst.Progs {
+			assertClean(t, fmt.Sprintf("machsuite/%s#%d", e.Name, i), p, cfg)
+		}
+	}
+	for _, e := range ext.All() {
+		inst, err := e.Build(cfg, 1)
+		if err != nil {
+			t.Fatalf("ext/%s: %v", e.Name, err)
+		}
+		for i, p := range inst.Progs {
+			assertClean(t, fmt.Sprintf("ext/%s#%d", e.Name, i), p, cfg)
+		}
+	}
+	dnnCfg := dnn.Config()
+	for _, l := range dnn.Layers() {
+		inst, err := l.Build(dnnCfg, dnn.Units)
+		if err != nil {
+			t.Fatalf("dnn/%s: %v", l.Name, err)
+		}
+		for i, p := range inst.Progs {
+			assertClean(t, fmt.Sprintf("dnn/%s#%d", l.Name, i), p, dnnCfg)
+		}
+	}
+}
+
+// TestExamplesLintClean asserts the example programs lint clean under
+// their own configurations.
+func TestExamplesLintClean(t *testing.T) {
+	exs, err := programs.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range exs {
+		assertClean(t, "examples/"+ex.Name, ex.Prog, ex.Cfg)
+	}
+}

@@ -1,0 +1,146 @@
+// Package lint statically analyzes stream-dataflow programs for the
+// hazards the architecture does not police at runtime. Section 3.3 of
+// the paper makes explicit barriers (SD_Barrier_Scratch_Rd/Wr/All) the
+// *only* ordering guarantee between concurrent streams; a program whose
+// streams touch overlapping memory or scratchpad regions without one is
+// silently racy — the hardware (and the simulator) return whichever
+// interleaving the engines happened to take. The linter symbolically
+// computes every stream's byte footprint from its isa.Affine pattern and
+// walks the command trace without executing anything.
+//
+// Four check families, each with a stable ID usable in filters:
+//
+//	race          overlapping memory/scratchpad footprints with no
+//	              intervening barrier of the right kind
+//	port-conflict streams addressing vector ports the active CGRA
+//	              configuration never defines, indices through
+//	              non-indirect ports, or data left buffered in a port
+//	              when SD_Config retargets the fabric
+//	balance       per-epoch element counts that cannot fire cleanly:
+//	              input ports fed partial instances, instance counts
+//	              that differ across ports (static deadlock/starvation),
+//	              output ports over- or under-consumed, index streams
+//	              staging more or fewer indices than are consumed
+//	oob           affine footprints that overflow the 64-bit address
+//	              space, cross into the configuration space, or exceed
+//	              the scratchpad capacity
+//
+// One idiom is deliberately exempt from the race check: the pipelined
+// read-modify-write, where a memory write driven by an output port has a
+// footprint identical to an earlier read feeding an input port that the
+// active dataflow graph routes into that output port. Element j of the
+// write then depends on element j of the read through the fabric, so the
+// write can never overtake the read (backprop updates weight rows in
+// place this way).
+//
+// Known soundness gaps, both deliberate: indirect streams
+// (SD_IndPort_*) have data-dependent footprints and are excluded from
+// race and bounds analysis (value-range analysis over the staged index
+// patterns is future work), and patterns reported as overlapping may be
+// conservative when their extents overflow uint64.
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"softbrain/internal/core"
+)
+
+// Check family IDs, stable across releases.
+const (
+	CheckRace         = "race"
+	CheckPortConflict = "port-conflict"
+	CheckBalance      = "balance"
+	CheckOOB          = "oob"
+)
+
+// Severity grades a finding. Errors are hazards that produce undefined
+// results or deadlock; warnings are legal-but-suspect constructions.
+type Severity uint8
+
+const (
+	SevWarning Severity = iota
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one diagnosed hazard, anchored to the command-trace index
+// of the operation that completes the hazardous pair (or, for balance
+// findings, the last operation touching the unbalanced port).
+type Finding struct {
+	Prog  string
+	Index int // index into Program.Trace
+	Check string
+	Sev   Severity
+	Msg   string
+}
+
+// String renders the finding in go vet style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: trace[%d]: %s: %s", f.Prog, f.Index, f.Check, f.Msg)
+}
+
+// Check lints the program against the machine configuration that would
+// run it (the fabric defines the vector ports, the config the scratchpad
+// capacity). It returns the findings in trace order. The error return is
+// reserved for programs that cannot be analyzed at all: a construction
+// error recorded by the Program emitter, or an invalid configuration.
+func Check(p *core.Program, cfg core.Config) ([]Finding, error) {
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := newChecker(p, cfg)
+	for i, op := range p.Trace {
+		if op.Cmd != nil {
+			c.command(i, op.Cmd)
+		}
+	}
+	c.finish()
+	return c.findings, nil
+}
+
+// Errors filters fs to error-severity findings.
+func Errors(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Sev == SevError {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Hook adapts the linter to the core.Machine Lint hook: it refuses any
+// program with error-severity findings. Install it with
+//
+//	m.Lint = lint.Hook(m.Config())
+//
+// and load programs through Machine.LoadStrict.
+func Hook(cfg core.Config) func(*core.Program) error {
+	return func(p *core.Program) error {
+		fs, err := Check(p, cfg)
+		if err != nil {
+			return err
+		}
+		errs := Errors(fs)
+		if len(errs) == 0 {
+			return nil
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "lint: program %s has %d hazard(s):", p.Name, len(errs))
+		for _, f := range errs {
+			fmt.Fprintf(&b, "\n  %v", f)
+		}
+		return fmt.Errorf("%s", b.String())
+	}
+}

@@ -1,0 +1,338 @@
+package lint_test
+
+import (
+	"math"
+	"testing"
+
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/lint"
+)
+
+// probe is the (check ID, trace index) pair a seeded hazard must produce.
+type probe struct {
+	check string
+	idx   int
+}
+
+// newProg builds a program configured with the two-input adder graph
+// (A + B -> C, one word each): one instance consumes 8 bytes per input
+// port and produces 8 bytes on C.
+func newProg(t *testing.T) (*core.Program, core.Config) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	b := dfg.NewBuilder("addpair")
+	a := b.Input("A", 1)
+	v := b.Input("B", 1)
+	b.Output("C", b.N(dfg.Add(64), a.W(0), v.W(0)))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewProgram("addpair")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return p, cfg
+}
+
+// emit appends cmd and returns its trace index.
+func emit(t *testing.T, p *core.Program, cmd isa.Command) int {
+	t.Helper()
+	p.Emit(cmd)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return len(p.Trace) - 1
+}
+
+// freePort returns a non-indirect hardware input port the active
+// configuration leaves unmapped.
+func freePort(t *testing.T, p *core.Program, cfg core.Config) isa.InPortID {
+	t.Helper()
+	used := map[isa.InPortID]bool{p.In("A"): true, p.In("B"): true}
+	for hw, spec := range cfg.Fabric.InPorts {
+		if !spec.Indirect && !used[isa.InPortID(hw)] {
+			return isa.InPortID(hw)
+		}
+	}
+	t.Fatal("fabric has no unmapped non-indirect input port")
+	return 0
+}
+
+// checkFindings lints p and compares the (check, index) pairs of all
+// findings against want.
+func checkFindings(t *testing.T, p *core.Program, cfg core.Config, want []probe) {
+	t.Helper()
+	fs, err := lint.Check(p, cfg)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	var got []probe
+	for _, f := range fs {
+		got = append(got, probe{f.Check, f.Index})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v\nfull: %v", got, want, fs)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("finding %d = %v, want %v\nfull: %v", i, got[i], want[i], fs)
+		}
+	}
+}
+
+func TestRaceMemWriteRead(t *testing.T) {
+	p, cfg := newProg(t)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 64), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 64), Dst: p.In("B")})
+	// The store overlaps the A load's footprint and is not its exact
+	// read-modify-write counterpart: a race without SD_Barrier_All.
+	at := emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x1020, 64)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, []probe{{lint.CheckRace, at}})
+}
+
+func TestRaceMemClean(t *testing.T) {
+	p, cfg := newProg(t)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 64), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 64), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 64)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, nil)
+}
+
+func TestRaceRMWExempt(t *testing.T) {
+	// In-place update: C streams back over exactly the bytes A read, and
+	// the graph routes A into C — the pipelined read-modify-write idiom
+	// must not be flagged.
+	p, cfg := newProg(t)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 64), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 64), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x1000, 64)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, nil)
+}
+
+func TestRaceScratchReadAfterWrite(t *testing.T) {
+	p, cfg := newProg(t)
+	emit(t, p, isa.MemScratch{Src: isa.Linear(0x1000, 64), ScratchAddr: 0})
+	// Reading the freshly written region without SD_Barrier_Scratch_Wr.
+	at := emit(t, p, isa.ScratchPort{Src: isa.Linear(0, 64), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 64), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 64)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, []probe{{lint.CheckRace, at}})
+}
+
+func TestRaceScratchBarrierClean(t *testing.T) {
+	p, cfg := newProg(t)
+	emit(t, p, isa.MemScratch{Src: isa.Linear(0x1000, 64), ScratchAddr: 0})
+	emit(t, p, isa.BarrierScratchWr{})
+	emit(t, p, isa.ScratchPort{Src: isa.Linear(0, 64), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 64), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 64)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, nil)
+}
+
+func TestRaceScratchWriteAfterRead(t *testing.T) {
+	p, cfg := newProg(t)
+	emit(t, p, isa.ScratchPort{Src: isa.Linear(0, 64), Dst: p.In("A")})
+	// Overwriting the region still being read needs SD_Barrier_Scratch_Rd.
+	at := emit(t, p, isa.MemScratch{Src: isa.Linear(0x1000, 64), ScratchAddr: 0})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 64), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 64)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, []probe{{lint.CheckRace, at}})
+}
+
+func TestPortConflictUnmapped(t *testing.T) {
+	p, cfg := newProg(t)
+	free := freePort(t, p, cfg)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 64), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 64), Dst: p.In("B")})
+	at := emit(t, p, isa.MemPort{Src: isa.Linear(0x4000, 64), Dst: free})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 64)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, []probe{{lint.CheckPortConflict, at}})
+}
+
+func TestPortConflictBeforeConfig(t *testing.T) {
+	cfg := core.DefaultConfig()
+	var dst isa.InPortID
+	for hw, spec := range cfg.Fabric.InPorts {
+		if !spec.Indirect {
+			dst = isa.InPortID(hw)
+			break
+		}
+	}
+	p := core.NewProgram("preconfig")
+	at := emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 64), Dst: dst})
+	checkFindings(t, p, cfg, []probe{{lint.CheckPortConflict, at}})
+}
+
+func TestPortConflictIndexThroughDataPort(t *testing.T) {
+	p, cfg := newProg(t)
+	free := freePort(t, p, cfg)
+	// Indices must stage through an indirect-capable port.
+	at := emit(t, p, isa.IndPortPort{
+		Idx: free, IdxElem: isa.Elem32, Offset: 0x8000, Scale: 8,
+		DataElem: isa.Elem64, Count: 8, Dst: p.In("A"),
+	})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 64), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 64)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, []probe{{lint.CheckPortConflict, at}})
+}
+
+func TestPortConflictResidueAtReconfig(t *testing.T) {
+	p, cfg := newProg(t)
+	// Half an instance is buffered in A when SD_Config retargets the
+	// fabric: the leftover bytes would feed the next graph.
+	at := emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 4), Dst: p.In("A")})
+	b := dfg.NewBuilder("next")
+	x := b.Input("X", 1)
+	b.Output("Y", b.N(dfg.Add(64), x.W(0), dfg.ImmRef(1)))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.CompileAndConfigure(cfg.Fabric, g)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	checkFindings(t, p, cfg, []probe{{lint.CheckPortConflict, at}})
+}
+
+func TestBalancePartialInstance(t *testing.T) {
+	p, cfg := newProg(t)
+	// 12 bytes is one and a half instances for a width-1 port.
+	at := emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 12), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: p.In("B")})
+	emit(t, p, isa.CleanPort{Src: p.Out("C"), Elem: isa.Elem64, Count: 1})
+	checkFindings(t, p, cfg, []probe{{lint.CheckBalance, at}})
+}
+
+func TestBalanceUnequalCounts(t *testing.T) {
+	p, cfg := newProg(t)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 16), Dst: p.In("A")})
+	// B receives one instance to A's two: the dataflow starves.
+	at := emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: p.In("B")})
+	emit(t, p, isa.CleanPort{Src: p.Out("C"), Elem: isa.Elem64, Count: 2})
+	checkFindings(t, p, cfg, []probe{{lint.CheckBalance, at}})
+}
+
+func TestBalanceOverconsume(t *testing.T) {
+	p, cfg := newProg(t)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 8), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: p.In("B")})
+	// One instance produces 8 bytes; consuming 16 deadlocks.
+	at := emit(t, p, isa.CleanPort{Src: p.Out("C"), Elem: isa.Elem64, Count: 2})
+	checkFindings(t, p, cfg, []probe{{lint.CheckBalance, at}})
+}
+
+func TestBalanceUnderconsume(t *testing.T) {
+	p, cfg := newProg(t)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 8), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: p.In("B")})
+	at := emit(t, p, isa.BarrierAll{})
+	// C's 8 produced bytes are never drained.
+	checkFindings(t, p, cfg, []probe{{lint.CheckBalance, at}})
+}
+
+func TestBalanceIndirectResidue(t *testing.T) {
+	p, cfg := newProg(t)
+	ind := p.IndirectIn(cfg.Fabric, 0)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x4000, 8), Dst: ind})
+	// Only 4 of the 8 staged index bytes are consumed.
+	at := emit(t, p, isa.IndPortPort{
+		Idx: ind, IdxElem: isa.Elem32, Offset: 0x8000, Scale: 8,
+		DataElem: isa.Elem64, Count: 1, Dst: p.In("A"),
+	})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 8)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, []probe{{lint.CheckBalance, at}})
+}
+
+func TestBalanceClean(t *testing.T) {
+	p, cfg := newProg(t)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 16), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 16), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 16)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, nil)
+}
+
+func TestOOBConfigSpace(t *testing.T) {
+	p, cfg := newProg(t)
+	// The load's last 32 bytes lie inside the configuration space.
+	at := emit(t, p, isa.MemPort{Src: isa.Linear(core.ConfigSpace-32, 64), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 64), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 64)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, []probe{{lint.CheckOOB, at}})
+}
+
+func TestOOBAddressOverflow(t *testing.T) {
+	p, cfg := newProg(t)
+	// 64 bytes starting 32 below the top of the address space wrap.
+	at := emit(t, p, isa.MemPort{Src: isa.Linear(math.MaxUint64-32, 64), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 64), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 64)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, []probe{{lint.CheckOOB, at}})
+}
+
+func TestOOBScratchCapacity(t *testing.T) {
+	p, cfg := newProg(t)
+	pad := uint64(cfg.ScratchBytes)
+	at := emit(t, p, isa.ScratchPort{Src: isa.Linear(pad-32, 64), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 64), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 64)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, []probe{{lint.CheckOOB, at}})
+}
+
+func TestOOBUnregisteredConfig(t *testing.T) {
+	p, cfg := newProg(t)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 8), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 8)})
+	emit(t, p, isa.BarrierAll{})
+	at := emit(t, p, isa.Config{Addr: core.ConfigSpace + 0x7f_0000, Size: 8})
+	checkFindings(t, p, cfg, []probe{{lint.CheckOOB, at}})
+}
+
+func TestOOBScratchClean(t *testing.T) {
+	p, cfg := newProg(t)
+	pad := uint64(cfg.ScratchBytes)
+	emit(t, p, isa.MemScratch{Src: isa.Linear(0x1000, pad), ScratchAddr: 0})
+	emit(t, p, isa.BarrierScratchWr{})
+	emit(t, p, isa.ScratchPort{Src: isa.Linear(pad-64, 64), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 64), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 64)})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, nil)
+}
+
+func TestFinalUnorderedWriteWarning(t *testing.T) {
+	p, cfg := newProg(t)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 8), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 8)})
+	// No trailing SD_Barrier_All: the store is never ordered.
+	fs, err := lint.Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Check != lint.CheckRace || fs[0].Sev != lint.SevWarning {
+		t.Fatalf("findings = %v, want one race warning", fs)
+	}
+	if len(lint.Errors(fs)) != 0 {
+		t.Fatalf("Errors(%v) should be empty: warnings are not errors", fs)
+	}
+}

@@ -1,0 +1,38 @@
+#!/bin/sh
+# check.sh runs the full static + dynamic gate (the tier-1+ verify):
+#
+#   1. gofmt         every tracked .go file is formatted
+#   2. go vet        standard static analysis
+#   3. go build      everything compiles, including the example binaries
+#   4. go test -race full test suite under the race detector
+#   5. sdlint        every built-in workload and example program is free
+#                    of stream races, port conflicts, balance errors and
+#                    out-of-bounds footprints (see docs/LINT.md)
+#
+# Run it from the repository root (or via `make check`). Exits non-zero
+# on the first failing stage.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== sdlint"
+go run ./cmd/sdlint
+
+echo "== all checks passed"

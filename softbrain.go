@@ -37,6 +37,7 @@ import (
 	"softbrain/internal/core"
 	"softbrain/internal/dfg"
 	"softbrain/internal/isa"
+	"softbrain/internal/lint"
 	"softbrain/internal/mem"
 	"softbrain/internal/power"
 	"softbrain/internal/sched"
@@ -152,6 +153,23 @@ func Compile(f *Fabric, g *Graph) (*Schedule, error) { return sched.Schedule(f, 
 
 // NewPowerModel builds the Table 3 power/area model for cfg.
 func NewPowerModel(cfg Config) *PowerModel { return power.NewModel(cfg) }
+
+// Static hazard analysis (see internal/lint and docs/LINT.md): the
+// barrier semantics of Section 3.3 make unordered overlapping streams
+// undefined, and the linter diagnoses them before anything runs.
+
+// LintFinding is one statically diagnosed hazard in a program.
+type LintFinding = lint.Finding
+
+// LintProgram statically checks p against the machine configuration
+// that would run it; findings are returned in trace order.
+func LintProgram(p *Program, cfg Config) ([]LintFinding, error) { return lint.Check(p, cfg) }
+
+// LintHook adapts the linter to Machine.Lint, for use with
+// Machine.LoadStrict / RunStrict:
+//
+//	m.Lint = softbrain.LintHook(m.Config())
+func LintHook(cfg Config) func(*Program) error { return lint.Hook(cfg) }
 
 // NewFabric builds a custom fabric; see also DefaultConfig().Fabric.
 func NewFabric(rows, cols int) *Fabric {
