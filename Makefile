@@ -15,6 +15,12 @@ check:
 lint:
 	go run ./cmd/sdlint
 
+# Verify every built-in program is at the barrier-minimal fixed point:
+# the fix pass (docs/LINT.md) would neither insert nor remove a barrier.
+.PHONY: fix-check
+fix-check:
+	go run ./cmd/sdlint -fix
+
 .PHONY: bench
 bench:
 	go test -bench=. -run=^$$ .

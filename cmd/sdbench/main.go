@@ -8,6 +8,7 @@
 //	sdbench              # everything
 //	sdbench -table 3     # one table
 //	sdbench -fig 11      # one figure (12-15 run the same study)
+//	sdbench -fix         # barrier-elimination study (docs/LINT.md)
 package main
 
 import (
@@ -24,10 +25,17 @@ func main() {
 	table := flag.Int("table", 0, "print only this table (3 or 4)")
 	fig := flag.Int("fig", 0, "print only this figure (11-15)")
 	ablate := flag.Bool("ablate", false, "run the microarchitecture ablation study")
+	fixStudy := flag.Bool("fix", false, "run the barrier synthesis/elimination study")
 	flag.Parse()
 
 	if *ablate {
 		if err := printAblations(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *fixStudy {
+		if err := printFixStudy(); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -64,6 +72,27 @@ func printAblations() error {
 			r.Workload, r.Baseline, r.NoAllInFlight, r.InOrderIssue,
 			r.NoBalanceUnit, r.SmallWindow, r.ShallowPorts,
 			r.ColdBaseline, r.ColdNoAllInFlight)
+	}
+	w.Flush()
+	return nil
+}
+
+func printFixStudy() error {
+	fmt.Println("Barrier study: cycles as shipped, fully serialized, and after sdfix")
+	rows, err := bench.FixStudy()
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "workload\tbarriers\tserialized\tfixed\tcycles\tserialized\tfixed\trecovered")
+	for _, r := range rows {
+		rec := 0.0
+		if r.SerializedCy > r.FixedCy && r.SerializedCy > r.ShippedCy {
+			rec = 100 * float64(r.SerializedCy-r.FixedCy) / float64(r.SerializedCy-r.ShippedCy)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f%%\n",
+			r.Workload, r.Shipped, r.Serialized, r.Fixed,
+			r.ShippedCy, r.SerializedCy, r.FixedCy, rec)
 	}
 	w.Flush()
 	return nil

@@ -7,13 +7,30 @@
 // With no arguments it lints every built-in workload and example
 // program; arguments restrict the run to programs whose suite or
 // program name contains one of them as a substring. Findings print in
-// go vet style, one per line; the exit status is 1 when any
-// error-severity finding (or build failure) occurs.
+// go vet style, one per line.
 //
-//	usage: sdlint [-v] [name ...]
+//	usage: sdlint [-v] [-json | -fix] [name ...]
+//
+// -json emits the findings as a JSON array (one object per finding,
+// with stable check IDs, trace indices, the paired access's index, and
+// the weakest repairing barrier) instead of the human-readable lines.
+//
+// -fix runs the barrier-synthesis / redundant-barrier-elimination pass
+// (internal/fix, docs/LINT.md) over each program and reports the edits
+// it would make. It rewrites nothing on disk: shipped programs are
+// expected to already be at the barrier-minimal fixed point, and the
+// exit status enforces exactly that, so `sdlint -fix` is a CI gate
+// against redundant or missing barriers creeping into the tree.
+//
+// Exit status: 0 when every selected program is clean (no
+// error-severity findings; under -fix, no edits); 1 when any
+// error-severity finding occurs, any program would be rewritten by
+// -fix, or a program cannot be built or analyzed at all. Warnings alone
+// leave the exit status 0.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +38,7 @@ import (
 
 	"softbrain/examples/programs"
 	"softbrain/internal/core"
+	"softbrain/internal/fix"
 	"softbrain/internal/lint"
 	"softbrain/internal/workloads/dnn"
 	"softbrain/internal/workloads/ext"
@@ -36,13 +54,31 @@ type target struct {
 	cfg   core.Config
 }
 
+// jsonFinding is the stable machine-readable rendering of one finding.
+type jsonFinding struct {
+	Suite    string `json:"suite"`
+	Prog     string `json:"prog"`
+	Index    int    `json:"index"`
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	Other    int    `json:"other"`             // paired trace index, or -1
+	Barrier  string `json:"barrier,omitempty"` // weakest repairing barrier
+	Msg      string `json:"msg"`
+}
+
 func main() {
 	verbose := flag.Bool("v", false, "print every program checked, not just findings")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	fixMode := flag.Bool("fix", false, "report the barrier edits the fix pass would make; exit 1 if any")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sdlint [-v] [name ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: sdlint [-v] [-json | -fix] [name ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut && *fixMode {
+		fmt.Fprintf(os.Stderr, "sdlint: -json and -fix are mutually exclusive\n")
+		os.Exit(1)
+	}
 
 	targets, err := collect()
 	if err != nil {
@@ -55,7 +91,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	var fail bool
+	if *fixMode {
+		fail = runFix(targets, *verbose)
+	} else {
+		fail = runLint(targets, *verbose, *jsonOut)
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+func runLint(targets []target, verbose, jsonOut bool) bool {
 	fail := false
+	jfs := []jsonFinding{}
 	for _, t := range targets {
 		fs, err := lint.Check(t.prog, t.cfg)
 		if err != nil {
@@ -64,18 +113,56 @@ func main() {
 			continue
 		}
 		for _, f := range fs {
-			fmt.Printf("%s/%v\n", t.suite, f)
+			if jsonOut {
+				jfs = append(jfs, jsonFinding{
+					Suite: t.suite, Prog: f.Prog, Index: f.Index, Check: f.Check,
+					Severity: f.Sev.String(), Other: f.Other, Barrier: f.BarrierName(), Msg: f.Msg,
+				})
+			} else {
+				fmt.Printf("%s/%v\n", t.suite, f)
+			}
 			if f.Sev == lint.SevError {
 				fail = true
 			}
 		}
-		if *verbose && len(fs) == 0 {
+		if verbose && !jsonOut && len(fs) == 0 {
 			fmt.Printf("%s/%s: ok (%d commands)\n", t.suite, t.name, len(t.prog.Trace))
 		}
 	}
-	if fail {
-		os.Exit(1)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jfs); err != nil {
+			fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
+			return true
+		}
 	}
+	return fail
+}
+
+func runFix(targets []target, verbose bool) bool {
+	fail := false
+	for _, t := range targets {
+		_, rep, err := fix.Fix(t.prog, t.cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdlint: %s/%s: %v\n", t.suite, t.name, err)
+			fail = true
+			continue
+		}
+		if rep.Changed() {
+			fmt.Printf("%s/%v\n", t.suite, rep)
+			for _, e := range rep.Inserted {
+				fmt.Printf("  + trace[%d] %v: %s\n", e.Pos, e.Kind, e.Reason)
+			}
+			for _, e := range rep.Removed {
+				fmt.Printf("  - trace[%d] %v: %s\n", e.Pos, e.Kind, e.Reason)
+			}
+			fail = true
+		} else if verbose {
+			fmt.Printf("%s/%s: ok (%d barriers minimal)\n", t.suite, t.name, rep.BarriersAfter)
+		}
+	}
+	return fail
 }
 
 // collect builds every built-in program under the configuration its

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+
+	"softbrain/internal/core"
+	"softbrain/internal/fix"
+	"softbrain/internal/isa"
+	"softbrain/internal/workloads"
+	"softbrain/internal/workloads/ext"
+	"softbrain/internal/workloads/machsuite"
+)
+
+// FixRow reports one workload's barrier count and warm-run cycles in
+// three forms: as shipped, fully serialized (an SD_Barrier_All after
+// every command — the conservative program a cautious programmer or a
+// naive compiler writes), and after the fix pass has eliminated the
+// serialization it can prove redundant. Fixed should recover shipped.
+type FixRow struct {
+	Workload                         string
+	Shipped, Serialized, Fixed       int    // barrier counts
+	ShippedCy, SerializedCy, FixedCy uint64 // cycles
+}
+
+// fixStudyWorkloads are the kernels of the study: stream-heavy kernels
+// whose traces serialize badly, plus the indirect workloads where the
+// fix pass must keep the load-bearing barriers.
+var fixStudyWorkloads = []struct{ suite, name string }{
+	{"machsuite", "spmv-crs"},
+	{"machsuite", "stencil2d"},
+	{"machsuite", "gemm"},
+	{"machsuite", "bfs"},
+	{"ext", "backprop"},
+	{"ext", "fft"},
+}
+
+// FixStudy measures the cost of over-serialization and how much of it
+// the barrier-elimination pass recovers.
+func FixStudy() ([]FixRow, error) {
+	var rows []FixRow
+	for _, w := range fixStudyWorkloads {
+		cfg := core.DefaultConfig()
+		var (
+			inst *workloads.Instance
+			err  error
+		)
+		switch w.suite {
+		case "machsuite":
+			var e machsuite.Entry
+			if e, err = machsuite.Find(w.name); err == nil {
+				inst, err = e.Build(cfg, 1)
+			}
+		case "ext":
+			var e ext.Entry
+			if e, err = ext.Find(w.name); err == nil {
+				inst, err = e.Build(cfg, 1)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: fix study %s: %w", w.name, err)
+		}
+
+		serialized := make([]*core.Program, len(inst.Progs))
+		fixed := make([]*core.Program, len(inst.Progs))
+		row := FixRow{Workload: w.name}
+		for i, p := range inst.Progs {
+			serialized[i] = serialize(p)
+			q, rep, err := fix.Fix(serialized[i], cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fix study %s: %w", w.name, err)
+			}
+			fixed[i] = q
+			row.Shipped += fix.CountBarriers(p)
+			row.Serialized += rep.BarriersBefore
+			row.Fixed += rep.BarriersAfter
+		}
+		for _, m := range []struct {
+			progs []*core.Program
+			out   *uint64
+		}{
+			{inst.Progs, &row.ShippedCy},
+			{serialized, &row.SerializedCy},
+			{fixed, &row.FixedCy},
+		} {
+			cy, err := runCycles(inst, cfg, m.progs)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fix study %s: %w", w.name, err)
+			}
+			*m.out = cy
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// serialize rebuilds p with an SD_Barrier_All after every non-barrier
+// command.
+func serialize(p *core.Program) *core.Program {
+	q := core.NewProgram(p.Name)
+	for addr, blob := range p.Configs {
+		q.Configs[addr] = blob
+	}
+	for _, op := range p.Trace {
+		q.Trace = append(q.Trace, op)
+		if op.Cmd != nil && !isa.IsBarrier(op.Cmd) {
+			q.Trace = append(q.Trace, core.TraceOp{Cmd: isa.BarrierAll{}})
+		}
+	}
+	return q
+}
+
+// runCycles runs the instance's data against the given program set on a
+// fresh cluster, verifies the golden check still passes, and reports
+// the run's cycles. Runs are cold: some study workloads (backprop)
+// update their inputs in place, so a warm re-run would not verify.
+func runCycles(inst *workloads.Instance, cfg core.Config, progs []*core.Program) (uint64, error) {
+	cl, err := core.NewCluster(cfg, len(progs))
+	if err != nil {
+		return 0, err
+	}
+	if inst.Init != nil {
+		inst.Init(cl.Mem)
+	}
+	stats, err := cl.Run(progs)
+	if err != nil {
+		return 0, err
+	}
+	if inst.Check != nil {
+		if err := inst.Check(cl.Mem); err != nil {
+			return 0, err
+		}
+	}
+	return stats.Cycles, nil
+}

@@ -1,0 +1,52 @@
+package isa
+
+import "testing"
+
+func TestIndexFootprint(t *testing.T) {
+	cases := []struct {
+		name   string
+		offset uint64
+		scale  uint8
+		elem   ElemSize
+		lo, hi uint64
+		want   Affine
+		ok     bool
+	}{
+		{"single", 0x1000, 8, Elem64, 3, 3, Affine{Start: 0x1018, AccessSize: 8, Stride: 8, Strides: 1}, true},
+		{"range", 0x1000, 4, Elem32, 0, 9, Affine{Start: 0x1000, AccessSize: 4, Stride: 4, Strides: 10}, true},
+		{"sparse", 0, 16, Elem32, 1, 3, Affine{Start: 16, AccessSize: 4, Stride: 16, Strides: 3}, true},
+		{"scale0", 0x2000, 0, Elem16, 5, 900, Linear(0x2000, 2), true},
+		{"inverted", 0, 8, Elem64, 4, 3, Affine{}, false},
+		{"fullrange", 0, 1, Elem8, 0, ^uint64(0), Affine{}, false},
+		{"muloverflow", 0, 255, Elem8, ^uint64(0) / 2, ^uint64(0) / 2, Affine{}, false},
+		{"addoverflow", ^uint64(0) - 4, 8, Elem8, 1, 1, Affine{}, false},
+	}
+	for _, c := range cases {
+		got, ok := IndexFootprint(c.offset, c.scale, c.elem, c.lo, c.hi)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("%s: IndexFootprint = %v, %v; want %v, %v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestIndexFootprintCovers checks the over-approximation property: every
+// address an index in [lo, hi] can touch lies inside the footprint.
+func TestIndexFootprintCovers(t *testing.T) {
+	const offset, scale, lo, hi = 0x100, 12, 2, 7
+	elem := Elem32
+	pat, ok := IndexFootprint(offset, scale, elem, lo, hi)
+	if !ok {
+		t.Fatal("IndexFootprint failed")
+	}
+	for v := uint64(lo); v <= hi; v++ {
+		a := Linear(offset+v*scale, uint64(elem))
+		if !pat.Overlaps(a) {
+			t.Fatalf("index %d access %v escapes footprint %v", v, a, pat)
+		}
+		lo2, hi2, _ := a.Extent()
+		plo, phi, _ := pat.Extent()
+		if lo2 < plo || hi2 > phi {
+			t.Fatalf("index %d access [%#x,%#x) outside extent [%#x,%#x)", v, lo2, hi2, plo, phi)
+		}
+	}
+}

@@ -194,6 +194,34 @@ func (a Affine) String() string {
 	return fmt.Sprintf("affine{start=%#x size=%d stride=%d n=%d}", a.Start, a.AccessSize, a.Stride, a.Strides)
 }
 
+// IndexFootprint over-approximates the footprint of an indirect stream
+// (SD_IndPort_*) whose index values are statically bounded to [lo, hi]:
+// each access touches elem bytes at offset + v*scale for some v in the
+// range, so the footprint is contained in the strided pattern starting
+// at offset + lo*scale with stride scale, hi-lo+1 strides. The
+// approximation is exact when the index stream visits every value of
+// the range, conservative (a superset) otherwise. ok is false when the
+// address arithmetic overflows uint64 or the range covers the full
+// index space; callers must then treat the footprint as unknown.
+func IndexFootprint(offset uint64, scale uint8, elem ElemSize, lo, hi uint64) (Affine, bool) {
+	if hi < lo || hi-lo == ^uint64(0) {
+		return Affine{}, false
+	}
+	if scale == 0 {
+		// Every index resolves to the same elem bytes at offset.
+		return Linear(offset, uint64(elem)), true
+	}
+	h, base := bits.Mul64(lo, uint64(scale))
+	if h != 0 {
+		return Affine{}, false
+	}
+	start, carry := bits.Add64(offset, base, 0)
+	if carry != 0 {
+		return Affine{}, false
+	}
+	return Affine{Start: start, AccessSize: uint64(elem), Stride: uint64(scale), Strides: hi - lo + 1}, true
+}
+
 // EachByte calls fn with every byte address of the pattern in stream
 // order. It is the reference enumeration the AGU hardware model is tested
 // against; simulation uses the incremental AffineCursor instead.

@@ -20,13 +20,17 @@ const wordBytes = 8
 // scoreboard serializes streams reading the same output port, so two
 // writes driven by one port are ordered even without a barrier. inPort
 // names the input vector port a read feeds, or -1; it identifies the
-// read half of a pipelined read-modify-write (see addMem).
+// read half of a pipelined read-modify-write (see addMem). opaque marks
+// an indirect access whose index range the value pre-pass could not
+// bound: its footprint is unknown, so it overlaps nothing under the
+// default analysis and everything under Opts.StrictIndirect.
 type access struct {
 	idx     int
 	write   bool
 	pat     isa.Affine
 	ordPort int
 	inPort  int
+	opaque  bool
 	what    string
 }
 
@@ -34,6 +38,8 @@ type checker struct {
 	p        *core.Program
 	fabric   *cgra.Fabric
 	scratch  uint64
+	opts     Opts
+	ranges   map[int]idxRange // trace index -> resolved index range
 	findings []Finding
 
 	// Active configuration (nil before the first SD_Config).
@@ -62,8 +68,12 @@ type checker struct {
 	lastOut  map[int]int
 }
 
-func newChecker(p *core.Program, cfg core.Config) *checker {
-	c := &checker{p: p, fabric: cfg.Fabric, scratch: uint64(cfg.ScratchBytes)}
+func newChecker(p *core.Program, cfg core.Config, o Opts) *checker {
+	c := &checker{
+		p: p, fabric: cfg.Fabric, scratch: uint64(cfg.ScratchBytes),
+		opts:   o,
+		ranges: indexRanges(p, cfg.Fabric),
+	}
 	c.resetEpoch()
 	return c
 }
@@ -80,6 +90,18 @@ func (c *checker) resetEpoch() {
 func (c *checker) report(idx int, check string, sev Severity, format string, args ...any) {
 	c.findings = append(c.findings, Finding{
 		Prog: c.p.Name, Index: idx, Check: check, Sev: sev,
+		Other: -1,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// reportRace records a pairwise race finding carrying the older access
+// and the weakest barrier kind that orders the pair when inserted
+// immediately before idx.
+func (c *checker) reportRace(idx, other int, need isa.Kind, format string, args ...any) {
+	c.findings = append(c.findings, Finding{
+		Prog: c.p.Name, Index: idx, Check: CheckRace, Sev: SevError,
+		Other: other, Barrier: need,
 		Msg: fmt.Sprintf(format, args...),
 	})
 }
@@ -139,14 +161,13 @@ func (c *checker) command(idx int, cmd isa.Command) {
 			c.addMem(access{idx: idx, write: true, pat: k.Dst, ordPort: int(k.Src), inPort: -1, what: "SD_Port_Mem write"})
 		}
 	case isa.IndPortPort:
-		// The gather footprint is data-dependent: excluded from race and
-		// bounds analysis (see the package comment).
 		c.idxPortRead(idx, k.Idx, satMul(k.Count, uint64(k.IdxElem)))
 		c.inPortWrite(idx, k.Dst, satMul(k.Count, uint64(k.DataElem)))
+		c.indAccess(idx, false, -1, k.Offset, k.Scale, k.DataElem, k.Count, "SD_IndPort_Port gather")
 	case isa.IndPortMem:
-		// Data-dependent scatter footprint: likewise excluded.
 		c.idxPortRead(idx, k.Idx, satMul(k.Count, uint64(k.IdxElem)))
 		c.outPortRead(idx, k.Src, satMul(k.Count, uint64(k.DataElem)))
+		c.indAccess(idx, true, int(k.Src), k.Offset, k.Scale, k.DataElem, k.Count, "SD_IndPort_Mem scatter")
 	case isa.BarrierScratchRd:
 		c.padRd = nil
 	case isa.BarrierScratchWr:
@@ -270,6 +291,39 @@ func (c *checker) padPatternOK(idx int, pat isa.Affine, what string) bool {
 	return true
 }
 
+// indAccess enters an indirect stream's memory footprint into the race
+// window. When the value pre-pass bounded the staged index stream, the
+// footprint is the affine over-approximation covering every index in
+// the range and participates in race and bounds checking like any
+// direct stream; otherwise the access is opaque (see access). Indirect
+// accesses never take the read-modify-write exemption: the footprint
+// approximation says nothing about the order indices arrive in, so the
+// element-wise dependence the exemption relies on cannot be established.
+func (c *checker) indAccess(idx int, write bool, ordPort int, offset uint64, scale uint8, elem isa.ElemSize, count uint64, what string) {
+	if count == 0 {
+		return
+	}
+	a := access{idx: idx, write: write, ordPort: ordPort, inPort: -1, what: what}
+	if r, ok := c.ranges[idx]; ok {
+		pat, fits := isa.IndexFootprint(offset, scale, elem, r.lo, r.hi)
+		switch {
+		case !fits:
+			c.report(idx, CheckOOB, SevError,
+				"%s address computation overflows the 64-bit address space (base %#x, scale %d, indices in [%d, %d])",
+				what, offset, scale, r.lo, r.hi)
+			a.opaque = true
+		case c.memPatternOK(idx, pat, what):
+			a.pat = pat
+			a.what = fmt.Sprintf("%s (indices in [%d, %d])", what, r.lo, r.hi)
+		default:
+			a.opaque = true // out of bounds (reported); footprint unusable
+		}
+	} else {
+		a.opaque = true
+	}
+	c.addMem(a)
+}
+
 // addMem races the access against the open memory window and records it.
 // Only SD_Barrier_All orders memory streams (Section 3.3). One idiom is
 // exempt: a port-driven write whose footprint is *identical* to an
@@ -288,16 +342,32 @@ func (c *checker) addMem(a access) {
 		if a.ordPort >= 0 && a.ordPort == o.ordPort {
 			continue // same output port: serialized by the scoreboard
 		}
+		if a.opaque || o.opaque {
+			// One footprint is data-dependent. The default analysis
+			// cannot prove overlap, so it stays silent; strict mode
+			// assumes the worst.
+			if c.opts.StrictIndirect {
+				c.reportRace(a.idx, o.idx, isa.KindBarrierAll,
+					"%s may overlap the %s at trace[%d]: a data-dependent indirect footprint is unordered without an SD_Barrier_All (strict indirect analysis)",
+					a.what, o.what, o.idx)
+				if !c.opts.Exhaustive {
+					break
+				}
+			}
+			continue
+		}
 		if a.write && !o.write && a.ordPort >= 0 && o.inPort >= 0 &&
 			a.pat == o.pat && (a.pat.Strides <= 1 || a.pat.Stride >= a.pat.AccessSize) &&
 			c.rmwDeps[a.ordPort][o.inPort] {
 			continue // pipelined read-modify-write through the fabric
 		}
 		if a.pat.Overlaps(o.pat) {
-			c.report(a.idx, CheckRace, SevError,
+			c.reportRace(a.idx, o.idx, isa.KindBarrierAll,
 				"%s %v overlaps the %s at trace[%d] (%v) with no intervening SD_Barrier_All",
 				a.what, a.pat, o.what, o.idx, o.pat)
-			break
+			if !c.opts.Exhaustive {
+				break
+			}
 		}
 	}
 	c.mem = append(c.mem, a)
@@ -312,10 +382,12 @@ func (c *checker) padRead(idx int, pat isa.Affine, what string) {
 	a := access{idx: idx, pat: pat, ordPort: -1, what: what}
 	for i := len(c.padWr) - 1; i >= 0; i-- {
 		if o := c.padWr[i]; a.pat.Overlaps(o.pat) {
-			c.report(idx, CheckRace, SevError,
+			c.reportRace(idx, o.idx, isa.KindBarrierScratchWr,
 				"%s %v overlaps the %s at trace[%d] (%v) with no intervening SD_Barrier_Scratch_Wr",
 				what, pat, o.what, o.idx, o.pat)
-			break
+			if !c.opts.Exhaustive {
+				break
+			}
 		}
 	}
 	c.padRd = append(c.padRd, a)
@@ -330,10 +402,12 @@ func (c *checker) padWrite(idx int, pat isa.Affine, ordPort int, what string) {
 	a := access{idx: idx, write: true, pat: pat, ordPort: ordPort, what: what}
 	for i := len(c.padRd) - 1; i >= 0; i-- {
 		if o := c.padRd[i]; a.pat.Overlaps(o.pat) {
-			c.report(idx, CheckRace, SevError,
+			c.reportRace(idx, o.idx, isa.KindBarrierScratchRd,
 				"%s %v overlaps the %s at trace[%d] (%v) with no intervening SD_Barrier_Scratch_Rd",
 				what, pat, o.what, o.idx, o.pat)
-			break
+			if !c.opts.Exhaustive {
+				break
+			}
 		}
 	}
 	for i := len(c.padWr) - 1; i >= 0; i-- {
@@ -342,10 +416,12 @@ func (c *checker) padWrite(idx int, pat isa.Affine, ordPort int, what string) {
 			continue
 		}
 		if a.pat.Overlaps(o.pat) {
-			c.report(idx, CheckRace, SevError,
+			c.reportRace(idx, o.idx, isa.KindBarrierScratchWr,
 				"%s %v overlaps the %s at trace[%d] (%v) with no intervening SD_Barrier_Scratch_Wr",
 				what, pat, o.what, o.idx, o.pat)
-			break
+			if !c.opts.Exhaustive {
+				break
+			}
 		}
 	}
 	c.padWr = append(c.padWr, a)
@@ -421,7 +497,11 @@ func (c *checker) outPortRead(idx int, port isa.OutPortID, n uint64) {
 
 // finish closes the trailing epoch and warns when the program ends with
 // writes no barrier has ordered (results may not be architecturally
-// visible to the host).
+// visible to the host). The tally is window-based, so a program whose
+// final command is a barrier-equivalent drain (SD_Barrier_All, or the
+// scratch barriers for scratch writes) is clean: the barrier emptied
+// the windows. Indirect scatters count like any other write — opaque or
+// not, an unordered SD_IndPort_Mem leaves results invisible to the host.
 func (c *checker) finish() {
 	c.flushEpoch(len(c.p.Trace)-1, false)
 	unordered := len(c.padWr)
@@ -431,8 +511,11 @@ func (c *checker) finish() {
 		}
 	}
 	if unordered > 0 {
-		c.report(len(c.p.Trace)-1, CheckRace, SevWarning,
-			"program ends with %d write stream(s) not ordered by a barrier; end the phase with SD_Barrier_All", unordered)
+		c.findings = append(c.findings, Finding{
+			Prog: c.p.Name, Index: len(c.p.Trace) - 1, Check: CheckRace, Sev: SevWarning,
+			Other: -1, Barrier: isa.KindBarrierAll,
+			Msg: fmt.Sprintf("program ends with %d write stream(s) not ordered by a barrier; end the phase with SD_Barrier_All", unordered),
+		})
 	}
 }
 

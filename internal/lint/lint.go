@@ -33,10 +33,17 @@
 // write can never overtake the read (backprop updates weight rows in
 // place this way).
 //
-// Known soundness gaps, both deliberate: indirect streams
-// (SD_IndPort_*) have data-dependent footprints and are excluded from
-// race and bounds analysis (value-range analysis over the staged index
-// patterns is future work), and patterns reported as overlapping may be
+// Indirect streams (SD_IndPort_*) are handled by a value-range
+// pre-pass: when the staged index stream is statically known — constant
+// streams (SD_Const_Port), or recurrence streams (SD_Port_Port) from an
+// output port the active graph computes purely from known inputs — its
+// value range bounds the gather/scatter footprint, which then
+// participates in race and bounds analysis like any affine stream.
+// Index streams loaded from memory or the scratchpad remain
+// data-dependent: by default they are excluded from the race check (the
+// historical soundness gap, now limited to truly unboundable streams),
+// while Opts.StrictIndirect conservatively treats them as conflicting
+// with every other access. Patterns reported as overlapping may also be
 // conservative when their extents overflow uint64.
 package lint
 
@@ -45,6 +52,7 @@ import (
 	"strings"
 
 	"softbrain/internal/core"
+	"softbrain/internal/isa"
 )
 
 // Check family IDs, stable across releases.
@@ -71,20 +79,64 @@ func (s Severity) String() string {
 	return "warning"
 }
 
+// MarshalJSON renders the severity as its stable string form.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
 // Finding is one diagnosed hazard, anchored to the command-trace index
 // of the operation that completes the hazardous pair (or, for balance
 // findings, the last operation touching the unbalanced port).
 type Finding struct {
-	Prog  string
-	Index int // index into Program.Trace
-	Check string
-	Sev   Severity
-	Msg   string
+	Prog  string   `json:"prog"`
+	Index int      `json:"index"` // index into Program.Trace
+	Check string   `json:"check"`
+	Sev   Severity `json:"severity"`
+	Msg   string   `json:"msg"`
+
+	// Other is the trace index of the older access completing a race
+	// pair, or -1 when the finding is not pairwise.
+	Other int `json:"other"`
+
+	// Barrier is the weakest barrier kind that would order a race pair
+	// when inserted immediately before Index (the lattice of §3.3:
+	// scratchpad hazards need only their Scratch_Rd/Wr barrier, memory
+	// hazards need Barrier_All). KindInvalid for non-race findings.
+	// The fix pass (internal/fix) synthesizes barriers from this field.
+	Barrier isa.Kind `json:"-"`
+}
+
+// BarrierName is the Barrier kind's command name, or "" when no barrier
+// repairs the finding; split from Barrier so JSON output stays stable
+// across Kind renumbering.
+func (f Finding) BarrierName() string {
+	if f.Barrier == isa.KindInvalid {
+		return ""
+	}
+	return f.Barrier.String()
 }
 
 // String renders the finding in go vet style.
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: trace[%d]: %s: %s", f.Prog, f.Index, f.Check, f.Msg)
+}
+
+// Opts tunes a lint run; the zero value is the default analysis.
+type Opts struct {
+	// StrictIndirect treats every indirect access whose index range the
+	// value pre-pass cannot bound (indices loaded from memory or the
+	// scratchpad) as conflicting with every other unordered access. The
+	// default analysis silently excludes such accesses from the race
+	// check; strict mode is the sound over-approximation the fix pass
+	// uses to prove a barrier removable even in the presence of
+	// data-dependent footprints.
+	StrictIndirect bool
+
+	// Exhaustive reports every conflicting pair per access instead of
+	// stopping at the first (the default keeps diagnostics concise).
+	// The fix pass needs the full pair set: a masked second conflict is
+	// exactly the hazard a removed barrier would silently reintroduce.
+	Exhaustive bool
 }
 
 // Check lints the program against the machine configuration that would
@@ -93,13 +145,18 @@ func (f Finding) String() string {
 // reserved for programs that cannot be analyzed at all: a construction
 // error recorded by the Program emitter, or an invalid configuration.
 func Check(p *core.Program, cfg core.Config) ([]Finding, error) {
+	return CheckWith(p, cfg, Opts{})
+}
+
+// CheckWith is Check with explicit analysis options.
+func CheckWith(p *core.Program, cfg core.Config, o Opts) ([]Finding, error) {
 	if err := p.Err(); err != nil {
 		return nil, err
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := newChecker(p, cfg)
+	c := newChecker(p, cfg, o)
 	for i, op := range p.Trace {
 		if op.Cmd != nil {
 			c.command(i, op.Cmd)

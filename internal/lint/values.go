@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"encoding/binary"
+
+	"softbrain/internal/cgra"
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+)
+
+// This file is the value-range pre-pass over staged index streams: it
+// resolves, for each SD_IndPort_* command, the range of the index
+// values it will consume, whenever those values are statically visible
+// in the trace. Two kinds of sources resolve:
+//
+//   - constant streams: SD_Const_Port stages Count literal copies of a
+//     value — the bytes are known exactly;
+//   - affine/computed streams: SD_Port_Port stages an output-port slice
+//     into the indirect port, and when every mapped input port of the
+//     active configuration is itself fed from known bytes, the dataflow
+//     graph is evaluated functionally (internal/dfg.Evaluator) to
+//     materialize the output stream — this covers index generators such
+//     as an accumulator producing 0,1,2,... from a constant stream.
+//
+// Indices loaded from memory or the scratchpad are data-dependent and
+// stay unresolved. Resolution is order-insensitive within a
+// configuration epoch: stream values do not depend on dispatch timing,
+// and the FIFO order of an indirect port equals the program order of
+// the commands staging into it, so the pass collects stagings and
+// consumptions per epoch and matches them at the epoch boundary.
+
+const (
+	// maxKnownBytes caps the literal bytes materialized per staged run
+	// and per resolved index stream; longer streams stay unresolved
+	// (conservative) rather than ballooning analysis memory.
+	maxKnownBytes = 64 << 10
+
+	// maxEvalInstances caps the dataflow instances evaluated per epoch
+	// when materializing recurrence-staged index streams.
+	maxEvalInstances = 4096
+)
+
+// idxRange is the closed value range of a resolved index stream.
+type idxRange struct {
+	lo, hi uint64
+}
+
+// stagedRun is one segment of bytes staged into an input-port FIFO.
+type stagedRun struct {
+	n       uint64 // length in bytes
+	data    []byte // literal bytes when known (len == n), else nil
+	fromOut int    // hardware output port of a recurrence source, else -1
+	off     uint64 // byte offset into that output port's value stream
+}
+
+// indUse is one indirect command consuming index bytes from a port.
+type indUse struct {
+	trace int
+	port  int
+	elem  isa.ElemSize
+	n     uint64 // index bytes consumed
+}
+
+type valuePass struct {
+	fabric *cgra.Fabric
+	ranges map[int]idxRange
+
+	sched       *cgra.Schedule
+	inRuns      map[int][]stagedRun
+	outConsumed map[int]uint64
+	uses        []indUse
+}
+
+// indexRanges resolves the index-value range of every SD_IndPort_*
+// command in the trace whose staged index stream is statically known.
+// The map is keyed by trace index; absent entries are unboundable.
+func indexRanges(p *core.Program, fabric *cgra.Fabric) map[int]idxRange {
+	v := &valuePass{fabric: fabric, ranges: map[int]idxRange{}}
+	v.resetEpoch()
+	for i, op := range p.Trace {
+		if op.Cmd != nil {
+			v.command(i, op.Cmd, p)
+		}
+	}
+	v.flushEpoch()
+	return v.ranges
+}
+
+func (v *valuePass) resetEpoch() {
+	v.inRuns = map[int][]stagedRun{}
+	v.outConsumed = map[int]uint64{}
+	v.uses = nil
+}
+
+func (v *valuePass) addRun(port isa.InPortID, r stagedRun) {
+	if int(port) >= len(v.fabric.InPorts) || r.n == 0 {
+		return
+	}
+	v.inRuns[int(port)] = append(v.inRuns[int(port)], r)
+}
+
+func (v *valuePass) consumeOut(port isa.OutPortID, n uint64) (off uint64) {
+	off = v.outConsumed[int(port)]
+	v.outConsumed[int(port)] = satAdd(off, n)
+	return off
+}
+
+func (v *valuePass) command(idx int, cmd isa.Command, p *core.Program) {
+	switch k := cmd.(type) {
+	case isa.Config:
+		v.flushEpoch()
+		v.resetEpoch()
+		v.sched = nil
+		if blob, ok := p.Configs[k.Addr]; ok {
+			if s, err := cgra.DecodeConfig(v.fabric, blob); err == nil {
+				v.sched = s
+			}
+		}
+	case isa.MemPort:
+		v.addRun(k.Dst, stagedRun{n: k.Src.TotalBytes(), fromOut: -1})
+	case isa.ScratchPort:
+		v.addRun(k.Dst, stagedRun{n: k.Src.TotalBytes(), fromOut: -1})
+	case isa.ConstPort:
+		v.addRun(k.Dst, constRun(k))
+	case isa.CleanPort:
+		v.consumeOut(k.Src, satMul(k.Count, uint64(k.Elem)))
+	case isa.PortPort:
+		n := satMul(k.Count, uint64(k.Elem))
+		off := v.consumeOut(k.Src, n)
+		v.addRun(k.Dst, stagedRun{n: n, fromOut: int(k.Src), off: off})
+	case isa.PortScratch:
+		v.consumeOut(k.Src, satMul(k.Count, uint64(k.Elem)))
+	case isa.PortMem:
+		v.consumeOut(k.Src, k.Dst.TotalBytes())
+	case isa.IndPortPort:
+		v.uses = append(v.uses, indUse{trace: idx, port: int(k.Idx), elem: k.IdxElem, n: satMul(k.Count, uint64(k.IdxElem))})
+		// The gathered data is itself data-dependent (chained indirection).
+		v.addRun(k.Dst, stagedRun{n: satMul(k.Count, uint64(k.DataElem)), fromOut: -1})
+	case isa.IndPortMem:
+		v.uses = append(v.uses, indUse{trace: idx, port: int(k.Idx), elem: k.IdxElem, n: satMul(k.Count, uint64(k.IdxElem))})
+		v.consumeOut(k.Src, satMul(k.Count, uint64(k.DataElem)))
+	}
+}
+
+// constRun materializes the literal bytes an SD_Const_Port stages.
+func constRun(k isa.ConstPort) stagedRun {
+	n := satMul(k.Count, uint64(k.Elem))
+	r := stagedRun{n: n, fromOut: -1}
+	if n == 0 || n > maxKnownBytes {
+		return r
+	}
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], k.Value)
+	r.data = make([]byte, 0, n)
+	for i := uint64(0); i < k.Count; i++ {
+		r.data = append(r.data, word[:k.Elem]...)
+	}
+	return r
+}
+
+// flushEpoch resolves recurrence-staged runs through the dataflow graph
+// and matches each indirect consumption against its port's FIFO.
+func (v *valuePass) flushEpoch() {
+	v.resolveRecurrences()
+
+	type cursor struct {
+		run int
+		off uint64
+	}
+	cursors := map[int]*cursor{}
+	for _, u := range v.uses {
+		c := cursors[u.port]
+		if c == nil {
+			c = &cursor{}
+			cursors[u.port] = c
+		}
+		runs := v.inRuns[u.port]
+		need := u.n
+		known := need > 0 && need <= maxKnownBytes && u.elem.Valid()
+		buf := make([]byte, 0, min64(need, maxKnownBytes))
+		for need > 0 && c.run < len(runs) {
+			r := runs[c.run]
+			take := min64(need, r.n-c.off)
+			if r.data != nil && known {
+				buf = append(buf, r.data[c.off:c.off+take]...)
+			} else {
+				known = false
+			}
+			need -= take
+			c.off += take
+			if c.off == r.n {
+				c.run++
+				c.off = 0
+			}
+		}
+		if need > 0 || !known {
+			continue // under-staged (a balance error) or data-dependent
+		}
+		v.ranges[u.trace] = byteRange(buf, u.elem)
+	}
+}
+
+// byteRange parses buf as little-endian unsigned elem-sized values and
+// returns their min/max.
+func byteRange(buf []byte, elem isa.ElemSize) idxRange {
+	r := idxRange{lo: ^uint64(0), hi: 0}
+	for o := 0; o+int(elem) <= len(buf); o += int(elem) {
+		var word [8]byte
+		copy(word[:], buf[o:o+int(elem)])
+		x := binary.LittleEndian.Uint64(word[:])
+		if x < r.lo {
+			r.lo = x
+		}
+		if x > r.hi {
+			r.hi = x
+		}
+	}
+	return r
+}
+
+// resolveRecurrences materializes, where possible, the output-port byte
+// streams that SD_Port_Port commands staged into indirect ports, by
+// functionally evaluating the active graph from known input streams.
+func (v *valuePass) resolveRecurrences() {
+	if v.sched == nil {
+		return
+	}
+	g := v.sched.Graph
+
+	// Instances needed per output port, driven only by recurrence runs
+	// sitting in indirect ports (the only runs whose bytes this pass
+	// consumes; recurrences into mapped data ports are loop-carried
+	// dependences the functional evaluation cannot close over).
+	needInst := uint64(0)
+	needed := false
+	for p, runs := range v.inRuns {
+		if p >= len(v.fabric.InPorts) || !v.fabric.InPorts[p].Indirect {
+			continue
+		}
+		for _, r := range runs {
+			if r.fromOut < 0 || r.data != nil {
+				continue
+			}
+			bpi := outBytesPerInstance(v.sched, r.fromOut)
+			end := satAdd(r.off, r.n)
+			if bpi == 0 || end > maxKnownBytes {
+				continue
+			}
+			needed = true
+			if inst := (end + bpi - 1) / bpi; inst > needInst {
+				needInst = inst
+			}
+		}
+	}
+	if !needed || needInst == 0 || needInst > maxEvalInstances {
+		return
+	}
+
+	// Known prefix of every mapped input port, in whole instances.
+	inWords := make([][]uint64, len(g.Ins))
+	avail := needInst
+	for dfgPort, hw := range v.sched.InPortMap {
+		prefix := knownPrefix(v.inRuns[hw])
+		instBytes := uint64(g.Ins[dfgPort].Width) * wordBytes
+		if n := uint64(len(prefix)) / instBytes; n < avail {
+			avail = n
+		}
+		words := make([]uint64, 0, len(prefix)/8)
+		for o := 0; o+8 <= len(prefix); o += 8 {
+			words = append(words, binary.LittleEndian.Uint64(prefix[o:]))
+		}
+		inWords[dfgPort] = words
+	}
+	if avail == 0 {
+		return
+	}
+
+	ev, err := dfg.NewEvaluator(g)
+	if err != nil {
+		return
+	}
+	outBytes := make([][]byte, len(g.Outs))
+	ins := make([][]uint64, len(g.Ins))
+	for inst := uint64(0); inst < avail; inst++ {
+		for p := range g.Ins {
+			w := uint64(g.Ins[p].Width)
+			ins[p] = inWords[p][inst*w : (inst+1)*w]
+		}
+		outs, err := ev.Eval(ins)
+		if err != nil {
+			return
+		}
+		for p, words := range outs {
+			eb := g.Outs[p].ElemBytes
+			for _, w := range words {
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], w)
+				outBytes[p] = append(outBytes[p], b[:eb]...)
+			}
+		}
+	}
+
+	// Patch resolved bytes back into the indirect-port runs.
+	hwOut := map[int][]byte{}
+	for dfgPort, hw := range v.sched.OutPortMap {
+		hwOut[hw] = outBytes[dfgPort]
+	}
+	for p, runs := range v.inRuns {
+		if p >= len(v.fabric.InPorts) || !v.fabric.InPorts[p].Indirect {
+			continue
+		}
+		for i, r := range runs {
+			if r.fromOut < 0 || r.data != nil {
+				continue
+			}
+			stream, ok := hwOut[r.fromOut]
+			end := satAdd(r.off, r.n)
+			if !ok || end > uint64(len(stream)) {
+				continue
+			}
+			runs[i].data = stream[r.off:end]
+		}
+	}
+}
+
+// knownPrefix concatenates the leading literal bytes of a run list,
+// stopping at the first unknown or recurrence-staged run.
+func knownPrefix(runs []stagedRun) []byte {
+	var out []byte
+	for _, r := range runs {
+		if r.data == nil {
+			break
+		}
+		if uint64(len(out))+r.n > maxKnownBytes {
+			break
+		}
+		out = append(out, r.data...)
+	}
+	return out
+}
+
+// outBytesPerInstance is the bytes hardware output port hw produces per
+// dataflow instance under the schedule, or 0 when unmapped.
+func outBytesPerInstance(s *cgra.Schedule, hw int) uint64 {
+	for dfgPort, h := range s.OutPortMap {
+		if h == hw {
+			return uint64(s.Graph.Outs[dfgPort].BytesPerInstance())
+		}
+	}
+	return 0
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,295 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/lint"
+)
+
+// indPort returns the first indirect-capable input port of the fabric.
+func indPort(t *testing.T, p *core.Program, cfg core.Config) isa.InPortID {
+	t.Helper()
+	port := p.IndirectIn(cfg.Fabric, 0)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return port
+}
+
+// TestIndirectConstGatherRace: indices staged from SD_Const_Port are
+// statically known, so the gather's footprint participates in the race
+// check like a direct stream.
+func TestIndirectConstGatherRace(t *testing.T) {
+	p, cfg := newProg(t)
+	ind := indPort(t, p, cfg)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: p.In("B")})
+	wr := emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 8)})
+	// Two known indices 0 and 1 -> gather touches [0x3000, 0x3008),
+	// exactly the unordered write's footprint.
+	emit(t, p, isa.ConstPort{Value: 0, Elem: isa.Elem32, Count: 1, Dst: ind})
+	emit(t, p, isa.ConstPort{Value: 1, Elem: isa.Elem32, Count: 1, Dst: ind})
+	g := emit(t, p, isa.IndPortPort{
+		Idx: ind, IdxElem: isa.Elem32,
+		Offset: 0x3000, Scale: 4, DataElem: isa.Elem32, Count: 2,
+		Dst: p.In("A"),
+	})
+	emit(t, p, isa.BarrierAll{})
+
+	fs, err := lint.Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want one race", fs)
+	}
+	f := fs[0]
+	if f.Check != lint.CheckRace || f.Index != g || f.Other != wr || f.Barrier != isa.KindBarrierAll {
+		t.Fatalf("finding = %+v, want race at %d paired with %d needing SD_Barrier_All", f, g, wr)
+	}
+	if !strings.Contains(f.Msg, "[0, 1]") {
+		t.Fatalf("message %q does not show the resolved index range", f.Msg)
+	}
+
+	// The same program with an ordering barrier before the gather is clean.
+	q, _ := newProg(t)
+	emit(t, q, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: q.In("B")})
+	emit(t, q, isa.PortMem{Src: q.Out("C"), Dst: isa.Linear(0x3000, 8)})
+	emit(t, q, isa.ConstPort{Value: 0, Elem: isa.Elem32, Count: 1, Dst: ind})
+	emit(t, q, isa.ConstPort{Value: 1, Elem: isa.Elem32, Count: 1, Dst: ind})
+	emit(t, q, isa.BarrierAll{})
+	emit(t, q, isa.IndPortPort{
+		Idx: ind, IdxElem: isa.Elem32,
+		Offset: 0x3000, Scale: 4, DataElem: isa.Elem32, Count: 2,
+		Dst: q.In("A"),
+	})
+	checkFindings(t, q, cfg, nil)
+}
+
+// TestIndirectConstGatherDisjoint: a bounded gather whose footprint
+// misses every open window stays silent — ranges make the check precise,
+// not just conservative.
+func TestIndirectConstGatherDisjoint(t *testing.T) {
+	p, cfg := newProg(t)
+	ind := indPort(t, p, cfg)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 8)})
+	emit(t, p, isa.ConstPort{Value: 0x100, Elem: isa.Elem32, Count: 2, Dst: ind})
+	emit(t, p, isa.IndPortPort{
+		Idx: ind, IdxElem: isa.Elem32,
+		Offset: 0x3000, Scale: 4, DataElem: isa.Elem32, Count: 2,
+		Dst: p.In("A"),
+	})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, nil)
+}
+
+// TestIndirectElemSplit: the byte-level model resolves ranges across
+// element-size mismatches — one 64-bit constant staged, consumed as two
+// 32-bit indices (its low and high words).
+func TestIndirectElemSplit(t *testing.T) {
+	p, cfg := newProg(t)
+	ind := indPort(t, p, cfg)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: p.In("B")})
+	wr := emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3010, 8)})
+	// Staged word 0x0000_0005_0000_0003 splits into indices {3, 5}.
+	emit(t, p, isa.ConstPort{Value: 5<<32 | 3, Elem: isa.Elem64, Count: 1, Dst: ind})
+	g := emit(t, p, isa.IndPortPort{
+		Idx: ind, IdxElem: isa.Elem32,
+		Offset: 0x3000, Scale: 4, DataElem: isa.Elem32, Count: 2,
+		Dst: p.In("A"),
+	})
+	emit(t, p, isa.BarrierAll{})
+
+	fs, err := lint.Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Index != g || fs[0].Other != wr {
+		t.Fatalf("findings = %v, want one race at %d vs %d", fs, g, wr)
+	}
+	if !strings.Contains(fs[0].Msg, "[3, 5]") {
+		t.Fatalf("message %q does not show the split index range", fs[0].Msg)
+	}
+}
+
+// TestIndirectUnboundable: indices loaded from memory are data-dependent.
+// The default analysis must stay silent (the documented gap for truly
+// unboundable streams); strict mode must flag the possible conflict.
+func TestIndirectUnboundable(t *testing.T) {
+	build := func() (*core.Program, core.Config, int, int) {
+		p, cfg := newProg(t)
+		ind := indPort(t, p, cfg)
+		emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: p.In("B")})
+		wr := emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 8)})
+		emit(t, p, isa.MemPort{Src: isa.Linear(0x4000, 8), Dst: ind})
+		g := emit(t, p, isa.IndPortPort{
+			Idx: ind, IdxElem: isa.Elem32,
+			Offset: 0x3000, Scale: 4, DataElem: isa.Elem32, Count: 2,
+			Dst: p.In("A"),
+		})
+		emit(t, p, isa.BarrierAll{})
+		return p, cfg, g, wr
+	}
+
+	p, cfg, _, _ := build()
+	checkFindings(t, p, cfg, nil) // default: silent
+
+	p, cfg, g, _ := build()
+	fs, err := lint.CheckWith(p, cfg, lint.Opts{StrictIndirect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raced bool
+	for _, f := range fs {
+		if f.Check == lint.CheckRace && f.Index == g && f.Sev == lint.SevError {
+			raced = true
+			if f.Barrier != isa.KindBarrierAll {
+				t.Fatalf("strict finding barrier = %v, want SD_Barrier_All", f.Barrier)
+			}
+		}
+	}
+	if !raced {
+		t.Fatalf("strict mode reported no race at the unboundable gather: %v", fs)
+	}
+}
+
+// TestIndirectAffineRecurrence: an index stream generated by the fabric
+// itself — an accumulator iota over constant inputs, staged through
+// SD_Port_Port — resolves through functional evaluation of the graph.
+func TestIndirectAffineRecurrence(t *testing.T) {
+	cfg := core.DefaultConfig()
+	b := dfg.NewBuilder("iota")
+	x := b.Input("X", 1)
+	r := b.Input("R", 1)
+	b.Output("I", b.N(dfg.Acc(64), x.W(0), r.W(0))) // 1, 2, 3, ...
+	b.Output("O", b.N(dfg.Add(64), x.W(0), x.W(0)))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewProgram("iota")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	ind := indPort(t, p, cfg)
+
+	const n = 4
+	emit(t, p, isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: n, Dst: p.In("X")})
+	emit(t, p, isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: n, Dst: p.In("R")})
+	emit(t, p, isa.PortPort{Src: p.Out("I"), Elem: isa.Elem64, Count: n, Dst: ind})
+	// The scatter lands on indices 1..4 -> [0x5008, 0x5028), which the
+	// earlier template read overlaps.
+	rd := emit(t, p, isa.MemScratch{Src: isa.Linear(0x5000, 64), ScratchAddr: 0})
+	sc := emit(t, p, isa.IndPortMem{
+		Idx: ind, IdxElem: isa.Elem64,
+		Offset: 0x5000, Scale: 8, DataElem: isa.Elem64, Count: n,
+		Src: p.Out("O"),
+	})
+	emit(t, p, isa.BarrierAll{})
+
+	fs, err := lint.Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly the evaluated-range race", fs)
+	}
+	f := fs[0]
+	if f.Index != sc || f.Other != rd || f.Barrier != isa.KindBarrierAll {
+		t.Fatalf("finding = %+v, want race at %d vs %d", f, sc, rd)
+	}
+	if !strings.Contains(f.Msg, "[1, 4]") {
+		t.Fatalf("message %q does not show the accumulator-derived range", f.Msg)
+	}
+}
+
+// TestIndirectConstOOB: a bounded indirect footprint is bounds-checked
+// like any direct stream.
+func TestIndirectConstOOB(t *testing.T) {
+	p, cfg := newProg(t)
+	ind := indPort(t, p, cfg)
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x3000, 8)})
+	emit(t, p, isa.ConstPort{Value: 2, Elem: isa.Elem32, Count: 2, Dst: ind})
+	g := emit(t, p, isa.IndPortPort{
+		Idx: ind, IdxElem: isa.Elem32,
+		Offset: core.ConfigSpace - 8, Scale: 4, DataElem: isa.Elem32, Count: 2,
+		Dst: p.In("A"),
+	})
+	emit(t, p, isa.BarrierAll{})
+	checkFindings(t, p, cfg, []probe{{lint.CheckOOB, g}})
+}
+
+// TestTrailingIndirectScatter: an unordered trailing SD_IndPort_Mem
+// must warn like any other write stream, and a final SD_Barrier_All —
+// the barrier-equivalent drain — must silence the warning even though
+// the scatter's footprint is data-dependent.
+func TestTrailingIndirectScatter(t *testing.T) {
+	build := func(drain bool) (*core.Program, core.Config, int) {
+		p, cfg := newProg(t)
+		ind := indPort(t, p, cfg)
+		emit(t, p, isa.MemPort{Src: isa.Linear(0x1000, 8), Dst: p.In("A")})
+		emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 8), Dst: p.In("B")})
+		emit(t, p, isa.MemPort{Src: isa.Linear(0x4000, 8), Dst: ind})
+		last := emit(t, p, isa.IndPortMem{
+			Idx: ind, IdxElem: isa.Elem32,
+			Offset: 0x3000, Scale: 4, DataElem: isa.Elem32, Count: 2,
+			Src: p.Out("C"),
+		})
+		if drain {
+			last = emit(t, p, isa.BarrierAll{})
+		}
+		return p, cfg, last
+	}
+
+	p, cfg, _ := build(true)
+	checkFindings(t, p, cfg, nil)
+
+	p, cfg, last := build(false)
+	fs, err := lint.Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Check != lint.CheckRace || fs[0].Sev != lint.SevWarning || fs[0].Index != last {
+		t.Fatalf("findings = %v, want one trailing-write warning at %d", fs, last)
+	}
+	if fs[0].Barrier != isa.KindBarrierAll {
+		t.Fatalf("warning barrier = %v, want SD_Barrier_All", fs[0].Barrier)
+	}
+}
+
+// TestExhaustivePairs: Opts.Exhaustive reports every conflicting pair
+// where the default stops at the first.
+func TestExhaustivePairs(t *testing.T) {
+	p, cfg := newProg(t)
+	// Two scratch-load reads of the write's target region; neither feeds
+	// the write's output port, so the RMW exemption does not apply.
+	emit(t, p, isa.MemScratch{Src: isa.Linear(0x1000, 64), ScratchAddr: 0})
+	emit(t, p, isa.MemScratch{Src: isa.Linear(0x1000, 64), ScratchAddr: 64})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2000, 64), Dst: p.In("A")})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x2800, 64), Dst: p.In("B")})
+	emit(t, p, isa.PortMem{Src: p.Out("C"), Dst: isa.Linear(0x1000, 64)})
+	emit(t, p, isa.BarrierAll{})
+
+	count := func(o lint.Opts) int {
+		fs, err := lint.CheckWith(p, cfg, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, f := range fs {
+			if f.Check == lint.CheckRace {
+				n++
+			}
+		}
+		return n
+	}
+	if n := count(lint.Opts{}); n != 1 {
+		t.Fatalf("default race count = %d, want 1 (first pair only)", n)
+	}
+	if n := count(lint.Opts{Exhaustive: true}); n != 2 {
+		t.Fatalf("exhaustive race count = %d, want 2 (write vs both reads)", n)
+	}
+}

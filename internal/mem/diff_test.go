@@ -1,0 +1,42 @@
+package mem
+
+import "testing"
+
+func TestFirstDiff(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	if !a.Equal(b) {
+		t.Fatal("fresh memories differ")
+	}
+	if _, ok := a.FirstDiff(b); ok {
+		t.Fatal("FirstDiff reported a diff between fresh memories")
+	}
+
+	// A write of zero allocates a page but stays equal to the implicit
+	// zero page of the other memory.
+	a.WriteU64(0x1000, 0)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("zero write broke equality")
+	}
+
+	a.WriteU64(0x2008, 7)
+	if a.Equal(b) {
+		t.Fatal("memories equal after divergent write")
+	}
+	if addr, ok := a.FirstDiff(b); !ok || addr != 0x2008 {
+		t.Fatalf("FirstDiff = %#x, %v; want 0x2008, true", addr, ok)
+	}
+	if addr, ok := b.FirstDiff(a); !ok || addr != 0x2008 {
+		t.Fatalf("FirstDiff (reversed) = %#x, %v; want 0x2008, true", addr, ok)
+	}
+
+	// Matching the write restores equality; a single-byte divergence on
+	// another page is then found at its exact address.
+	b.WriteU64(0x2008, 7)
+	if !a.Equal(b) {
+		t.Fatal("memories differ after matching writes")
+	}
+	a.Write(0x10003, []byte{1})
+	if addr, ok := b.FirstDiff(a); !ok || addr != 0x10003 {
+		t.Fatalf("FirstDiff = %#x, %v; want 0x10003, true", addr, ok)
+	}
+}

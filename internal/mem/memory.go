@@ -5,7 +5,10 @@
 // and bandwidth limits.
 package mem
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sort"
+)
 
 const pageShift = 12
 const pageSize = 1 << pageShift
@@ -106,4 +109,46 @@ func (m *Memory) WriteUint(addr uint64, size int, v uint64) {
 // aid for workload builders.
 func (m *Memory) FootprintBytes() uint64 {
 	return uint64(len(m.pages)) * pageSize
+}
+
+// FirstDiff returns the lowest address at which m and o differ, with
+// ok false when the two memories hold identical contents. Unwritten
+// bytes compare as zero, so allocation layout does not matter.
+func (m *Memory) FirstDiff(o *Memory) (addr uint64, ok bool) {
+	seen := map[uint64]bool{}
+	var pns []uint64
+	for pn := range m.pages {
+		seen[pn] = true
+		pns = append(pns, pn)
+	}
+	for pn := range o.pages {
+		if !seen[pn] {
+			pns = append(pns, pn)
+		}
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		a, b := m.pages[pn], o.pages[pn]
+		if a == nil {
+			a = &emptyPage
+		}
+		if b == nil {
+			b = &emptyPage
+		}
+		if *a == *b {
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return pn<<pageShift + uint64(i), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Equal reports whether m and o hold identical contents.
+func (m *Memory) Equal(o *Memory) bool {
+	_, diff := m.FirstDiff(o)
+	return !diff
 }

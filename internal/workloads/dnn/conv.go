@@ -96,7 +96,9 @@ func (l Layer) buildConv(cfg core.Config, units int) (*workloads.Instance, error
 		// The reset template is shared by every feature.
 		p.Emit(isa.MemScratch{Src: isa.Linear(tmplAddr, uint64(outW*instPerPixel)*8), ScratchAddr: padT})
 		for f := f0; f < f1; f++ {
-			p.Emit(isa.BarrierScratchRd{}) // previous feature's weight reads
+			if f > f0 {
+				p.Emit(isa.BarrierScratchRd{}) // previous feature's weight reads
+			}
 			p.Emit(isa.MemScratch{Src: isa.Linear(wtAddr+uint64(f)*wBytes, wBytes), ScratchAddr: padW})
 			p.Emit(isa.BarrierScratchWr{})
 			for oy := 0; oy < outH; oy++ {

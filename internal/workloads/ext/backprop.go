@@ -120,9 +120,11 @@ func BuildBackprop(cfg core.Config, scale int) (*workloads.Instance, error) {
 		p.Emit(isa.PortMem{Src: p.Out("D"), Dst: isa.Linear(dhAddr+uint64(i*8), 8)})
 		p.Delay(2)
 	}
-	p.Emit(isa.BarrierAll{})
 
 	// Phase 2: reconfigure, then update W1 row by row using the deltas.
+	// No barrier needed between the phases: SD_Config issues only on an
+	// idle machine, so it already orders phase 2's delta reads after
+	// phase 1's writes.
 	p.CompileAndConfigure(cfg.Fabric, g2)
 	for k := 0; k < nx; k++ {
 		p.Emit(isa.MemPort{Src: isa.Linear(w1Addr+uint64(k*nh)*8, uint64(nh)*8), Dst: p.In("W")})

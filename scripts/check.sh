@@ -8,6 +8,9 @@
 #   5. sdlint        every built-in workload and example program is free
 #                    of stream races, port conflicts, balance errors and
 #                    out-of-bounds footprints (see docs/LINT.md)
+#   6. sdlint -fix   the barrier synthesis/elimination pass is a no-op
+#                    on every built-in program: nothing ships with a
+#                    missing or provably redundant barrier
 #
 # Run it from the repository root (or via `make check`). Exits non-zero
 # on the first failing stage.
@@ -34,5 +37,8 @@ go test -race ./...
 
 echo "== sdlint"
 go run ./cmd/sdlint
+
+echo "== sdlint -fix (barrier minimality)"
+go run ./cmd/sdlint -fix
 
 echo "== all checks passed"

@@ -36,6 +36,7 @@ import (
 	"softbrain/internal/cgra"
 	"softbrain/internal/core"
 	"softbrain/internal/dfg"
+	"softbrain/internal/fix"
 	"softbrain/internal/isa"
 	"softbrain/internal/lint"
 	"softbrain/internal/mem"
@@ -170,6 +171,17 @@ func LintProgram(p *Program, cfg Config) ([]LintFinding, error) { return lint.Ch
 //
 //	m.Lint = softbrain.LintHook(m.Config())
 func LintHook(cfg Config) func(*Program) error { return lint.Hook(cfg) }
+
+// FixReport describes the barrier edits FixProgram made: the inserted
+// and removed barriers with their positions and reasons, plus the
+// before/after barrier counts.
+type FixReport = fix.Report
+
+// FixProgram returns a barrier-repaired copy of p: the weakest
+// sufficient barrier is inserted at every diagnosed race, and every
+// barrier whose removal provably creates no new hazard is deleted. The
+// input program is not modified. See internal/fix and docs/LINT.md.
+func FixProgram(p *Program, cfg Config) (*Program, *FixReport, error) { return fix.Fix(p, cfg) }
 
 // NewFabric builds a custom fabric; see also DefaultConfig().Fabric.
 func NewFabric(rows, cols int) *Fabric {
