@@ -21,6 +21,13 @@ lint:
 fix-check:
 	go run ./cmd/sdlint -fix
 
+# Randomized fault-injection soak (docs/ROBUSTNESS.md): 50 seeded
+# programs, each under every fault profile plus a maimed variant, under
+# the race detector. Override the breadth with SOAK_SEEDS=n.
+.PHONY: soak
+soak:
+	SOAK_SEEDS=$${SOAK_SEEDS:-50} go test -race -run TestSoakFaultInjection -count=1 ./internal/core
+
 .PHONY: bench
 bench:
 	go test -bench=. -run=^$$ .

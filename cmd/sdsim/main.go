@@ -6,16 +6,20 @@
 //	sdsim -list
 //	sdsim -w gemm -scale 2
 //	sdsim -w conv3p            # DNN layers run on the 8-unit cluster
+//	sdsim -w gemm -faults delay:7   # run under a seeded fault profile
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"softbrain/internal/core"
+	"softbrain/internal/faults"
 	"softbrain/internal/power"
 	"softbrain/internal/workloads"
 	"softbrain/internal/workloads/dnn"
@@ -29,6 +33,7 @@ func main() {
 	warm := flag.Bool("warm", false, "measure a cache-warm (second) run")
 	list := flag.Bool("list", false, "list available workloads")
 	doTrace := flag.Bool("trace", false, "print an execution timeline (single-unit workloads)")
+	faultSpec := flag.String("faults", "", "fault profile \"name\" or \"name:seed\" ("+strings.Join(faults.Profiles(), ", ")+")")
 	flag.Parse()
 
 	if *list || *name == "" {
@@ -52,6 +57,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *faultSpec != "" {
+		fc, err := faults.ParseProfile(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = &fc
+		runFaulted(inst, cfg, units, *warm)
+		return
+	}
 	if *doTrace && units == 1 {
 		if err := runTraced(inst, cfg); err != nil {
 			log.Fatal(err)
@@ -64,7 +78,7 @@ func main() {
 	}
 	stats, err := run(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 
 	model := power.NewModel(cfg)
@@ -82,6 +96,60 @@ func main() {
 	fmt.Fprintf(w, "average power\t%.1f mW\n", model.AveragePower(stats, units))
 	fmt.Fprintf(w, "energy\t%.1f nJ\n", model.EnergyNJ(stats, units))
 	w.Flush()
+}
+
+// fail prints an execution error and exits. Hangs and recovered
+// invariant panics arrive as structured errors whose rendering carries
+// the classification, culprit stream/port, wait chain, and machine
+// state, so they go to stderr verbatim rather than through log's
+// single-line prefix.
+func fail(err error) {
+	var de *core.DeadlockError
+	var me *core.MachineError
+	if errors.As(err, &de) || errors.As(err, &me) {
+		fmt.Fprintf(os.Stderr, "sdsim: execution failed\n\n%v\n", err)
+		os.Exit(1)
+	}
+	log.Fatal(err)
+}
+
+// runFaulted executes the instance under a fault profile, mirroring
+// Instance.Run but keeping the cluster so the delivered-fault counts
+// can be reported. Corrupting profiles may legitimately end in a
+// verification mismatch or a classified hang; both are reported as
+// structured errors, never a panic.
+func runFaulted(inst *workloads.Instance, cfg core.Config, units int, warm bool) {
+	cl, err := core.NewCluster(cfg, inst.Units())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if inst.Init != nil {
+		inst.Init(cl.Mem)
+	}
+	runs := 1
+	if warm {
+		runs = 2
+	}
+	var stats *core.Stats
+	for i := 0; i < runs; i++ {
+		if stats, err = cl.Run(inst.Progs); err != nil {
+			fmt.Fprintf(os.Stderr, "sdsim: faults delivered: %v\n", cl.FaultStats())
+			fail(err)
+		}
+	}
+	verdict := "verified OK"
+	if inst.Check != nil {
+		if cerr := inst.Check(cl.Mem); cerr != nil {
+			if !cfg.Faults.Corrupting() {
+				fmt.Fprintf(os.Stderr, "sdsim: faults delivered: %v\n", cl.FaultStats())
+				log.Fatalf("non-corrupting faults changed the output: %v", cerr)
+			}
+			verdict = fmt.Sprintf("output corrupted (expected under bitflips): %v", cerr)
+		}
+	}
+	fmt.Printf("%s: %s on %d unit(s) under faults\n", inst.Name, verdict, units)
+	fmt.Printf("cycles: %d\n", stats.Cycles)
+	fmt.Printf("faults delivered: %v\n", cl.FaultStats())
 }
 
 // runTraced executes a single-unit instance with the timeline recorder

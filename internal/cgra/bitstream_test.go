@@ -17,7 +17,10 @@ func handSchedule(t *testing.T) *Schedule {
 	bb := b.Input("B", 1)
 	sum := b.N(dfg.Add(64), a.W(0), bb.W(0))
 	b.Output("O", sum)
-	g := b.MustBuild()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	f := NewFabric(2, 2, dfg.FUAlu)
 	s := &Schedule{

@@ -72,6 +72,62 @@ func (x *cgraExec) InFlight() int {
 	return n
 }
 
+// PendingTimed reports whether any fired instance is still inside the
+// pipeline latency at cycle now (its output will emerge without further
+// input, so the machine is not quiescent).
+func (x *cgraExec) PendingTimed(now uint64) bool {
+	for _, q := range x.pipe {
+		for _, o := range q {
+			if o.ready > now {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// blockers reports why the fabric cannot fire: the machine input ports
+// lacking a full instance of data and the machine output ports lacking
+// space. Both empty means the fabric could fire (or is unconfigured).
+func (x *cgraExec) blockers() (starvedIn, blockedOut []int) {
+	if x.sched == nil {
+		return nil, nil
+	}
+	g := x.sched.Graph
+	for p, in := range g.Ins {
+		if !x.ports.In[x.inHW[p]].HasWords(in.Width) {
+			starvedIn = append(starvedIn, x.inHW[p])
+		}
+	}
+	for p := range g.Outs {
+		hw := x.outHW[p]
+		if x.ports.Out[hw].Space()-x.outRes[hw] < g.Outs[p].BytesPerInstance() {
+			blockedOut = append(blockedOut, hw)
+		}
+	}
+	return starvedIn, blockedOut
+}
+
+// mappedIn / mappedOut report whether a machine port is bound to the
+// active configuration.
+func (x *cgraExec) mappedIn(hw int) bool {
+	for _, m := range x.inHW {
+		if m == hw {
+			return true
+		}
+	}
+	return false
+}
+
+func (x *cgraExec) mappedOut(hw int) bool {
+	for _, m := range x.outHW {
+		if m == hw {
+			return true
+		}
+	}
+	return false
+}
+
 // Tick delivers finished outputs and fires at most one new instance.
 func (x *cgraExec) Tick(now uint64) error {
 	if x.sched == nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"softbrain/internal/faults"
 	"softbrain/internal/mem"
 )
 
@@ -37,9 +38,26 @@ func NewCluster(cfg Config, n int) (*Cluster, error) {
 	return c, nil
 }
 
+// FaultStats sums the injected-fault counts across all units; zero when
+// faults are disabled.
+func (c *Cluster) FaultStats() faults.Stats {
+	var total faults.Stats
+	for _, u := range c.Units {
+		s := u.FaultStats()
+		total.MemDelays += s.MemDelays
+		total.Stalls += s.Stalls
+		total.StallCycles += s.StallCycles
+		total.Throttles += s.Throttles
+		total.BitFlips += s.BitFlips
+	}
+	return total
+}
+
 // Run executes one program per unit concurrently and returns aggregated
-// statistics (Cycles is the wall-clock of the slowest unit).
-func (c *Cluster) Run(progs []*Program) (*Stats, error) {
+// statistics (Cycles is the wall-clock of the slowest unit). Like
+// Machine.Run, it never lets an invariant panic escape: the recovered
+// MachineError names the unit whose Step failed.
+func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
 	if len(progs) != len(c.Units) {
 		return nil, fmt.Errorf("core: %d programs for %d units", len(progs), len(c.Units))
 	}
@@ -56,15 +74,54 @@ func (c *Cluster) Run(progs []*Program) (*Stats, error) {
 	if watchdog == 0 {
 		watchdog = defaultWatchdog
 	}
-	var now, lastProgress, lastChange uint64
+	var now uint64
+	curUnit := 0
+	defer func() {
+		if r := recover(); r != nil {
+			me := c.Units[curUnit].recoverPanic(r, now)
+			me.Unit = curUnit
+			stats, err = nil, me
+		}
+	}()
+	// diagnose classifies the stuck cluster: the first unit with a
+	// structural cause names the hang, Unknown otherwise.
+	diagnose := func(now uint64) *DeadlockError {
+		var first *DeadlockError
+		for i, u := range c.Units {
+			if u.Done() {
+				continue
+			}
+			de := u.diagnose(now)
+			de.Unit = i
+			if first == nil {
+				first = de
+			}
+			if de.Class != HangUnknown {
+				return de
+			}
+		}
+		return first
+	}
+	anyFaults := false
+	for _, u := range c.Units {
+		if u.faults != nil {
+			anyFaults = true
+		}
+	}
+	var lastProgress, lastChange uint64
+	diagnosed := false
 	for {
 		done := true
-		for _, u := range c.Units {
+		for i, u := range c.Units {
 			if u.Done() {
 				continue
 			}
 			done = false
+			curUnit = i
 			if err := u.Step(now); err != nil {
+				if me, ok := err.(*MachineError); ok {
+					me.Unit = i
+				}
 				return nil, err
 			}
 		}
@@ -75,16 +132,45 @@ func (c *Cluster) Run(progs []*Program) (*Stats, error) {
 		for _, u := range c.Units {
 			pr += u.progress()
 		}
+		stillRunning := false
+		for _, u := range c.Units {
+			if !u.Done() { // re-check: Step may have just finished the unit
+				stillRunning = true
+				break
+			}
+		}
 		if pr != lastProgress {
 			lastProgress, lastChange = pr, now
-		} else if now-lastChange > watchdog {
-			state := ""
-			for i, u := range c.Units {
-				if !u.Done() {
-					state += fmt.Sprintf(" unit %d:\n%s", i, u.snapshot())
+			diagnosed = false
+		} else if stillRunning {
+			idle := now - lastChange
+			if idle >= quiesceGrace && !diagnosed {
+				quiet := true
+				for _, u := range c.Units {
+					if !u.Done() && !u.quiescent(now) {
+						quiet = false
+						break
+					}
+				}
+				if quiet {
+					de := diagnose(now)
+					if de != nil && (de.Class != HangUnknown || !anyFaults) {
+						return nil, de
+					}
+					diagnosed = true
 				}
 			}
-			return nil, &DeadlockError{Cycle: now, State: state}
+			if idle > watchdog {
+				de := diagnose(now)
+				if de == nil {
+					de = &DeadlockError{Cycle: now}
+				}
+				if de.Class == HangUnknown {
+					de.Class = HangWatchdog
+					de.Detail = "no progress within the watchdog window; no structural cause identified"
+				}
+				return nil, de
+			}
 		}
 		now++
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"softbrain/internal/cgra"
+	"softbrain/internal/faults"
 	"softbrain/internal/mem"
 )
 
@@ -29,8 +30,15 @@ type Config struct {
 	IssueCost int
 
 	// WatchdogCycles ends a simulation that makes no progress for this
-	// long, reporting a deadlock diagnosis. 0 uses the default.
+	// long, reporting a deadlock diagnosis. 0 uses the default. Most
+	// deadlocks are caught far earlier by quiescence detection; the
+	// watchdog is the backstop for live-locks and fault-perturbed runs.
 	WatchdogCycles uint64
+
+	// Faults, when non-nil and enabled, injects deterministic seeded
+	// faults (memory delays, engine stalls, bus throttling, bit flips)
+	// at the machine's timing boundaries. See internal/faults.
+	Faults *faults.Config
 
 	// Ablation switches, normally false. They disable, respectively:
 	// the §4.5 balance arbitration unit, the §4.2 all-requests-in-flight
@@ -74,5 +82,31 @@ func (c Config) Validate() error {
 		c.PadBufEntries <= 0 || c.IssueCost <= 0 {
 		return fmt.Errorf("core: non-positive config parameter: %+v", c)
 	}
+	if c.WatchdogCycles != 0 {
+		if floor := minWatchdog(c.IssueCost); c.WatchdogCycles < floor {
+			return fmt.Errorf("core: WatchdogCycles %d below the minimum %d (the watchdog must outlast the quiescence grace period and the issue of one %d-word command at IssueCost %d)",
+				c.WatchdogCycles, floor, maxCommandWords, c.IssueCost)
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// maxCommandWords is the longest encodable stream command (1-3 words).
+const maxCommandWords = 3
+
+// minWatchdog is the smallest WatchdogCycles that cannot fire spuriously:
+// it must exceed the quiescence grace period (so structured diagnosis
+// gets a chance first) and the core-busy window of the most expensive
+// single command, during which zero progress is normal.
+func minWatchdog(issueCost int) uint64 {
+	floor := uint64(2 * quiesceGrace)
+	if c := uint64(maxCommandWords * issueCost); c > floor {
+		floor = c
+	}
+	return floor
 }

@@ -7,6 +7,7 @@ import (
 	"softbrain/internal/cgra"
 	"softbrain/internal/dispatch"
 	"softbrain/internal/engine"
+	"softbrain/internal/faults"
 	"softbrain/internal/isa"
 	"softbrain/internal/mem"
 	"softbrain/internal/port"
@@ -46,18 +47,6 @@ type Stats struct {
 	MSEBusy, SSEBusy, RSEBusy uint64
 }
 
-// DeadlockError reports a simulation that stopped making progress, with
-// a snapshot of the stuck state — the situation Section 4.5 discusses
-// (e.g. a recurrence longer than its vector port's buffering).
-type DeadlockError struct {
-	Cycle uint64
-	State string
-}
-
-func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("core: no progress by cycle %d; deadlock?\n%s", e.Cycle, e.State)
-}
-
 // Machine is one Softbrain unit.
 type Machine struct {
 	cfg Config
@@ -79,6 +68,7 @@ type Machine struct {
 	disp   *dispatch.Dispatcher
 	exec   *cgraExec
 	padBuf *engine.PadWriteBuf
+	faults *faults.Injector
 
 	prog      *Program
 	pc        int
@@ -113,11 +103,19 @@ func NewMachineShared(cfg Config, sys *mem.System) (*Machine, error) {
 	f := cfg.Fabric
 	in := make([]*port.Queue, len(f.InPorts))
 	for i, spec := range f.InPorts {
-		in[i] = port.New(fmt.Sprintf("in%d", i), spec.Width, spec.Depth)
+		q, err := port.New(fmt.Sprintf("in%d", i), spec.Width, spec.Depth)
+		if err != nil {
+			return nil, err
+		}
+		in[i] = q
 	}
 	out := make([]*port.Queue, len(f.OutPorts))
 	for i, spec := range f.OutPorts {
-		out[i] = port.New(fmt.Sprintf("out%d", i), spec.Width, spec.Depth)
+		q, err := port.New(fmt.Sprintf("out%d", i), spec.Width, spec.Depth)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = q
 	}
 	m := &Machine{
 		cfg:    cfg,
@@ -126,11 +124,17 @@ func NewMachineShared(cfg Config, sys *mem.System) (*Machine, error) {
 		Ports:  engine.NewPorts(in, out),
 		padBuf: engine.NewPadWriteBuf(cfg.PadBufEntries),
 	}
+	if cfg.Faults != nil {
+		m.faults = faults.New(*cfg.Faults)
+	}
 	m.mse = engine.NewMSE(sys, m.Ports, m.padBuf, cfg.StreamTable, m.onConfig)
 	m.mse.DisableBalance = cfg.NoBalanceUnit
 	m.mse.DisableDrain = cfg.NoAllInFlight
+	m.mse.Faults = m.faults
 	m.sse = engine.NewSSE(m.Pad, m.Ports, m.padBuf, cfg.StreamTable)
+	m.sse.Faults = m.faults
 	m.rse = engine.NewRSE(m.Ports, cfg.StreamTable)
+	m.rse.Faults = m.faults
 	m.disp = dispatch.New(m.mse, m.sse, m.rse, len(in), len(out), cfg.CmdQueueDepth)
 	m.disp.InOrderIssue = cfg.InOrderIssue
 	m.exec = newCGRAExec(m.Ports)
@@ -217,29 +221,51 @@ func (m *Machine) Done() bool {
 	return m.prog != nil && m.pc >= len(m.prog.Trace) && m.disp.Idle() && m.exec.InFlight() == 0
 }
 
-// Step advances one cycle.
+// Step advances one cycle. Component errors come back wrapped in a
+// MachineError naming the component and cycle; a fault-injected stall
+// freezes the affected stream engine for the cycle.
 func (m *Machine) Step(now uint64) error {
 	if err := m.exec.Tick(now); err != nil {
-		return err
+		return m.stepError("cgra", now, err)
 	}
-	if err := m.mse.Tick(now); err != nil {
-		return err
+	if !m.stalled(faults.EngMSE, now) {
+		if err := m.mse.Tick(now); err != nil {
+			return m.stepError("mse", now, err)
+		}
 	}
 	if m.configErr != nil {
-		return m.configErr
+		return m.stepError("program", now, m.configErr)
 	}
-	if err := m.sse.Tick(now); err != nil {
-		return err
+	if !m.stalled(faults.EngSSE, now) {
+		if err := m.sse.Tick(now); err != nil {
+			return m.stepError("sse", now, err)
+		}
 	}
-	if err := m.rse.Tick(now); err != nil {
-		return err
+	if !m.stalled(faults.EngRSE, now) {
+		if err := m.rse.Tick(now); err != nil {
+			return m.stepError("rse", now, err)
+		}
 	}
 	if err := m.disp.Tick(now); err != nil {
-		return err
+		return m.stepError("dispatch", now, err)
 	}
 	m.stepCore(now)
 	m.mark(now)
 	return nil
+}
+
+// stalled reports whether fault injection freezes engine e this cycle.
+func (m *Machine) stalled(e faults.Engine, now uint64) bool {
+	return m.faults != nil && m.faults.Stalled(e, now)
+}
+
+// FaultStats returns the injected-fault counts, zero when faults are
+// disabled.
+func (m *Machine) FaultStats() faults.Stats {
+	if m.faults == nil {
+		return faults.Stats{}
+	}
+	return m.faults.Stats()
 }
 
 // mark records per-lane activity for the execution trace.
@@ -309,9 +335,13 @@ func (m *Machine) progress() uint64 {
 
 // snapshot renders the stuck state for deadlock diagnostics.
 func (m *Machine) snapshot() string {
+	traceLen := 0
+	if m.prog != nil {
+		traceLen = len(m.prog.Trace)
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "  pc=%d/%d queue=%d active-streams: mse=%d sse=%d rse=%d cgra-inflight=%d\n",
-		m.pc, len(m.prog.Trace), m.disp.QueueLen(), m.mse.Active(), m.sse.Active(), m.rse.Active(), m.exec.InFlight())
+		m.pc, traceLen, m.disp.QueueLen(), m.mse.Active(), m.sse.Active(), m.rse.Active(), m.exec.InFlight())
 	for i, q := range m.Ports.In {
 		if q.Len() > 0 || m.Ports.Reserved(i) > 0 {
 			fmt.Fprintf(&b, "  in%d: %dB buffered, %dB reserved, %dB space\n", i, q.Len(), m.Ports.Reserved(i), q.Space())
@@ -335,22 +365,52 @@ func (m *Machine) Run(p *Program) (*Stats, error) {
 	return m.run()
 }
 
-// run executes the loaded program to completion.
-func (m *Machine) run() (*Stats, error) {
+// run executes the loaded program to completion. Invariant panics from
+// any component are recovered into a MachineError — the execution
+// contract is that Run returns, it never takes the host process down.
+func (m *Machine) run() (stats *Stats, err error) {
 	base := snapshotSys(m.Sys)
 	watchdog := m.cfg.WatchdogCycles
 	if watchdog == 0 {
 		watchdog = defaultWatchdog
 	}
-	var now, lastProgress, lastChange uint64
+	var now uint64
+	defer func() {
+		if r := recover(); r != nil {
+			stats, err = nil, m.recoverPanic(r, now)
+		}
+	}()
+	var lastProgress, lastChange uint64
+	diagnosed := false
 	for !m.Done() {
 		if err := m.Step(now); err != nil {
 			return nil, err
 		}
 		if pr := m.progress(); pr != lastProgress {
 			lastProgress, lastChange = pr, now
-		} else if now-lastChange > watchdog {
-			return nil, &DeadlockError{Cycle: now, State: m.snapshot()}
+			diagnosed = false
+		} else if !m.Done() { // Step may have just finished the program
+			idle := now - lastChange
+			// Quiescence: no progress for the grace period and no timed
+			// event pending anywhere — provably stuck, so diagnose now
+			// rather than burning the full watchdog budget.
+			if idle >= quiesceGrace && !diagnosed && m.quiescent(now) {
+				de := m.diagnose(now)
+				if de.Class != HangUnknown || m.faults == nil {
+					return nil, de
+				}
+				// Unknown cause under fault injection: be conservative
+				// and keep running until the watchdog.
+				diagnosed = true
+			}
+			if idle > watchdog {
+				de := m.diagnose(now)
+				if de.Class == HangUnknown {
+					de.Class = HangWatchdog
+					de.Detail = "no progress within the watchdog window; no structural cause identified"
+				}
+				return nil, de
+			}
 		}
 		now++
 	}

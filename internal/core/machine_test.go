@@ -10,6 +10,16 @@ import (
 	"softbrain/internal/isa"
 )
 
+// mustBuild finalizes a graph that the test constructed to be valid.
+func mustBuild(t testing.TB, b *dfg.Builder) *dfg.Graph {
+	t.Helper()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
 // dotProdGraph is the Figure 3a/4 dot-product DFG.
 func dotProdGraph(t testing.TB) *dfg.Graph {
 	t.Helper()
@@ -236,7 +246,7 @@ func TestPortPortRecurrence(t *testing.T) {
 	a := b.Input("A", 1)
 	bb := b.Input("B", 1)
 	b.Output("Y", b.N(dfg.Add(64), a.W(0), bb.W(0)))
-	g := b.MustBuild()
+	g := mustBuild(t, b)
 
 	const n = 16
 	const aAddr, bAddr, zAddr = 0x1000, 0x2000, 0x3000
@@ -285,7 +295,7 @@ func TestDeadlockDetection(t *testing.T) {
 	a := b.Input("A", 1)
 	bb := b.Input("B", 1)
 	b.Output("Y", b.N(dfg.Add(64), a.W(0), bb.W(0)))
-	g := b.MustBuild()
+	g := mustBuild(t, b)
 
 	const n = 64
 	p := NewProgram("deadlock")
@@ -341,7 +351,7 @@ func TestClusterSharesBandwidth(t *testing.T) {
 			outs = append(outs, b.N(dfg.Add(64), a.W(i), dfg.ImmRef(0)))
 		}
 		b.Output("Y", outs...)
-		g := b.MustBuild()
+		g := mustBuild(t, b)
 		p := NewProgram("copy")
 		p.CompileAndConfigure(f, g)
 		const n = 4096

@@ -29,7 +29,10 @@ func TestRandomProgramsMatchEvaluator(t *testing.T) {
 }
 
 func runRandomProgram(cfg Config, rng *rand.Rand) error {
-	g := randomStreamableGraph(rng)
+	g, err := randomStreamableGraph(rng)
+	if err != nil {
+		return err
+	}
 	instances := uint64(8 + rng.Intn(120))
 
 	m, err := NewMachine(cfg)
@@ -138,7 +141,7 @@ func runRandomProgram(cfg Config, rng *rand.Rand) error {
 // randomStreamableGraph builds a random DAG whose every output is
 // 64-bit full-word (so memory comparison is exact) and whose ports fit
 // the default fabric.
-func randomStreamableGraph(rng *rand.Rand) *dfg.Graph {
+func randomStreamableGraph(rng *rand.Rand) (*dfg.Graph, error) {
 	b := dfg.NewBuilder("rnd")
 	nIns := 1 + rng.Intn(3)
 	var avail []dfg.Ref
@@ -178,7 +181,7 @@ func randomStreamableGraph(rng *rand.Rand) *dfg.Graph {
 		}
 		b.Output(fmt.Sprintf("O%d", o), srcs...)
 	}
-	return b.MustBuild()
+	return b.Build()
 }
 
 // TestMultiLevelIndirection chains two SD_IndPort_Port streams to gather
@@ -192,7 +195,7 @@ func TestMultiLevelIndirection(t *testing.T) {
 	bld := dfg.NewBuilder("passthrough")
 	x := bld.Input("X", 1)
 	bld.Output("Y", bld.N(dfg.Abs(64), x.W(0)))
-	g := bld.MustBuild()
+	g := mustBuild(t, bld)
 
 	const n = 32
 	const cAddr, bAddr, aAddr, rAddr = 0x1000, 0x2000, 0x3000, 0x4000

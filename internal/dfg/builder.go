@@ -77,16 +77,6 @@ func (b *Builder) Build() (*Graph, error) {
 	return &g, nil
 }
 
-// MustBuild is Build for graphs known statically to be valid, such as the
-// workload graphs in this repository; it panics on error.
-func (b *Builder) MustBuild() *Graph {
-	g, err := b.Build()
-	if err != nil {
-		panic(err)
-	}
-	return g
-}
-
 // ReduceTree builds a balanced binary reduction of vals with op,
 // returning the root value. It is a convenience for the adder and
 // min trees that dominate accelerator DFGs (e.g. stencil3d's "6-1 reduce

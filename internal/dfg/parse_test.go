@@ -94,7 +94,8 @@ func TestParseErrors(t *testing.T) {
 }
 
 // randomGraph builds a random valid DAG for round-trip testing.
-func randomGraph(r *rand.Rand) *Graph {
+func randomGraph(t testing.TB, r *rand.Rand) *Graph {
+	t.Helper()
 	b := NewBuilder("rnd")
 	nIns := 1 + r.Intn(3)
 	var portRefs []Ref
@@ -120,7 +121,7 @@ func randomGraph(r *rand.Rand) *Graph {
 		avail = append(avail, b.N(op, args...))
 	}
 	b.Output("O", avail[len(avail)-1])
-	return b.MustBuild()
+	return mustBuild(t, b)
 }
 
 // Property: String() output re-parses to a graph that evaluates
@@ -128,7 +129,7 @@ func randomGraph(r *rand.Rand) *Graph {
 func TestStringParseRoundTripEval(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 50; trial++ {
-		g := randomGraph(r)
+		g := randomGraph(t, r)
 		g2, err := ParseString(g.String())
 		if err != nil {
 			t.Fatalf("re-parse failed: %v\n%s", err, g.String())

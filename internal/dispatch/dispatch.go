@@ -39,45 +39,63 @@ type resources struct {
 // classify derives the resource needs of a command.
 func classify(cmd isa.Command) (resources, error) {
 	r := resources{outReader: -1}
-	switch c := cmd.(type) {
-	case isa.Config, isa.MemScratch:
+	var err error
+	r.inWriters, r.inReaders, r.outReader, err = CommandPorts(cmd)
+	if err != nil {
+		return r, err
+	}
+	switch cmd.(type) {
+	case isa.Config, isa.MemScratch, isa.MemPort, isa.IndPortPort:
 		r.engine = engMSERead
-	case isa.MemPort:
-		r.engine = engMSERead
-		r.inWriters = []int{int(c.Dst)}
-	case isa.IndPortPort:
-		r.engine = engMSERead
-		r.inWriters = []int{int(c.Dst)}
-		r.inReaders = []int{int(c.Idx)}
 	case isa.ScratchPort:
 		r.engine = engSSERead
-		r.inWriters = []int{int(c.Dst)}
-	case isa.ConstPort:
+	case isa.ConstPort, isa.PortPort, isa.CleanPort:
 		r.engine = engRSE
-		r.inWriters = []int{int(c.Dst)}
-	case isa.PortPort:
-		r.engine = engRSE
-		r.inWriters = []int{int(c.Dst)}
-		r.outReader = int(c.Src)
-	case isa.CleanPort:
-		r.engine = engRSE
-		r.outReader = int(c.Src)
 	case isa.PortScratch:
 		r.engine = engSSEWrite
-		r.outReader = int(c.Src)
-	case isa.PortMem:
+	case isa.PortMem, isa.IndPortMem:
 		r.engine = engMSEWrite
-		r.outReader = int(c.Src)
-	case isa.IndPortMem:
-		r.engine = engMSEWrite
-		r.inReaders = []int{int(c.Idx)}
-		r.outReader = int(c.Src)
 	case isa.BarrierScratchRd, isa.BarrierScratchWr, isa.BarrierAll:
 		r.engine = engBarrier
-	default:
-		return r, fmt.Errorf("dispatch: unknown command %v", cmd)
 	}
 	return r, nil
+}
+
+// CommandPorts lists the vector ports cmd touches: input ports it
+// writes, input ports it consumes for indirect indices, and the output
+// port it reads (-1 when none). The core's hang diagnosis uses it to
+// find the future supplier of a starved port among queued and unfetched
+// commands.
+func CommandPorts(cmd isa.Command) (inWriters, inReaders []int, outReader int, err error) {
+	outReader = -1
+	switch c := cmd.(type) {
+	case isa.Config, isa.MemScratch,
+		isa.BarrierScratchRd, isa.BarrierScratchWr, isa.BarrierAll:
+	case isa.MemPort:
+		inWriters = []int{int(c.Dst)}
+	case isa.IndPortPort:
+		inWriters = []int{int(c.Dst)}
+		inReaders = []int{int(c.Idx)}
+	case isa.ScratchPort:
+		inWriters = []int{int(c.Dst)}
+	case isa.ConstPort:
+		inWriters = []int{int(c.Dst)}
+	case isa.PortPort:
+		inWriters = []int{int(c.Dst)}
+		outReader = int(c.Src)
+	case isa.CleanPort:
+		outReader = int(c.Src)
+	case isa.PortScratch:
+		outReader = int(c.Src)
+	case isa.PortMem:
+		outReader = int(c.Src)
+	case isa.IndPortMem:
+		inReaders = []int{int(c.Idx)}
+		outReader = int(c.Src)
+	default:
+		err = fmt.Errorf("dispatch: unknown command %v", cmd)
+	}
+	return inWriters, inReaders, outReader, err
 }
 
 // holder is one stream occupying a scoreboard entry. A draining holder
@@ -427,6 +445,28 @@ func (d *Dispatcher) retire(now uint64) {
 			}
 		}
 	}
+}
+
+// Queue returns the queued commands, oldest first, for the core's hang
+// diagnosis (a starved port's supply may be sitting unissued behind a
+// barrier or scoreboard conflict).
+func (d *Dispatcher) Queue() []isa.Command {
+	out := make([]isa.Command, len(d.queue))
+	for i, q := range d.queue {
+		out[i] = q.cmd
+	}
+	return out
+}
+
+// Holder reports which active stream holds input port p in the writer
+// role (the earliest non-draining holder), or -1.
+func (d *Dispatcher) Holder(p int) int {
+	for _, h := range d.inWriter[p] {
+		if !h.draining {
+			return h.id
+		}
+	}
+	return -1
 }
 
 // QueueKinds lists the queued commands' kinds, oldest first (debug aid).

@@ -21,6 +21,15 @@ type rig struct {
 	now   uint64
 }
 
+func mustPort(t *testing.T, name string, width, depth int) *port.Queue {
+	t.Helper()
+	q, err := port.New(name, width, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
 func newRig(t *testing.T) *rig {
 	t.Helper()
 	sys, err := mem.NewSystem(mem.DefaultSysConfig())
@@ -29,8 +38,8 @@ func newRig(t *testing.T) *rig {
 	}
 	var in, out []*port.Queue
 	for i := 0; i < 4; i++ {
-		in = append(in, port.New("in", 8, 64))
-		out = append(out, port.New("out", 8, 64))
+		in = append(in, mustPort(t, "in", 8, 64))
+		out = append(out, mustPort(t, "out", 8, 64))
 	}
 	ports := engine.NewPorts(in, out)
 	padBuf := engine.NewPadWriteBuf(8)

@@ -3,8 +3,74 @@ package engine
 import (
 	"fmt"
 
+	"softbrain/internal/isa"
 	"softbrain/internal/port"
 )
+
+// Invariant is the panic value raised when engine-internal bookkeeping
+// (reservations, buffer slots) contradicts itself. Like port.Invariant,
+// these states are unreachable through the architectural protocol; one
+// firing means the simulator's own state is corrupt, and the machine's
+// Run boundary recovers it into a typed MachineError.
+type Invariant struct {
+	Comp string // engine component, e.g. "ports", "padbuf"
+	Msg  string
+}
+
+func (i Invariant) Error() string { return fmt.Sprintf("engine: %s: %s", i.Comp, i.Msg) }
+
+// Component names the machine component for MachineError attribution.
+func (i Invariant) Component() string { return i.Comp }
+
+// Wait classifies why a stream cannot make progress this cycle, for the
+// core's structured hang diagnosis. WaitNone and WaitTimed streams are
+// not stuck: they can progress now or at a known future cycle.
+type Wait uint8
+
+const (
+	WaitNone    Wait = iota // can progress (or only transiently blocked)
+	WaitTimed               // a response or write completion is in flight
+	WaitInSpace             // destination input port has no free credit
+	WaitOutData             // source output port is empty
+	WaitIndex               // indirect stream has no staged indices
+	WaitPadBuf              // MSE-to-SSE write buffer has no free slot
+)
+
+func (w Wait) String() string {
+	switch w {
+	case WaitNone:
+		return "none"
+	case WaitTimed:
+		return "timed"
+	case WaitInSpace:
+		return "in-space"
+	case WaitOutData:
+		return "out-data"
+	case WaitIndex:
+		return "index"
+	case WaitPadBuf:
+		return "padbuf"
+	}
+	return fmt.Sprintf("Wait(%d)", uint8(w))
+}
+
+// StreamInfo is one active stream's identity and blocking state, the
+// unit of the core's wait-for graph. Port fields are machine port
+// indices, -1 when the stream has no port in that role.
+type StreamInfo struct {
+	ID   int      // dispatcher stream id
+	Kind isa.Kind // originating command kind
+	Eng  string   // "MSE", "SSE" or "RSE"
+
+	DstIn  int // input port the stream writes
+	SrcOut int // output port the stream reads
+	IdxIn  int // input port supplying indirect indices
+
+	Wait Wait
+}
+
+// Name renders the stream for diagnostics, e.g. "SD_Port_Port#3".
+func (s StreamInfo) Name() string { return fmt.Sprintf("%v#%d", s.Kind, s.ID) }
 
 // Ports bundles the machine's vector ports with the in-flight space
 // reservations engines hold against input ports. A read stream reserves
@@ -26,18 +92,24 @@ func NewPorts(in, out []*port.Queue) *Ports {
 // InAvail is the unreserved free space of input port i, in bytes.
 func (p *Ports) InAvail(i int) int { return p.In[i].Space() - p.resIn[i] }
 
-// Reserve holds n bytes of input port i for an in-flight response.
+// Reserve holds n bytes of input port i for an in-flight response. Over-
+// reservation violates the credit protocol and raises an Invariant panic
+// (recovered at the machine's Run boundary).
 func (p *Ports) Reserve(i, n int) {
 	if n > p.InAvail(i) {
-		panic(fmt.Sprintf("engine: reserving %d bytes on port %d with %d available", n, i, p.InAvail(i)))
+		panic(Invariant{Comp: "ports",
+			Msg: fmt.Sprintf("reserving %d bytes on port %d with %d available", n, i, p.InAvail(i))})
 	}
 	p.resIn[i] += n
 }
 
 // Deliver converts a reservation on input port i into real occupancy.
+// Delivering more than was reserved raises an Invariant panic (recovered
+// at the machine's Run boundary).
 func (p *Ports) Deliver(i int, data []byte) {
 	if p.resIn[i] < len(data) {
-		panic(fmt.Sprintf("engine: delivering %d bytes on port %d with %d reserved", len(data), i, p.resIn[i]))
+		panic(Invariant{Comp: "ports",
+			Msg: fmt.Sprintf("delivering %d bytes on port %d with %d reserved", len(data), i, p.resIn[i])})
 	}
 	p.resIn[i] -= len(data)
 	p.In[i].Push(data)
@@ -84,17 +156,21 @@ func (b *PadWriteBuf) CanReserve() bool {
 }
 
 // ReserveSlot promises one slot to an in-flight memory request.
+// Reserving past capacity raises an Invariant panic (recovered at the
+// machine's Run boundary): the MSE must check CanReserve first.
 func (b *PadWriteBuf) ReserveSlot() {
 	if !b.CanReserve() {
-		panic("engine: pad write buffer over-reserved")
+		panic(Invariant{Comp: "padbuf", Msg: "pad write buffer over-reserved"})
 	}
 	b.reserved++
 }
 
-// Fill converts a reserved slot into a queued write.
+// Fill converts a reserved slot into a queued write. Filling without a
+// reservation raises an Invariant panic (recovered at the machine's Run
+// boundary).
 func (b *PadWriteBuf) Fill(w PadWrite) {
 	if b.reserved == 0 {
-		panic("engine: pad write buffer fill without reservation")
+		panic(Invariant{Comp: "padbuf", Msg: "pad write buffer fill without reservation"})
 	}
 	b.reserved--
 	b.entries = append(b.entries, w)

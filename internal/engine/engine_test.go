@@ -24,6 +24,15 @@ type rig struct {
 	now     uint64
 }
 
+func mustPort(t *testing.T, name string, width, depth int) *port.Queue {
+	t.Helper()
+	q, err := port.New(name, width, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
 func newRig(t *testing.T) *rig {
 	t.Helper()
 	cfg := mem.DefaultSysConfig()
@@ -33,8 +42,8 @@ func newRig(t *testing.T) *rig {
 	}
 	var in, out []*port.Queue
 	for i := 0; i < 4; i++ {
-		in = append(in, port.New("in", 8, 64))
-		out = append(out, port.New("out", 8, 64))
+		in = append(in, mustPort(t, "in", 8, 64))
+		out = append(out, mustPort(t, "out", 8, 64))
 	}
 	r := &rig{
 		sys:    sys,
@@ -310,7 +319,7 @@ func TestPortScratchWrite(t *testing.T) {
 // reorder; popping slowly drains it completely.
 func TestBackpressureNeverOverflows(t *testing.T) {
 	r := newRig(t)
-	small := port.New("small", 1, 2) // 16 bytes
+	small := mustPort(t, "small", 1, 2) // 16 bytes
 	r.ports.In[0] = small
 	total := 400
 	src := make([]byte, total)
@@ -343,7 +352,7 @@ func TestBackpressureNeverOverflows(t *testing.T) {
 // finish long before the port-0 stream could.
 func TestBalanceUnitPrioritizesStarvedPort(t *testing.T) {
 	r := newRig(t)
-	blocked := port.New("blocked", 1, 2)
+	blocked := mustPort(t, "blocked", 1, 2)
 	r.ports.In[0] = blocked
 	r.sys.Mem.Write(0, make([]byte, 4096))
 	if err := r.mse.StartRead(1, isa.MemPort{Src: isa.Linear(0, 4096), Dst: 0}); err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"softbrain/internal/faults"
 	"softbrain/internal/isa"
 	"softbrain/internal/mem"
 )
@@ -29,6 +30,11 @@ type MSE struct {
 	// Ablation switches (normally false; see core.Config).
 	DisableBalance bool // issue reads first-come instead of least-outstanding
 	DisableDrain   bool // never report all-requests-in-flight
+
+	// Faults, when non-nil, perturbs response timing, bus bandwidth and
+	// line contents (see internal/faults). Nil costs one comparison per
+	// hook site.
+	Faults *faults.Injector
 
 	// Statistics.
 	LinesRead      uint64
@@ -251,6 +257,9 @@ func (e *MSE) deliver(now uint64) bool {
 		}
 	}
 	budget := LineBytes
+	if e.Faults != nil {
+		budget = e.Faults.BusBudget(faults.EngMSE, budget)
+	}
 	moved := false
 	n := len(e.reads)
 	for i := 0; i < n && budget > 0; i++ {
@@ -411,6 +420,10 @@ func (e *MSE) commitRead(s *memRead, req LineReq, ready uint64) {
 	for i, off := range req.Offsets {
 		data[i] = line[off]
 	}
+	if e.Faults != nil {
+		ready += e.Faults.MemDelay()
+		e.Faults.CorruptLine(data)
+	}
 	p := readPending{ready: ready, data: data}
 	if s.dstPort >= 0 {
 		e.ports.Reserve(s.dstPort, len(data))
@@ -485,6 +498,9 @@ func (e *MSE) issueWrite(now uint64, busy *bool) error {
 // commitWrite pops the stream's bytes from its output port and stores
 // them functionally.
 func (e *MSE) commitWrite(s *memWrite, req LineReq, ready uint64) {
+	if e.Faults != nil {
+		ready += e.Faults.MemDelay()
+	}
 	data := e.ports.Out[s.srcPort].Pop(req.Bytes())
 	for i, off := range req.Offsets {
 		e.sys.Mem.StoreByte(req.Line+uint64(off), data[i])
@@ -519,6 +535,83 @@ func (e *MSE) retire(now uint64) {
 		}
 	}
 	e.writes = writes
+}
+
+// Streams reports every active stream with its blocking state at cycle
+// now, for the core's structured hang diagnosis.
+func (e *MSE) Streams(now uint64) []StreamInfo {
+	var out []StreamInfo
+	for _, s := range e.reads {
+		si := StreamInfo{ID: s.id, Kind: s.kind, Eng: "MSE", DstIn: -1, SrcOut: -1, IdxIn: -1}
+		if s.dstPort >= 0 {
+			si.DstIn = s.dstPort
+		}
+		if s.kind == isa.KindIndPortPort {
+			si.IdxIn = s.idxPort
+		}
+		switch {
+		case len(s.pending) > 0 && s.pending[0].ready > now:
+			si.Wait = WaitTimed
+		case len(s.pending) > 0:
+			si.Wait = WaitNone // head deliverable: space was reserved at issue
+		case !s.issuedAll():
+			switch {
+			case s.cur == nil && s.agu.pending() == 0 && s.idxRemaining > 0:
+				si.Wait = WaitIndex
+			case s.dstPort >= 0 && e.ports.InAvail(s.dstPort) <= 0:
+				si.Wait = WaitInSpace
+			case s.dstPort == dstScratch && !e.padBuf.CanReserve():
+				si.Wait = WaitPadBuf
+			default:
+				si.Wait = WaitNone // can issue; memory rejection is transient
+			}
+		case s.padOutstanding > 0:
+			si.Wait = WaitPadBuf // SSE drains the buffer unconditionally
+		default:
+			si.Wait = WaitNone
+		}
+		out = append(out, si)
+	}
+	for _, s := range e.writes {
+		si := StreamInfo{ID: s.id, Kind: s.kind, Eng: "MSE", DstIn: -1, SrcOut: s.srcPort, IdxIn: -1}
+		if s.kind == isa.KindIndPortMem {
+			si.IdxIn = s.idxPort
+		}
+		switch {
+		case s.issuedAll() && now < s.lastReady:
+			si.Wait = WaitTimed
+		case s.issuedAll():
+			si.Wait = WaitNone
+		case s.cur == nil && s.agu.pending() == 0 && s.idxRemaining > 0:
+			si.Wait = WaitIndex
+		case e.ports.Out[s.srcPort].Len() == 0:
+			si.Wait = WaitOutData
+		default:
+			si.Wait = WaitNone
+		}
+		out = append(out, si)
+	}
+	return out
+}
+
+// PendingTimed reports whether the engine holds state that resolves at a
+// known future cycle: an undelivered read response or an in-flight write
+// completion with a ready time past now. While any exists the machine is
+// not quiescent — progress will resume without external input.
+func (e *MSE) PendingTimed(now uint64) bool {
+	for _, s := range e.reads {
+		for _, p := range s.pending {
+			if p.ready > now {
+				return true
+			}
+		}
+	}
+	for _, s := range e.writes {
+		if s.lastReady > now {
+			return true
+		}
+	}
+	return false
 }
 
 // DebugStreams renders the read-stream table state (debug aid).

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"softbrain/internal/faults"
 	"softbrain/internal/isa"
 )
 
@@ -19,6 +20,9 @@ type RSE struct {
 	streams []*rseStream
 	done    []int
 	rr      int
+
+	// Faults, when non-nil, perturbs the bus bandwidth.
+	Faults *faults.Injector
 
 	// Statistics.
 	BytesMoved uint64
@@ -85,6 +89,9 @@ func (e *RSE) Active() int { return len(e.streams) }
 // Tick moves data for the active streams under the shared bus budget.
 func (e *RSE) Tick(now uint64) error {
 	budget := LineBytes
+	if e.Faults != nil {
+		budget = e.Faults.BusBudget(faults.EngRSE, budget)
+	}
 	n := len(e.streams)
 	for i := 0; i < n && budget > 0; i++ {
 		s := e.streams[(e.rr+i)%n]
@@ -148,6 +155,38 @@ func (e *RSE) step(s *rseStream, budget int) int {
 	}
 	s.remaining -= uint64(n)
 	return n
+}
+
+// Streams reports every active stream with its blocking state, for the
+// core's structured hang diagnosis. The RSE has no timed state: a stuck
+// stream always waits on a port.
+func (e *RSE) Streams(now uint64) []StreamInfo {
+	var out []StreamInfo
+	for _, s := range e.streams {
+		si := StreamInfo{ID: s.id, Kind: s.kind, Eng: "RSE", DstIn: -1, SrcOut: -1, IdxIn: -1}
+		switch s.kind {
+		case isa.KindPortPort:
+			si.SrcOut, si.DstIn = s.srcPort, s.dstPort
+			switch {
+			case e.ports.Out[s.srcPort].Len() == 0:
+				si.Wait = WaitOutData
+			case e.ports.InAvail(s.dstPort) <= 0:
+				si.Wait = WaitInSpace
+			}
+		case isa.KindConstPort:
+			si.DstIn = s.dstPort
+			if e.ports.InAvail(s.dstPort) <= 0 {
+				si.Wait = WaitInSpace
+			}
+		case isa.KindCleanPort:
+			si.SrcOut = s.srcPort
+			if e.ports.Out[s.srcPort].Len() == 0 {
+				si.Wait = WaitOutData
+			}
+		}
+		out = append(out, si)
+	}
+	return out
 }
 
 func (e *RSE) retire() {

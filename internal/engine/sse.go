@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"softbrain/internal/faults"
 	"softbrain/internal/isa"
 	"softbrain/internal/scratch"
 )
@@ -24,6 +25,10 @@ type SSE struct {
 	writes []*sseWrite
 	done   []int
 	rr     int
+
+	// Faults, when non-nil, perturbs bus bandwidth and read line
+	// contents (see internal/faults).
+	Faults *faults.Injector
 
 	// Statistics.
 	ReadGrants  uint64
@@ -126,6 +131,9 @@ func (e *SSE) Tick(now uint64) error {
 
 func (e *SSE) deliver(now uint64) bool {
 	budget := LineBytes
+	if e.Faults != nil {
+		budget = e.Faults.BusBudget(faults.EngSSE, budget)
+	}
 	moved := false
 	n := len(e.reads)
 	for i := 0; i < n && budget > 0; i++ {
@@ -186,6 +194,9 @@ func (e *SSE) issueRead(now uint64) error {
 	data := make([]byte, len(req.Offsets))
 	for i, off := range req.Offsets {
 		data[i] = line[off]
+	}
+	if e.Faults != nil {
+		e.Faults.CorruptLine(data)
 	}
 	e.ports.Reserve(best.dstPort, len(data))
 	best.pending = append(best.pending, readPending{ready: now + ReadLatency, data: data})
@@ -251,6 +262,47 @@ func (e *SSE) issueWrite() error {
 	e.WriteGrants++
 	e.BytesIn += uint64(n)
 	return nil
+}
+
+// Streams reports every active stream with its blocking state at cycle
+// now, for the core's structured hang diagnosis.
+func (e *SSE) Streams(now uint64) []StreamInfo {
+	var out []StreamInfo
+	for _, s := range e.reads {
+		si := StreamInfo{ID: s.id, Kind: isa.KindScratchPort, Eng: "SSE", DstIn: s.dstPort, SrcOut: -1, IdxIn: -1}
+		switch {
+		case len(s.pending) > 0 && s.pending[0].ready > now:
+			si.Wait = WaitTimed
+		case len(s.pending) > 0:
+			si.Wait = WaitNone
+		case !s.cur.Done() && e.ports.InAvail(s.dstPort) <= 0:
+			si.Wait = WaitInSpace
+		default:
+			si.Wait = WaitNone
+		}
+		out = append(out, si)
+	}
+	for _, s := range e.writes {
+		si := StreamInfo{ID: s.id, Kind: isa.KindPortScratch, Eng: "SSE", DstIn: -1, SrcOut: s.srcPort, IdxIn: -1}
+		if s.remaining > 0 && e.ports.Out[s.srcPort].Len() == 0 {
+			si.Wait = WaitOutData
+		}
+		out = append(out, si)
+	}
+	return out
+}
+
+// PendingTimed reports whether any read response is still inside the
+// SRAM read latency at cycle now.
+func (e *SSE) PendingTimed(now uint64) bool {
+	for _, s := range e.reads {
+		for _, p := range s.pending {
+			if p.ready > now {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func (e *SSE) retire() {

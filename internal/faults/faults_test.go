@@ -1,0 +1,136 @@
+package faults
+
+import "testing"
+
+func TestDisabledProfileHasNilInjector(t *testing.T) {
+	if New(Config{}) != nil {
+		t.Fatal("zero config must yield a nil injector")
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg, err := Profile("chaos", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []uint64 {
+		j := New(cfg)
+		var log []uint64
+		for now := uint64(0); now < 2000; now++ {
+			log = append(log, j.MemDelay())
+			for e := Engine(0); e < NumEngines; e++ {
+				if j.Stalled(e, now) {
+					log = append(log, uint64(e)+1000)
+				}
+			}
+			log = append(log, uint64(j.BusBudget(EngMSE, 64)))
+			line := make([]byte, 64)
+			if j.CorruptLine(line) {
+				log = append(log, 2000)
+			}
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at event %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStallIsTimedState(t *testing.T) {
+	j := New(Config{StallProb: 1, StallMax: 10})
+	if !j.Stalled(EngMSE, 5) {
+		t.Fatal("StallProb 1 must stall")
+	}
+	if !j.PendingTimed(5) {
+		t.Fatal("an active stall burst must register as a pending timed event")
+	}
+	if j.PendingTimed(5 + 10) {
+		t.Fatal("stall burst outlived StallMax")
+	}
+}
+
+func TestBusBudgetFloor(t *testing.T) {
+	j := New(Config{ThrottleProb: 1})
+	for i := 0; i < 100; i++ {
+		if b := j.BusBudget(EngRSE, 64); b < 8 || b > 32 {
+			t.Fatalf("throttled budget %d outside [8, 32]", b)
+		}
+	}
+}
+
+func TestCorruptLineFlipsExactlyOneBit(t *testing.T) {
+	j := New(Config{BitFlipProb: 1})
+	line := make([]byte, 64)
+	if !j.CorruptLine(line) {
+		t.Fatal("BitFlipProb 1 must corrupt")
+	}
+	ones := 0
+	for _, b := range line {
+		for ; b != 0; b &= b - 1 {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("corruption flipped %d bits, want 1", ones)
+	}
+	if j.Stats().BitFlips != 1 {
+		t.Fatalf("BitFlips stat %d, want 1", j.Stats().BitFlips)
+	}
+}
+
+func TestProfileParsing(t *testing.T) {
+	c, err := ParseProfile("delay:77")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 77 || c.MemDelayProb == 0 {
+		t.Fatalf("parsed profile %+v lacks seed or delay settings", c)
+	}
+	if c.Corrupting() {
+		t.Fatal("delay profile must not be corrupting")
+	}
+	if _, err := ParseProfile("nosuch"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if _, err := ParseProfile("delay:x"); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+	for _, name := range Profiles() {
+		p, err := Profile(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("profile %s invalid: %v", name, err)
+		}
+		if !p.Enabled() {
+			t.Fatalf("profile %s injects nothing", name)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{MemDelayProb: 1.5, MemDelayMax: 10},
+		{MemDelayProb: 0.5},
+		{StallProb: 0.5},
+		{BitFlipProb: -0.1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %+v validated", c)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

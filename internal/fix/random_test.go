@@ -9,64 +9,8 @@ import (
 	"softbrain/internal/isa"
 	"softbrain/internal/lint"
 	"softbrain/internal/mem"
+	"softbrain/internal/progen"
 )
-
-// genCmds produces a random but individually well-formed command
-// sequence for the addpair graph: each step stages both inputs and
-// consumes the output, so the program is always balanced, but steps
-// freely collide in memory and scratch space, and barriers appear only
-// occasionally. Indirect indices are staged from constants only, so the
-// fixed program and the serialized reference gather the same addresses.
-func genCmds(rng *rand.Rand, a, b, ind isa.InPortID, c isa.OutPortID) []isa.Command {
-	pools := []uint64{0x1_0000, 0x1_0040, 0x1_0080, 0x2_0000}
-	pads := []uint64{0, 64, 128}
-	pool := func() uint64 { return pools[rng.Intn(len(pools))] }
-	pad := func() uint64 { return pads[rng.Intn(len(pads))] }
-
-	var cmds []isa.Command
-	steps := 3 + rng.Intn(8)
-	for s := 0; s < steps; s++ {
-		n := uint64(1 + rng.Intn(8))
-		bytes := 8 * n
-		switch rng.Intn(4) {
-		case 0:
-			cmds = append(cmds, isa.MemPort{Src: isa.Linear(pool(), bytes), Dst: a})
-		case 1:
-			cmds = append(cmds, isa.ScratchPort{Src: isa.Linear(pad(), bytes), Dst: a})
-		case 2:
-			cmds = append(cmds, isa.ConstPort{Value: rng.Uint64(), Elem: isa.Elem64, Count: n, Dst: a})
-		case 3:
-			idx := uint64(rng.Intn(16))
-			cmds = append(cmds,
-				isa.ConstPort{Value: idx, Elem: isa.Elem32, Count: 2 * n, Dst: ind},
-				isa.IndPortPort{
-					Idx: ind, IdxElem: isa.Elem32,
-					Offset: pool(), Scale: 4, DataElem: isa.Elem32, Count: 2 * n,
-					Dst: a,
-				})
-		}
-		if rng.Intn(2) == 0 {
-			cmds = append(cmds, isa.MemPort{Src: isa.Linear(pool(), bytes), Dst: b})
-		} else {
-			cmds = append(cmds, isa.ConstPort{Value: uint64(rng.Intn(1 << 16)), Elem: isa.Elem64, Count: n, Dst: b})
-		}
-		switch rng.Intn(4) {
-		case 0, 1:
-			cmds = append(cmds, isa.PortMem{Src: c, Dst: isa.Linear(pool(), bytes)})
-		case 2:
-			cmds = append(cmds, isa.PortScratch{Src: c, Elem: isa.Elem64, Count: n, ScratchAddr: pad()})
-		case 3:
-			cmds = append(cmds, isa.CleanPort{Src: c, Elem: isa.Elem64, Count: n})
-		}
-		switch rng.Intn(4) {
-		case 0:
-			cmds = append(cmds, isa.BarrierAll{})
-		case 1:
-			cmds = append(cmds, isa.BarrierScratchWr{})
-		}
-	}
-	return cmds
-}
 
 // TestFixMatchesSerialized: for random programs, the fixed program must
 // compute exactly what the fully serialized reference (an SD_Barrier_All
@@ -81,7 +25,7 @@ func TestFixMatchesSerialized(t *testing.T) {
 		if err := p.Err(); err != nil {
 			t.Fatal(err)
 		}
-		cmds := genCmds(rng, p.In("A"), p.In("B"), ind, p.Out("C"))
+		cmds := progen.Commands(rng, progen.Ports{A: p.In("A"), B: p.In("B"), Ind: ind, C: p.Out("C")})
 		for _, c := range cmds {
 			emit(t, p, c)
 		}
@@ -113,7 +57,7 @@ func TestFixMatchesSerialized(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, base := range []uint64{0x1_0000, 0x1_0040, 0x1_0080, 0x2_0000} {
+			for _, base := range progen.MemPools {
 				irng.Read(init)
 				m.Sys.Mem.Write(base, init)
 			}

@@ -145,6 +145,19 @@ func (s *System) Request(now uint64, lineAddr uint64, write bool, bytes int) (re
 	return ready, true
 }
 
+// PendingTimed reports whether any outstanding miss completes after
+// now. While one exists, an engine rejected for a full MSHR list will
+// be accepted at a known future cycle — the machine is stalled, not
+// deadlocked.
+func (s *System) PendingTimed(now uint64) bool {
+	for _, t := range s.inflight {
+		if t > now {
+			return true
+		}
+	}
+	return false
+}
+
 // retire drops completed misses from the MSHR list.
 func (s *System) retire(now uint64) {
 	live := s.inflight[:0]

@@ -28,17 +28,36 @@ type Queue struct {
 	totalOut uint64
 }
 
+// Invariant is the panic value raised when a FIFO operation violates
+// the port's hardware contract (push past free space, pop past buffered
+// data). These states are unreachable through the credit/reservation
+// protocol the engines follow; raising one means simulator-internal
+// state is corrupt, so the machine's Run boundary recovers it into a
+// typed MachineError rather than letting it kill the host process.
+type Invariant struct {
+	Port string // port name
+	Op   string // "push", "pop" or "peek"
+	Msg  string
+}
+
+func (i Invariant) Error() string {
+	return fmt.Sprintf("port %s: %s: %s", i.Port, i.Op, i.Msg)
+}
+
+// Component names the machine component for MachineError attribution.
+func (i Invariant) Component() string { return "port" }
+
 // New returns a port named name with the given per-cycle width in words
-// and depth in words. It panics on invalid parameters, which are
-// construction-time configuration errors.
-func New(name string, widthWords, depthWords int) *Queue {
+// and depth in words. Invalid parameters are construction-time
+// configuration errors, returned rather than raised.
+func New(name string, widthWords, depthWords int) (*Queue, error) {
 	if widthWords < 1 || widthWords > 8 {
-		panic(fmt.Sprintf("port %s: width %d words out of range 1..8", name, widthWords))
+		return nil, fmt.Errorf("port %s: width %d words out of range 1..8", name, widthWords)
 	}
 	if depthWords < widthWords {
-		panic(fmt.Sprintf("port %s: depth %d < width %d", name, depthWords, widthWords))
+		return nil, fmt.Errorf("port %s: depth %d < width %d", name, depthWords, widthWords)
 	}
-	return &Queue{name: name, width: widthWords, capacity: depthWords * WordBytes}
+	return &Queue{name: name, width: widthWords, capacity: depthWords * WordBytes}, nil
 }
 
 // Name returns the port's name.
@@ -65,23 +84,27 @@ func (q *Queue) TotalIn() uint64 { return q.totalIn }
 // TotalOut is the cumulative number of bytes ever popped.
 func (q *Queue) TotalOut() uint64 { return q.totalOut }
 
-// Push appends data to the FIFO. It panics if data exceeds Space: callers
-// (the stream engines) must check backpressure first, as hardware does
-// with credit signals.
+// Push appends data to the FIFO. It raises an Invariant panic if data
+// exceeds Space: callers (the stream engines) must check backpressure
+// first, as hardware does with credit signals, so an overflow here is
+// internal state corruption, recovered at the machine's Run boundary.
 func (q *Queue) Push(data []byte) {
 	if len(data) > q.Space() {
-		panic(fmt.Sprintf("port %s: push of %d bytes with %d free", q.name, len(data), q.Space()))
+		panic(Invariant{Port: q.name, Op: "push",
+			Msg: fmt.Sprintf("%d bytes with %d free", len(data), q.Space())})
 	}
 	q.compact()
 	q.buf = append(q.buf, data...)
 	q.totalIn += uint64(len(data))
 }
 
-// Pop removes and returns the oldest n bytes. It panics if fewer than n
-// bytes are buffered. The returned slice is valid until the next Push.
+// Pop removes and returns the oldest n bytes. It raises an Invariant
+// panic (recovered at the machine's Run boundary) if fewer than n bytes
+// are buffered. The returned slice is valid until the next Push.
 func (q *Queue) Pop(n int) []byte {
 	if n > q.Len() {
-		panic(fmt.Sprintf("port %s: pop of %d bytes with %d buffered", q.name, n, q.Len()))
+		panic(Invariant{Port: q.name, Op: "pop",
+			Msg: fmt.Sprintf("%d bytes with %d buffered", n, q.Len())})
 	}
 	out := q.buf[q.head : q.head+n]
 	q.head += n
@@ -89,10 +112,13 @@ func (q *Queue) Pop(n int) []byte {
 	return out
 }
 
-// Peek returns the oldest n bytes without removing them.
+// Peek returns the oldest n bytes without removing them, raising an
+// Invariant panic (recovered at the machine's Run boundary) when fewer
+// are buffered.
 func (q *Queue) Peek(n int) []byte {
 	if n > q.Len() {
-		panic(fmt.Sprintf("port %s: peek of %d bytes with %d buffered", q.name, n, q.Len()))
+		panic(Invariant{Port: q.name, Op: "peek",
+			Msg: fmt.Sprintf("%d bytes with %d buffered", n, q.Len())})
 	}
 	return q.buf[q.head : q.head+n]
 }

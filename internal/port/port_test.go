@@ -7,8 +7,17 @@ import (
 	"testing/quick"
 )
 
+func mustNew(t *testing.T, name string, widthWords, depthWords int) *Queue {
+	t.Helper()
+	q, err := New(name, widthWords, depthWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
 func TestFIFOOrder(t *testing.T) {
-	q := New("A", 4, 16)
+	q := mustNew(t, "A", 4, 16)
 	q.Push([]byte{1, 2, 3})
 	q.Push([]byte{4, 5})
 	if got := q.Pop(4); !bytes.Equal(got, []byte{1, 2, 3, 4}) {
@@ -23,7 +32,7 @@ func TestFIFOOrder(t *testing.T) {
 }
 
 func TestSpaceAccounting(t *testing.T) {
-	q := New("A", 2, 4) // 32 bytes
+	q := mustNew(t, "A", 2, 4) // 32 bytes
 	if q.Space() != 32 || q.CapacityBytes() != 32 {
 		t.Fatalf("capacity wrong: space=%d", q.Space())
 	}
@@ -38,7 +47,7 @@ func TestSpaceAccounting(t *testing.T) {
 }
 
 func TestWords(t *testing.T) {
-	q := New("W", 8, 8)
+	q := mustNew(t, "W", 8, 8)
 	q.PushWords([]uint64{0x1122334455667788, 42})
 	if !q.HasWords(2) || q.HasWords(3) {
 		t.Error("HasWords wrong")
@@ -50,7 +59,7 @@ func TestWords(t *testing.T) {
 }
 
 func TestPeekAndDiscard(t *testing.T) {
-	q := New("P", 1, 8)
+	q := mustNew(t, "P", 1, 8)
 	q.Push([]byte{9, 8, 7})
 	if got := q.Peek(2); !bytes.Equal(got, []byte{9, 8}) {
 		t.Errorf("Peek = %v", got)
@@ -65,7 +74,7 @@ func TestPeekAndDiscard(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	q := New("S", 1, 8)
+	q := mustNew(t, "S", 1, 8)
 	q.Push(make([]byte, 8))
 	q.Pop(3)
 	q.Push(make([]byte, 5))
@@ -74,32 +83,62 @@ func TestStats(t *testing.T) {
 	}
 }
 
-func TestPanics(t *testing.T) {
-	expectPanic := func(name string, f func()) {
+// TestInvariantPanics checks that contract violations raise the typed
+// Invariant value the machine's Run boundary recovers, carrying the
+// port name and operation.
+func TestInvariantPanics(t *testing.T) {
+	expectInvariant := func(name, op string, f func()) {
 		t.Helper()
 		defer func() {
-			if recover() == nil {
+			r := recover()
+			if r == nil {
 				t.Errorf("%s: expected panic", name)
+				return
+			}
+			inv, ok := r.(Invariant)
+			if !ok {
+				t.Errorf("%s: panic value %T, want Invariant", name, r)
+				return
+			}
+			if inv.Op != op || inv.Port == "" || inv.Component() != "port" {
+				t.Errorf("%s: incomplete invariant %+v", name, inv)
+			}
+			var err error = inv
+			if err.Error() == "" {
+				t.Errorf("%s: invariant does not render", name)
 			}
 		}()
 		f()
 	}
-	expectPanic("overflow push", func() {
-		q := New("q", 1, 1)
+	expectInvariant("overflow push", "push", func() {
+		q := mustNew(t, "q", 1, 1)
 		q.Push(make([]byte, 9))
 	})
-	expectPanic("underflow pop", func() {
-		q := New("q", 1, 4)
+	expectInvariant("underflow pop", "pop", func() {
+		q := mustNew(t, "q", 1, 4)
 		q.Pop(1)
 	})
-	expectPanic("underflow peek", func() {
-		q := New("q", 1, 4)
+	expectInvariant("underflow peek", "peek", func() {
+		q := mustNew(t, "q", 1, 4)
 		q.Push([]byte{1})
 		q.Peek(2)
 	})
-	expectPanic("zero width", func() { New("q", 0, 4) })
-	expectPanic("huge width", func() { New("q", 9, 16) })
-	expectPanic("depth below width", func() { New("q", 4, 2) })
+}
+
+// Construction-time misconfiguration is an error, not a panic.
+func TestNewRejectsBadGeometry(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		width, depth int
+	}{
+		{"zero width", 0, 4},
+		{"huge width", 9, 16},
+		{"depth below width", 4, 2},
+	} {
+		if _, err := New("q", tc.width, tc.depth); err == nil {
+			t.Errorf("%s: New accepted width=%d depth=%d", tc.name, tc.width, tc.depth)
+		}
+	}
 }
 
 // Property: any interleaving of pushes and pops preserves byte order and
@@ -107,7 +146,7 @@ func TestPanics(t *testing.T) {
 func TestFIFOProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		q := New("prop", 8, 64) // 512 bytes
+		q := mustNew(t, "prop", 8, 64) // 512 bytes
 		var pushed, popped []byte
 		next := byte(0)
 		for step := 0; step < 200; step++ {
@@ -137,7 +176,7 @@ func TestFIFOProperty(t *testing.T) {
 }
 
 func TestCompactionKeepsData(t *testing.T) {
-	q := New("c", 8, 1024) // 8 KiB
+	q := mustNew(t, "c", 8, 1024) // 8 KiB
 	want := byte(0)
 	got := byte(0)
 	for round := 0; round < 100; round++ {

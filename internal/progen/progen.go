@@ -1,0 +1,130 @@
+// Package progen generates random but individually well-formed
+// stream-dataflow programs over the two-input adder graph. The fix
+// package's differential fuzzer and the core package's fault-injection
+// soak harness both drive it: every generated step stages both adder
+// inputs and consumes the output, so programs are always balanced, but
+// steps freely collide in memory and scratch space and barriers appear
+// only occasionally — exactly the programs whose hazards the linter,
+// the fixer, and the hang diagnoser are built to handle.
+package progen
+
+import (
+	"math/rand"
+
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+)
+
+// Ports names the vector ports of the addpair graph.
+type Ports struct {
+	A, B isa.InPortID  // adder operands
+	Ind  isa.InPortID  // index staging port (indirect-capable, unmapped)
+	C    isa.OutPortID // sums
+}
+
+// MemPools are the memory regions generated programs read and write;
+// they overlap pairwise (0x1_0000..0x1_00c0 in 64-byte steps) so
+// random programs produce real memory hazards. PadBases are the
+// scratchpad lines they use.
+var (
+	MemPools = []uint64{0x1_0000, 0x1_0040, 0x1_0080, 0x2_0000}
+	PadBases = []uint64{0, 64, 128}
+)
+
+// Addpair builds a program configured with the two-input adder graph
+// (A + B -> C, one 64-bit word each) and returns the port bindings the
+// generator needs.
+func Addpair(cfg core.Config) (*core.Program, Ports, error) {
+	b := dfg.NewBuilder("addpair")
+	a := b.Input("A", 1)
+	v := b.Input("B", 1)
+	b.Output("C", b.N(dfg.Add(64), a.W(0), v.W(0)))
+	g, err := b.Build()
+	if err != nil {
+		return nil, Ports{}, err
+	}
+	p := core.NewProgram("addpair")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	ports := Ports{A: p.In("A"), B: p.In("B"), Ind: p.IndirectIn(cfg.Fabric, 0), C: p.Out("C")}
+	if err := p.Err(); err != nil {
+		return nil, Ports{}, err
+	}
+	return p, ports, nil
+}
+
+// Commands produces a random command sequence for the addpair graph:
+// each step stages both inputs and consumes the output, so the program
+// is always balanced. Indirect indices are staged from constants only,
+// so a fixed program and its serialized reference gather the same
+// addresses regardless of memory contents.
+func Commands(rng *rand.Rand, p Ports) []isa.Command {
+	pool := func() uint64 { return MemPools[rng.Intn(len(MemPools))] }
+	pad := func() uint64 { return PadBases[rng.Intn(len(PadBases))] }
+
+	var cmds []isa.Command
+	steps := 3 + rng.Intn(8)
+	for s := 0; s < steps; s++ {
+		n := uint64(1 + rng.Intn(8))
+		bytes := 8 * n
+		switch rng.Intn(4) {
+		case 0:
+			cmds = append(cmds, isa.MemPort{Src: isa.Linear(pool(), bytes), Dst: p.A})
+		case 1:
+			cmds = append(cmds, isa.ScratchPort{Src: isa.Linear(pad(), bytes), Dst: p.A})
+		case 2:
+			cmds = append(cmds, isa.ConstPort{Value: rng.Uint64(), Elem: isa.Elem64, Count: n, Dst: p.A})
+		case 3:
+			idx := uint64(rng.Intn(16))
+			cmds = append(cmds,
+				isa.ConstPort{Value: idx, Elem: isa.Elem32, Count: 2 * n, Dst: p.Ind},
+				isa.IndPortPort{
+					Idx: p.Ind, IdxElem: isa.Elem32,
+					Offset: pool(), Scale: 4, DataElem: isa.Elem32, Count: 2 * n,
+					Dst: p.A,
+				})
+		}
+		if rng.Intn(2) == 0 {
+			cmds = append(cmds, isa.MemPort{Src: isa.Linear(pool(), bytes), Dst: p.B})
+		} else {
+			cmds = append(cmds, isa.ConstPort{Value: uint64(rng.Intn(1 << 16)), Elem: isa.Elem64, Count: n, Dst: p.B})
+		}
+		switch rng.Intn(4) {
+		case 0, 1:
+			cmds = append(cmds, isa.PortMem{Src: p.C, Dst: isa.Linear(pool(), bytes)})
+		case 2:
+			cmds = append(cmds, isa.PortScratch{Src: p.C, Elem: isa.Elem64, Count: n, ScratchAddr: pad()})
+		case 3:
+			cmds = append(cmds, isa.CleanPort{Src: p.C, Elem: isa.Elem64, Count: n})
+		}
+		switch rng.Intn(4) {
+		case 0:
+			cmds = append(cmds, isa.BarrierAll{})
+		case 1:
+			cmds = append(cmds, isa.BarrierScratchWr{})
+		}
+	}
+	return cmds
+}
+
+// Maim removes the i-th (mod count) non-barrier command from cmds,
+// returning a copy — the classic way to wreck a balanced program and
+// provoke a hang for the diagnoser to classify. It returns cmds
+// unchanged when there is nothing to remove.
+func Maim(cmds []isa.Command, i int) []isa.Command {
+	var idxs []int
+	for j, c := range cmds {
+		switch c.Kind() {
+		case isa.KindBarrierAll, isa.KindBarrierScratchRd, isa.KindBarrierScratchWr:
+		default:
+			idxs = append(idxs, j)
+		}
+	}
+	if len(idxs) == 0 {
+		return cmds
+	}
+	drop := idxs[i%len(idxs)]
+	out := make([]isa.Command, 0, len(cmds)-1)
+	out = append(out, cmds[:drop]...)
+	return append(out, cmds[drop+1:]...)
+}

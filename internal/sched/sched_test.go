@@ -9,6 +9,16 @@ import (
 	"softbrain/internal/dfg"
 )
 
+// mustBuild finalizes a graph that the test constructed to be valid.
+func mustBuild(t testing.TB, b *dfg.Builder) *dfg.Graph {
+	t.Helper()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
 func dotProduct(t testing.TB, width int) *dfg.Graph {
 	t.Helper()
 	b := dfg.NewBuilder("dotprod")
@@ -59,7 +69,7 @@ func TestScheduleClassifierStyleGraph(t *testing.T) {
 	sum := b.ReduceTree(dfg.Add(64), reds...)
 	acc := b.N(dfg.Acc(64), sum, r.W(0))
 	b.Output("C", b.N(dfg.Sig(16), acc))
-	g := b.MustBuild()
+	g := mustBuild(t, b)
 
 	sch, err := Schedule(cgra.DNNFabric(), g)
 	if err != nil {
@@ -88,7 +98,7 @@ func TestScheduleTooManyNodes(t *testing.T) {
 		v = b.N(dfg.Add(64), v, dfg.ImmRef(1))
 	}
 	b.Output("O", v)
-	g := b.MustBuild()
+	g := mustBuild(t, b)
 	if _, err := Schedule(f, g); err == nil || !strings.Contains(err.Error(), "instructions") {
 		t.Errorf("capacity error not reported: %v", err)
 	}
@@ -112,7 +122,7 @@ func TestSchedulePortTooWide(t *testing.T) {
 		sums = append(sums, b.N(dfg.Add(64), in.W(0), in.W(7)))
 	}
 	b.Output("O", b.ReduceTree(dfg.Add(64), sums...))
-	g := b.MustBuild()
+	g := mustBuild(t, b)
 	if _, err := Schedule(cgra.NewFabric(5, 4, dfg.FUAlu), g); err == nil ||
 		!strings.Contains(err.Error(), "vector port") {
 		t.Errorf("port mapping error not reported: %v", err)
@@ -132,7 +142,7 @@ func TestScheduleDelayOverflow(t *testing.T) {
 		v = b.N(dfg.Mul(64), v, dfg.ImmRef(3))
 	}
 	b.Output("O", b.N(dfg.Add(64), v, late.W(0)))
-	g := b.MustBuild()
+	g := mustBuild(t, b)
 	if _, err := Schedule(f, g); err == nil || !strings.Contains(err.Error(), "delay") {
 		t.Errorf("delay overflow not reported: %v", err)
 	}
@@ -145,7 +155,7 @@ func TestScheduleRandomGraphs(t *testing.T) {
 	f := cgra.BroadFabric()
 	scheduled := 0
 	for trial := 0; trial < 30; trial++ {
-		g := randomGraph(r)
+		g := randomGraph(t, r)
 		s, err := Schedule(f, g)
 		if err != nil {
 			// Some random graphs legitimately exceed fabric resources.
@@ -164,7 +174,8 @@ func TestScheduleRandomGraphs(t *testing.T) {
 	}
 }
 
-func randomGraph(r *rand.Rand) *dfg.Graph {
+func randomGraph(t testing.TB, r *rand.Rand) *dfg.Graph {
+	t.Helper()
 	b := dfg.NewBuilder("rnd")
 	nIns := 1 + r.Intn(3)
 	var avail []dfg.Ref
@@ -193,7 +204,7 @@ func randomGraph(r *rand.Rand) *dfg.Graph {
 		avail = append(avail, b.N(op, args...))
 	}
 	b.Output("O", avail[len(avail)-1])
-	return b.MustBuild()
+	return mustBuild(t, b)
 }
 
 // Mutation tests: a valid schedule stops validating when corrupted.

@@ -54,6 +54,9 @@ func (l Layer) buildClass(cfg core.Config, units int) (*workloads.Instance, erro
 	synAddr := lay.Alloc(uint64(l.Nn*l.Ni) * 2)
 	neuAddr := lay.Alloc(uint64(l.Ni) * 2)
 	outAddr := lay.Alloc(uint64(l.Nn) * 2)
+	if err := lay.Err(); err != nil {
+		return nil, err
+	}
 
 	instPerNeuron := uint64(l.Ni / 16)
 	var progs []*core.Program

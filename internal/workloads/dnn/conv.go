@@ -75,6 +75,9 @@ func (l Layer) buildConv(cfg core.Config, units int) (*workloads.Instance, error
 	wtAddr := lay.Alloc(uint64(len(wt)) * 2)
 	tmplAddr := lay.Alloc(uint64(outW*instPerPixel) * 8)
 	outAddr := lay.Alloc(uint64(l.No*outH*outW*instPerPixel) * 2)
+	if err := lay.Err(); err != nil {
+		return nil, err
+	}
 
 	wBytes := uint64(3 * 3 * l.Ni * 2) // one feature's weights
 	const padW = 0                     // weights at pad offset 0

@@ -61,6 +61,9 @@ func (l Layer) buildPool(cfg core.Config, units int) (*workloads.Instance, error
 	inAddr := lay.Alloc(uint64(len(in)) * 2)
 	tmplAddr := lay.Alloc(uint64(outW*l.K) * 8)
 	outAddr := lay.Alloc(uint64(outH) * rowBytes)
+	if err := lay.Err(); err != nil {
+		return nil, err
+	}
 
 	var progs []*core.Program
 	for _, rg := range ranges(outH, units) {

@@ -104,6 +104,9 @@ func BuildBackprop(cfg core.Config, scale int) (*workloads.Instance, error) {
 	edAddr := lay.Alloc(uint64(no) * 8)
 	dhAddr := lay.Alloc(uint64(nh) * 8)
 	w1Addr := lay.Alloc(uint64(nx*nh) * 8)
+	if err := lay.Err(); err != nil {
+		return nil, err
+	}
 
 	p := core.NewProgram("backprop")
 	instPerRow := uint64(no / 4)

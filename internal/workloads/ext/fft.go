@@ -100,6 +100,9 @@ func BuildFFT(cfg core.Config, scale int) (*workloads.Instance, error) {
 	for s := 0; s < stages; s++ {
 		twAddr[s] = lay.Alloc(nu / 2 * 16)
 	}
+	if err := lay.Err(); err != nil {
+		return nil, err
+	}
 
 	p := core.NewProgram("fft")
 	p.CompileAndConfigure(cfg.Fabric, g)

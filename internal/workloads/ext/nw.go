@@ -102,6 +102,9 @@ func BuildNW(cfg core.Config, scale int) (*workloads.Instance, error) {
 	cellAddr := func(d, i int) uint64 { return diagAddr[d] + uint64(i-lo(d))*8 }
 	aAddr := lay.Alloc(uint64(n+1) * 8)
 	bRevAddr := lay.Alloc(uint64(n+1) * 8) // bRev[x] = seqB[n-x]
+	if err := lay.Err(); err != nil {
+		return nil, err
+	}
 
 	p := core.NewProgram("nw")
 	p.CompileAndConfigure(cfg.Fabric, g)

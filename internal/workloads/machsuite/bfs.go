@@ -95,6 +95,9 @@ func BuildBFS(cfg core.Config, scale int) (*workloads.Instance, error) {
 	for _, l := range levels {
 		edgeAddrs = append(edgeAddrs, lay.Alloc(uint64(len(l.targets))*4))
 	}
+	if err := lay.Err(); err != nil {
+		return nil, err
+	}
 
 	p := core.NewProgram("bfs")
 	p.CompileAndConfigure(cfg.Fabric, g)

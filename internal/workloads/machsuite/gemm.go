@@ -46,6 +46,9 @@ func BuildGEMM(cfg core.Config, scale int) (*workloads.Instance, error) {
 	aAddr := lay.Alloc(nn * nn * 8)
 	bAddr := lay.Alloc(nn * nn * 8)
 	cAddr := lay.Alloc(nn * nn * 8)
+	if err := lay.Err(); err != nil {
+		return nil, err
+	}
 
 	rng := rand.New(rand.NewSource(11))
 	a := make([]int64, n*n)

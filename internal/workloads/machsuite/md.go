@@ -84,6 +84,9 @@ func BuildMDKNN(cfg core.Config, scale int) (*workloads.Instance, error) {
 	pzAddr := lay.Alloc(au * 8)
 	nlAddr := lay.Alloc(au * k * 4)
 	fAddr := lay.Alloc(au * 24)
+	if err := lay.Err(); err != nil {
+		return nil, err
+	}
 
 	p := core.NewProgram("md-knn")
 	p.CompileAndConfigure(cfg.Fabric, g)

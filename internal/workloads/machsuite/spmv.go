@@ -195,6 +195,9 @@ func BuildSpMVEllpack(cfg core.Config, scale int) (*workloads.Instance, error) {
 	valAddr := lay.Alloc(uint64(n*L) * 8)
 	xAddr := lay.Alloc(uint64(n) * 8)
 	yAddr := lay.Alloc(uint64(n) * 8)
+	if err := lay.Err(); err != nil {
+		return nil, err
+	}
 
 	p := core.NewProgram("spmv-ellpack")
 	p.CompileAndConfigure(cfg.Fabric, g)

@@ -159,6 +159,9 @@ func BuildStencil3D(cfg core.Config, scale int) (*workloads.Instance, error) {
 	lay := workloads.NewLayout()
 	inAddr := lay.Alloc(uint64(n*n*n) * 8)
 	outAddr := lay.Alloc(uint64(n*n*n) * 8)
+	if err := lay.Err(); err != nil {
+		return nil, err
+	}
 	at := func(i, j, k int) uint64 { return uint64(((i*n)+j)*n+k) * 8 }
 
 	p := core.NewProgram("stencil3d")

@@ -67,6 +67,9 @@ func BuildViterbi(cfg core.Config, scale int) (*workloads.Instance, error) {
 	su := uint64(S)
 	transAddr := lay.Alloc(su * su * 8)
 	probAddr := lay.Alloc(uint64(T+1) * su * 8) // prob[t][s]
+	if err := lay.Err(); err != nil {
+		return nil, err
+	}
 	probAt := func(t, s int) uint64 { return probAddr + uint64(t*S+s)*8 }
 
 	p := core.NewProgram("viterbi")

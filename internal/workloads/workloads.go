@@ -89,20 +89,28 @@ func (i *Instance) run(cfg core.Config, warm bool) (*core.Stats, error) {
 }
 
 // Layout is a bump allocator for laying out workload data in the memory
-// image below the configuration space.
+// image below the configuration space. Overflow is a sticky error, so a
+// builder can chain Alloc calls and check Err once at the end.
 type Layout struct {
 	next uint64
+	err  error
 }
 
 // NewLayout starts allocating at a small non-zero base.
 func NewLayout() *Layout { return &Layout{next: 0x1_0000} }
 
 // Alloc reserves n bytes, 64-byte aligned, and returns the base address.
+// On overflow into the configuration space it records the error
+// (observable via Err) and keeps allocating, so addresses stay distinct.
 func (l *Layout) Alloc(n uint64) uint64 {
 	addr := l.next
 	l.next += (n + 63) &^ 63
-	if l.next >= core.ConfigSpace {
-		panic("workloads: memory image overflows into configuration space")
+	if l.err == nil && l.next >= core.ConfigSpace {
+		l.err = fmt.Errorf("workloads: memory image (%#x bytes) overflows into configuration space at %#x",
+			l.next, core.ConfigSpace)
 	}
 	return addr
 }
+
+// Err reports whether any allocation overflowed the data space.
+func (l *Layout) Err() error { return l.err }

@@ -11,6 +11,9 @@
 #   6. sdlint -fix   the barrier synthesis/elimination pass is a no-op
 #                    on every built-in program: nothing ships with a
 #                    missing or provably redundant barrier
+#   7. fault soak    a short deterministic slice of the fault-injection
+#                    soak (see docs/ROBUSTNESS.md); `make soak` runs
+#                    the full breadth
 #
 # Run it from the repository root (or via `make check`). Exits non-zero
 # on the first failing stage.
@@ -40,5 +43,8 @@ go run ./cmd/sdlint
 
 echo "== sdlint -fix (barrier minimality)"
 go run ./cmd/sdlint -fix
+
+echo "== fault soak (short slice; make soak for full breadth)"
+SOAK_SEEDS=8 go test -race -run TestSoakFaultInjection -count=1 ./internal/core
 
 echo "== all checks passed"

@@ -36,6 +36,7 @@ import (
 	"softbrain/internal/cgra"
 	"softbrain/internal/core"
 	"softbrain/internal/dfg"
+	"softbrain/internal/faults"
 	"softbrain/internal/fix"
 	"softbrain/internal/isa"
 	"softbrain/internal/lint"
@@ -60,10 +61,29 @@ type (
 	Program = core.Program
 	// Stats aggregates a run's cycle counts and activity.
 	Stats = core.Stats
-	// DeadlockError reports a run that stopped making progress.
+	// DeadlockError reports a run that stopped making progress, with
+	// the hang classified and the culprit stream and port named (see
+	// docs/ROBUSTNESS.md).
 	DeadlockError = core.DeadlockError
+	// HangClass classifies a DeadlockError.
+	HangClass = core.HangClass
+	// MachineError is an invariant violation recovered at Run: the
+	// machine is wedged, but the failure arrives as an error naming the
+	// component and cycle, never as a panic.
+	MachineError = core.MachineError
 	// Memory is the byte-addressable functional backing store.
 	Memory = mem.Memory
+)
+
+// Hang classes a DeadlockError can carry.
+const (
+	HangUnknown           = core.HangUnknown
+	HangWatchdog          = core.HangWatchdog
+	HangPortUndersupply   = core.HangPortUndersupply
+	HangPortOversupply    = core.HangPortOversupply
+	HangStarvedRecurrence = core.HangStarvedRecurrence
+	HangDrainedUnread     = core.HangDrainedUnread
+	HangBarrierDeadlock   = core.HangBarrierDeadlock
 )
 
 // Dataflow graphs (see internal/dfg).
@@ -182,6 +202,21 @@ type FixReport = fix.Report
 // barrier whose removal provably creates no new hazard is deleted. The
 // input program is not modified. See internal/fix and docs/LINT.md.
 func FixProgram(p *Program, cfg Config) (*Program, *FixReport, error) { return fix.Fix(p, cfg) }
+
+// Fault injection (see internal/faults and docs/ROBUSTNESS.md).
+
+// FaultConfig describes a deterministic seeded fault profile; assign a
+// pointer to Config.Faults to run a machine or cluster under it.
+type FaultConfig = faults.Config
+
+// FaultStats counts the faults an injector actually delivered.
+type FaultStats = faults.Stats
+
+// FaultProfiles lists the named fault profiles.
+func FaultProfiles() []string { return faults.Profiles() }
+
+// FaultProfile returns the named fault profile with the given seed.
+func FaultProfile(name string, seed int64) (FaultConfig, error) { return faults.Profile(name, seed) }
 
 // NewFabric builds a custom fabric; see also DefaultConfig().Fabric.
 func NewFabric(rows, cols int) *Fabric {
