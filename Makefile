@@ -22,11 +22,20 @@ fix-check:
 	go run ./cmd/sdlint -fix
 
 # Randomized fault-injection soak (docs/ROBUSTNESS.md): 50 seeded
-# programs, each under every fault profile plus a maimed variant, under
-# the race detector. Override the breadth with SOAK_SEEDS=n.
+# programs, each under every fault profile plus a maimed variant, plus
+# the parallel-vs-sequential cluster determinism sweep, under the race
+# detector. Override the breadth with SOAK_SEEDS=n.
 .PHONY: soak
 soak:
-	SOAK_SEEDS=$${SOAK_SEEDS:-50} go test -race -run TestSoakFaultInjection -count=1 ./internal/core
+	SOAK_SEEDS=$${SOAK_SEEDS:-50} go test -race -run 'TestSoakFaultInjection|TestClusterDeterminism' -count=1 ./internal/core
+
+# Simulator host-performance smoke benchmark (docs/SIMKERNEL.md): runs
+# sdbench -json on a small workload slice and fails if simulated cycle
+# counts drift from scripts/bench_goldens.json. Wall times are reported
+# but not checked. Full suite: go run ./cmd/sdbench -json.
+.PHONY: bench-smoke
+bench-smoke:
+	go run ./cmd/sdbench -json -smoke -out /tmp/BENCH_sim_smoke.json
 
 .PHONY: bench
 bench:

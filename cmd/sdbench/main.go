@@ -9,6 +9,8 @@
 //	sdbench -table 3     # one table
 //	sdbench -fig 11      # one figure (12-15 run the same study)
 //	sdbench -fix         # barrier-elimination study (docs/LINT.md)
+//	sdbench -json        # simulator host-performance study -> BENCH_sim.json
+//	sdbench -json -smoke # CI smoke slice, checked against the goldens
 package main
 
 import (
@@ -26,8 +28,19 @@ func main() {
 	fig := flag.Int("fig", 0, "print only this figure (11-15)")
 	ablate := flag.Bool("ablate", false, "run the microarchitecture ablation study")
 	fixStudy := flag.Bool("fix", false, "run the barrier synthesis/elimination study")
+	jsonOut := flag.Bool("json", false, "measure simulator host performance and write JSON")
+	smoke := flag.Bool("smoke", false, "with -json: only the CI smoke slice, checked against -goldens")
+	out := flag.String("out", "BENCH_sim.json", "with -json: output path")
+	goldens := flag.String("goldens", "scripts/bench_goldens.json", "with -json -smoke: golden cycle counts")
+	updateGoldens := flag.Bool("update-goldens", false, "with -json: rewrite the goldens from this run")
 	flag.Parse()
 
+	if *jsonOut {
+		if err := runSimBench(*smoke, *out, *goldens, *updateGoldens); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *ablate {
 		if err := printAblations(); err != nil {
 			log.Fatal(err)
@@ -57,6 +70,41 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// runSimBench measures simulated cycles and host wall time per workload
+// (skip-ahead off and on), writes the JSON artifact, and — for the
+// smoke slice — fails if simulated cycle counts drift from the
+// committed goldens.
+func runSimBench(smoke bool, out, goldens string, update bool) error {
+	rows, err := bench.SimBench(smoke)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "workload\tunits\tcycles\twall ms (no skip)\twall ms\tns/cycle\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.2fx\n",
+			r.Workload, r.Units, r.Cycles,
+			float64(r.WallNsNoSkip)/1e6, float64(r.WallNs)/1e6,
+			r.NsPerCycle, r.Speedup)
+	}
+	w.Flush()
+	if err := bench.WriteSimJSON(rows, out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if update {
+		if err := bench.UpdateSimGoldens(rows, goldens); err != nil {
+			return err
+		}
+		fmt.Printf("updated %s\n", goldens)
+		return nil
+	}
+	if smoke {
+		return bench.CheckSimGoldens(rows, goldens)
+	}
+	return nil
 }
 
 func printAblations() error {

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"softbrain/internal/core"
+	"softbrain/internal/workloads"
+	"softbrain/internal/workloads/dnn"
+	"softbrain/internal/workloads/machsuite"
+)
+
+// SimRow is one workload's simulator host-performance measurement: the
+// simulated cycle count (identical with skipping off and on — the
+// equivalence tests enforce it) and the host wall time both ways.
+type SimRow struct {
+	Workload string `json:"workload"`
+	Units    int    `json:"units"`
+	Cycles   uint64 `json:"cycles"`
+
+	WallNsNoSkip int64 `json:"wall_ns_noskip"` // host ns, every cycle ticked
+	WallNs       int64 `json:"wall_ns"`        // host ns, idle skip-ahead on
+
+	NsPerCycleNoSkip float64 `json:"ns_per_cycle_noskip"`
+	NsPerCycle       float64 `json:"ns_per_cycle"`
+	Speedup          float64 `json:"speedup"` // wall_ns_noskip / wall_ns
+}
+
+// simEntry is one workload in the host-performance suite.
+type simEntry struct {
+	name  string
+	build func() (*workloads.Instance, core.Config, error)
+	smoke bool // part of the CI smoke slice
+}
+
+// simSuite lists the measured workloads: the full MachSuite set plus a
+// DNN layer on the 8-unit cluster. The smoke slice is the small subset
+// make bench-smoke pins against scripts/bench_goldens.json.
+func simSuite() []simEntry {
+	var entries []simEntry
+	smoke := map[string]bool{"bfs": true, "spmv-crs": true, "gemm": true}
+	for _, e := range machsuite.All() {
+		e := e
+		scale := machScale[e.Name]
+		if scale == 0 {
+			scale = 2
+		}
+		entries = append(entries, simEntry{
+			name: e.Name,
+			build: func() (*workloads.Instance, core.Config, error) {
+				cfg := core.DefaultConfig()
+				inst, err := e.Build(cfg, scale)
+				return inst, cfg, err
+			},
+			smoke: smoke[e.Name],
+		})
+	}
+	for _, l := range dnn.Layers()[:2] {
+		l := l
+		entries = append(entries, simEntry{
+			name: l.Name,
+			build: func() (*workloads.Instance, core.Config, error) {
+				cfg := dnn.Config()
+				inst, err := l.Build(cfg, dnn.Units)
+				return inst, cfg, err
+			},
+		})
+	}
+	return entries
+}
+
+// SimBench measures simulator host performance over the suite (or just
+// the smoke slice): each workload runs once with skip-ahead disabled
+// and once enabled, wall-clocked. The simulated cycle counts must agree
+// or the row is an error — this doubles as an end-to-end equivalence
+// check on every benchmarked workload.
+func SimBench(smokeOnly bool) ([]SimRow, error) {
+	var rows []SimRow
+	for _, e := range simSuite() {
+		if smokeOnly && !e.smoke {
+			continue
+		}
+		// Best of three repetitions per mode: single runs are at the
+		// millisecond scale, where scheduler and GC noise swamps the
+		// signal. Cycle counts must agree across every run.
+		run := func(noSkip bool) (uint64, int64, error) {
+			var cycles uint64
+			var best int64
+			for rep := 0; rep < 3; rep++ {
+				inst, cfg, err := e.build()
+				if err != nil {
+					return 0, 0, err
+				}
+				cfg.NoSkipAhead = noSkip
+				start := time.Now()
+				stats, err := inst.Run(cfg)
+				if err != nil {
+					return 0, 0, err
+				}
+				ns := time.Since(start).Nanoseconds()
+				if rep == 0 {
+					cycles, best = stats.Cycles, ns
+					continue
+				}
+				if stats.Cycles != cycles {
+					return 0, 0, fmt.Errorf("bench: %s: nondeterministic cycle count (%d then %d)",
+						e.name, cycles, stats.Cycles)
+				}
+				if ns < best {
+					best = ns
+				}
+			}
+			return cycles, best, nil
+		}
+		offCycles, offNs, err := run(true)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s (no skip): %w", e.name, err)
+		}
+		onCycles, onNs, err := run(false)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", e.name, err)
+		}
+		if offCycles != onCycles {
+			return nil, fmt.Errorf("bench: %s: %d cycles without skip-ahead, %d with — skip-ahead changed the simulation",
+				e.name, offCycles, onCycles)
+		}
+		inst, _, err := e.build()
+		if err != nil {
+			return nil, err
+		}
+		row := SimRow{
+			Workload:     e.name,
+			Units:        inst.Units(),
+			Cycles:       onCycles,
+			WallNsNoSkip: offNs,
+			WallNs:       onNs,
+		}
+		if onCycles > 0 {
+			row.NsPerCycleNoSkip = float64(offNs) / float64(onCycles)
+			row.NsPerCycle = float64(onNs) / float64(onCycles)
+		}
+		if onNs > 0 {
+			row.Speedup = float64(offNs) / float64(onNs)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteSimJSON writes rows to path as indented JSON (BENCH_sim.json).
+func WriteSimJSON(rows []SimRow, path string) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckSimGoldens compares measured cycle counts against the committed
+// goldens (scripts/bench_goldens.json, a workload -> cycles map) and
+// reports every drift. Wall times are host-dependent and not checked.
+// Workloads absent from the goldens are ignored, so the smoke slice can
+// run against a full goldens file and vice versa.
+func CheckSimGoldens(rows []SimRow, goldenPath string) error {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return err
+	}
+	var want map[string]uint64
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("bench: parsing %s: %w", goldenPath, err)
+	}
+	var drift []string
+	for _, r := range rows {
+		if w, ok := want[r.Workload]; ok && w != r.Cycles {
+			drift = append(drift, fmt.Sprintf("%s: %d cycles, golden %d", r.Workload, r.Cycles, w))
+		}
+	}
+	if len(drift) > 0 {
+		return fmt.Errorf("bench: cycle counts drifted from %s:\n  %s\n(intentional? regenerate with: go run ./cmd/sdbench -json -update-goldens)",
+			goldenPath, strings.Join(drift, "\n  "))
+	}
+	return nil
+}
+
+// UpdateSimGoldens rewrites the goldens file from the measured rows.
+func UpdateSimGoldens(rows []SimRow, goldenPath string) error {
+	want := map[string]uint64{}
+	for _, r := range rows {
+		want[r.Workload] = r.Cycles
+	}
+	data, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(goldenPath, append(data, '\n'), 0o644)
+}

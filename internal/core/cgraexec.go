@@ -7,6 +7,7 @@ import (
 	"softbrain/internal/cgra"
 	"softbrain/internal/dfg"
 	"softbrain/internal/engine"
+	"softbrain/internal/sim"
 )
 
 // pipeOut is one instance's output for one port, in flight through the
@@ -84,6 +85,30 @@ func (x *cgraExec) PendingTimed(now uint64) bool {
 		}
 	}
 	return false
+}
+
+// NextWake implements the sim.Component wake-hint contract (see
+// docs/SIMKERNEL.md): Ready when an output can drain or an instance can
+// fire, the earliest pipeline-emergence cycle when results are in
+// flight, Idle when the fabric waits on port data or space.
+func (x *cgraExec) NextWake(now uint64) sim.Hint {
+	if x.sched == nil {
+		return sim.Idle()
+	}
+	h := sim.Idle()
+	for p := range x.pipe {
+		if len(x.pipe[p]) > 0 {
+			if r := x.pipe[p][0].ready; r > now {
+				h = h.Earliest(sim.WakeAt(r))
+			} else {
+				return sim.ReadyNow() // drainable output
+			}
+		}
+	}
+	if starved, blocked := x.blockers(); len(starved) == 0 && len(blocked) == 0 {
+		return sim.ReadyNow() // can fire an instance
+	}
+	return h
 }
 
 // blockers reports why the fabric cannot fire: the machine input ports

@@ -2,18 +2,34 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"softbrain/internal/faults"
 	"softbrain/internal/mem"
+	"softbrain/internal/sim"
 )
 
 // Cluster is several Softbrain units sharing one backing memory and one
 // DRAM channel — the 8-unit configuration of the DianNao comparison
 // (Section 7.1). Each unit has a private cache and memory port; units
 // contend only for DRAM bandwidth, and run in lockstep.
+//
+// Multi-unit clusters execute in parallel by default: one goroutine per
+// unit with an epoch barrier every cycle at the shared-DRAM boundary
+// (see docs/SIMKERNEL.md). The schedule is byte-identical to the
+// sequential one — DRAM grants are deferred during the cycle and
+// resolved in unit order at the barrier.
 type Cluster struct {
 	Units []*Machine
 	Mem   *mem.Memory
+
+	// Sequential forces the single-goroutine lockstep scheduler; the
+	// determinism tests compare it against the parallel default.
+	Sequential bool
+
+	cfg       Config
+	haveCfg   bool
+	unitStats []*Stats
 }
 
 // NewCluster builds n identical units over a shared backing store.
@@ -23,7 +39,7 @@ func NewCluster(cfg Config, n int) (*Cluster, error) {
 	}
 	backing := mem.NewMemory()
 	dram := mem.NewDRAM(cfg.Mem.MissInterval)
-	c := &Cluster{Mem: backing}
+	c := &Cluster{Mem: backing, cfg: cfg, haveCfg: true}
 	for i := 0; i < n; i++ {
 		sys, err := mem.NewSystemShared(cfg.Mem, backing, dram)
 		if err != nil {
@@ -36,6 +52,26 @@ func NewCluster(cfg Config, n int) (*Cluster, error) {
 		c.Units = append(c.Units, u)
 	}
 	return c, nil
+}
+
+// validateUnits checks that every unit runs the same configuration —
+// the cluster-wide controls (watchdog, skip-ahead, fault profile) are
+// taken from it, so a mismatched unit would silently run under another
+// unit's policy. A cluster assembled literally (not via NewCluster)
+// adopts the uniform config it finds.
+func (c *Cluster) validateUnits() error {
+	if len(c.Units) == 0 {
+		return fmt.Errorf("core: cluster has no units")
+	}
+	if !c.haveCfg {
+		c.cfg, c.haveCfg = c.Units[0].cfg, true
+	}
+	for i, u := range c.Units {
+		if u.cfg != c.cfg {
+			return fmt.Errorf("core: cluster unit %d config differs from the cluster's; all units must share one Config", i)
+		}
+	}
+	return nil
 }
 
 // FaultStats sums the injected-fault counts across all units; zero when
@@ -53,11 +89,18 @@ func (c *Cluster) FaultStats() faults.Stats {
 	return total
 }
 
+// UnitStats returns the per-unit statistics of the last successful Run,
+// in unit order.
+func (c *Cluster) UnitStats() []*Stats { return c.unitStats }
+
 // Run executes one program per unit concurrently and returns aggregated
 // statistics (Cycles is the wall-clock of the slowest unit). Like
 // Machine.Run, it never lets an invariant panic escape: the recovered
 // MachineError names the unit whose Step failed.
 func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
+	if err := c.validateUnits(); err != nil {
+		return nil, err
+	}
 	if len(progs) != len(c.Units) {
 		return nil, fmt.Errorf("core: %d programs for %d units", len(progs), len(c.Units))
 	}
@@ -70,7 +113,7 @@ func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
 	for i, u := range c.Units {
 		bases[i] = snapshotSys(u.Sys)
 	}
-	watchdog := c.Units[0].cfg.WatchdogCycles
+	watchdog := c.cfg.WatchdogCycles
 	if watchdog == 0 {
 		watchdog = defaultWatchdog
 	}
@@ -83,6 +126,36 @@ func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
 			stats, err = nil, me
 		}
 	}()
+	// step advances every running unit one cycle: sequentially in unit
+	// order, or on the worker goroutines with the epoch barrier.
+	step := func(now uint64) error {
+		for i, u := range c.Units {
+			if u.Done() {
+				continue
+			}
+			curUnit = i
+			if err := u.Step(now); err != nil {
+				if me, ok := err.(*MachineError); ok {
+					me.Unit = i
+				}
+				return err
+			}
+		}
+		return nil
+	}
+	if !c.Sequential && len(c.Units) > 1 {
+		var stop func()
+		step, stop = c.startWorkers()
+		defer stop()
+		for _, u := range c.Units {
+			u.Sys.DeferGrants(true)
+		}
+		defer func() {
+			for _, u := range c.Units {
+				u.Sys.DeferGrants(false)
+			}
+		}()
+	}
 	// diagnose classifies the stuck cluster: the first unit with a
 	// structural cause names the hang, Unknown otherwise.
 	diagnose := func(now uint64) *DeadlockError {
@@ -109,24 +182,21 @@ func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
 		}
 	}
 	var lastProgress, lastChange uint64
+	var skipHold, failedSkips uint64
 	diagnosed := false
 	for {
 		done := true
-		for i, u := range c.Units {
-			if u.Done() {
-				continue
-			}
-			done = false
-			curUnit = i
-			if err := u.Step(now); err != nil {
-				if me, ok := err.(*MachineError); ok {
-					me.Unit = i
-				}
-				return nil, err
+		for _, u := range c.Units {
+			if !u.Done() {
+				done = false
+				break
 			}
 		}
 		if done {
 			break
+		}
+		if err := step(now); err != nil {
+			return nil, err
 		}
 		var pr uint64
 		for _, u := range c.Units {
@@ -139,7 +209,8 @@ func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
 				break
 			}
 		}
-		if pr != lastProgress {
+		progressed := pr != lastProgress
+		if progressed {
 			lastProgress, lastChange = pr, now
 			diagnosed = false
 		} else if stillRunning {
@@ -172,12 +243,122 @@ func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
 				return nil, de
 			}
 		}
-		now++
+		next := now + 1
+		if stillRunning && !progressed && skipHold > 0 {
+			skipHold--
+		} else if stillRunning && !progressed {
+			// Idle skip-ahead across the cluster: only when every running
+			// unit is idle or timed-waiting (a unit with skipping disabled
+			// reports Ready and vetoes), and only on cycles with no
+			// progress anywhere. Capped at the watchdog deadline, like
+			// Machine.run, with the same brief backoff after repeated
+			// failed hint sweeps.
+			h := sim.Idle()
+			for _, u := range c.Units {
+				if !u.Done() {
+					h = h.Earliest(u.NextWake(now))
+				}
+			}
+			skipped := false
+			if h.Kind == sim.WakeTimed && h.At > next {
+				target := h.At
+				if deadline := lastChange + watchdog + 1; target > deadline {
+					target = deadline
+				}
+				if target > next {
+					for _, u := range c.Units {
+						if !u.Done() {
+							u.kern.OnSkip(next, target)
+						}
+					}
+					next = target
+					skipped = true
+					failedSkips = 0
+				}
+			}
+			if !skipped {
+				if failedSkips++; failedSkips > 2 {
+					skipHold = failedSkips - 2
+					if skipHold > 8 {
+						skipHold = 8
+					}
+				}
+			}
+		}
+		now = next
 	}
 	total := &Stats{}
+	c.unitStats = c.unitStats[:0]
 	for i, u := range c.Units {
-		total.Add(u.collect(now, bases[i]))
+		s := u.collect(now, bases[i])
+		c.unitStats = append(c.unitStats, s)
+		total.Add(s)
 	}
 	total.Cycles = now
 	return total, nil
+}
+
+// startWorkers spawns one goroutine per unit and returns the parallel
+// step function plus a stop function releasing the workers. Each cycle
+// the coordinator broadcasts the cycle number, waits for every unit to
+// tick (units only share the backing memory and the DRAM channel, and
+// DRAM grants are deferred during the tick), then resolves the deferred
+// grants in unit order — the epoch barrier that makes the parallel
+// schedule identical to the sequential one.
+func (c *Cluster) startWorkers() (step func(now uint64) error, stop func()) {
+	n := len(c.Units)
+	work := make([]chan uint64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		work[i] = make(chan uint64, 1)
+		go func(i int) {
+			u := c.Units[i]
+			for now := range work[i] {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							me := u.recoverPanic(r, now)
+							me.Unit = i
+							errs[i] = me
+						}
+						wg.Done()
+					}()
+					if errs[i] != nil || u.Done() {
+						return
+					}
+					if err := u.Step(now); err != nil {
+						if me, ok := err.(*MachineError); ok {
+							me.Unit = i
+						}
+						errs[i] = err
+					}
+				}()
+			}
+		}(i)
+	}
+	step = func(now uint64) error {
+		wg.Add(n)
+		for i := range work {
+			work[i] <- now
+		}
+		wg.Wait()
+		// Epoch barrier: grant this cycle's DRAM requests in unit order,
+		// exactly as the sequential schedule would have.
+		for _, u := range c.Units {
+			u.ResolveGrants()
+		}
+		for _, err := range errs { // lowest unit wins, as in sequential order
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	stop = func() {
+		for i := range work {
+			close(work[i])
+		}
+	}
+	return step, stop
 }

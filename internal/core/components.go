@@ -1,0 +1,116 @@
+package core
+
+import (
+	"softbrain/internal/faults"
+	"softbrain/internal/sim"
+)
+
+// This file adapts the machine's units to the sim.Component interface.
+// NewMachineShared registers them with the machine's kernel in tick
+// order — CGRA, MSE, SSE, RSE, dispatcher, control core — and
+// Machine.Step is a thin loop over that registry. The adapters carry
+// the machine-level concerns the raw units do not know about: the
+// fault-injected engine stall gate, the deferred configuration error,
+// and the control core's stall accounting. Progress methods partition
+// the machine's monotone progress counter (hang detection) among the
+// components that own each term.
+
+// cgraComp adapts the CGRA executor.
+type cgraComp struct{ m *Machine }
+
+func (c cgraComp) Name() string                 { return "cgra" }
+func (c cgraComp) Tick(now uint64) error        { return c.m.exec.Tick(now) }
+func (c cgraComp) NextWake(now uint64) sim.Hint { return c.m.exec.NextWake(now) }
+func (c cgraComp) Progress() uint64             { return c.m.exec.Instances }
+
+// mseComp adapts the memory stream engine behind the fault-stall gate.
+type mseComp struct{ m *Machine }
+
+func (c mseComp) Name() string { return "mse" }
+func (c mseComp) Tick(now uint64) error {
+	if c.m.stalled(faults.EngMSE, now) {
+		return nil
+	}
+	return c.m.mse.Tick(now)
+}
+func (c mseComp) NextWake(now uint64) sim.Hint { return c.m.mse.NextWake(now) }
+func (c mseComp) OnSkip(from, to uint64)       { c.m.mse.OnSkip(from, to) }
+func (c mseComp) Progress() uint64 {
+	return c.m.mse.BytesDelivered + c.m.mse.BytesStored + c.m.mse.LinesWritten
+}
+
+// sseComp adapts the scratchpad stream engine behind the fault-stall
+// gate.
+type sseComp struct{ m *Machine }
+
+func (c sseComp) Name() string { return "sse" }
+func (c sseComp) Tick(now uint64) error {
+	if c.m.stalled(faults.EngSSE, now) {
+		return nil
+	}
+	return c.m.sse.Tick(now)
+}
+func (c sseComp) NextWake(now uint64) sim.Hint { return c.m.sse.NextWake(now) }
+func (c sseComp) OnSkip(from, to uint64)       { c.m.sse.OnSkip(from, to) }
+func (c sseComp) Progress() uint64             { return c.m.sse.BytesIn + c.m.sse.BytesOut }
+
+// rseComp adapts the recurrence stream engine behind the fault-stall
+// gate.
+type rseComp struct{ m *Machine }
+
+func (c rseComp) Name() string { return "rse" }
+func (c rseComp) Tick(now uint64) error {
+	if c.m.stalled(faults.EngRSE, now) {
+		return nil
+	}
+	return c.m.rse.Tick(now)
+}
+func (c rseComp) NextWake(now uint64) sim.Hint { return c.m.rse.NextWake(now) }
+func (c rseComp) OnSkip(from, to uint64)       { c.m.rse.OnSkip(from, to) }
+func (c rseComp) Progress() uint64             { return c.m.rse.BytesMoved }
+
+// dispComp adapts the stream dispatcher; it forwards OnSkip so the
+// dispatcher's per-cycle stall counters stay cycle-exact over skipped
+// spans.
+type dispComp struct{ m *Machine }
+
+func (c dispComp) Name() string                 { return "dispatch" }
+func (c dispComp) Tick(now uint64) error        { return c.m.disp.Tick(now) }
+func (c dispComp) NextWake(now uint64) sim.Hint { return c.m.disp.NextWake(now) }
+func (c dispComp) Progress() uint64             { return c.m.disp.Issued }
+func (c dispComp) OnSkip(from, to uint64)       { c.m.disp.OnSkip(from, to) }
+
+// coreComp adapts the control core's trace replay. Its Tick never
+// fails: enqueue errors park in configErr and surface from Step.
+type coreComp struct{ m *Machine }
+
+func (c coreComp) Name() string { return "core" }
+func (c coreComp) Tick(now uint64) error {
+	before := c.m.coreStall
+	c.m.stepCore(now)
+	c.m.coreStalled = c.m.coreStall != before
+	return nil
+}
+func (c coreComp) NextWake(now uint64) sim.Hint {
+	m := c.m
+	if m.prog == nil || m.pc >= len(m.prog.Trace) {
+		return sim.Idle()
+	}
+	if now < m.busyUntil {
+		return sim.WakeAt(m.busyUntil)
+	}
+	if m.prog.Trace[m.pc].Cmd != nil && m.disp.BlocksCore() {
+		return sim.Idle() // unblocked only by dispatcher activity
+	}
+	return sim.ReadyNow()
+}
+func (c coreComp) Progress() uint64 { return uint64(c.m.pc) }
+
+// OnSkip replays the core's stall counter: a skip happens only while
+// the machine is frozen, so every elided cycle would have repeated the
+// last Tick's blocked-core stall (or its no-op).
+func (c coreComp) OnSkip(from, to uint64) {
+	if c.m.coreStalled {
+		c.m.coreStall += to - from
+	}
+}

@@ -47,6 +47,14 @@ type Config struct {
 	NoBalanceUnit bool
 	NoAllInFlight bool
 	InOrderIssue  bool
+
+	// NoSkipAhead disables the run loop's idle skip-ahead (see
+	// internal/sim and docs/SIMKERNEL.md): every cycle is ticked, as
+	// the pre-kernel simulator did. Results are cycle-identical either
+	// way — this is a host-performance switch kept for the equivalence
+	// tests and benchmarking, not a behavioral one. Skip-ahead also
+	// turns itself off under fault profiles with per-cycle draws.
+	NoSkipAhead bool
 }
 
 // DefaultConfig is the broadly provisioned Softbrain of Section 7.2.

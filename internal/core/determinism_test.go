@@ -1,0 +1,168 @@
+// Cluster determinism: the parallel cluster scheduler (one goroutine
+// per unit, epoch barrier at the shared-DRAM boundary) must be
+// indistinguishable from the sequential one — byte-identical memory
+// images and identical per-unit statistics. make soak runs this under
+// the race detector, which doubles as the check that units touch no
+// shared mutable state outside the sanctioned boundary.
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"softbrain/internal/core"
+	"softbrain/internal/fix"
+	"softbrain/internal/mem"
+	"softbrain/internal/progen"
+	"softbrain/internal/workloads/dnn"
+)
+
+// runClusterBoth runs the same programs on two fresh clusters, one
+// sequential and one parallel, and returns both (memory, per-unit
+// stats, total) triples.
+func runClusterBoth(t *testing.T, cfg core.Config, progs []*core.Program, init func(*mem.Memory)) (seqMem, parMem *mem.Memory, seqUnits, parUnits []*core.Stats, seqTotal, parTotal *core.Stats) {
+	t.Helper()
+	run := func(sequential bool) (*mem.Memory, []*core.Stats, *core.Stats) {
+		cl, err := core.NewCluster(cfg, len(progs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Sequential = sequential
+		if init != nil {
+			init(cl.Mem)
+		}
+		total, err := cl.Run(progs)
+		if err != nil {
+			t.Fatalf("sequential=%v: %v", sequential, err)
+		}
+		return cl.Mem, cl.UnitStats(), total
+	}
+	seqMem, seqUnits, seqTotal = run(true)
+	parMem, parUnits, parTotal = run(false)
+	return
+}
+
+func compareClusterRuns(t *testing.T, label string, seqMem, parMem *mem.Memory, seqUnits, parUnits []*core.Stats, seqTotal, parTotal *core.Stats) {
+	t.Helper()
+	if addr, diff := parMem.FirstDiff(seqMem); diff {
+		t.Errorf("%s: parallel memory differs from sequential at %#x", label, addr)
+	}
+	if len(seqUnits) != len(parUnits) {
+		t.Fatalf("%s: %d vs %d per-unit stats", label, len(seqUnits), len(parUnits))
+	}
+	for i := range seqUnits {
+		if !reflect.DeepEqual(seqUnits[i], parUnits[i]) {
+			t.Errorf("%s: unit %d stats differ:\n  seq: %+v\n  par: %+v", label, i, seqUnits[i], parUnits[i])
+		}
+	}
+	if !reflect.DeepEqual(seqTotal, parTotal) {
+		t.Errorf("%s: total stats differ:\n  seq: %+v\n  par: %+v", label, seqTotal, parTotal)
+	}
+}
+
+// TestClusterDeterminismDNN runs DNN layers on the 8-unit cluster both
+// ways and demands byte-identical memories and identical per-unit
+// statistics; the golden-model check must also pass on the parallel
+// image.
+func TestClusterDeterminismDNN(t *testing.T) {
+	cfg := dnn.Config()
+	layers := dnn.Layers()
+	if testing.Short() {
+		layers = layers[:2]
+	}
+	for _, l := range layers {
+		l := l
+		t.Run(l.Name, func(t *testing.T) {
+			t.Parallel()
+			inst, err := l.Build(cfg, dnn.Units)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqMem, parMem, su, pu, st, pt := runClusterBoth(t, cfg, inst.Progs, inst.Init)
+			compareClusterRuns(t, l.Name, seqMem, parMem, su, pu, st, pt)
+			if inst.Check != nil {
+				if err := inst.Check(parMem); err != nil {
+					t.Errorf("parallel run failed the golden check: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterDeterminismProgen runs generated programs, rebased to a
+// disjoint memory region per unit, on a 4-unit cluster both ways.
+func TestClusterDeterminismProgen(t *testing.T) {
+	cfg := core.DefaultConfig()
+	const units = 4
+	const stride = uint64(1) << 20 // disjoint 1 MiB region per unit
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var progs []*core.Program
+		_, ports, err := progen.Addpair(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		generated := progen.Commands(rng, ports)
+		for u := 0; u < units; u++ {
+			p, _, err := progen.Addpair(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range progen.Rebase(generated, uint64(u)*stride) {
+				p.Emit(c)
+			}
+			if err := p.Err(); err != nil {
+				t.Fatal(err)
+			}
+			fixed, _, err := fix.Fix(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			progs = append(progs, fixed)
+		}
+		init := func(m *mem.Memory) {
+			line := make([]byte, 64)
+			irng := rand.New(rand.NewSource(seed + 1000))
+			for u := 0; u < units; u++ {
+				for _, pool := range progen.MemPools {
+					irng.Read(line)
+					m.Write(pool+uint64(u)*stride, line)
+				}
+			}
+		}
+		seqMem, parMem, su, pu, st, pt := runClusterBoth(t, cfg, progs, init)
+		compareClusterRuns(t, "seed", seqMem, parMem, su, pu, st, pt)
+	}
+}
+
+// TestClusterConfigMismatch: a cluster assembled from units with
+// different configurations must be rejected up front, not silently run
+// under unit 0's watchdog and fault policy.
+func TestClusterConfigMismatch(t *testing.T) {
+	cfgA := core.DefaultConfig()
+	cfgB := cfgA
+	cfgB.PadBufEntries++
+	mA, err := core.NewMachine(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB, err := core.NewMachine(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &core.Cluster{Units: []*core.Machine{mA, mB}}
+	pa, _, err := progen.Addpair(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _, err := progen.Addpair(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Run([]*core.Program{pa, pb})
+	if err == nil || !strings.Contains(err.Error(), "config differs") {
+		t.Fatalf("mismatched cluster ran anyway: err=%v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"softbrain/internal/mem"
 	"softbrain/internal/port"
 	"softbrain/internal/scratch"
+	"softbrain/internal/sim"
 	"softbrain/internal/trace"
 )
 
@@ -69,6 +70,13 @@ type Machine struct {
 	exec   *cgraExec
 	padBuf *engine.PadWriteBuf
 	faults *faults.Injector
+
+	// kern sequences the unit's components (see internal/sim and
+	// components.go); Step is a loop over its registry, and run() uses
+	// its wake hints for idle skip-ahead.
+	kern        sim.Kernel
+	noSkip      bool // skip-ahead disabled (config or per-cycle fault draws)
+	coreStalled bool // last core tick stalled on the dispatcher
 
 	prog      *Program
 	pc        int
@@ -138,6 +146,15 @@ func NewMachineShared(cfg Config, sys *mem.System) (*Machine, error) {
 	m.disp = dispatch.New(m.mse, m.sse, m.rse, len(in), len(out), cfg.CmdQueueDepth)
 	m.disp.InOrderIssue = cfg.InOrderIssue
 	m.exec = newCGRAExec(m.Ports)
+	// Per-cycle fault draws (stall, throttle) consume randomness every
+	// ticked cycle, so skipping would change the fault schedule.
+	m.noSkip = cfg.NoSkipAhead || (m.faults != nil && m.faults.PerCycleDraws())
+	m.kern.Register(cgraComp{m})
+	m.kern.Register(mseComp{m})
+	m.kern.Register(sseComp{m})
+	m.kern.Register(rseComp{m})
+	m.kern.Register(dispComp{m})
+	m.kern.Register(coreComp{m})
 	return m, nil
 }
 
@@ -221,37 +238,46 @@ func (m *Machine) Done() bool {
 	return m.prog != nil && m.pc >= len(m.prog.Trace) && m.disp.Idle() && m.exec.InFlight() == 0
 }
 
-// Step advances one cycle. Component errors come back wrapped in a
+// Step advances one cycle: a thin loop over the kernel's component
+// registry, in tick order. Component errors come back wrapped in a
 // MachineError naming the component and cycle; a fault-injected stall
-// freezes the affected stream engine for the cycle.
+// freezes the affected stream engine for the cycle (see components.go).
 func (m *Machine) Step(now uint64) error {
-	if err := m.exec.Tick(now); err != nil {
-		return m.stepError("cgra", now, err)
-	}
-	if !m.stalled(faults.EngMSE, now) {
-		if err := m.mse.Tick(now); err != nil {
-			return m.stepError("mse", now, err)
+	comps := m.kern.Components()
+	for i, c := range comps {
+		if err := c.Tick(now); err != nil {
+			return m.stepError(c.Name(), now, err)
+		}
+		// A deferred program error (config decode, enqueue validation)
+		// set by an earlier cycle or this one's MSE tick surfaces here;
+		// one set by the core (the last component) surfaces next Step.
+		if i < len(comps)-1 && m.configErr != nil {
+			return m.stepError("program", now, m.configErr)
 		}
 	}
-	if m.configErr != nil {
-		return m.stepError("program", now, m.configErr)
-	}
-	if !m.stalled(faults.EngSSE, now) {
-		if err := m.sse.Tick(now); err != nil {
-			return m.stepError("sse", now, err)
-		}
-	}
-	if !m.stalled(faults.EngRSE, now) {
-		if err := m.rse.Tick(now); err != nil {
-			return m.stepError("rse", now, err)
-		}
-	}
-	if err := m.disp.Tick(now); err != nil {
-		return m.stepError("dispatch", now, err)
-	}
-	m.stepCore(now)
 	m.mark(now)
 	return nil
+}
+
+// NextWake combines the components' wake hints; a machine running with
+// skip-ahead disabled always reports Ready.
+func (m *Machine) NextWake(now uint64) sim.Hint {
+	if m.noSkip {
+		return sim.ReadyNow()
+	}
+	return m.kern.NextWake(now)
+}
+
+// SkippedCycles is the number of idle cycles the run loop elided.
+func (m *Machine) SkippedCycles() uint64 { return m.kern.Skipped }
+
+// ResolveGrants resolves deferred DRAM grants at the cluster's epoch
+// barrier and patches the provisional completion times held by the
+// memory stream engine.
+func (m *Machine) ResolveGrants() {
+	if resolve := m.Sys.ResolveGrants(); resolve != nil {
+		m.mse.ResolveDeferred(resolve)
+	}
 }
 
 // stalled reports whether fault injection freezes engine e this cycle.
@@ -326,12 +352,10 @@ func (m *Machine) stepCore(now uint64) {
 }
 
 // progress is a monotone counter; if it stops changing, nothing is
-// happening in the machine.
-func (m *Machine) progress() uint64 {
-	return uint64(m.pc) + m.disp.Issued + m.exec.Instances +
-		m.mse.BytesDelivered + m.mse.BytesStored + m.mse.LinesWritten +
-		m.sse.BytesIn + m.sse.BytesOut + m.rse.BytesMoved
-}
+// happening in the machine. It is the sum of the components' Progress
+// counters (see components.go), so machine and cluster hang detection
+// share one definition.
+func (m *Machine) progress() uint64 { return m.kern.Progress() }
 
 // snapshot renders the stuck state for deadlock diagnostics.
 func (m *Machine) snapshot() string {
@@ -381,14 +405,17 @@ func (m *Machine) run() (stats *Stats, err error) {
 		}
 	}()
 	var lastProgress, lastChange uint64
+	var skipHold, failedSkips uint64
 	diagnosed := false
 	for !m.Done() {
 		if err := m.Step(now); err != nil {
 			return nil, err
 		}
+		progressed := false
 		if pr := m.progress(); pr != lastProgress {
 			lastProgress, lastChange = pr, now
 			diagnosed = false
+			progressed = true
 		} else if !m.Done() { // Step may have just finished the program
 			idle := now - lastChange
 			// Quiescence: no progress for the grace period and no timed
@@ -412,7 +439,31 @@ func (m *Machine) run() (stats *Stats, err error) {
 				return nil, de
 			}
 		}
-		now++
+		next := now + 1
+		if !m.noSkip && !progressed && !m.Done() {
+			// Idle skip-ahead: when every component is idle or waiting on
+			// a known future cycle, jump there. The target is capped at
+			// the cycle the watchdog would fire so a hung run diagnoses
+			// at exactly the cycle the unskipped run would; skipped
+			// spans contain no quiescent cycle (a timed event is pending
+			// throughout), so no quiescence check is bypassed. Cycles
+			// that advanced the progress counter skip the hint sweep
+			// entirely, and repeated failed sweeps back off briefly —
+			// both are sound, not skipping never changes results.
+			if skipHold > 0 {
+				skipHold--
+			} else if target := m.kern.SkipTarget(now, lastChange+watchdog+1); target > next {
+				m.kern.OnSkip(next, target)
+				next = target
+				failedSkips = 0
+			} else if failedSkips++; failedSkips > 2 {
+				skipHold = failedSkips - 2
+				if skipHold > 8 {
+					skipHold = 8
+				}
+			}
+		}
+		now = next
 	}
 	return m.collect(now, base), nil
 }

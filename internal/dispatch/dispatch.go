@@ -10,6 +10,7 @@ import (
 
 	"softbrain/internal/engine"
 	"softbrain/internal/isa"
+	"softbrain/internal/sim"
 	"softbrain/internal/trace"
 )
 
@@ -139,6 +140,19 @@ type Dispatcher struct {
 	BarrierCycles uint64 // cycles a barrier held the queue head
 	ResourceStall uint64 // cycles the head command waited on resources
 	StallByKind   map[isa.Kind]uint64
+
+	// Wake-hint state (see NextWake / OnSkip). tickProgress records
+	// whether the last Tick changed scoreboard or queue state;
+	// queueAfter is the queue length when it returned (the core
+	// enqueues after the dispatcher in machine tick order, so a longer
+	// queue means new work). The repeat fields record which per-cycle
+	// stall counters the last Tick incremented, so OnSkip can replay
+	// them exactly over a skipped span in which the same stall holds.
+	tickProgress   bool
+	queueAfter     int
+	repeatBarrier  bool
+	repeatResource bool
+	repeatKind     isa.Kind
 }
 
 // New builds a dispatcher over the three engines.
@@ -210,6 +224,9 @@ func (d *Dispatcher) QueueLen() int { return len(d.queue) }
 // any of the same ports) and barriers block everything behind them.
 func (d *Dispatcher) Tick(now uint64) error {
 	d.now = now
+	d.tickProgress = false
+	d.repeatBarrier, d.repeatResource = false, false
+	defer func() { d.queueAfter = len(d.queue) }()
 	d.retire(now)
 	if len(d.queue) == 0 {
 		return nil
@@ -241,17 +258,21 @@ func (d *Dispatcher) Tick(now uint64) error {
 				d.Tracer.Issued(id, cmd.String(), q.at, now)
 				d.queue = d.queue[1:]
 				d.Issued++
+				d.tickProgress = true
 			} else if i == 0 {
 				d.ResourceStall++
 				d.StallByKind[cmd.Kind()]++
+				d.repeatResource, d.repeatKind = true, cmd.Kind()
 			}
 			return nil
 		}
 		if r.engine == engBarrier {
 			if i == 0 && d.barrierMet(cmd.Kind()) {
 				d.queue = d.queue[1:]
+				d.tickProgress = true
 			} else if i == 0 {
 				d.BarrierCycles++
+				d.repeatBarrier = true
 			}
 			// Nothing younger may pass a barrier.
 			return nil
@@ -273,6 +294,7 @@ func (d *Dispatcher) Tick(now uint64) error {
 			if i == 0 {
 				d.ResourceStall++
 				d.StallByKind[cmd.Kind()]++
+				d.repeatResource, d.repeatKind = true, cmd.Kind()
 				if d.InOrderIssue {
 					return nil
 				}
@@ -297,9 +319,40 @@ func (d *Dispatcher) Tick(now uint64) error {
 		d.Tracer.Issued(id, cmd.String(), q.at, now)
 		d.queue = append(d.queue[:i], d.queue[i+1:]...)
 		d.Issued++
+		d.tickProgress = true
 		return nil
 	}
 	return nil
+}
+
+// NextWake implements the sim.Component wake-hint contract (see
+// docs/SIMKERNEL.md). The dispatcher has no timed state of its own: it
+// is Ready while its last Tick changed anything or the core enqueued
+// behind it, Idle while it is provably re-running the same stalled scan
+// (an engine completing, or a skip-span replay via OnSkip, wakes it).
+func (d *Dispatcher) NextWake(now uint64) sim.Hint {
+	if len(d.queue) == 0 && len(d.active) == 0 {
+		return sim.Idle()
+	}
+	if d.tickProgress || len(d.queue) != d.queueAfter {
+		return sim.ReadyNow()
+	}
+	return sim.Idle()
+}
+
+// OnSkip replays the per-cycle stall accounting over an elided span.
+// The run loop skips [from, to) only when the whole machine was frozen,
+// so each skipped cycle's Tick would have repeated exactly the stall
+// pattern of the last executed one.
+func (d *Dispatcher) OnSkip(from, to uint64) {
+	dc := to - from
+	if d.repeatBarrier {
+		d.BarrierCycles += dc
+	}
+	if d.repeatResource {
+		d.ResourceStall += dc
+		d.StallByKind[d.repeatKind] += dc
+	}
 }
 
 // queued is one command waiting in the dispatch window.
@@ -394,6 +447,7 @@ func (d *Dispatcher) retire(now uint64) {
 			if !ok {
 				continue
 			}
+			d.tickProgress = true
 			for _, p := range r.inWriters {
 				hs := d.inWriter[p][:0]
 				for _, h := range d.inWriter[p] {
@@ -432,6 +486,7 @@ func (d *Dispatcher) retire(now uint64) {
 		if !ok {
 			continue
 		}
+		d.tickProgress = true
 		for _, p := range r.inWriters {
 			for i := range d.inWriter[p] {
 				if d.inWriter[p][i].id == id {

@@ -81,6 +81,10 @@ func (g *indirectAGU) pushElem(addr uint64, size int) {
 // pending is the number of buffered element bytes.
 func (g *indirectAGU) pending() int { return len(g.queue) }
 
+// peekAddr returns the byte address the next line request starts at;
+// only valid when pending() > 0.
+func (g *indirectAGU) peekAddr() uint64 { return g.queue[0] }
+
 // next forms one line request from the head of the queue: the longest
 // same-line prefix, capped at max bytes.
 func (g *indirectAGU) next(max int) (LineReq, bool) {

@@ -7,6 +7,7 @@ import (
 	"softbrain/internal/faults"
 	"softbrain/internal/isa"
 	"softbrain/internal/mem"
+	"softbrain/internal/sim"
 )
 
 // MSE is the memory stream engine: it walks memory-side streams
@@ -55,6 +56,10 @@ const (
 	dstScratch = -1
 	dstDiscard = -2
 )
+
+// aguStageCap bounds the bytes of generated-but-unissued indirect
+// addresses each stream's AGU stages ahead of the request port.
+const aguStageCap = 4 * LineBytes
 
 // memRead is one read-stream table entry.
 type memRead struct {
@@ -109,6 +114,13 @@ type memWrite struct {
 
 	srcPort   int
 	lastReady uint64
+
+	// deferredReady parks a provisional completion time from a write
+	// issued under deferred DRAM grants (parallel cluster mode). It is
+	// folded into lastReady — which keeps max semantics — once the
+	// epoch barrier resolves the grant. While set, the stream cannot
+	// retire.
+	deferredReady uint64
 }
 
 func (s *memWrite) issuedAll() bool {
@@ -296,7 +308,7 @@ func (e *MSE) deliver(now uint64) bool {
 func (e *MSE) refillIndirect() {
 	refill := func(idxPort, idxElem int, remaining *uint64, agu *indirectAGU, offset, scale uint64, dataElem int) {
 		q := e.ports.In[idxPort]
-		for k := 0; k < CoalesceDegree && *remaining > 0 && agu.pending() < 4*LineBytes; k++ {
+		for k := 0; k < CoalesceDegree && *remaining > 0 && agu.pending() < aguStageCap; k++ {
 			if q.Len() < idxElem {
 				break
 			}
@@ -505,11 +517,34 @@ func (e *MSE) commitWrite(s *memWrite, req LineReq, ready uint64) {
 	for i, off := range req.Offsets {
 		e.sys.Mem.StoreByte(req.Line+uint64(off), data[i])
 	}
-	if ready > s.lastReady {
+	if mem.IsProvisional(ready) {
+		// The real completion time is unknown until the epoch barrier;
+		// a provisional value must not clobber lastReady's max.
+		s.deferredReady = ready
+	} else if ready > s.lastReady {
 		s.lastReady = ready
 	}
 	e.LinesWritten++
 	e.BytesStored += uint64(req.Bytes())
+}
+
+// ResolveDeferred patches every provisional completion time recorded
+// under deferred DRAM grants with its resolved cycle. The cluster calls
+// it at the epoch barrier, after mem.System.ResolveGrants.
+func (e *MSE) ResolveDeferred(resolve func(uint64) uint64) {
+	for _, s := range e.reads {
+		for i := range s.pending {
+			s.pending[i].ready = resolve(s.pending[i].ready)
+		}
+	}
+	for _, s := range e.writes {
+		if s.deferredReady != 0 {
+			if t := resolve(s.deferredReady); t > s.lastReady {
+				s.lastReady = t
+			}
+			s.deferredReady = 0
+		}
+	}
 }
 
 // retire removes finished streams and reports their IDs.
@@ -528,7 +563,7 @@ func (e *MSE) retire(now uint64) {
 	e.reads = reads
 	writes := e.writes[:0]
 	for _, s := range e.writes {
-		if s.issuedAll() && now >= s.lastReady {
+		if s.issuedAll() && s.deferredReady == 0 && now >= s.lastReady {
 			e.done = append(e.done, s.id)
 		} else {
 			writes = append(writes, s)
@@ -612,6 +647,109 @@ func (e *MSE) PendingTimed(now uint64) bool {
 		}
 	}
 	return false
+}
+
+// OnSkip replays the per-tick state an elided idle span would have
+// accumulated: the delivery round-robin pointer rotates once per tick
+// whenever any read stream is active, even when nothing moves, and the
+// active set cannot change while the machine is frozen.
+func (e *MSE) OnSkip(from, to uint64) {
+	if n := len(e.reads); n > 0 {
+		e.rr = (e.rr + int((to-from)%uint64(n))) % n
+	}
+}
+
+// nextLineAccept returns the earliest cycle at which the stream's next
+// line request (starting at byte address addr) could be accepted: now
+// unless the request would miss while every MSHR is occupied, in which
+// case the earliest outstanding completion. The per-cycle accept-port
+// budget resets every cycle and so never defers the wake (that
+// over-reports Ready, which is sound).
+func (e *MSE) nextLineAccept(now, addr uint64) uint64 {
+	at := e.sys.NextMissAccept(now)
+	if at <= now {
+		return now
+	}
+	if c := e.sys.Cache; c != nil && c.Contains(addr&^uint64(LineBytes-1)) {
+		return now // a hit needs no MSHR
+	}
+	return at
+}
+
+// NextWake implements the sim.Component wake-hint contract (see
+// docs/SIMKERNEL.md): Ready when any stream can act this cycle or the
+// next, the earliest timed event when every stream waits on one, Idle
+// when only another component's action can unblock the engine. The
+// hint may over-report Ready (a request rejected on a shared accept
+// port, say) — that is sound, it only forfeits a skip.
+func (e *MSE) NextWake(now uint64) sim.Hint {
+	h := sim.Idle()
+	for _, s := range e.reads {
+		if len(s.pending) > 0 {
+			r := s.pending[0].ready
+			if r <= now || mem.IsProvisional(r) {
+				return sim.ReadyNow() // deliverable (or unresolved grant)
+			}
+			h = h.Earliest(sim.WakeAt(r))
+		}
+		if s.finished() {
+			return sim.ReadyNow() // retires next tick
+		}
+		if s.issuedAll() {
+			continue
+		}
+		if s.cur != nil || s.agu.pending() > 0 {
+			switch {
+			case s.dstPort == dstDiscard,
+				s.dstPort >= 0 && e.ports.InAvail(s.dstPort) > 0,
+				s.dstPort == dstScratch && e.padBuf.CanReserve():
+				var addr uint64
+				if s.cur != nil {
+					addr = s.cur.Peek()
+				} else {
+					addr = s.agu.peekAddr()
+				}
+				if at := e.nextLineAccept(now, addr); at <= now {
+					return sim.ReadyNow() // can issue the next line request
+				} else {
+					h = h.Earliest(sim.WakeAt(at)) // miss waiting on an MSHR
+				}
+			}
+		}
+		if s.idxRemaining > 0 && s.agu.pending() < aguStageCap && e.ports.In[s.idxPort].Len() >= s.idxElem {
+			return sim.ReadyNow() // can stage more indirect addresses
+		}
+	}
+	for _, s := range e.writes {
+		if !s.issuedAll() {
+			if (s.cur != nil || s.agu.pending() > 0) && e.ports.Out[s.srcPort].Len() > 0 {
+				var addr uint64
+				if s.cur != nil {
+					addr = s.cur.Peek()
+				} else {
+					addr = s.agu.peekAddr()
+				}
+				at := e.nextLineAccept(now, addr)
+				if at <= now {
+					return sim.ReadyNow()
+				}
+				h = h.Earliest(sim.WakeAt(at))
+			}
+			if s.idxRemaining > 0 && s.agu.pending() < aguStageCap && e.ports.In[s.idxPort].Len() >= s.idxElem {
+				return sim.ReadyNow()
+			}
+			continue
+		}
+		switch {
+		case s.deferredReady != 0:
+			return sim.ReadyNow() // unresolved grant: never skip over it
+		case s.lastReady > now:
+			h = h.Earliest(sim.WakeAt(s.lastReady))
+		default:
+			return sim.ReadyNow() // retires next tick
+		}
+	}
+	return h
 }
 
 // DebugStreams renders the read-stream table state (debug aid).

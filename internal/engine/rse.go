@@ -6,6 +6,7 @@ import (
 
 	"softbrain/internal/faults"
 	"softbrain/internal/isa"
+	"softbrain/internal/sim"
 )
 
 // RSE is the reduction/recurrence stream engine: it forwards data from
@@ -187,6 +188,37 @@ func (e *RSE) Streams(now uint64) []StreamInfo {
 		out = append(out, si)
 	}
 	return out
+}
+
+// OnSkip replays the per-tick arbitration round-robin rotation over an
+// elided idle span (see MSE.OnSkip).
+func (e *RSE) OnSkip(from, to uint64) {
+	if n := len(e.streams); n > 0 {
+		e.rr = (e.rr + int((to-from)%uint64(n))) % n
+	}
+}
+
+// NextWake implements the sim.Component wake-hint contract (see
+// docs/SIMKERNEL.md). The RSE has no timed state: it is Ready when any
+// stream has both data and space, Idle otherwise.
+func (e *RSE) NextWake(now uint64) sim.Hint {
+	for _, s := range e.streams {
+		switch s.kind {
+		case isa.KindPortPort:
+			if e.ports.Out[s.srcPort].Len() > 0 && e.ports.InAvail(s.dstPort) > 0 {
+				return sim.ReadyNow()
+			}
+		case isa.KindConstPort:
+			if e.ports.InAvail(s.dstPort) > 0 {
+				return sim.ReadyNow()
+			}
+		case isa.KindCleanPort:
+			if e.ports.Out[s.srcPort].Len() > 0 {
+				return sim.ReadyNow()
+			}
+		}
+	}
+	return sim.Idle()
 }
 
 func (e *RSE) retire() {

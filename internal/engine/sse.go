@@ -6,6 +6,7 @@ import (
 	"softbrain/internal/faults"
 	"softbrain/internal/isa"
 	"softbrain/internal/scratch"
+	"softbrain/internal/sim"
 )
 
 // ReadLatency is the scratchpad SRAM read latency in cycles.
@@ -290,6 +291,43 @@ func (e *SSE) Streams(now uint64) []StreamInfo {
 		out = append(out, si)
 	}
 	return out
+}
+
+// OnSkip replays the per-tick delivery round-robin rotation over an
+// elided idle span (see MSE.OnSkip).
+func (e *SSE) OnSkip(from, to uint64) {
+	if n := len(e.reads); n > 0 {
+		e.rr = (e.rr + int((to-from)%uint64(n))) % n
+	}
+}
+
+// NextWake implements the sim.Component wake-hint contract (see
+// docs/SIMKERNEL.md): Ready while the pad write buffer has entries to
+// drain or any stream can move data, the earliest SRAM response time
+// when every stream waits on one, Idle otherwise.
+func (e *SSE) NextWake(now uint64) sim.Hint {
+	if e.padBuf.Len() > 0 {
+		return sim.ReadyNow() // the write port drains the buffer first
+	}
+	h := sim.Idle()
+	for _, s := range e.reads {
+		if len(s.pending) > 0 {
+			r := s.pending[0].ready
+			if r <= now {
+				return sim.ReadyNow()
+			}
+			h = h.Earliest(sim.WakeAt(r))
+		}
+		if !s.cur.Done() && e.ports.InAvail(s.dstPort) > 0 {
+			return sim.ReadyNow() // can issue the next SRAM read
+		}
+	}
+	for _, s := range e.writes {
+		if s.remaining > 0 && e.ports.Out[s.srcPort].Len() > 0 {
+			return sim.ReadyNow()
+		}
+	}
+	return h
 }
 
 // PendingTimed reports whether any read response is still inside the

@@ -196,6 +196,16 @@ func (j *Injector) CorruptLine(data []byte) bool {
 	return true
 }
 
+// PerCycleDraws reports whether the profile consumes randomness every
+// simulated cycle (stall and throttle draw per engine-cycle). Such a
+// profile's fault schedule depends on how many cycles are actually
+// ticked, so the run loop must not skip idle cycles under it; the
+// per-event profiles (mem-delay, bitflip) draw per request or per line
+// and are skip-exact.
+func (j *Injector) PerCycleDraws() bool {
+	return j.cfg.StallProb > 0 || j.cfg.ThrottleProb > 0
+}
+
 // PendingTimed reports whether the injector holds timed state that will
 // release after now — a stall burst still running. The deadlock
 // detector must see these as pending events, not quiescence.

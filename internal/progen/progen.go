@@ -107,6 +107,35 @@ func Commands(rng *rand.Rand, p Ports) []isa.Command {
 	return cmds
 }
 
+// Rebase returns a copy of cmds with every memory address shifted by
+// delta bytes. Scratchpad addresses stay put (each unit owns its
+// scratchpad). Running the same generated program rebased to disjoint
+// regions on each unit of a cluster gives the units disjoint memory
+// footprints — the parallel scheduler's requirement — while keeping
+// their cycle-level behavior identical.
+func Rebase(cmds []isa.Command, delta uint64) []isa.Command {
+	out := make([]isa.Command, len(cmds))
+	for i, c := range cmds {
+		switch c := c.(type) {
+		case isa.MemPort:
+			c.Src.Start += delta
+			out[i] = c
+		case isa.PortMem:
+			c.Dst.Start += delta
+			out[i] = c
+		case isa.IndPortPort:
+			c.Offset += delta
+			out[i] = c
+		case isa.IndPortMem:
+			c.Offset += delta
+			out[i] = c
+		default:
+			out[i] = c
+		}
+	}
+	return out
+}
+
 // Maim removes the i-th (mod count) non-barrier command from cmds,
 // returning a copy — the classic way to wreck a balanced program and
 // provoke a hang for the diagnoser to classify. It returns cmds

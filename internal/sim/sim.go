@@ -1,0 +1,179 @@
+// Package sim is the simulation kernel under internal/core: the
+// unified component model the machine's cycle loop runs over. Every
+// microarchitectural unit (CGRA executor, the three stream engines,
+// the dispatcher, the control core) implements Component — one Tick
+// shape instead of the five ad-hoc ones the machine used to sequence
+// by hand — and reports a wake hint describing when it next needs a
+// cycle. The kernel combines the hints so the run loop can skip host
+// work for cycles in which nothing can happen: when every component
+// is Idle or Timed, the machine state is provably frozen until the
+// earliest wake cycle, and the loop may jump straight there without
+// changing a single architecturally visible outcome (docs/SIMKERNEL.md
+// gives the full contract).
+package sim
+
+// WakeKind classifies a component's next-wake hint.
+type WakeKind uint8
+
+const (
+	// WakeReady: the component can make progress now and must be
+	// ticked every cycle.
+	WakeReady WakeKind = iota
+	// WakeTimed: the component is inert until a known future cycle
+	// (a memory response in flight, a pipeline latency, a busy core).
+	WakeTimed
+	// WakeIdle: the component will do nothing until another
+	// component's action changes its inputs.
+	WakeIdle
+)
+
+func (k WakeKind) String() string {
+	switch k {
+	case WakeReady:
+		return "ready"
+	case WakeTimed:
+		return "timed"
+	case WakeIdle:
+		return "idle"
+	}
+	return "WakeKind(?)"
+}
+
+// Hint is one component's answer to "when do you next need a cycle?".
+// The zero value is WakeReady — a component that cannot prove it is
+// inert defaults to being ticked every cycle, which is always sound.
+type Hint struct {
+	Kind WakeKind
+	At   uint64 // wake cycle, meaningful only for WakeTimed
+}
+
+// ReadyNow hints that the component has work this cycle.
+func ReadyNow() Hint { return Hint{Kind: WakeReady} }
+
+// WakeAt hints that the component is inert until the given cycle.
+func WakeAt(cycle uint64) Hint { return Hint{Kind: WakeTimed, At: cycle} }
+
+// Idle hints that the component is inert until another component acts.
+func Idle() Hint { return Hint{Kind: WakeIdle} }
+
+// Earliest combines two hints: Ready dominates, then the earlier of
+// two timed wakes, and Idle only when both sides are idle.
+func (h Hint) Earliest(o Hint) Hint {
+	switch {
+	case h.Kind == WakeReady || o.Kind == WakeReady:
+		return ReadyNow()
+	case h.Kind == WakeTimed && o.Kind == WakeTimed:
+		if o.At < h.At {
+			return o
+		}
+		return h
+	case o.Kind == WakeTimed:
+		return o
+	default:
+		return h
+	}
+}
+
+// Component is one simulated unit under the kernel.
+//
+// The wake-hint contract: after Tick(now) has run for every component
+// of a machine, NextWake(now) must be sound — a component may report
+// WakeIdle or WakeAt(c) only if ticking it at any cycle in (now, c)
+// (or at any later cycle at all, for Idle), with every other
+// component's state unchanged, would alter no state and no statistic.
+// Over-reporting WakeReady is always safe; it only costs host time.
+// A component whose per-cycle behavior in the frozen state is not a
+// strict no-op (it counts stall cycles, say) additionally implements
+// Skipper so skipped spans stay statistically cycle-exact.
+type Component interface {
+	// Name identifies the component in error attribution ("mse").
+	Name() string
+	// Tick advances the component one cycle.
+	Tick(now uint64) error
+	// NextWake reports when the component next needs a cycle, given
+	// the machine state after the current cycle's ticks.
+	NextWake(now uint64) Hint
+	// Progress is a monotone counter that increases iff the component
+	// has done observable work; the run loop's hang detection watches
+	// the sum across components.
+	Progress() uint64
+}
+
+// Skipper is implemented by components that must account for skipped
+// cycles: OnSkip(from, to) reports that cycles [from, to) were elided
+// because every component was idle or timed-waiting, and the component
+// must apply whatever per-cycle bookkeeping (stall counters) those
+// cycles would have performed.
+type Skipper interface {
+	OnSkip(from, to uint64)
+}
+
+// Kernel is the registry of one machine's components, in tick order.
+type Kernel struct {
+	comps []Component
+
+	// Skipped counts the cycles elided by skip-ahead.
+	Skipped uint64
+}
+
+// Register appends a component; registration order is tick order.
+func (k *Kernel) Register(c Component) { k.comps = append(k.comps, c) }
+
+// Components returns the registered components in tick order.
+func (k *Kernel) Components() []Component { return k.comps }
+
+// Progress sums the components' monotone progress counters.
+func (k *Kernel) Progress() uint64 {
+	var p uint64
+	for _, c := range k.comps {
+		p += c.Progress()
+	}
+	return p
+}
+
+// NextWake combines the components' hints. WakeReady short-circuits.
+func (k *Kernel) NextWake(now uint64) Hint {
+	h := Idle()
+	for _, c := range k.comps {
+		h = h.Earliest(c.NextWake(now))
+		if h.Kind == WakeReady {
+			return h
+		}
+	}
+	return h
+}
+
+// SkipTarget computes how far the loop may jump after ticking cycle
+// now: the machine's combined wake hint, capped at limit (the cycle at
+// which the run loop itself must wake, e.g. the watchdog deadline).
+// It returns now+1 — no skip — unless every component is idle or
+// timed-waiting with a wake strictly past now+1.
+func (k *Kernel) SkipTarget(now uint64, limit uint64) uint64 {
+	next := now + 1
+	h := k.NextWake(now)
+	if h.Kind != WakeTimed || h.At <= next {
+		return next
+	}
+	target := h.At
+	if target > limit {
+		target = limit
+	}
+	if target <= next {
+		return next
+	}
+	return target
+}
+
+// OnSkip records that cycles [from, to) were elided and lets every
+// Skipper component apply its per-cycle bookkeeping for the span.
+func (k *Kernel) OnSkip(from, to uint64) {
+	if to <= from {
+		return
+	}
+	k.Skipped += to - from
+	for _, c := range k.comps {
+		if s, ok := c.(Skipper); ok {
+			s.OnSkip(from, to)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import "testing"
+
+func TestHintEarliest(t *testing.T) {
+	cases := []struct {
+		a, b, want Hint
+	}{
+		{Idle(), Idle(), Idle()},
+		{Idle(), WakeAt(10), WakeAt(10)},
+		{WakeAt(10), Idle(), WakeAt(10)},
+		{WakeAt(10), WakeAt(5), WakeAt(5)},
+		{WakeAt(5), WakeAt(10), WakeAt(5)},
+		{ReadyNow(), WakeAt(10), ReadyNow()},
+		{WakeAt(10), ReadyNow(), ReadyNow()},
+		{ReadyNow(), Idle(), ReadyNow()},
+		{Idle(), ReadyNow(), ReadyNow()},
+	}
+	for _, c := range cases {
+		if got := c.a.Earliest(c.b); got != c.want {
+			t.Errorf("%v.Earliest(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// fake is a minimal Component with a scripted hint.
+type fake struct {
+	name string
+	hint Hint
+	prog uint64
+
+	skips []ated
+}
+
+type ated struct{ from, to uint64 }
+
+func (f *fake) Name() string             { return f.name }
+func (f *fake) Tick(now uint64) error    { return nil }
+func (f *fake) NextWake(now uint64) Hint { return f.hint }
+func (f *fake) Progress() uint64         { return f.prog }
+func (f *fake) OnSkip(from, to uint64)   { f.skips = append(f.skips, ated{from, to}) }
+
+func TestKernelProgress(t *testing.T) {
+	var k Kernel
+	k.Register(&fake{name: "a", prog: 3})
+	k.Register(&fake{name: "b", prog: 4})
+	if got := k.Progress(); got != 7 {
+		t.Errorf("Progress() = %d, want 7", got)
+	}
+}
+
+func TestKernelSkipTarget(t *testing.T) {
+	const limit = 1000
+	cases := []struct {
+		name  string
+		hints []Hint
+		want  uint64 // expected SkipTarget(now=10, limit)
+	}{
+		{"all idle", []Hint{Idle(), Idle()}, 11},
+		{"one ready", []Hint{Idle(), ReadyNow()}, 11},
+		{"ready beats timed", []Hint{WakeAt(500), ReadyNow()}, 11},
+		{"timed", []Hint{Idle(), WakeAt(500)}, 500},
+		{"earliest timed wins", []Hint{WakeAt(500), WakeAt(40)}, 40},
+		{"next cycle is no skip", []Hint{WakeAt(11)}, 11},
+		{"past wake is no skip", []Hint{WakeAt(9)}, 11},
+		{"clamped to limit", []Hint{WakeAt(5000)}, limit},
+	}
+	for _, c := range cases {
+		var k Kernel
+		for i, h := range c.hints {
+			k.Register(&fake{name: string(rune('a' + i)), hint: h})
+		}
+		if got := k.SkipTarget(10, limit); got != c.want {
+			t.Errorf("%s: SkipTarget = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestKernelOnSkip(t *testing.T) {
+	var k Kernel
+	a := &fake{name: "a"}
+	k.Register(a)
+	k.OnSkip(11, 40)
+	k.OnSkip(50, 60)
+	if k.Skipped != (40-11)+(60-50) {
+		t.Errorf("Skipped = %d, want %d", k.Skipped, (40-11)+(60-50))
+	}
+	if len(a.skips) != 2 || a.skips[0] != (ated{11, 40}) || a.skips[1] != (ated{50, 60}) {
+		t.Errorf("skipper saw %v", a.skips)
+	}
+}

@@ -14,6 +14,9 @@
 #   7. fault soak    a short deterministic slice of the fault-injection
 #                    soak (see docs/ROBUSTNESS.md); `make soak` runs
 #                    the full breadth
+#   8. bench smoke   sdbench -json on a small workload slice; fails if
+#                    simulated cycle counts drift from the committed
+#                    goldens (see docs/SIMKERNEL.md)
 #
 # Run it from the repository root (or via `make check`). Exits non-zero
 # on the first failing stage.
@@ -46,5 +49,8 @@ go run ./cmd/sdlint -fix
 
 echo "== fault soak (short slice; make soak for full breadth)"
 SOAK_SEEDS=8 go test -race -run TestSoakFaultInjection -count=1 ./internal/core
+
+echo "== bench smoke (cycle goldens)"
+go run ./cmd/sdbench -json -smoke -out /tmp/BENCH_sim_smoke.json
 
 echo "== all checks passed"
