@@ -40,3 +40,14 @@ bench-smoke:
 .PHONY: bench
 bench:
 	go test -bench=. -run=^$$ .
+
+# Observability end-to-end check (docs/OBSERVABILITY.md): metrics +
+# Perfetto trace runs of two workloads, the trace validated against the
+# format contract and the stall attribution against the conservation
+# invariant (causes sum exactly to elapsed cycles per component).
+.PHONY: obs-check
+obs-check:
+	go run ./cmd/sdsim -w gemm -scale 2 -metrics /tmp/obs_gemm.json -trace-out /tmp/obs_gemm.trace.json >/dev/null
+	go run ./cmd/sdobs -validate-trace /tmp/obs_gemm.trace.json -check /tmp/obs_gemm.json
+	go run ./cmd/sdsim -w stencil2d -scale 2 -metrics /tmp/obs_stencil2d.json -trace-out /tmp/obs_stencil2d.trace.json >/dev/null
+	go run ./cmd/sdobs -validate-trace /tmp/obs_stencil2d.trace.json -check /tmp/obs_stencil2d.json

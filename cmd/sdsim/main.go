@@ -7,6 +7,9 @@
 //	sdsim -w gemm -scale 2
 //	sdsim -w conv3p            # DNN layers run on the 8-unit cluster
 //	sdsim -w gemm -faults delay:7   # run under a seeded fault profile
+//	sdsim -w gemm -metrics out.json            # stall attribution + bandwidth table
+//	sdsim -w gemm -trace-out out.trace.json    # Chrome/Perfetto trace
+//	sdsim -w gemm -progress 2s                 # heartbeat to stderr
 package main
 
 import (
@@ -17,9 +20,11 @@ import (
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"softbrain/internal/core"
 	"softbrain/internal/faults"
+	"softbrain/internal/obs"
 	"softbrain/internal/power"
 	"softbrain/internal/workloads"
 	"softbrain/internal/workloads/dnn"
@@ -33,6 +38,9 @@ func main() {
 	warm := flag.Bool("warm", false, "measure a cache-warm (second) run")
 	list := flag.Bool("list", false, "list available workloads")
 	doTrace := flag.Bool("trace", false, "print an execution timeline (single-unit workloads)")
+	metricsPath := flag.String("metrics", "", "write the metrics dump (stall attribution, counters, per-stream bandwidth) as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file (load in ui.perfetto.dev)")
+	progress := flag.Duration("progress", 0, "print a heartbeat (cycle, commands, stall mix) to stderr every interval, e.g. 2s")
 	faultSpec := flag.String("faults", "", "fault profile \"name\" or \"name:seed\" ("+strings.Join(faults.Profiles(), ", ")+")")
 	flag.Parse()
 
@@ -64,6 +72,12 @@ func main() {
 		}
 		cfg.Faults = &fc
 		runFaulted(inst, cfg, units, *warm)
+		return
+	}
+	if *metricsPath != "" || *traceOut != "" || *progress > 0 {
+		if err := runObserved(inst, cfg, units, *warm, *metricsPath, *traceOut, *progress); err != nil {
+			fail(err)
+		}
 		return
 	}
 	if *doTrace && units == 1 {
@@ -150,6 +164,81 @@ func runFaulted(inst *workloads.Instance, cfg core.Config, units int, warm bool)
 	fmt.Printf("%s: %s on %d unit(s) under faults\n", inst.Name, verdict, units)
 	fmt.Printf("cycles: %d\n", stats.Cycles)
 	fmt.Printf("faults delivered: %v\n", cl.FaultStats())
+}
+
+// runObserved executes the instance with the observability layer
+// attached: the metrics registry (stall attribution, counters, stream
+// bandwidth), optionally the span recorder feeding the Perfetto
+// export, and optionally the heartbeat. Mirrors Instance.Run but keeps
+// the cluster so the collected metrics can be exported.
+func runObserved(inst *workloads.Instance, cfg core.Config, units int, warm bool,
+	metricsPath, tracePath string, progress time.Duration) error {
+	cl, err := core.NewCluster(cfg, inst.Units())
+	if err != nil {
+		return err
+	}
+	cl.EnableMetrics(obs.Options{Slices: obs.DefaultSlices})
+	if tracePath != "" {
+		for _, u := range cl.Units {
+			u.EnableTrace(4096)
+		}
+	}
+	if progress > 0 {
+		cl.SetHeartbeat(progress, func(r core.ProgressReport) {
+			fmt.Fprintf(os.Stderr, "sdsim: cycle %d, %d commands issued, stall mix: %s\n",
+				r.Cycle, r.Commands, r.StallMix)
+		})
+	}
+	if inst.Init != nil {
+		inst.Init(cl.Mem)
+	}
+	runs := 1
+	if warm {
+		runs = 2
+	}
+	var stats *core.Stats
+	for i := 0; i < runs; i++ {
+		if stats, err = cl.Run(inst.Progs); err != nil {
+			return err
+		}
+	}
+	if inst.Check != nil {
+		if err := inst.Check(cl.Mem); err != nil {
+			return err
+		}
+	}
+	dump := cl.MetricsDump()
+	if err := obs.CheckConservation(dump); err != nil {
+		return fmt.Errorf("stall attribution broke conservation: %w", err)
+	}
+	fmt.Printf("%s: verified OK on %d unit(s), %d cycles\n\n", inst.Name, units, stats.Cycles)
+	peak := float64(cfg.Mem.LineBytes) / float64(cfg.Mem.MissInterval)
+	fmt.Print(obs.BandwidthTable(dump, peak))
+	if metricsPath != "" {
+		data, err := dump.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(metricsPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nmetrics dump written to %s\n", metricsPath)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteTrace(f, cl.TraceInputs(stats.Cycles)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", tracePath)
+	}
+	return nil
 }
 
 // runTraced executes a single-unit instance with the timeline recorder

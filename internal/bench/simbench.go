@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"softbrain/internal/core"
+	"softbrain/internal/obs"
 	"softbrain/internal/workloads"
 	"softbrain/internal/workloads/dnn"
 	"softbrain/internal/workloads/machsuite"
@@ -27,6 +28,15 @@ type SimRow struct {
 	NsPerCycleNoSkip float64 `json:"ns_per_cycle_noskip"`
 	NsPerCycle       float64 `json:"ns_per_cycle"`
 	Speedup          float64 `json:"speedup"` // wall_ns_noskip / wall_ns
+
+	// Stall attribution and data movement from a metrics-enabled run
+	// (internal/obs): per component, cause -> cycles summed across
+	// units; total bytes moved by retired streams; and the memory
+	// streams' bandwidth as a fraction of the DRAM peak.
+	Stalls         map[string]map[string]uint64 `json:"stall_cycles,omitempty"`
+	BytesMoved     uint64                       `json:"bytes_moved,omitempty"`
+	MemBytesPerCyc float64                      `json:"mem_bytes_per_cycle,omitempty"`
+	MemUtilization float64                      `json:"mem_utilization,omitempty"` // 0..1 of peak
 }
 
 // simEntry is one workload in the host-performance suite.
@@ -127,7 +137,7 @@ func SimBench(smokeOnly bool) ([]SimRow, error) {
 			return nil, fmt.Errorf("bench: %s: %d cycles without skip-ahead, %d with — skip-ahead changed the simulation",
 				e.name, offCycles, onCycles)
 		}
-		inst, _, err := e.build()
+		inst, cfg, err := e.build()
 		if err != nil {
 			return nil, err
 		}
@@ -137,6 +147,38 @@ func SimBench(smokeOnly bool) ([]SimRow, error) {
 			Cycles:       onCycles,
 			WallNsNoSkip: offNs,
 			WallNs:       onNs,
+		}
+		// One extra, untimed run with the observability layer attached
+		// fills the stall and bandwidth columns. Its cycle count must
+		// agree — metrics are read-only by contract.
+		mStats, dump, err := inst.RunMetrics(cfg, obs.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s (metrics): %w", e.name, err)
+		}
+		if mStats.Cycles != onCycles {
+			return nil, fmt.Errorf("bench: %s: enabling metrics changed the cycle count (%d -> %d)",
+				e.name, onCycles, mStats.Cycles)
+		}
+		if err := obs.CheckConservation(dump); err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", e.name, err)
+		}
+		row.Stalls = map[string]map[string]uint64{}
+		for _, c := range dump.Total.Components {
+			row.Stalls[c.Name] = c.Causes
+		}
+		peak := float64(cfg.Mem.LineBytes) / float64(cfg.Mem.MissInterval)
+		var memBytes uint64
+		for _, s := range dump.Total.Streams {
+			row.BytesMoved += s.Bytes
+			if obs.MemKind(s.Kind) {
+				memBytes += s.Bytes
+			}
+		}
+		if onCycles > 0 {
+			row.MemBytesPerCyc = float64(memBytes) / float64(onCycles)
+			if peak > 0 {
+				row.MemUtilization = row.MemBytesPerCyc / peak
+			}
 		}
 		if onCycles > 0 {
 			row.NsPerCycleNoSkip = float64(offNs) / float64(onCycles)

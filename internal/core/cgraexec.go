@@ -7,6 +7,7 @@ import (
 	"softbrain/internal/cgra"
 	"softbrain/internal/dfg"
 	"softbrain/internal/engine"
+	"softbrain/internal/obs"
 	"softbrain/internal/sim"
 )
 
@@ -35,6 +36,7 @@ type cgraExec struct {
 	// Statistics.
 	Instances uint64
 	FUOps     uint64
+	Drained   uint64 // bytes pushed to output ports from the pipeline
 }
 
 func newCGRAExec(ports *engine.Ports) *cgraExec {
@@ -111,6 +113,29 @@ func (x *cgraExec) NextWake(now uint64) sim.Hint {
 	return h
 }
 
+// StallCause classifies the fabric's state on a cycle it neither fired
+// nor drained (see engine.MSE.StallCause for the contract). Results in
+// flight through the pipeline latency count as Busy; otherwise blocked
+// outputs outrank starved inputs.
+func (x *cgraExec) StallCause(uint64) obs.Cause {
+	if x.sched == nil {
+		return obs.CauseIdle
+	}
+	for _, q := range x.pipe {
+		if len(q) > 0 {
+			return obs.Busy // instance results inside the pipeline latency
+		}
+	}
+	starved, blocked := x.blockers()
+	switch {
+	case len(blocked) > 0:
+		return obs.PortFull
+	case len(starved) > 0:
+		return obs.PortEmpty
+	}
+	return obs.CauseIdle
+}
+
 // blockers reports why the fabric cannot fire: the machine input ports
 // lacking a full instance of data and the machine output ports lacking
 // space. Both empty means the fabric could fire (or is unconfigured).
@@ -166,6 +191,7 @@ func (x *cgraExec) Tick(now uint64) error {
 			x.pipe[p] = x.pipe[p][1:]
 			x.ports.Out[hw].Push(out.data)
 			x.outRes[hw] -= len(out.data)
+			x.Drained += uint64(len(out.data))
 		}
 	}
 

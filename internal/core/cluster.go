@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"softbrain/internal/faults"
 	"softbrain/internal/mem"
+	"softbrain/internal/obs"
 	"softbrain/internal/sim"
 )
 
@@ -30,6 +32,65 @@ type Cluster struct {
 	cfg       Config
 	haveCfg   bool
 	unitStats []*Stats
+
+	// Cluster-level heartbeat (see Machine.SetHeartbeat); the cluster
+	// runs its own loop, so it owns the stride check.
+	hbEvery time.Duration
+	hbFn    func(ProgressReport)
+	hbLast  time.Time
+}
+
+// EnableMetrics attaches one registry per unit (unit index = registry
+// unit). Call before Run; MetricsDump merges the units afterwards.
+func (c *Cluster) EnableMetrics(opts obs.Options) {
+	for i, u := range c.Units {
+		u.EnableMetrics(obs.New(i, opts))
+	}
+}
+
+// MetricsDump merges the per-unit registries, in unit order, into one
+// dump with a cluster-wide total. Valid after a completed Run.
+func (c *Cluster) MetricsDump() obs.Dump {
+	units := make([]obs.UnitDump, 0, len(c.Units))
+	for _, u := range c.Units {
+		units = append(units, u.reg.Dump())
+	}
+	return obs.Merge(units)
+}
+
+// SetHeartbeat installs a progress callback on the cluster's run loop,
+// reporting aggregate progress across the units.
+func (c *Cluster) SetHeartbeat(every time.Duration, fn func(ProgressReport)) {
+	c.hbEvery = every
+	c.hbFn = fn
+}
+
+// report aggregates a point-in-time view across the units.
+func (c *Cluster) report(now uint64) ProgressReport {
+	r := ProgressReport{Cycle: now}
+	var attrs []*obs.Attribution
+	for _, u := range c.Units {
+		r.Commands += u.disp.Issued
+		r.Progress += u.kern.Progress()
+		attrs = append(attrs, u.reg.Attributions()...)
+	}
+	r.StallMix = stallMix(attrs)
+	return r
+}
+
+// heartbeat fires the cluster callback when the interval elapsed.
+func (c *Cluster) heartbeat(now uint64) {
+	if c.hbFn == nil {
+		return
+	}
+	if c.hbLast.IsZero() {
+		c.hbLast = time.Now()
+		return
+	}
+	if time.Since(c.hbLast) >= c.hbEvery {
+		c.hbLast = time.Now()
+		c.hbFn(c.report(now))
+	}
 }
 
 // NewCluster builds n identical units over a shared backing store.
@@ -183,6 +244,7 @@ func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
 	}
 	var lastProgress, lastChange uint64
 	var skipHold, failedSkips uint64
+	var hbIter uint64
 	diagnosed := false
 	for {
 		done := true
@@ -197,6 +259,9 @@ func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
 		}
 		if err := step(now); err != nil {
 			return nil, err
+		}
+		if hbIter++; hbIter&(heartbeatStride-1) == 0 {
+			c.heartbeat(now)
 		}
 		var pr uint64
 		for _, u := range c.Units {
@@ -268,7 +333,7 @@ func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
 				if target > next {
 					for _, u := range c.Units {
 						if !u.Done() {
-							u.kern.OnSkip(next, target)
+							u.onSkip(next, target)
 						}
 					}
 					next = target

@@ -7,6 +7,7 @@
 package core_test
 
 import (
+	"bytes"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -15,21 +16,23 @@ import (
 	"softbrain/internal/core"
 	"softbrain/internal/fix"
 	"softbrain/internal/mem"
+	"softbrain/internal/obs"
 	"softbrain/internal/progen"
 	"softbrain/internal/workloads/dnn"
 )
 
-// runClusterBoth runs the same programs on two fresh clusters, one
-// sequential and one parallel, and returns both (memory, per-unit
-// stats, total) triples.
-func runClusterBoth(t *testing.T, cfg core.Config, progs []*core.Program, init func(*mem.Memory)) (seqMem, parMem *mem.Memory, seqUnits, parUnits []*core.Stats, seqTotal, parTotal *core.Stats) {
+// runClusterBoth runs the same programs on two fresh metrics-enabled
+// clusters, one sequential and one parallel, and returns both
+// (memory, per-unit stats, total, metrics dump) tuples.
+func runClusterBoth(t *testing.T, cfg core.Config, progs []*core.Program, init func(*mem.Memory)) (seqMem, parMem *mem.Memory, seqUnits, parUnits []*core.Stats, seqTotal, parTotal *core.Stats, seqDump, parDump []byte) {
 	t.Helper()
-	run := func(sequential bool) (*mem.Memory, []*core.Stats, *core.Stats) {
+	run := func(sequential bool) (*mem.Memory, []*core.Stats, *core.Stats, []byte) {
 		cl, err := core.NewCluster(cfg, len(progs))
 		if err != nil {
 			t.Fatal(err)
 		}
 		cl.Sequential = sequential
+		cl.EnableMetrics(obs.Options{})
 		if init != nil {
 			init(cl.Mem)
 		}
@@ -37,15 +40,26 @@ func runClusterBoth(t *testing.T, cfg core.Config, progs []*core.Program, init f
 		if err != nil {
 			t.Fatalf("sequential=%v: %v", sequential, err)
 		}
-		return cl.Mem, cl.UnitStats(), total
+		d := cl.MetricsDump()
+		if err := obs.CheckConservation(d); err != nil {
+			t.Errorf("sequential=%v: %v", sequential, err)
+		}
+		dump, err := d.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl.Mem, cl.UnitStats(), total, dump
 	}
-	seqMem, seqUnits, seqTotal = run(true)
-	parMem, parUnits, parTotal = run(false)
+	seqMem, seqUnits, seqTotal, seqDump = run(true)
+	parMem, parUnits, parTotal, parDump = run(false)
 	return
 }
 
-func compareClusterRuns(t *testing.T, label string, seqMem, parMem *mem.Memory, seqUnits, parUnits []*core.Stats, seqTotal, parTotal *core.Stats) {
+func compareClusterRuns(t *testing.T, label string, seqMem, parMem *mem.Memory, seqUnits, parUnits []*core.Stats, seqTotal, parTotal *core.Stats, seqDump, parDump []byte) {
 	t.Helper()
+	if !bytes.Equal(seqDump, parDump) {
+		t.Errorf("%s: metrics dump differs between schedulers:\nseq:\n%s\npar:\n%s", label, seqDump, parDump)
+	}
 	if addr, diff := parMem.FirstDiff(seqMem); diff {
 		t.Errorf("%s: parallel memory differs from sequential at %#x", label, addr)
 	}
@@ -80,8 +94,8 @@ func TestClusterDeterminismDNN(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			seqMem, parMem, su, pu, st, pt := runClusterBoth(t, cfg, inst.Progs, inst.Init)
-			compareClusterRuns(t, l.Name, seqMem, parMem, su, pu, st, pt)
+			seqMem, parMem, su, pu, st, pt, sd, pd := runClusterBoth(t, cfg, inst.Progs, inst.Init)
+			compareClusterRuns(t, l.Name, seqMem, parMem, su, pu, st, pt, sd, pd)
 			if inst.Check != nil {
 				if err := inst.Check(parMem); err != nil {
 					t.Errorf("parallel run failed the golden check: %v", err)
@@ -132,8 +146,8 @@ func TestClusterDeterminismProgen(t *testing.T) {
 				}
 			}
 		}
-		seqMem, parMem, su, pu, st, pt := runClusterBoth(t, cfg, progs, init)
-		compareClusterRuns(t, "seed", seqMem, parMem, su, pu, st, pt)
+		seqMem, parMem, su, pu, st, pt, sd, pd := runClusterBoth(t, cfg, progs, init)
+		compareClusterRuns(t, "seed", seqMem, parMem, su, pu, st, pt, sd, pd)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"softbrain/internal/cgra"
 	"softbrain/internal/dispatch"
@@ -10,6 +11,7 @@ import (
 	"softbrain/internal/faults"
 	"softbrain/internal/isa"
 	"softbrain/internal/mem"
+	"softbrain/internal/obs"
 	"softbrain/internal/port"
 	"softbrain/internal/scratch"
 	"softbrain/internal/sim"
@@ -90,6 +92,15 @@ type Machine struct {
 	prevBusy  [3]uint64 // MSE, SSE, RSE busy counters at last Step
 	prevInst  uint64
 	prevInstr uint64
+
+	// Observability (see obs.go in this package). All nil/zero unless
+	// EnableMetrics / SetHeartbeat are called; the tick path pays one
+	// nil check and allocates nothing when disabled.
+	reg     *obs.Registry
+	attr    *attrSet
+	hbEvery time.Duration
+	hbFn    func(ProgressReport)
+	hbLast  time.Time
 }
 
 // NewMachine builds a unit with a private memory system.
@@ -256,6 +267,9 @@ func (m *Machine) Step(now uint64) error {
 		}
 	}
 	m.mark(now)
+	if m.attr != nil {
+		m.classifyCycle(now)
+	}
 	return nil
 }
 
@@ -406,10 +420,14 @@ func (m *Machine) run() (stats *Stats, err error) {
 	}()
 	var lastProgress, lastChange uint64
 	var skipHold, failedSkips uint64
+	var hbIter uint64
 	diagnosed := false
 	for !m.Done() {
 		if err := m.Step(now); err != nil {
 			return nil, err
+		}
+		if hbIter++; hbIter&(heartbeatStride-1) == 0 {
+			m.heartbeat(now)
 		}
 		progressed := false
 		if pr := m.progress(); pr != lastProgress {
@@ -453,7 +471,7 @@ func (m *Machine) run() (stats *Stats, err error) {
 			if skipHold > 0 {
 				skipHold--
 			} else if target := m.kern.SkipTarget(now, lastChange+watchdog+1); target > next {
-				m.kern.OnSkip(next, target)
+				m.onSkip(next, target)
 				next = target
 				failedSkips = 0
 			} else if failedSkips++; failedSkips > 2 {
@@ -483,6 +501,7 @@ func snapshotSys(s *mem.System) sysCounters {
 }
 
 func (m *Machine) collect(cycles uint64, base sysCounters) *Stats {
+	m.finishMetrics(cycles)
 	cur := snapshotSys(m.Sys)
 	s := m.localStats(cycles)
 	s.MemBytesRead = cur.bytesRead - base.bytesRead

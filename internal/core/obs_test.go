@@ -1,0 +1,280 @@
+// Observability equivalence: the metrics layer (internal/obs) is
+// strictly read-only — enabling it never changes the simulation, and
+// its stall attribution must obey two hard properties. Conservation:
+// every component's cause counts sum exactly to the elapsed cycles, on
+// every workload and generated program. Invariance: the metrics dump
+// is byte-identical with idle skip-ahead off and on, and byte-identical
+// between the sequential and parallel cluster schedulers.
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"softbrain/internal/core"
+	"softbrain/internal/fix"
+	"softbrain/internal/obs"
+	"softbrain/internal/progen"
+	"softbrain/internal/workloads"
+	"softbrain/internal/workloads/dnn"
+	"softbrain/internal/workloads/machsuite"
+)
+
+// obsBuilds is the workload matrix the metrics tests sweep: the full
+// MachSuite set plus two DNN layers on the 8-unit cluster.
+func obsBuilds() []struct {
+	name string
+	inst func(cfg core.Config) (*workloads.Instance, error)
+	cfg  core.Config
+} {
+	type build = struct {
+		name string
+		inst func(cfg core.Config) (*workloads.Instance, error)
+		cfg  core.Config
+	}
+	var builds []build
+	mcfg := core.DefaultConfig()
+	for _, e := range machsuite.All() {
+		e := e
+		builds = append(builds, build{e.Name, func(cfg core.Config) (*workloads.Instance, error) {
+			return e.Build(cfg, 2)
+		}, mcfg})
+	}
+	dcfg := dnn.Config()
+	for _, l := range dnn.Layers()[:2] {
+		l := l
+		builds = append(builds, build{l.Name, func(cfg core.Config) (*workloads.Instance, error) {
+			return l.Build(cfg, dnn.Units)
+		}, dcfg})
+	}
+	return builds
+}
+
+// TestMetricsWorkloads runs every workload with metrics attached,
+// twice — skipping off and on — and demands (a) the conservation
+// invariant on both dumps, (b) byte-identical dump JSON between the
+// two runs, and (c) unchanged cycle counts versus a plain run (metrics
+// must not perturb the simulation).
+func TestMetricsWorkloads(t *testing.T) {
+	for _, b := range obsBuilds() {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			t.Parallel()
+			run := func(noSkip bool) (*core.Stats, []byte) {
+				cfg := b.cfg
+				cfg.NoSkipAhead = noSkip
+				inst, err := b.inst(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats, dump, err := inst.RunMetrics(cfg, obs.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := obs.CheckConservation(dump); err != nil {
+					t.Fatalf("noSkip=%v: %v", noSkip, err)
+				}
+				data, err := dump.MarshalIndent()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return stats, data
+			}
+			sOff, dOff := run(true)
+			sOn, dOn := run(false)
+			if !bytes.Equal(dOff, dOn) {
+				t.Errorf("metrics dump differs with skip-ahead:\noff:\n%s\non:\n%s", dOff, dOn)
+			}
+			if sOff.Cycles != sOn.Cycles {
+				t.Errorf("cycles differ with skip-ahead: %d vs %d", sOff.Cycles, sOn.Cycles)
+			}
+			inst, err := b.inst(b.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := inst.Run(b.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.Cycles != sOn.Cycles {
+				t.Errorf("enabling metrics changed the simulation: %d cycles plain, %d with metrics",
+					plain.Cycles, sOn.Cycles)
+			}
+		})
+	}
+}
+
+// TestMetricsClusterParSeq runs the DNN layers on the 8-unit cluster
+// under both schedulers with metrics attached: the dumps must be
+// byte-identical, per unit and in total.
+func TestMetricsClusterParSeq(t *testing.T) {
+	cfg := dnn.Config()
+	for _, l := range dnn.Layers()[:2] {
+		l := l
+		t.Run(l.Name, func(t *testing.T) {
+			t.Parallel()
+			inst, err := l.Build(cfg, dnn.Units)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(sequential bool) []byte {
+				cl, err := core.NewCluster(cfg, len(inst.Progs))
+				if err != nil {
+					t.Fatal(err)
+				}
+				cl.Sequential = sequential
+				cl.EnableMetrics(obs.Options{})
+				if inst.Init != nil {
+					inst.Init(cl.Mem)
+				}
+				if _, err := cl.Run(inst.Progs); err != nil {
+					t.Fatalf("sequential=%v: %v", sequential, err)
+				}
+				dump := cl.MetricsDump()
+				if err := obs.CheckConservation(dump); err != nil {
+					t.Fatalf("sequential=%v: %v", sequential, err)
+				}
+				data, err := dump.MarshalIndent()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return data
+			}
+			seq, par := run(true), run(false)
+			if !bytes.Equal(seq, par) {
+				t.Errorf("metrics dump differs between schedulers:\nseq:\n%s\npar:\n%s", seq, par)
+			}
+		})
+	}
+}
+
+// TestMetricsProgen sweeps generated programs: conservation and
+// skip-invariance must hold on arbitrary command mixes, not just the
+// curated workloads. Slice recording is on, so the run-length encoder
+// is exercised under every classification path.
+func TestMetricsProgen(t *testing.T) {
+	cfg := core.DefaultConfig()
+	for seed := int64(0); seed < 10; seed++ {
+		p, ports, err := progen.Addpair(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, c := range progen.Commands(rng, ports) {
+			p.Emit(c)
+		}
+		if err := p.Err(); err != nil {
+			t.Fatal(err)
+		}
+		fixed, _, err := fix.Fix(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(noSkip bool) []byte {
+			c := cfg
+			c.NoSkipAhead = noSkip
+			m, err := core.NewMachine(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.EnableMetrics(obs.New(0, obs.Options{Slices: obs.DefaultSlices}))
+			line := make([]byte, 64)
+			irng := rand.New(rand.NewSource(seed + 1000))
+			for _, base := range progen.MemPools {
+				irng.Read(line)
+				m.Sys.Mem.Write(base, line)
+			}
+			if _, err := m.Run(fixed); err != nil {
+				t.Fatalf("seed %d (noSkip=%v): %v", seed, noSkip, err)
+			}
+			dump := m.MetricsDump()
+			if err := obs.CheckConservation(dump); err != nil {
+				t.Fatalf("seed %d (noSkip=%v): %v", seed, noSkip, err)
+			}
+			data, err := dump.MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return data
+		}
+		off, on := run(true), run(false)
+		if !bytes.Equal(off, on) {
+			t.Errorf("seed %d: metrics dump differs with skip-ahead:\noff:\n%s\non:\n%s", seed, off, on)
+		}
+	}
+}
+
+// TestMetricsTraceExport runs a workload with spans and slices
+// recorded and validates the Perfetto export against the trace-event
+// contract.
+func TestMetricsTraceExport(t *testing.T) {
+	cfg := core.DefaultConfig()
+	e, err := machsuite.Find("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.Build(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableMetrics(obs.New(0, obs.Options{Slices: obs.DefaultSlices}))
+	m.EnableTrace(4096)
+	if inst.Init != nil {
+		inst.Init(m.Sys.Mem)
+	}
+	stats, err := m.Run(inst.Progs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf, []obs.TraceInput{m.TraceInput(stats.Cycles)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("export failed its own validator: %v", err)
+	}
+}
+
+// TestHeartbeat: the run-loop heartbeat must fire for a long-enough
+// run with a zero interval and report monotonically advancing cycles.
+func TestHeartbeat(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.NoSkipAhead = true // every cycle ticked, so the stride check runs often
+	e, err := machsuite.Find("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.Build(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := core.NewCluster(cfg, len(inst.Progs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.EnableMetrics(obs.Options{})
+	var reports []core.ProgressReport
+	cl.SetHeartbeat(0, func(r core.ProgressReport) { reports = append(reports, r) })
+	if inst.Init != nil {
+		inst.Init(cl.Mem)
+	}
+	if _, err := cl.Run(inst.Progs); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("heartbeat never fired on a ticked multi-thousand-cycle run")
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Cycle <= reports[i-1].Cycle {
+			t.Errorf("heartbeat cycles not advancing: %d then %d", reports[i-1].Cycle, reports[i].Cycle)
+		}
+	}
+	if reports[len(reports)-1].StallMix == "" {
+		t.Error("heartbeat with metrics enabled reported an empty stall mix")
+	}
+}

@@ -6,6 +6,7 @@
 package core_test
 
 import (
+	"bytes"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"softbrain/internal/faults"
 	"softbrain/internal/fix"
 	"softbrain/internal/mem"
+	"softbrain/internal/obs"
 	"softbrain/internal/progen"
 	"softbrain/internal/workloads"
 	"softbrain/internal/workloads/dnn"
@@ -114,9 +116,9 @@ func TestSkipAheadExamples(t *testing.T) {
 	}
 }
 
-// runTraced runs p on a fresh machine with tracing enabled and the
-// memory pools seeded deterministically, returning the machine and
-// statistics.
+// runTraced runs p on a fresh machine with tracing and metrics
+// enabled and the memory pools seeded deterministically, returning the
+// machine and statistics.
 func runTraced(t *testing.T, cfg core.Config, p *core.Program, seed int64) (*core.Machine, *core.Stats) {
 	t.Helper()
 	m, err := core.NewMachine(cfg)
@@ -124,6 +126,7 @@ func runTraced(t *testing.T, cfg core.Config, p *core.Program, seed int64) (*cor
 		t.Fatal(err)
 	}
 	m.EnableTrace(1 << 20)
+	m.EnableMetrics(obs.New(0, obs.Options{}))
 	line := make([]byte, 64)
 	irng := rand.New(rand.NewSource(seed + 1000))
 	for _, base := range progen.MemPools {
@@ -135,6 +138,22 @@ func runTraced(t *testing.T, cfg core.Config, p *core.Program, seed int64) (*cor
 		t.Fatalf("seed %d: %v", seed, err)
 	}
 	return m, stats
+}
+
+// metricsDump marshals the machine's metrics, failing on conservation
+// violations first — the byte-for-byte diffs below compare only dumps
+// that are individually sound.
+func metricsDump(t *testing.T, m *core.Machine) []byte {
+	t.Helper()
+	d := m.MetricsDump()
+	if err := obs.CheckConservation(d); err != nil {
+		t.Error(err)
+	}
+	data, err := d.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }
 
 // TestSkipAheadTraces runs generated programs with skipping off and on
@@ -178,6 +197,9 @@ func TestSkipAheadTraces(t *testing.T) {
 		}
 		if off, on := mOff.Trace().Gantt(100), mOn.Trace().Gantt(100); off != on {
 			t.Errorf("seed %d: activity lanes differ with skip-ahead:\noff:\n%son:\n%s", seed, off, on)
+		}
+		if off, on := metricsDump(t, mOff), metricsDump(t, mOn); !bytes.Equal(off, on) {
+			t.Errorf("seed %d: metrics dump differs with skip-ahead:\noff:\n%son:\n%s", seed, off, on)
 		}
 	}
 	if skipped == 0 {
@@ -237,6 +259,9 @@ func TestSkipAheadUnderFaults(t *testing.T) {
 				}
 				if addr, diff := mOn.Sys.Mem.FirstDiff(mOff.Sys.Mem); diff {
 					t.Errorf("seed %d: memory differs at %#x under %s faults", seed, addr, profile)
+				}
+				if off, on := metricsDump(t, mOff), metricsDump(t, mOn); !bytes.Equal(off, on) {
+					t.Errorf("seed %d: metrics dump differs with skip-ahead under %s faults", seed, profile)
 				}
 				if profile == "stall" && mOn.SkippedCycles() != 0 {
 					t.Errorf("seed %d: skipped %d cycles under per-cycle stall draws; skip must self-disable",

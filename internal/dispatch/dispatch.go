@@ -10,6 +10,7 @@ import (
 
 	"softbrain/internal/engine"
 	"softbrain/internal/isa"
+	"softbrain/internal/obs"
 	"softbrain/internal/sim"
 	"softbrain/internal/trace"
 )
@@ -135,6 +136,12 @@ type Dispatcher struct {
 	// Tracer, when set, records stream lifetimes (see internal/trace).
 	Tracer *trace.Recorder
 
+	// Lat, installed by EnableLatency, observes each stream's
+	// issue-to-retire latency. issuedAt exists only while enabled, so
+	// the tick path allocates nothing when metrics are off.
+	Lat      *obs.Histogram
+	issuedAt map[int]uint64
+
 	// Statistics.
 	Issued        uint64
 	BarrierCycles uint64 // cycles a barrier held the queue head
@@ -167,6 +174,13 @@ func New(mse *engine.MSE, sse *engine.SSE, rse *engine.RSE, numIn, numOut, queue
 		nextID:      1,
 		StallByKind: map[isa.Kind]uint64{},
 	}
+}
+
+// EnableLatency installs a histogram observing each stream's
+// issue-to-retire latency in cycles.
+func (d *Dispatcher) EnableLatency(h *obs.Histogram) {
+	d.Lat = h
+	d.issuedAt = map[int]uint64{}
 }
 
 // CanEnqueue reports whether the command queue has room; when it does
@@ -256,6 +270,9 @@ func (d *Dispatcher) Tick(now uint64) error {
 				d.configActive = true
 				d.configID = id
 				d.Tracer.Issued(id, cmd.String(), q.at, now)
+				if d.issuedAt != nil {
+					d.issuedAt[id] = now
+				}
 				d.queue = d.queue[1:]
 				d.Issued++
 				d.tickProgress = true
@@ -317,6 +334,9 @@ func (d *Dispatcher) Tick(now uint64) error {
 		}
 		d.active[id] = r
 		d.Tracer.Issued(id, cmd.String(), q.at, now)
+		if d.issuedAt != nil {
+			d.issuedAt[id] = now
+		}
 		d.queue = append(d.queue[:i], d.queue[i+1:]...)
 		d.Issued++
 		d.tickProgress = true
@@ -338,6 +358,31 @@ func (d *Dispatcher) NextWake(now uint64) sim.Hint {
 		return sim.ReadyNow()
 	}
 	return sim.Idle()
+}
+
+// StallCause classifies the dispatcher's state this cycle for the
+// stall attribution (see internal/obs). Unlike the engines it reports
+// Busy itself — tickProgress covers retires and barrier pops that no
+// monotone counter records. Skip-stable: on any cycle a skip span can
+// cover, tickProgress is false (NextWake would have pinned the machine
+// Ready) and the repeat flags are frozen, so the ticked and replayed
+// classifications agree.
+func (d *Dispatcher) StallCause(uint64) obs.Cause {
+	switch {
+	case len(d.queue) == 0 && len(d.active) == 0:
+		return obs.CauseIdle
+	case d.tickProgress:
+		return obs.Busy
+	case d.configActive:
+		return obs.BarrierDrain // fabric quiescing under SD_Config
+	case len(d.queue) == 0:
+		return obs.CauseIdle // streams running; nothing left to dispatch
+	case d.repeatBarrier:
+		return obs.BarrierDrain
+	case d.repeatResource:
+		return obs.PortFull // scoreboard conflict or engine table full
+	}
+	return obs.CauseIdle
 }
 
 // OnSkip replays the per-cycle stall accounting over an elided span.
@@ -443,6 +488,12 @@ func (d *Dispatcher) retire(now uint64) {
 	free := func(ids []int) {
 		for _, id := range ids {
 			d.Tracer.Completed(id, now)
+			if d.issuedAt != nil {
+				if t, ok := d.issuedAt[id]; ok {
+					d.Lat.Observe(now - t)
+					delete(d.issuedAt, id)
+				}
+			}
 			r, ok := d.active[id]
 			if !ok {
 				continue

@@ -7,6 +7,7 @@ import (
 	"softbrain/internal/faults"
 	"softbrain/internal/isa"
 	"softbrain/internal/mem"
+	"softbrain/internal/obs"
 	"softbrain/internal/sim"
 )
 
@@ -36,6 +37,10 @@ type MSE struct {
 	// line contents (see internal/faults). Nil costs one comparison per
 	// hook site.
 	Faults *faults.Injector
+
+	// Retired, when non-nil, reports each stream's total data movement
+	// as it leaves the table (see internal/obs).
+	Retired func(id int, kind isa.Kind, bytes uint64)
 
 	// Statistics.
 	LinesRead      uint64
@@ -84,6 +89,7 @@ type memRead struct {
 
 	announced bool // all-requests-in-flight reported to the dispatcher
 	pending   []readPending
+	bytes     uint64 // data moved so far, for the bandwidth report
 }
 
 func (s *memRead) issuedAll() bool {
@@ -114,6 +120,7 @@ type memWrite struct {
 
 	srcPort   int
 	lastReady uint64
+	bytes     uint64 // data moved so far, for the bandwidth report
 
 	// deferredReady parks a provisional completion time from a write
 	// issued under deferred DRAM grants (parallel cluster mode). It is
@@ -293,6 +300,7 @@ func (e *MSE) deliver(now uint64) bool {
 			}
 			budget -= len(head.data)
 			e.BytesDelivered += uint64(len(head.data))
+			s.bytes += uint64(len(head.data))
 			s.pending = s.pending[1:]
 			moved = true
 		}
@@ -526,6 +534,7 @@ func (e *MSE) commitWrite(s *memWrite, req LineReq, ready uint64) {
 	}
 	e.LinesWritten++
 	e.BytesStored += uint64(req.Bytes())
+	s.bytes += uint64(req.Bytes())
 }
 
 // ResolveDeferred patches every provisional completion time recorded
@@ -555,6 +564,9 @@ func (e *MSE) retire(now uint64) {
 			if s.kind == isa.KindConfig && e.onConfig != nil {
 				e.onConfig(s.cfgAddr)
 			}
+			if e.Retired != nil {
+				e.Retired(s.id, s.kind, s.bytes)
+			}
 			e.done = append(e.done, s.id)
 		} else {
 			reads = append(reads, s)
@@ -564,6 +576,9 @@ func (e *MSE) retire(now uint64) {
 	writes := e.writes[:0]
 	for _, s := range e.writes {
 		if s.issuedAll() && s.deferredReady == 0 && now >= s.lastReady {
+			if e.Retired != nil {
+				e.Retired(s.id, s.kind, s.bytes)
+			}
 			e.done = append(e.done, s.id)
 		} else {
 			writes = append(writes, s)
@@ -627,6 +642,62 @@ func (e *MSE) Streams(now uint64) []StreamInfo {
 		out = append(out, si)
 	}
 	return out
+}
+
+// StallCause classifies the engine's state on a cycle it did no work
+// (the machine attributes Busy from work-counter deltas and consults
+// this only otherwise). The classification is purely state-based so it
+// evaluates identically on a ticked cycle and across a frozen skip
+// span, and it reads only unit-local state plus comparisons the tick
+// path itself makes (`ready > now`, `deferredReady != 0`) — so it is
+// deterministic across sequential and parallel cluster runs. Across
+// streams, the most actionable blocker wins (obs.Worse).
+func (e *MSE) StallCause(now uint64) obs.Cause {
+	worst := obs.CauseIdle
+	for _, s := range e.reads {
+		c := obs.CauseIdle
+		switch {
+		case len(s.pending) > 0 && s.pending[0].ready > now:
+			c = obs.DRAMBW // response in flight
+		case !s.issuedAll():
+			switch {
+			case s.cur == nil && s.agu.pending() == 0:
+				c = obs.PortEmpty // indirect stream starved of indices
+			case s.dstPort >= 0 && e.ports.InAvail(s.dstPort) <= 0:
+				c = obs.PortFull // no credit for a response
+			case s.dstPort == dstScratch && !e.padBuf.CanReserve():
+				c = obs.PortFull
+			default:
+				// A line address is staged and the destination has
+				// credit, yet nothing issued this cycle: the memory
+				// system refused the request, and on a workless cycle
+				// (the accept budget resets per cycle, and spending it
+				// implies work) that means every MSHR is occupied.
+				c = obs.MSHRFull
+			}
+		case s.padOutstanding > 0:
+			c = obs.PortFull // scratch write buffer still draining
+		}
+		worst = obs.Worse(worst, c)
+	}
+	for _, s := range e.writes {
+		c := obs.CauseIdle
+		switch {
+		case !s.issuedAll():
+			switch {
+			case s.cur == nil && s.agu.pending() == 0:
+				c = obs.PortEmpty
+			case e.ports.Out[s.srcPort].Len() == 0:
+				c = obs.PortEmpty // waiting for CGRA output data
+			default:
+				c = obs.MSHRFull
+			}
+		case s.deferredReady != 0 || s.lastReady > now:
+			c = obs.DRAMBW // write completion in flight
+		}
+		worst = obs.Worse(worst, c)
+	}
+	return worst
 }
 
 // PendingTimed reports whether the engine holds state that resolves at a

@@ -6,6 +6,7 @@ import (
 
 	"softbrain/internal/faults"
 	"softbrain/internal/isa"
+	"softbrain/internal/obs"
 	"softbrain/internal/sim"
 )
 
@@ -25,6 +26,10 @@ type RSE struct {
 	// Faults, when non-nil, perturbs the bus bandwidth.
 	Faults *faults.Injector
 
+	// Retired, when non-nil, reports each stream's total data movement
+	// as it leaves the table (see internal/obs).
+	Retired func(id int, kind isa.Kind, bytes uint64)
+
 	// Statistics.
 	BytesMoved uint64
 	BusyCycles uint64
@@ -41,6 +46,7 @@ type rseStream struct {
 	srcPort   int // output port (PortPort, CleanPort)
 	dstPort   int // input port (PortPort, ConstPort)
 	remaining uint64
+	bytes     uint64 // data moved so far, for the bandwidth report
 
 	// Constant generation state.
 	pattern []byte // one element of the constant, little-endian
@@ -99,6 +105,7 @@ func (e *RSE) Tick(now uint64) error {
 		moved := e.step(s, budget)
 		budget -= moved
 		e.BytesMoved += uint64(moved)
+		s.bytes += uint64(moved)
 	}
 	if n > 0 {
 		e.rr = (e.rr + 1) % n
@@ -190,6 +197,35 @@ func (e *RSE) Streams(now uint64) []StreamInfo {
 	return out
 }
 
+// StallCause classifies the engine's state on a cycle it moved no data
+// (see MSE.StallCause for the contract). The RSE has no timed state: a
+// stalled stream waits on a full destination or an empty source.
+func (e *RSE) StallCause(uint64) obs.Cause {
+	worst := obs.CauseIdle
+	for _, s := range e.streams {
+		c := obs.CauseIdle
+		switch s.kind {
+		case isa.KindPortPort:
+			switch {
+			case e.ports.Out[s.srcPort].Len() == 0:
+				c = obs.PortEmpty
+			case e.ports.InAvail(s.dstPort) <= 0:
+				c = obs.PortFull
+			}
+		case isa.KindConstPort:
+			if e.ports.InAvail(s.dstPort) <= 0 {
+				c = obs.PortFull
+			}
+		case isa.KindCleanPort:
+			if e.ports.Out[s.srcPort].Len() == 0 {
+				c = obs.PortEmpty
+			}
+		}
+		worst = obs.Worse(worst, c)
+	}
+	return worst
+}
+
 // OnSkip replays the per-tick arbitration round-robin rotation over an
 // elided idle span (see MSE.OnSkip).
 func (e *RSE) OnSkip(from, to uint64) {
@@ -225,6 +261,9 @@ func (e *RSE) retire() {
 	live := e.streams[:0]
 	for _, s := range e.streams {
 		if s.remaining == 0 {
+			if e.Retired != nil {
+				e.Retired(s.id, s.kind, s.bytes)
+			}
 			e.done = append(e.done, s.id)
 		} else {
 			live = append(live, s)

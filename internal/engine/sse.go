@@ -5,6 +5,7 @@ import (
 
 	"softbrain/internal/faults"
 	"softbrain/internal/isa"
+	"softbrain/internal/obs"
 	"softbrain/internal/scratch"
 	"softbrain/internal/sim"
 )
@@ -31,6 +32,10 @@ type SSE struct {
 	// contents (see internal/faults).
 	Faults *faults.Injector
 
+	// Retired, when non-nil, reports each stream's total data movement
+	// as it leaves the table (see internal/obs).
+	Retired func(id int, kind isa.Kind, bytes uint64)
+
 	// Statistics.
 	ReadGrants  uint64
 	WriteGrants uint64
@@ -49,6 +54,7 @@ type sseRead struct {
 	cur     *isa.AffineCursor
 	dstPort int
 	pending []readPending
+	bytes   uint64 // data moved so far, for the bandwidth report
 }
 
 type sseWrite struct {
@@ -56,6 +62,7 @@ type sseWrite struct {
 	srcPort   int
 	addr      uint64
 	remaining uint64
+	bytes     uint64 // data moved so far, for the bandwidth report
 }
 
 // CanAcceptRead reports whether a read-stream table entry is free.
@@ -147,6 +154,7 @@ func (e *SSE) deliver(now uint64) bool {
 			e.ports.Deliver(s.dstPort, head.data)
 			budget -= len(head.data)
 			e.BytesOut += uint64(len(head.data))
+			s.bytes += uint64(len(head.data))
 			s.pending = s.pending[1:]
 			moved = true
 		}
@@ -260,6 +268,7 @@ func (e *SSE) issueWrite() error {
 	}
 	best.addr += uint64(n)
 	best.remaining -= uint64(n)
+	best.bytes += uint64(n)
 	e.WriteGrants++
 	e.BytesIn += uint64(n)
 	return nil
@@ -291,6 +300,30 @@ func (e *SSE) Streams(now uint64) []StreamInfo {
 		out = append(out, si)
 	}
 	return out
+}
+
+// StallCause classifies the engine's state on a cycle it did no work
+// (see MSE.StallCause for the contract: purely state-based, unit-local,
+// skip-stable). A pending SRAM read inside its fixed latency counts as
+// Busy — the SRAM is working and needs no external input.
+func (e *SSE) StallCause(now uint64) obs.Cause {
+	worst := obs.CauseIdle
+	for _, s := range e.reads {
+		c := obs.CauseIdle
+		switch {
+		case len(s.pending) > 0 && s.pending[0].ready > now:
+			c = obs.Busy // inside the SRAM read latency
+		case !s.cur.Done() && e.ports.InAvail(s.dstPort) <= 0:
+			c = obs.PortFull
+		}
+		worst = obs.Worse(worst, c)
+	}
+	for _, s := range e.writes {
+		if s.remaining > 0 && e.ports.Out[s.srcPort].Len() == 0 {
+			worst = obs.Worse(worst, obs.PortEmpty)
+		}
+	}
+	return worst
 }
 
 // OnSkip replays the per-tick delivery round-robin rotation over an
@@ -347,6 +380,9 @@ func (e *SSE) retire() {
 	reads := e.reads[:0]
 	for _, s := range e.reads {
 		if s.cur.Done() && len(s.pending) == 0 {
+			if e.Retired != nil {
+				e.Retired(s.id, isa.KindScratchPort, s.bytes)
+			}
 			e.done = append(e.done, s.id)
 		} else {
 			reads = append(reads, s)
@@ -356,6 +392,9 @@ func (e *SSE) retire() {
 	writes := e.writes[:0]
 	for _, s := range e.writes {
 		if s.remaining == 0 {
+			if e.Retired != nil {
+				e.Retired(s.id, isa.KindPortScratch, s.bytes)
+			}
 			e.done = append(e.done, s.id)
 		} else {
 			writes = append(writes, s)

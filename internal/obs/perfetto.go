@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Event is one Chrome trace-event (the JSON format Perfetto and
+// chrome://tracing both load). Timestamps are in microseconds; we map
+// one simulated cycle to one microsecond.
+type Event struct {
+	Name string         `json:"name,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the object form of the trace-event format.
+type traceFile struct {
+	TraceEvents []Event `json:"traceEvents"`
+	DisplayUnit string  `json:"displayTimeUnit,omitempty"`
+}
+
+// SpanEvent is one stream command's lifetime for the trace export
+// (mirrors trace.Span; obs stays import-free of internal/trace).
+type SpanEvent struct {
+	ID        int
+	Label     string
+	Enqueued  uint64
+	Issued    uint64
+	Completed uint64
+	Done      bool
+}
+
+// TraceInput is one unit's contribution to the trace: its stream
+// lifetimes, its per-component stall slices, and the cycle the unit
+// retired at (used to close still-open spans).
+type TraceInput struct {
+	Unit     int
+	Spans    []SpanEvent
+	Attrs    []*Attribution
+	EndCycle uint64
+}
+
+// Thread-ID layout within a unit's process: components occupy low
+// tids in registration order; each stream lifetime gets its own tid so
+// B/E pairs trivially nest.
+const streamTidBase = 1000
+
+// WriteTrace renders the inputs as a Chrome trace-event JSON file:
+// one process per unit, one thread per component carrying its stall
+// slices as complete (X) events, and one thread per stream carrying
+// its enqueue→issue→complete lifetime as nested B/E pairs. Idle runs
+// are omitted — gaps on a component track are idle by conservation.
+func WriteTrace(w io.Writer, inputs []TraceInput) error {
+	f := traceFile{TraceEvents: []Event{}, DisplayUnit: "ms"}
+	for _, in := range inputs {
+		pid := in.Unit
+		f.TraceEvents = append(f.TraceEvents, Event{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": fmt.Sprintf("unit %d", in.Unit)},
+		})
+		for tid, a := range in.Attrs {
+			f.TraceEvents = append(f.TraceEvents, Event{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": a.Name()},
+			})
+			slices, truncated := a.Slices()
+			for _, s := range slices {
+				if s.Cause == CauseIdle {
+					continue
+				}
+				dur := s.End - s.Start
+				f.TraceEvents = append(f.TraceEvents, Event{
+					Name: s.Cause.String(), Ph: "X", Ts: s.Start, Dur: &dur,
+					Pid: pid, Tid: tid, Cat: "stall",
+				})
+			}
+			if truncated {
+				f.TraceEvents = append(f.TraceEvents, Event{
+					Name: "slice-cap-reached", Ph: "M", Pid: pid, Tid: tid,
+					Args: map[string]any{"component": a.Name()},
+				})
+			}
+		}
+		for i, s := range in.Spans {
+			tid := streamTidBase + i
+			f.TraceEvents = append(f.TraceEvents, Event{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": fmt.Sprintf("stream #%d", s.ID)},
+			})
+			end := in.EndCycle
+			if s.Done {
+				end = s.Completed
+			}
+			// Outer span: whole lifetime from enqueue. Inner span:
+			// issued→completed (the cycles the stream held an engine).
+			f.TraceEvents = append(f.TraceEvents,
+				Event{Name: s.Label, Ph: "B", Ts: s.Enqueued, Pid: pid, Tid: tid, Cat: "stream"},
+				Event{Name: "active", Ph: "B", Ts: s.Issued, Pid: pid, Tid: tid, Cat: "stream"},
+				Event{Ph: "E", Ts: end, Pid: pid, Tid: tid},
+				Event{Ph: "E", Ts: end, Pid: pid, Tid: tid},
+			)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// ValidateTrace checks data against the trace-event contract the
+// export promises: well-formed JSON in object form, a known phase on
+// every event, names on B/X/M events, durations on X events,
+// non-decreasing timestamps per (pid, tid) track, and B/E pairs that
+// match up (every E closes a B, every B is closed).
+func ValidateTrace(data []byte) error {
+	var f traceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("trace JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("trace has no events")
+	}
+	type track struct{ pid, tid int }
+	lastTs := map[track]uint64{}
+	open := map[track]int{}
+	for i, e := range f.TraceEvents {
+		tr := track{e.Pid, e.Tid}
+		switch e.Ph {
+		case "M":
+			if e.Name == "" {
+				return fmt.Errorf("event %d: metadata without name", i)
+			}
+			continue
+		case "B":
+			if e.Name == "" {
+				return fmt.Errorf("event %d: B without name", i)
+			}
+			open[tr]++
+		case "E":
+			if open[tr] == 0 {
+				return fmt.Errorf("event %d: E with no open B on pid %d tid %d", i, e.Pid, e.Tid)
+			}
+			open[tr]--
+		case "X":
+			if e.Name == "" {
+				return fmt.Errorf("event %d: X without name", i)
+			}
+			if e.Dur == nil {
+				return fmt.Errorf("event %d: X without dur", i)
+			}
+		default:
+			return fmt.Errorf("event %d: unknown phase %q", i, e.Ph)
+		}
+		if prev, ok := lastTs[tr]; ok && e.Ts < prev {
+			return fmt.Errorf("event %d: ts %d < %d on pid %d tid %d", i, e.Ts, prev, e.Pid, e.Tid)
+		}
+		lastTs[tr] = e.Ts
+	}
+	for tr, n := range open {
+		if n != 0 {
+			return fmt.Errorf("pid %d tid %d: %d unclosed B events", tr.pid, tr.tid, n)
+		}
+	}
+	return nil
+}

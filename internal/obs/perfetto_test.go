@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func sampleInputs() []TraceInput {
+	r := New(0, Options{Slices: 16})
+	a := r.Attribution("mse")
+	a.Account(Busy, 0, 10)
+	a.Account(DRAMBW, 10, 30)
+	a.Account(CauseIdle, 30, 40)
+	return []TraceInput{{
+		Unit:  0,
+		Attrs: r.Attributions(),
+		Spans: []SpanEvent{
+			{ID: 0, Label: "SD_Mem_Port(...)", Enqueued: 0, Issued: 2, Completed: 30, Done: true},
+			{ID: 1, Label: "SD_Port_Mem(...)", Enqueued: 1, Issued: 5}, // never completed
+		},
+		EndCycle: 40,
+	}}
+}
+
+func TestWriteTraceValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sampleInputs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("self-validation failed: %v\n%s", err, buf.String())
+	}
+	// Idle runs are omitted; busy and dram-bw slices are present.
+	s := buf.String()
+	for _, want := range []string{`"busy"`, `"dram-bw"`, `"stream #1"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("trace missing %s:\n%s", want, s)
+		}
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"idle"`)) {
+		t.Errorf("idle slice leaked into trace:\n%s", s)
+	}
+}
+
+func TestWriteTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteTrace(&a, sampleInputs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&b, sampleInputs()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("trace output not deterministic")
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	mk := func(events []Event) []byte {
+		b, err := json.Marshal(traceFile{TraceEvents: events})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	dur := uint64(5)
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"empty", nil},
+		{"unknown phase", []Event{{Name: "x", Ph: "Q"}}},
+		{"B without name", []Event{{Ph: "B"}, {Ph: "E"}}},
+		{"E without B", []Event{{Ph: "E"}}},
+		{"unclosed B", []Event{{Name: "x", Ph: "B"}}},
+		{"X without dur", []Event{{Name: "x", Ph: "X"}}},
+		{"ts regression", []Event{
+			{Name: "a", Ph: "X", Ts: 10, Dur: &dur},
+			{Name: "b", Ph: "X", Ts: 3, Dur: &dur},
+		}},
+	}
+	for _, c := range cases {
+		if err := ValidateTrace(mk(c.events)); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+	if err := ValidateTrace([]byte("not json")); err == nil {
+		t.Error("malformed JSON validated")
+	}
+	ok := []Event{
+		{Name: "t", Ph: "M"},
+		{Name: "a", Ph: "B", Ts: 1},
+		{Name: "b", Ph: "X", Ts: 2, Dur: &dur},
+		{Ph: "E", Ts: 9},
+	}
+	if err := ValidateTrace(mk(ok)); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}

@@ -31,6 +31,9 @@ type Recorder struct {
 	spans     map[int]*Span
 	order     []int
 	lastCycle uint64
+	// any distinguishes "nothing recorded" from "everything happened at
+	// cycle 0" — lastCycle==0 alone conflates the two.
+	any bool
 }
 
 // NewRecorder returns a recorder capturing lane activity for the first
@@ -48,6 +51,7 @@ func (r *Recorder) Mark(lane string, cycle uint64) {
 	if r == nil || cycle >= r.Limit {
 		return
 	}
+	r.any = true
 	if cycle > r.lastCycle {
 		r.lastCycle = cycle
 	}
@@ -70,6 +74,7 @@ func (r *Recorder) Issued(id int, label string, enqueued, issued uint64) {
 	}
 	r.spans[id] = &Span{ID: id, Label: label, Enqueued: enqueued, Issued: issued}
 	r.order = append(r.order, id)
+	r.any = true
 	if issued > r.lastCycle {
 		r.lastCycle = issued
 	}
@@ -83,6 +88,7 @@ func (r *Recorder) Completed(id int, cycle uint64) {
 	if s, ok := r.spans[id]; ok {
 		s.Completed = cycle
 		s.Done = true
+		r.any = true
 		if cycle > r.lastCycle {
 			r.lastCycle = cycle
 		}
@@ -103,7 +109,7 @@ func (r *Recorder) Spans() []Span {
 //
 //	'·' enqueued, '=' dispatched and active, '>' completion.
 func (r *Recorder) Gantt(width int) string {
-	if r == nil || r.lastCycle == 0 {
+	if r == nil || !r.any {
 		return "(no trace recorded)\n"
 	}
 	if width < 20 {

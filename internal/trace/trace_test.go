@@ -15,6 +15,34 @@ func TestNilRecorderIsSafe(t *testing.T) {
 	}
 }
 
+// TestGanttCycleZeroActivity: a run whose every event lands on cycle 0
+// must still render — lastCycle==0 used to be conflated with "nothing
+// recorded".
+func TestGanttCycleZeroActivity(t *testing.T) {
+	r := NewRecorder(100)
+	r.Mark("core", 0)
+	out := r.Gantt(40)
+	if strings.Contains(out, "no trace") {
+		t.Fatalf("cycle-0 activity rendered as empty:\n%s", out)
+	}
+	if !strings.Contains(out, "core") {
+		t.Errorf("lane missing:\n%s", out)
+	}
+
+	// Same for a span issued and completed at cycle 0.
+	r2 := NewRecorder(100)
+	r2.Issued(1, "SD_Const_Port(...)", 0, 0)
+	r2.Completed(1, 0)
+	if out := r2.Gantt(40); strings.Contains(out, "no trace") {
+		t.Fatalf("cycle-0 span rendered as empty:\n%s", out)
+	}
+
+	// A recorder with nothing recorded still reports that.
+	if out := NewRecorder(100).Gantt(40); !strings.Contains(out, "no trace") {
+		t.Errorf("empty recorder rendered a timeline:\n%s", out)
+	}
+}
+
 func TestSpanLifecycle(t *testing.T) {
 	r := NewRecorder(100)
 	r.Issued(1, "SD_Mem_Port", 2, 5)

@@ -12,6 +12,7 @@ import (
 	"softbrain/internal/baseline/asic"
 	"softbrain/internal/core"
 	"softbrain/internal/mem"
+	"softbrain/internal/obs"
 )
 
 // Instance is one concrete, sized workload ready to run.
@@ -59,33 +60,55 @@ func (i *Instance) RunWarm(cfg core.Config) (*core.Stats, error) {
 	return i.run(cfg, true)
 }
 
+// RunMetrics is Run with the observability layer attached: it returns
+// the per-unit metrics dump (stall attribution, counters, per-stream
+// bandwidth — see internal/obs) alongside the statistics. Enabling
+// metrics never changes the simulated schedule, so Cycles matches Run.
+func (i *Instance) RunMetrics(cfg core.Config, opts obs.Options) (*core.Stats, obs.Dump, error) {
+	cl, stats, err := i.runOn(cfg, false, func(cl *core.Cluster) { cl.EnableMetrics(opts) })
+	if err != nil {
+		return nil, obs.Dump{}, err
+	}
+	return stats, cl.MetricsDump(), nil
+}
+
 func (i *Instance) run(cfg core.Config, warm bool) (*core.Stats, error) {
+	_, stats, err := i.runOn(cfg, warm, nil)
+	return stats, err
+}
+
+// runOn builds the cluster, lets prepare instrument it, and executes
+// (twice when warm, reporting the cache-warm second run).
+func (i *Instance) runOn(cfg core.Config, warm bool, prepare func(*core.Cluster)) (*core.Cluster, *core.Stats, error) {
 	if len(i.Progs) == 0 {
-		return nil, fmt.Errorf("workloads: %s has no programs", i.Name)
+		return nil, nil, fmt.Errorf("workloads: %s has no programs", i.Name)
 	}
 	cl, err := core.NewCluster(cfg, len(i.Progs))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if prepare != nil {
+		prepare(cl)
 	}
 	if i.Init != nil {
 		i.Init(cl.Mem)
 	}
 	stats, err := cl.Run(i.Progs)
 	if err != nil {
-		return nil, fmt.Errorf("workloads: running %s: %w", i.Name, err)
+		return nil, nil, fmt.Errorf("workloads: running %s: %w", i.Name, err)
 	}
 	if warm {
 		stats, err = cl.Run(i.Progs)
 		if err != nil {
-			return nil, fmt.Errorf("workloads: warm-running %s: %w", i.Name, err)
+			return nil, nil, fmt.Errorf("workloads: warm-running %s: %w", i.Name, err)
 		}
 	}
 	if i.Check != nil {
 		if err := i.Check(cl.Mem); err != nil {
-			return nil, fmt.Errorf("workloads: verifying %s: %w", i.Name, err)
+			return nil, nil, fmt.Errorf("workloads: verifying %s: %w", i.Name, err)
 		}
 	}
-	return stats, nil
+	return cl, stats, nil
 }
 
 // Layout is a bump allocator for laying out workload data in the memory

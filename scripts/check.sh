@@ -17,6 +17,11 @@
 #   8. bench smoke   sdbench -json on a small workload slice; fails if
 #                    simulated cycle counts drift from the committed
 #                    goldens (see docs/SIMKERNEL.md)
+#   9. obs           observability end-to-end (docs/OBSERVABILITY.md):
+#                    traced metrics runs of gemm and stencil2d, the
+#                    Perfetto trace validated against the format
+#                    contract and the stall attribution against the
+#                    conservation invariant
 #
 # Run it from the repository root (or via `make check`). Exits non-zero
 # on the first failing stage.
@@ -52,5 +57,12 @@ SOAK_SEEDS=8 go test -race -run TestSoakFaultInjection -count=1 ./internal/core
 
 echo "== bench smoke (cycle goldens)"
 go run ./cmd/sdbench -json -smoke -out /tmp/BENCH_sim_smoke.json
+
+echo "== obs (trace validity + stall conservation)"
+for w in gemm stencil2d; do
+	go run ./cmd/sdsim -w "$w" -scale 2 \
+		-metrics "/tmp/obs_$w.json" -trace-out "/tmp/obs_$w.trace.json" >/dev/null
+	go run ./cmd/sdobs -validate-trace "/tmp/obs_$w.trace.json" -check "/tmp/obs_$w.json"
+done
 
 echo "== all checks passed"
