@@ -10,10 +10,12 @@ test:
 check:
 	sh scripts/check.sh
 
-# Lint the built-in workload and example programs only.
+# Lint the built-in workload and example programs only: machine scope
+# per program, then cluster scope per program set (docs/LINT.md).
 .PHONY: lint
 lint:
 	go run ./cmd/sdlint
+	go run ./cmd/sdlint -cluster
 
 # Verify every built-in program is at the barrier-minimal fixed point:
 # the fix pass (docs/LINT.md) would neither insert nor remove a barrier.
@@ -40,6 +42,16 @@ bench-smoke:
 .PHONY: bench
 bench:
 	go test -bench=. -run=^$$ .
+
+# Short randomized fuzz of the footprint algebra (internal/isa): each
+# target cross-checks Extent/Overlaps/IndexFootprint against brute-force
+# byte enumeration. Go runs one -fuzz pattern per invocation, so the
+# targets run sequentially. Override the budget with FUZZTIME=30s.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	go test ./internal/isa -run '^$$' -fuzz '^FuzzAffineExtent$$' -fuzztime $${FUZZTIME:-10s}
+	go test ./internal/isa -run '^$$' -fuzz '^FuzzAffineOverlaps$$' -fuzztime $${FUZZTIME:-10s}
+	go test ./internal/isa -run '^$$' -fuzz '^FuzzIndexFootprint$$' -fuzztime $${FUZZTIME:-10s}
 
 # Observability end-to-end check (docs/OBSERVABILITY.md): metrics +
 # Perfetto trace runs of two workloads, the trace validated against the

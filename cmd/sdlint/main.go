@@ -9,11 +9,25 @@
 // program name contains one of them as a substring. Findings print in
 // go vet style, one per line.
 //
-//	usage: sdlint [-v] [-json | -fix] [name ...]
+//	usage: sdlint [-v] [-cluster] [-json | -fix] [name ...]
 //
-// -json emits the findings as a JSON array (one object per finding,
-// with stable check IDs, trace indices, the paired access's index, and
-// the weakest repairing barrier) instead of the human-readable lines.
+// -cluster switches from machine scope (each program checked in
+// isolation) to cluster scope: every multi-unit instance is checked as
+// a whole for inter-unit DRAM hazards and shared-region rule
+// violations (disjoint partitioning verified, declared regions
+// single-writer and phase-ordered; see docs/LINT.md).
+//
+// -json emits a report object instead of the human-readable lines:
+//
+//	{
+//	  "scope": "machine" | "cluster",
+//	  "bytes_checked": {"<check>": <bytes>, ...},
+//	  "findings": [ {suite, prog, index, check, code, severity,
+//	                 other, unit, other_unit, phase, barrier?, msg}, ... ]
+//	}
+//
+// Check IDs, diagnostic codes, and field names are stable; unit,
+// other_unit and phase are -1 for machine-scope findings.
 //
 // -fix runs the barrier-synthesis / redundant-barrier-elimination pass
 // (internal/fix, docs/LINT.md) over each program and reports the edits
@@ -54,24 +68,68 @@ type target struct {
 	cfg   core.Config
 }
 
+// clusterTarget is one whole program set to check at cluster scope:
+// phases[k][u] is the program unit u runs in phase k, with the
+// instance's declared shared regions.
+type clusterTarget struct {
+	suite   string
+	name    string
+	phases  [][]*core.Program
+	cfg     core.Config
+	regions []lint.Region
+}
+
 // jsonFinding is the stable machine-readable rendering of one finding.
 type jsonFinding struct {
-	Suite    string `json:"suite"`
-	Prog     string `json:"prog"`
-	Index    int    `json:"index"`
-	Check    string `json:"check"`
-	Severity string `json:"severity"`
-	Other    int    `json:"other"`             // paired trace index, or -1
-	Barrier  string `json:"barrier,omitempty"` // weakest repairing barrier
-	Msg      string `json:"msg"`
+	Suite     string `json:"suite"`
+	Prog      string `json:"prog"`
+	Index     int    `json:"index"`
+	Check     string `json:"check"`
+	Code      string `json:"code"`
+	Severity  string `json:"severity"`
+	Other     int    `json:"other"`             // paired trace index, or -1
+	Unit      int    `json:"unit"`              // cluster scope, or -1
+	OtherUnit int    `json:"other_unit"`        // cluster scope, or -1
+	Phase     int    `json:"phase"`             // cluster scope, or -1
+	Barrier   string `json:"barrier,omitempty"` // weakest repairing barrier
+	Msg       string `json:"msg"`
+}
+
+// jsonReport is the -json output: the analysis scope, the per-check
+// bytes-checked totals across every selected target, and the findings.
+type jsonReport struct {
+	Scope        string            `json:"scope"`
+	BytesChecked map[string]uint64 `json:"bytes_checked"`
+	Findings     []jsonFinding     `json:"findings"`
+}
+
+// toJSON renders one finding under its suite.
+func toJSON(suite string, f lint.Finding) jsonFinding {
+	return jsonFinding{
+		Suite: suite, Prog: f.Prog, Index: f.Index, Check: f.Check, Code: f.Code,
+		Severity: f.Sev.String(), Other: f.Other, Unit: f.Unit, OtherUnit: f.OtherUnit,
+		Phase: f.Phase, Barrier: f.BarrierName(), Msg: f.Msg,
+	}
+}
+
+// addBytes merges per-check bytes-checked totals, saturating.
+func addBytes(into map[string]uint64, from map[string]uint64) {
+	for k, v := range from {
+		if s := into[k] + v; s < into[k] {
+			into[k] = ^uint64(0)
+		} else {
+			into[k] = s
+		}
+	}
 }
 
 func main() {
 	verbose := flag.Bool("v", false, "print every program checked, not just findings")
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit a JSON report object")
+	clusterMode := flag.Bool("cluster", false, "check whole program sets for inter-unit hazards instead of single programs")
 	fixMode := flag.Bool("fix", false, "report the barrier edits the fix pass would make; exit 1 if any")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sdlint [-v] [-json | -fix] [name ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: sdlint [-v] [-cluster] [-json | -fix] [name ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -79,22 +137,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sdlint: -json and -fix are mutually exclusive\n")
 		os.Exit(1)
 	}
-
-	targets, err := collect()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
-		os.Exit(1)
-	}
-	targets = filter(targets, flag.Args())
-	if len(targets) == 0 {
-		fmt.Fprintf(os.Stderr, "sdlint: no programs match %v\n", flag.Args())
+	if *clusterMode && *fixMode {
+		fmt.Fprintf(os.Stderr, "sdlint: -cluster and -fix are mutually exclusive\n")
 		os.Exit(1)
 	}
 
 	var fail bool
-	if *fixMode {
+	switch {
+	case *clusterMode:
+		cts, err := collectClusters()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
+			os.Exit(1)
+		}
+		cts = filterClusters(cts, flag.Args())
+		if len(cts) == 0 {
+			fmt.Fprintf(os.Stderr, "sdlint: no program sets match %v\n", flag.Args())
+			os.Exit(1)
+		}
+		fail = runCluster(cts, *verbose, *jsonOut)
+	case *fixMode:
+		targets, err := collect()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
+			os.Exit(1)
+		}
+		targets = filter(targets, flag.Args())
+		if len(targets) == 0 {
+			fmt.Fprintf(os.Stderr, "sdlint: no programs match %v\n", flag.Args())
+			os.Exit(1)
+		}
 		fail = runFix(targets, *verbose)
-	} else {
+	default:
+		targets, err := collect()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
+			os.Exit(1)
+		}
+		targets = filter(targets, flag.Args())
+		if len(targets) == 0 {
+			fmt.Fprintf(os.Stderr, "sdlint: no programs match %v\n", flag.Args())
+			os.Exit(1)
+		}
 		fail = runLint(targets, *verbose, *jsonOut)
 	}
 	if fail {
@@ -102,22 +186,30 @@ func main() {
 	}
 }
 
+func emitJSON(rep jsonReport) bool {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
+		return true
+	}
+	return false
+}
+
 func runLint(targets []target, verbose, jsonOut bool) bool {
 	fail := false
-	jfs := []jsonFinding{}
+	rep := jsonReport{Scope: "machine", BytesChecked: map[string]uint64{}, Findings: []jsonFinding{}}
 	for _, t := range targets {
-		fs, err := lint.Check(t.prog, t.cfg)
+		r, err := lint.Analyze(t.prog, t.cfg, lint.Opts{})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdlint: %s/%s: %v\n", t.suite, t.name, err)
 			fail = true
 			continue
 		}
-		for _, f := range fs {
+		addBytes(rep.BytesChecked, r.Bytes)
+		for _, f := range r.Findings {
 			if jsonOut {
-				jfs = append(jfs, jsonFinding{
-					Suite: t.suite, Prog: f.Prog, Index: f.Index, Check: f.Check,
-					Severity: f.Sev.String(), Other: f.Other, Barrier: f.BarrierName(), Msg: f.Msg,
-				})
+				rep.Findings = append(rep.Findings, toJSON(t.suite, f))
 			} else {
 				fmt.Printf("%s/%v\n", t.suite, f)
 			}
@@ -125,17 +217,44 @@ func runLint(targets []target, verbose, jsonOut bool) bool {
 				fail = true
 			}
 		}
-		if verbose && !jsonOut && len(fs) == 0 {
+		if verbose && !jsonOut && len(r.Findings) == 0 {
 			fmt.Printf("%s/%s: ok (%d commands)\n", t.suite, t.name, len(t.prog.Trace))
 		}
 	}
-	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(jfs); err != nil {
-			fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
-			return true
+	if jsonOut && emitJSON(rep) {
+		return true
+	}
+	return fail
+}
+
+func runCluster(cts []clusterTarget, verbose, jsonOut bool) bool {
+	fail := false
+	rep := jsonReport{Scope: "cluster", BytesChecked: map[string]uint64{}, Findings: []jsonFinding{}}
+	for _, t := range cts {
+		r, err := lint.CheckPipeline(t.phases, t.cfg, lint.ClusterOpts{Regions: t.regions})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdlint: %s/%s: %v\n", t.suite, t.name, err)
+			fail = true
+			continue
 		}
+		addBytes(rep.BytesChecked, r.Bytes)
+		for _, f := range r.Findings {
+			if jsonOut {
+				rep.Findings = append(rep.Findings, toJSON(t.suite, f))
+			} else {
+				fmt.Printf("%s/%v\n", t.suite, f)
+			}
+			if f.Sev == lint.SevError {
+				fail = true
+			}
+		}
+		if verbose && !jsonOut && len(r.Findings) == 0 {
+			units := len(t.phases[0])
+			fmt.Printf("%s/%s: ok (%d units, %d phases)\n", t.suite, t.name, units, len(t.phases))
+		}
+	}
+	if jsonOut && emitJSON(rep) {
+		return true
 	}
 	return fail
 }
@@ -205,6 +324,59 @@ func collect() ([]target, error) {
 	for _, ex := range exs {
 		out = append(out, target{suite: "examples", name: ex.Name, prog: ex.Prog, cfg: ex.Cfg})
 	}
+	pl, err := programs.Pipeline()
+	if err != nil {
+		return nil, fmt.Errorf("building examples/pipeline: %w", err)
+	}
+	for pi, ph := range pl.Phases {
+		for u, p := range ph {
+			out = append(out, target{
+				suite: "examples",
+				name:  fmt.Sprintf("%s.phase%d#%d", pl.Name, pi, u),
+				prog:  p, cfg: pl.Cfg,
+			})
+		}
+	}
+	return out, nil
+}
+
+// collectClusters builds every built-in program set as one cluster
+// target: each workload instance runs its programs concurrently in a
+// single phase, and the pipeline example contributes its phased set
+// with its declared shared regions.
+func collectClusters() ([]clusterTarget, error) {
+	var out []clusterTarget
+
+	cfg := core.DefaultConfig()
+	for _, e := range machsuite.All() {
+		inst, err := e.Build(cfg, 1)
+		if err != nil {
+			return nil, fmt.Errorf("building machsuite/%s: %w", e.Name, err)
+		}
+		out = append(out, clusterTarget{suite: "machsuite", name: e.Name, phases: [][]*core.Program{inst.Progs}, cfg: cfg})
+	}
+	for _, e := range ext.All() {
+		inst, err := e.Build(cfg, 1)
+		if err != nil {
+			return nil, fmt.Errorf("building ext/%s: %w", e.Name, err)
+		}
+		out = append(out, clusterTarget{suite: "ext", name: e.Name, phases: [][]*core.Program{inst.Progs}, cfg: cfg})
+	}
+
+	dnnCfg := dnn.Config()
+	for _, l := range dnn.Layers() {
+		inst, err := l.Build(dnnCfg, dnn.Units)
+		if err != nil {
+			return nil, fmt.Errorf("building dnn/%s: %w", l.Name, err)
+		}
+		out = append(out, clusterTarget{suite: "dnn", name: l.Name, phases: [][]*core.Program{inst.Progs}, cfg: dnnCfg})
+	}
+
+	pl, err := programs.Pipeline()
+	if err != nil {
+		return nil, fmt.Errorf("building examples/pipeline: %w", err)
+	}
+	out = append(out, clusterTarget{suite: "examples", name: pl.Name, phases: pl.Phases, cfg: pl.Cfg, regions: pl.Regions})
 	return out, nil
 }
 
@@ -226,6 +398,22 @@ func filter(ts []target, args []string) []target {
 		return ts
 	}
 	var out []target
+	for _, t := range ts {
+		for _, a := range args {
+			if strings.Contains(t.suite, a) || strings.Contains(t.name, a) {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func filterClusters(ts []clusterTarget, args []string) []clusterTarget {
+	if len(args) == 0 {
+		return ts
+	}
+	var out []clusterTarget
 	for _, t := range ts {
 		for _, a := range args {
 			if strings.Contains(t.suite, a) || strings.Contains(t.name, a) {

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"softbrain/internal/isa"
+	"softbrain/internal/lint"
+)
+
+// TestJSONSchemaGolden locks the -json schema: field names, order, and
+// omit behavior are a stable contract for downstream tooling. Any
+// change here is a breaking schema change and must be deliberate.
+func TestJSONSchemaGolden(t *testing.T) {
+	rep := jsonReport{
+		Scope:        "cluster",
+		BytesChecked: map[string]uint64{"inter-unit-race": 4096, "race": 128},
+		Findings: []jsonFinding{
+			toJSON("examples", lint.Finding{
+				Prog: "producer", Index: 2, Check: lint.CheckInterUnit,
+				Code: "inter-unit-overlap", Sev: lint.SevError,
+				Other: 5, Unit: 1, OtherUnit: 0, Phase: 0,
+				Msg: "unit 1 overlaps unit 0",
+			}),
+			toJSON("machsuite", lint.Finding{
+				Prog: "bfs", Index: 7, Check: lint.CheckRace,
+				Code: "race-mem", Sev: lint.SevError,
+				Other: 3, Unit: -1, OtherUnit: -1, Phase: -1,
+				Barrier: isa.KindBarrierAll, Msg: "needs a barrier",
+			}),
+		},
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "scope": "cluster",
+  "bytes_checked": {
+    "inter-unit-race": 4096,
+    "race": 128
+  },
+  "findings": [
+    {
+      "suite": "examples",
+      "prog": "producer",
+      "index": 2,
+      "check": "inter-unit-race",
+      "code": "inter-unit-overlap",
+      "severity": "error",
+      "other": 5,
+      "unit": 1,
+      "other_unit": 0,
+      "phase": 0,
+      "msg": "unit 1 overlaps unit 0"
+    },
+    {
+      "suite": "machsuite",
+      "prog": "bfs",
+      "index": 7,
+      "check": "race",
+      "code": "race-mem",
+      "severity": "error",
+      "other": 3,
+      "unit": -1,
+      "other_unit": -1,
+      "phase": -1,
+      "barrier": "SD_Barrier_All",
+      "msg": "needs a barrier"
+    }
+  ]
+}`
+	if string(got) != want {
+		t.Errorf("-json schema drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestEmptyReportShape locks the zero-finding report: findings must be
+// an empty array, never null, so consumers can always range over it.
+func TestEmptyReportShape(t *testing.T) {
+	rep := jsonReport{Scope: "machine", BytesChecked: map[string]uint64{}, Findings: []jsonFinding{}}
+	got, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"scope":"machine","bytes_checked":{},"findings":[]}`; string(got) != want {
+		t.Errorf("empty report = %s, want %s", got, want)
+	}
+}
+
+// TestBuiltinsMachineClean runs the machine-scope path over every
+// built-in target and expects a clean report with nonzero bytes-checked
+// totals for each check family that reports them.
+func TestBuiltinsMachineClean(t *testing.T) {
+	targets, err := collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := map[string]uint64{}
+	for _, tg := range targets {
+		r, err := lint.Analyze(tg.prog, tg.cfg, lint.Opts{})
+		if err != nil {
+			t.Errorf("%s/%s: %v", tg.suite, tg.name, err)
+			continue
+		}
+		for _, f := range r.Findings {
+			t.Errorf("%s/%v", tg.suite, f)
+		}
+		addBytes(bytes, r.Bytes)
+	}
+	for _, check := range []string{lint.CheckRace, lint.CheckOOB, lint.CheckBalance} {
+		if bytes[check] == 0 {
+			t.Errorf("bytes_checked[%s] = 0 across all built-ins; the accounting is broken", check)
+		}
+	}
+}
+
+// TestBuiltinsClusterClean is the `sdlint -cluster` CI gate as a test:
+// every shipped program set — the single-unit workloads, the 8-unit dnn
+// layers, and the phased pipeline example with its declared region —
+// passes the cluster analysis with zero findings.
+func TestBuiltinsClusterClean(t *testing.T) {
+	cts, err := collectClusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMultiUnit, sawPhased bool
+	bytes := map[string]uint64{}
+	for _, ct := range cts {
+		if len(ct.phases[0]) > 1 {
+			sawMultiUnit = true
+		}
+		if len(ct.phases) > 1 {
+			sawPhased = true
+		}
+		r, err := lint.CheckPipeline(ct.phases, ct.cfg, lint.ClusterOpts{Regions: ct.regions})
+		if err != nil {
+			t.Errorf("%s/%s: %v", ct.suite, ct.name, err)
+			continue
+		}
+		for _, f := range r.Findings {
+			t.Errorf("%s/%s: %v", ct.suite, ct.name, f)
+		}
+		addBytes(bytes, r.Bytes)
+	}
+	if !sawMultiUnit || !sawPhased {
+		t.Errorf("cluster targets miss a shape: multi-unit=%v phased=%v", sawMultiUnit, sawPhased)
+	}
+	if bytes[lint.CheckInterUnit] == 0 {
+		t.Error("bytes_checked[inter-unit-race] = 0 across all built-ins; the accounting is broken")
+	}
+}
+
+// TestFilterClusters checks the name filter applies to cluster targets.
+func TestFilterClusters(t *testing.T) {
+	cts, err := collectClusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := filterClusters(cts, []string{"pipeline"})
+	if len(got) != 1 || got[0].name != "pipeline" {
+		names := make([]string, 0, len(got))
+		for _, ct := range got {
+			names = append(names, ct.suite+"/"+ct.name)
+		}
+		t.Fatalf("filterClusters(pipeline) = %v, want exactly examples/pipeline", strings.Join(names, ", "))
+	}
+}

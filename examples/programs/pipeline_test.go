@@ -1,0 +1,66 @@
+package programs_test
+
+import (
+	"testing"
+
+	"softbrain/examples/programs"
+	"softbrain/internal/core"
+)
+
+// TestPipelineStrictRun proves the shared-region pipeline example does
+// what docs/LINT.md promises: it passes the cluster linter (the strict
+// run refuses otherwise) and its golden-model check.
+func TestPipelineStrictRun(t *testing.T) {
+	e, err := programs.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineParallelMatchesSequential runs the example under both
+// cluster schedulers and demands byte-identical memory: the declared
+// shared region plus phase ordering is sufficient for determinism, with
+// no inter-unit synchronization command anywhere in the programs.
+func TestPipelineParallelMatchesSequential(t *testing.T) {
+	seq, err := programs.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqMem, seqStats, err := seq.Run(true)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par, err := programs.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parMem, parStats, err := par.Run(false)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	// Diffs at/above ConfigSpace are the per-process configuration
+	// bitstream slots, which differ between the two builds by design.
+	if addr, diff := seqMem.FirstDiff(parMem); diff && addr < core.ConfigSpace {
+		t.Fatalf("parallel and sequential memories differ first at %#x", addr)
+	}
+	if seqStats.Instances != parStats.Instances {
+		t.Fatalf("instances differ: sequential %d, parallel %d", seqStats.Instances, parStats.Instances)
+	}
+}
+
+// TestPipelineUndeclaredRegionRefused strips the region declaration and
+// expects the strict run to refuse the same programs: the overlap on
+// the staging buffer is only legal because it is declared and ordered.
+func TestPipelineUndeclaredRegionRefused(t *testing.T) {
+	e, err := programs.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Regions = nil
+	if _, _, err := e.Run(false); err == nil {
+		t.Fatal("undeclared shared region accepted by the strict run")
+	}
+}

@@ -32,6 +32,7 @@ var fixStudyWorkloads = []struct{ suite, name string }{
 	{"machsuite", "bfs"},
 	{"ext", "backprop"},
 	{"ext", "fft"},
+	{"ext", "lut"}, // scratch round-trip: bounded only by value tracking
 }
 
 // FixStudy measures the cost of over-serialization and how much of it

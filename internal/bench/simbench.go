@@ -11,6 +11,7 @@ import (
 	"softbrain/internal/obs"
 	"softbrain/internal/workloads"
 	"softbrain/internal/workloads/dnn"
+	"softbrain/internal/workloads/ext"
 	"softbrain/internal/workloads/machsuite"
 )
 
@@ -79,6 +80,19 @@ func simSuite() []simEntry {
 			},
 		})
 	}
+	// The scratch round-trip gather rides in the smoke slice: its cycle
+	// golden pins the barrier-minimal shipped program, which depends on
+	// the linter's round-trip value tracking staying sound.
+	lut, _ := ext.Find("lut")
+	entries = append(entries, simEntry{
+		name: lut.Name,
+		build: func() (*workloads.Instance, core.Config, error) {
+			cfg := core.DefaultConfig()
+			inst, err := lut.Build(cfg, 2)
+			return inst, cfg, err
+		},
+		smoke: true,
+	})
 	return entries
 }
 

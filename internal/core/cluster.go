@@ -29,6 +29,17 @@ type Cluster struct {
 	// determinism tests compare it against the parallel default.
 	Sequential bool
 
+	// Lint is the optional cluster-scope static-analysis hook consulted
+	// by RunStrict and RunPipelineStrict before any unit loads: it sees
+	// the whole phased program set (phases[k][u] = unit u's program in
+	// phase k) because inter-unit hazards are a property of the set, not
+	// of any one program. Install it with
+	//
+	//	cl.Lint = lint.ClusterHook(cfg, opts)
+	//
+	// (core cannot import the linter: lint analyzes core.Program).
+	Lint func(phases [][]*Program) error
+
 	cfg       Config
 	haveCfg   bool
 	unitStats []*Stats
@@ -361,6 +372,78 @@ func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
 	}
 	total.Cycles = now
 	return total, nil
+}
+
+// lintPhases vets a phased program set through the Lint hook. Like
+// Machine.LoadStrict, a cluster without a hook refuses every program
+// set — strict mode is an explicit opt-in, not a silent fallback.
+func (c *Cluster) lintPhases(phases [][]*Program) error {
+	if c.Lint == nil {
+		return fmt.Errorf("core: strict cluster execution requires a Lint hook (install internal/lint.ClusterHook)")
+	}
+	if err := c.Lint(phases); err != nil {
+		return fmt.Errorf("core: refusing to run: %w", err)
+	}
+	return nil
+}
+
+// RunStrict is Run with the program set vetted by the Lint hook first:
+// per-unit hazards and inter-unit races (overlapping DRAM footprints
+// across units, unordered shared-region access) are refused before any
+// unit loads.
+func (c *Cluster) RunStrict(progs []*Program) (*Stats, error) {
+	if err := c.lintPhases([][]*Program{progs}); err != nil {
+		return nil, err
+	}
+	return c.Run(progs)
+}
+
+// RunPipeline executes a phased program set: phases[k] holds one
+// program per unit, phase k+1 starts only after every unit of phase k
+// fully completed (Run returns only when all units are done), so the
+// phase boundary is a cluster-wide barrier — the ordering primitive the
+// cluster linter's shared-region rules verify against. Statistics are
+// aggregated across phases with Cycles summed: phases are sequential,
+// so the pipeline's wall-clock is the sum of the phase wall-clocks.
+// UnitStats aggregates the same way per unit.
+func (c *Cluster) RunPipeline(phases [][]*Program) (*Stats, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("core: pipeline has no phases")
+	}
+	total := &Stats{}
+	var cycles uint64
+	var unitTotals []*Stats
+	for pi, progs := range phases {
+		s, err := c.Run(progs)
+		if err != nil {
+			return nil, fmt.Errorf("core: pipeline phase %d: %w", pi, err)
+		}
+		cycles += s.Cycles
+		total.Add(s)
+		if unitTotals == nil {
+			unitTotals = make([]*Stats, len(c.unitStats))
+			for i := range unitTotals {
+				unitTotals[i] = &Stats{}
+			}
+		}
+		for i, us := range c.unitStats {
+			sum := unitTotals[i].Cycles + us.Cycles
+			unitTotals[i].Add(us)
+			unitTotals[i].Cycles = sum // Add takes the max; phases serialize
+		}
+	}
+	total.Cycles = cycles
+	c.unitStats = unitTotals
+	return total, nil
+}
+
+// RunPipelineStrict is RunPipeline with the whole phase sequence vetted
+// by the Lint hook first.
+func (c *Cluster) RunPipelineStrict(phases [][]*Program) (*Stats, error) {
+	if err := c.lintPhases(phases); err != nil {
+		return nil, err
+	}
+	return c.RunPipeline(phases)
 }
 
 // startWorkers spawns one goroutine per unit and returns the parallel

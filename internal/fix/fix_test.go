@@ -8,6 +8,7 @@ import (
 	"softbrain/internal/fix"
 	"softbrain/internal/isa"
 	"softbrain/internal/lint"
+	"softbrain/internal/workloads/ext"
 )
 
 // newProg builds a program configured with the two-input adder graph
@@ -223,5 +224,81 @@ func TestFixIdempotent(t *testing.T) {
 	}
 	if len(r.Trace) != len(q.Trace) {
 		t.Fatal("second pass changed the trace length")
+	}
+}
+
+// serializeAll rebuilds p with an SD_Barrier_All after every
+// non-barrier command — the over-serialized program of the fix study.
+func serializeAll(p *core.Program) *core.Program {
+	q := core.NewProgram(p.Name)
+	for addr, blob := range p.Configs {
+		q.Configs[addr] = blob
+	}
+	for _, op := range p.Trace {
+		q.Trace = append(q.Trace, op)
+		if op.Cmd != nil && !isa.IsBarrier(op.Cmd) {
+			q.Trace = append(q.Trace, core.TraceOp{Cmd: isa.BarrierAll{}})
+		}
+	}
+	return q
+}
+
+// TestEliminateScratchRoundTrip: the lut workload computes its gather
+// indices on the fabric, parks them in the scratchpad, and reloads
+// them across an SD_Config. Serializing it and fixing it must come
+// back to the shipped single trailing barrier: every fence around the
+// reload and the gather is removable precisely because the value
+// tracking follows the indices through the scratch round trip and
+// bounds the gather's footprint. Without that tracking the gather is
+// opaque, strict indirect analysis pairs it with the result store, and
+// the fences would have to stay. The fixed program must also still
+// compute the right bytes, strictly cheaper than the serialized one.
+func TestEliminateScratchRoundTrip(t *testing.T) {
+	cfg := core.DefaultConfig()
+	e, err := ext.Find("lut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.Build(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped := inst.Progs[0]
+	shippedBarriers := fix.CountBarriers(shipped)
+
+	serialized := serializeAll(shipped)
+	fixed, rep, err := fix.Fix(serialized, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Inserted) != 0 {
+		t.Fatalf("fix inserted barriers into the serialized lut: %+v", rep.Inserted)
+	}
+	if rep.BarriersAfter != shippedBarriers {
+		t.Fatalf("fixed lut has %d barriers, shipped has %d: the scratch round-trip fences were not all proven removable\nreport: %v",
+			rep.BarriersAfter, shippedBarriers, rep)
+	}
+	mustClean(t, fixed, cfg)
+
+	run := func(progs []*core.Program) uint64 {
+		t.Helper()
+		cl, err := core.NewCluster(cfg, len(progs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Init(cl.Mem)
+		stats, err := cl.Run(progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Check(cl.Mem); err != nil {
+			t.Fatal(err)
+		}
+		return stats.Cycles
+	}
+	serializedCy := run([]*core.Program{serialized})
+	fixedCy := run([]*core.Program{fixed})
+	if fixedCy >= serializedCy {
+		t.Fatalf("eliminating the round-trip fences won no cycles: serialized %d, fixed %d", serializedCy, fixedCy)
 	}
 }

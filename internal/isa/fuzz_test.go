@@ -1,0 +1,214 @@
+package isa
+
+import (
+	"math/big"
+	"math/bits"
+	"testing"
+)
+
+// The fuzz targets below cross-check the closed-form footprint algebra
+// (Extent, Overlaps, IndexFootprint) against brute-force enumeration
+// via EachByte, the reference the AGU model is also tested against.
+// Their seed corpora run under plain `go test`; `make fuzz-smoke` gives
+// each target a short randomized budget.
+
+// fuzzEnumCap bounds the byte count a fuzz iteration will enumerate;
+// larger patterns are still checked for the properties that do not need
+// enumeration.
+const fuzzEnumCap = 1 << 14
+
+// bigExtentEnd computes Start + (Strides-1)*Stride + AccessSize with
+// unbounded integers: the exclusive end of a non-empty pattern's extent,
+// independent of the bits.Mul64/Add64 chain in Extent.
+func bigExtentEnd(a Affine) *big.Int {
+	end := new(big.Int).SetUint64(a.Strides - 1)
+	end.Mul(end, new(big.Int).SetUint64(a.Stride))
+	end.Add(end, new(big.Int).SetUint64(a.Start))
+	return end.Add(end, new(big.Int).SetUint64(a.AccessSize))
+}
+
+var bigU64Max = new(big.Int).SetUint64(^uint64(0))
+
+// FuzzAffineExtent checks Extent against unbounded-integer arithmetic
+// and, for small patterns, against byte enumeration: ok must be true
+// exactly when the exclusive end fits in uint64, and the returned
+// half-open range must tightly bound every enumerated byte.
+func FuzzAffineExtent(f *testing.F) {
+	f.Add(uint64(0x100), uint64(64), uint64(64), uint64(1)) // linear
+	f.Add(uint64(0), uint64(8), uint64(32), uint64(4))      // strided
+	f.Add(uint64(0), uint64(16), uint64(8), uint64(4))      // overlapped
+	f.Add(uint64(0x40), uint64(8), uint64(0), uint64(10))   // repeating
+	f.Add(uint64(0), uint64(0), uint64(8), uint64(4))       // empty
+	f.Add(^uint64(0)-7, uint64(8), uint64(8), uint64(1))    // ends exactly at 2^64
+	f.Add(^uint64(0), uint64(1), uint64(1), uint64(1))      // last byte overflows
+	f.Add(uint64(0), uint64(1), ^uint64(0), uint64(2))      // stride product overflows
+	f.Add(uint64(0), ^uint64(0), uint64(1), ^uint64(0))     // everything huge
+	f.Fuzz(func(t *testing.T, start, size, stride, strides uint64) {
+		a := Affine{Start: start, AccessSize: size, Stride: stride, Strides: strides}
+		lo, hi, ok := a.Extent()
+		if a.Empty() {
+			if !ok || lo != start || hi != start {
+				t.Fatalf("%v: empty pattern Extent() = [%#x, %#x) ok=%v, want empty range at Start", a, lo, hi, ok)
+			}
+			return
+		}
+		end := bigExtentEnd(a)
+		if wantOK := end.Cmp(bigU64Max) <= 0; ok != wantOK {
+			t.Fatalf("%v: Extent() ok=%v, want %v (true end %v)", a, ok, wantOK, end)
+		}
+		if !ok {
+			return
+		}
+		if lo != start || !end.IsUint64() || hi != end.Uint64() {
+			t.Fatalf("%v: Extent() = [%#x, %#x), want [%#x, %v)", a, lo, hi, start, end)
+		}
+		total, tok := a.TotalBytesChecked()
+		if !tok || total > fuzzEnumCap {
+			return
+		}
+		min, max := ^uint64(0), uint64(0)
+		a.EachByte(func(addr uint64) {
+			if addr < lo || addr >= hi {
+				t.Fatalf("%v: byte %#x outside Extent [%#x, %#x)", a, addr, lo, hi)
+			}
+			if addr < min {
+				min = addr
+			}
+			if addr > max {
+				max = addr
+			}
+		})
+		if min != lo || max != hi-1 {
+			t.Fatalf("%v: enumerated bytes span [%#x, %#x], Extent [%#x, %#x) is not tight", a, min, max, lo, hi)
+		}
+	})
+}
+
+// byteSet enumerates the distinct byte addresses of a bounded pattern.
+func byteSet(a Affine) map[uint64]bool {
+	s := make(map[uint64]bool)
+	a.EachByte(func(addr uint64) { s[addr] = true })
+	return s
+}
+
+// FuzzAffineOverlaps bounds both patterns well below the overflow and
+// enumeration-cap regimes, where Overlaps documents itself exact, and
+// cross-checks it against byte-set intersection. Symmetry is checked on
+// the raw (unbounded) inputs as well.
+func FuzzAffineOverlaps(f *testing.F) {
+	f.Add(uint64(0), uint64(8), uint64(8), uint64(4), uint64(16), uint64(8), uint64(8), uint64(4))
+	f.Add(uint64(0), uint64(8), uint64(32), uint64(4), uint64(8), uint64(8), uint64(32), uint64(4)) // interleaved sparse
+	f.Add(uint64(0), uint64(4), uint64(16), uint64(8), uint64(100), uint64(4), uint64(16), uint64(8))
+	f.Add(uint64(10), uint64(2), uint64(0), uint64(3), uint64(11), uint64(1), uint64(1), uint64(1)) // repeating vs point
+	f.Add(uint64(0), uint64(0), uint64(8), uint64(4), uint64(0), uint64(8), uint64(8), uint64(4))   // empty vs dense
+	f.Fuzz(func(t *testing.T, aStart, aSize, aStride, aStrides, bStart, bSize, bStride, bStrides uint64) {
+		bound := func(start, size, stride, strides uint64) Affine {
+			return Affine{
+				Start:      start % (1 << 12),
+				AccessSize: size % 48,
+				Stride:     stride % 96,
+				Strides:    strides % 24,
+			}
+		}
+		a := bound(aStart, aSize, aStride, aStrides)
+		b := bound(bStart, bSize, bStride, bStrides)
+		want := false
+		bs := byteSet(b)
+		for addr := range byteSet(a) {
+			if bs[addr] {
+				want = true
+				break
+			}
+		}
+		if got := a.Overlaps(b); got != want {
+			t.Fatalf("%v.Overlaps(%v) = %v, brute force says %v", a, b, got, want)
+		}
+		if a.Overlaps(b) != b.Overlaps(a) {
+			t.Fatalf("%v / %v: Overlaps is asymmetric", a, b)
+		}
+		// Symmetry must also hold in the conservative regimes.
+		raw := Affine{Start: aStart, AccessSize: aSize, Stride: aStride, Strides: aStrides}
+		rawB := Affine{Start: bStart, AccessSize: bSize, Stride: bStride, Strides: bStrides}
+		if raw.Overlaps(rawB) != rawB.Overlaps(raw) {
+			t.Fatalf("%v / %v: Overlaps is asymmetric on raw inputs", raw, rawB)
+		}
+	})
+}
+
+// FuzzIndexFootprint checks the indirect-stream footprint bound: when
+// IndexFootprint reports ok, the returned pattern must cover the elem
+// bytes at offset + v*scale for every index value v in [lo, hi] —
+// verified by enumerating the footprint for bounded ranges — and ok
+// must be false whenever the start arithmetic leaves uint64.
+func FuzzIndexFootprint(f *testing.F) {
+	f.Add(uint64(0x1000), uint8(8), uint8(3), uint64(1), uint64(64)) // the lut gather shape
+	f.Add(uint64(0), uint8(0), uint8(2), uint64(5), uint64(900))     // scale 0 collapses to one element
+	f.Add(uint64(0x80), uint8(1), uint8(0), uint64(0), uint64(0))    // single index
+	f.Add(uint64(4), uint8(16), uint8(1), uint64(10), uint64(2))     // hi < lo: no bound
+	f.Add(^uint64(0)-16, uint8(8), uint8(3), uint64(1), uint64(4))   // start overflow
+	f.Add(uint64(0), uint8(8), uint8(3), uint64(0), ^uint64(0))      // full index space
+	f.Fuzz(func(t *testing.T, offset uint64, scale, elemSel uint8, lo, hi uint64) {
+		elem := []ElemSize{Elem8, Elem16, Elem32, Elem64}[elemSel%4]
+		fp, ok := IndexFootprint(offset, scale, elem, lo, hi)
+		if hi < lo || hi-lo == ^uint64(0) {
+			if ok {
+				t.Fatalf("IndexFootprint(%#x, %d, %d, %#x, %#x) ok with an unbounded index range", offset, scale, elem, lo, hi)
+			}
+			return
+		}
+		// Independent overflow oracle: the first access starts at
+		// offset + lo*scale, which must fit for the bound to exist.
+		start := new(big.Int).SetUint64(lo)
+		start.Mul(start, big.NewInt(int64(scale)))
+		start.Add(start, new(big.Int).SetUint64(offset))
+		if wantOK := start.Cmp(bigU64Max) <= 0; ok != wantOK {
+			t.Fatalf("IndexFootprint(%#x, %d, %d, %#x, %#x) ok=%v, want %v", offset, scale, elem, lo, hi, ok, wantOK)
+		}
+		if !ok {
+			return
+		}
+		if fp.Empty() {
+			t.Fatalf("IndexFootprint(%#x, %d, %d, %#x, %#x) returned an empty pattern with ok", offset, scale, elem, lo, hi)
+		}
+		total, tok := fp.TotalBytesChecked()
+		if !tok || total > fuzzEnumCap {
+			return
+		}
+		cover := byteSet(fp)
+		check := func(v uint64) {
+			base := offset + v*uint64(scale)
+			for b := uint64(0); b < uint64(elem); b++ {
+				if addr := base + b; !cover[addr] {
+					t.Fatalf("IndexFootprint(%#x, %d, %d, %#x, %#x): index %#x touches %#x outside the footprint %v",
+						offset, scale, elem, lo, hi, v, addr, fp)
+				}
+			}
+		}
+		if scale == 0 {
+			// Every index resolves to the same bytes; the range can be
+			// huge, so check its ends rather than walking it.
+			check(lo)
+			check(hi)
+		} else {
+			// scale > 0: the enumeration cap on fp.TotalBytes already
+			// bounds hi-lo, so walking the range terminates quickly.
+			for v := lo; ; v++ {
+				check(v)
+				if v == hi {
+					break
+				}
+			}
+		}
+		// The bound must also be attained: the footprint may not extend
+		// past the last possible access.
+		_, fpHi, eok := fp.Extent()
+		lastEnd, carry1 := bits.Mul64(hi, uint64(scale))
+		last, carry2 := bits.Add64(offset, lastEnd, 0)
+		if carry1 == 0 && carry2 == 0 {
+			if end := last + uint64(elem); eok && end >= last && fpHi > end {
+				t.Fatalf("IndexFootprint(%#x, %d, %d, %#x, %#x): footprint ends at %#x, last access ends at %#x",
+					offset, scale, elem, lo, hi, fpHi, end)
+			}
+		}
+	})
+}

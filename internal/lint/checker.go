@@ -41,6 +41,7 @@ type checker struct {
 	opts     Opts
 	ranges   map[int]idxRange // trace index -> resolved index range
 	findings []Finding
+	bytes    map[string]uint64 // check family -> bytes analyzed
 
 	// Active configuration (nil before the first SD_Config).
 	sched  *cgra.Schedule
@@ -72,7 +73,8 @@ func newChecker(p *core.Program, cfg core.Config, o Opts) *checker {
 	c := &checker{
 		p: p, fabric: cfg.Fabric, scratch: uint64(cfg.ScratchBytes),
 		opts:   o,
-		ranges: indexRanges(p, cfg.Fabric),
+		ranges: indexRanges(p, cfg),
+		bytes:  map[string]uint64{},
 	}
 	c.resetEpoch()
 	return c
@@ -87,23 +89,28 @@ func (c *checker) resetEpoch() {
 	c.lastOut = map[int]int{}
 }
 
-func (c *checker) report(idx int, check string, sev Severity, format string, args ...any) {
+func (c *checker) report(idx int, check, code string, sev Severity, format string, args ...any) {
 	c.findings = append(c.findings, Finding{
-		Prog: c.p.Name, Index: idx, Check: check, Sev: sev,
-		Other: -1,
-		Msg:   fmt.Sprintf(format, args...),
+		Prog: c.p.Name, Index: idx, Check: check, Code: code, Sev: sev,
+		Other: -1, Unit: -1, OtherUnit: -1, Phase: -1,
+		Msg: fmt.Sprintf(format, args...),
 	})
 }
 
 // reportRace records a pairwise race finding carrying the older access
 // and the weakest barrier kind that orders the pair when inserted
 // immediately before idx.
-func (c *checker) reportRace(idx, other int, need isa.Kind, format string, args ...any) {
+func (c *checker) reportRace(idx, other int, code string, need isa.Kind, format string, args ...any) {
 	c.findings = append(c.findings, Finding{
-		Prog: c.p.Name, Index: idx, Check: CheckRace, Sev: SevError,
-		Other: other, Barrier: need,
+		Prog: c.p.Name, Index: idx, Check: CheckRace, Code: code, Sev: SevError,
+		Other: other, Unit: -1, OtherUnit: -1, Phase: -1, Barrier: need,
 		Msg: fmt.Sprintf(format, args...),
 	})
+}
+
+// countBytes credits n analyzed bytes to a check family, saturating.
+func (c *checker) countBytes(check string, n uint64) {
+	c.bytes[check] = satAdd(c.bytes[check], n)
 }
 
 // satMul multiplies with saturation; byte accounting never wraps.
@@ -188,13 +195,13 @@ func (c *checker) configure(idx int, k isa.Config) {
 
 	blob, ok := c.p.Configs[k.Addr]
 	if !ok {
-		c.report(idx, CheckOOB, SevError,
+		c.report(idx, CheckOOB, "config-missing", SevError,
 			"SD_Config reads %#x, which holds no registered configuration bitstream", k.Addr)
 		return
 	}
 	s, err := cgra.DecodeConfig(c.fabric, blob)
 	if err != nil {
-		c.report(idx, CheckPortConflict, SevError,
+		c.report(idx, CheckPortConflict, "config-undecodable", SevError,
 			"configuration at %#x does not decode for this fabric: %v", k.Addr, err)
 		return
 	}
@@ -260,13 +267,15 @@ func (c *checker) memPatternOK(idx int, pat isa.Affine, what string) bool {
 	if pat.Empty() {
 		return false
 	}
+	n, _ := pat.TotalBytesChecked()
+	c.countBytes(CheckOOB, n)
 	lo, hi, ok := pat.Extent()
 	if !ok {
-		c.report(idx, CheckOOB, SevError, "%s %v overflows the 64-bit address space", what, pat)
+		c.report(idx, CheckOOB, "address-wrap", SevError, "%s %v overflows the 64-bit address space", what, pat)
 		return false
 	}
 	if hi > core.ConfigSpace {
-		c.report(idx, CheckOOB, SevError,
+		c.report(idx, CheckOOB, "config-space", SevError,
 			"%s footprint [%#x, %#x) crosses into the configuration space at %#x", what, lo, hi, core.ConfigSpace)
 		return false
 	}
@@ -278,13 +287,15 @@ func (c *checker) padPatternOK(idx int, pat isa.Affine, what string) bool {
 	if pat.Empty() {
 		return false
 	}
+	n, _ := pat.TotalBytesChecked()
+	c.countBytes(CheckOOB, n)
 	lo, hi, ok := pat.Extent()
 	if !ok {
-		c.report(idx, CheckOOB, SevError, "%s %v overflows the 64-bit address space", what, pat)
+		c.report(idx, CheckOOB, "address-wrap", SevError, "%s %v overflows the 64-bit address space", what, pat)
 		return false
 	}
 	if hi > c.scratch {
-		c.report(idx, CheckOOB, SevError,
+		c.report(idx, CheckOOB, "scratch-capacity", SevError,
 			"%s footprint [%#x, %#x) exceeds the %d-byte scratchpad", what, lo, hi, c.scratch)
 		return false
 	}
@@ -308,7 +319,7 @@ func (c *checker) indAccess(idx int, write bool, ordPort int, offset uint64, sca
 		pat, fits := isa.IndexFootprint(offset, scale, elem, r.lo, r.hi)
 		switch {
 		case !fits:
-			c.report(idx, CheckOOB, SevError,
+			c.report(idx, CheckOOB, "indirect-address-wrap", SevError,
 				"%s address computation overflows the 64-bit address space (base %#x, scale %d, indices in [%d, %d])",
 				what, offset, scale, r.lo, r.hi)
 			a.opaque = true
@@ -334,6 +345,10 @@ func (c *checker) indAccess(idx int, write bool, ordPort int, offset uint64, sca
 // weight rows). Revisiting patterns (Stride < AccessSize) stay flagged:
 // a revisit reads bytes the write already replaced.
 func (c *checker) addMem(a access) {
+	if !a.opaque {
+		n, _ := a.pat.TotalBytesChecked()
+		c.countBytes(CheckRace, n)
+	}
 	for i := len(c.mem) - 1; i >= 0; i-- {
 		o := c.mem[i]
 		if !a.write && !o.write {
@@ -347,7 +362,7 @@ func (c *checker) addMem(a access) {
 			// cannot prove overlap, so it stays silent; strict mode
 			// assumes the worst.
 			if c.opts.StrictIndirect {
-				c.reportRace(a.idx, o.idx, isa.KindBarrierAll,
+				c.reportRace(a.idx, o.idx, "race-indirect-strict", isa.KindBarrierAll,
 					"%s may overlap the %s at trace[%d]: a data-dependent indirect footprint is unordered without an SD_Barrier_All (strict indirect analysis)",
 					a.what, o.what, o.idx)
 				if !c.opts.Exhaustive {
@@ -362,7 +377,7 @@ func (c *checker) addMem(a access) {
 			continue // pipelined read-modify-write through the fabric
 		}
 		if a.pat.Overlaps(o.pat) {
-			c.reportRace(a.idx, o.idx, isa.KindBarrierAll,
+			c.reportRace(a.idx, o.idx, "race-mem", isa.KindBarrierAll,
 				"%s %v overlaps the %s at trace[%d] (%v) with no intervening SD_Barrier_All",
 				a.what, a.pat, o.what, o.idx, o.pat)
 			if !c.opts.Exhaustive {
@@ -380,9 +395,11 @@ func (c *checker) padRead(idx int, pat isa.Affine, what string) {
 		return
 	}
 	a := access{idx: idx, pat: pat, ordPort: -1, what: what}
+	n, _ := pat.TotalBytesChecked()
+	c.countBytes(CheckRace, n)
 	for i := len(c.padWr) - 1; i >= 0; i-- {
 		if o := c.padWr[i]; a.pat.Overlaps(o.pat) {
-			c.reportRace(idx, o.idx, isa.KindBarrierScratchWr,
+			c.reportRace(idx, o.idx, "race-scratch-read-after-write", isa.KindBarrierScratchWr,
 				"%s %v overlaps the %s at trace[%d] (%v) with no intervening SD_Barrier_Scratch_Wr",
 				what, pat, o.what, o.idx, o.pat)
 			if !c.opts.Exhaustive {
@@ -400,9 +417,11 @@ func (c *checker) padWrite(idx int, pat isa.Affine, ordPort int, what string) {
 		return
 	}
 	a := access{idx: idx, write: true, pat: pat, ordPort: ordPort, what: what}
+	n, _ := pat.TotalBytesChecked()
+	c.countBytes(CheckRace, n)
 	for i := len(c.padRd) - 1; i >= 0; i-- {
 		if o := c.padRd[i]; a.pat.Overlaps(o.pat) {
-			c.reportRace(idx, o.idx, isa.KindBarrierScratchRd,
+			c.reportRace(idx, o.idx, "race-scratch-write-after-read", isa.KindBarrierScratchRd,
 				"%s %v overlaps the %s at trace[%d] (%v) with no intervening SD_Barrier_Scratch_Rd",
 				what, pat, o.what, o.idx, o.pat)
 			if !c.opts.Exhaustive {
@@ -416,7 +435,7 @@ func (c *checker) padWrite(idx int, pat isa.Affine, ordPort int, what string) {
 			continue
 		}
 		if a.pat.Overlaps(o.pat) {
-			c.reportRace(idx, o.idx, isa.KindBarrierScratchWr,
+			c.reportRace(idx, o.idx, "race-scratch-write-after-write", isa.KindBarrierScratchWr,
 				"%s %v overlaps the %s at trace[%d] (%v) with no intervening SD_Barrier_Scratch_Wr",
 				what, pat, o.what, o.idx, o.pat)
 			if !c.opts.Exhaustive {
@@ -432,26 +451,28 @@ func (c *checker) padWrite(idx int, pat isa.Affine, ordPort int, what string) {
 func (c *checker) inPortWrite(idx int, port isa.InPortID, n uint64) {
 	p := int(port)
 	if p >= len(c.fabric.InPorts) {
-		c.report(idx, CheckPortConflict, SevError,
+		c.report(idx, CheckPortConflict, "port-missing", SevError,
 			"targets input port %d; the fabric has %d", p, len(c.fabric.InPorts))
 		return
 	}
 	c.lastIn[p] = idx
 	if c.fabric.InPorts[p].Indirect {
 		c.indIn[p] = satAdd(c.indIn[p], n)
+		c.countBytes(CheckBalance, n)
 		return
 	}
 	if c.sched == nil {
-		c.report(idx, CheckPortConflict, SevError,
+		c.report(idx, CheckPortConflict, "port-unconfigured", SevError,
 			"targets input port %d before any SD_Config defines the fabric's ports", p)
 		return
 	}
 	if _, mapped := c.inMap[p]; !mapped {
-		c.report(idx, CheckPortConflict, SevError,
+		c.report(idx, CheckPortConflict, "port-unmapped", SevError,
 			"targets input port %d, which configuration %s does not define", p, c.sched.Graph.Name)
 		return
 	}
 	c.inBytes[p] = satAdd(c.inBytes[p], n)
+	c.countBytes(CheckBalance, n)
 }
 
 // idxPortRead validates and accounts an indirect stream consuming index
@@ -459,17 +480,18 @@ func (c *checker) inPortWrite(idx int, port isa.InPortID, n uint64) {
 func (c *checker) idxPortRead(idx int, port isa.InPortID, n uint64) {
 	p := int(port)
 	if p >= len(c.fabric.InPorts) {
-		c.report(idx, CheckPortConflict, SevError,
+		c.report(idx, CheckPortConflict, "port-missing", SevError,
 			"consumes indices from input port %d; the fabric has %d", p, len(c.fabric.InPorts))
 		return
 	}
 	if !c.fabric.InPorts[p].Indirect {
-		c.report(idx, CheckPortConflict, SevError,
+		c.report(idx, CheckPortConflict, "port-not-indirect", SevError,
 			"consumes indices from port %d, which is not indirect-capable", p)
 		return
 	}
 	c.lastIn[p] = idx
 	c.indOut[p] = satAdd(c.indOut[p], n)
+	c.countBytes(CheckBalance, n)
 }
 
 // outPortRead validates and accounts a stream consuming bytes from an
@@ -477,22 +499,23 @@ func (c *checker) idxPortRead(idx int, port isa.InPortID, n uint64) {
 func (c *checker) outPortRead(idx int, port isa.OutPortID, n uint64) {
 	p := int(port)
 	if p >= len(c.fabric.OutPorts) {
-		c.report(idx, CheckPortConflict, SevError,
+		c.report(idx, CheckPortConflict, "port-missing", SevError,
 			"reads output port %d; the fabric has %d", p, len(c.fabric.OutPorts))
 		return
 	}
 	if c.sched == nil {
-		c.report(idx, CheckPortConflict, SevError,
+		c.report(idx, CheckPortConflict, "port-unconfigured", SevError,
 			"reads output port %d before any SD_Config defines the fabric's ports", p)
 		return
 	}
 	c.lastOut[p] = idx
 	if _, mapped := c.outMap[p]; !mapped {
-		c.report(idx, CheckPortConflict, SevError,
+		c.report(idx, CheckPortConflict, "port-unmapped", SevError,
 			"reads output port %d, which configuration %s does not define", p, c.sched.Graph.Name)
 		return
 	}
 	c.outBytes[p] = satAdd(c.outBytes[p], n)
+	c.countBytes(CheckBalance, n)
 }
 
 // finish closes the trailing epoch and warns when the program ends with
@@ -512,8 +535,9 @@ func (c *checker) finish() {
 	}
 	if unordered > 0 {
 		c.findings = append(c.findings, Finding{
-			Prog: c.p.Name, Index: len(c.p.Trace) - 1, Check: CheckRace, Sev: SevWarning,
-			Other: -1, Barrier: isa.KindBarrierAll,
+			Prog: c.p.Name, Index: len(c.p.Trace) - 1, Check: CheckRace,
+			Code: "trailing-unordered-write", Sev: SevWarning,
+			Other: -1, Unit: -1, OtherUnit: -1, Phase: -1, Barrier: isa.KindBarrierAll,
 			Msg: fmt.Sprintf("program ends with %d write stream(s) not ordered by a barrier; end the phase with SD_Barrier_All", unordered),
 		})
 	}
@@ -536,10 +560,10 @@ func (c *checker) flushEpoch(idx int, reconfig bool) {
 		at := c.lastIn[p]
 		switch {
 		case out > in:
-			c.report(at, CheckBalance, SevError,
+			c.report(at, CheckBalance, "index-underrun", SevError,
 				"indirect streams consume %d index bytes from port %d but only %d are staged: the consumer deadlocks", out, p, in)
 		case in > out:
-			c.report(at, residue, SevError,
+			c.report(at, residue, "index-residue", SevError,
 				"indirect port %d is left holding %d unconsumed index bytes%s", p, in-out, residueNote(reconfig))
 		}
 	}
@@ -563,7 +587,7 @@ func (c *checker) flushEpoch(idx int, reconfig bool) {
 		n := c.inBytes[hw]
 		if n%instBytes != 0 {
 			partial = true
-			c.report(c.lastIn[hw], residue, SevError,
+			c.report(c.lastIn[hw], residue, "partial-instance", SevError,
 				"input port %d (%s.%s) is fed %d bytes, not a multiple of its %d-byte instance (width %d words)",
 				hw, g.Name, g.Ins[dfgPort].Name, n, instBytes, g.Ins[dfgPort].Width)
 			continue
@@ -601,7 +625,7 @@ func (c *checker) flushEpoch(idx int, reconfig bool) {
 				at = t
 			}
 		}
-		c.report(at, residue, SevError,
+		c.report(at, residue, "instance-mismatch", SevError,
 			"input ports of %s receive unequal instance counts (%s): the dataflow starves on the short port%s",
 			g.Name, join(parts), residueNote(reconfig))
 		consistent = false
@@ -625,11 +649,11 @@ func (c *checker) flushEpoch(idx int, reconfig bool) {
 		}
 		switch {
 		case consumed > produced:
-			c.report(at, CheckBalance, SevError,
+			c.report(at, CheckBalance, "output-overconsumed", SevError,
 				"streams consume %d bytes from output port %d (%s.%s) but %d instances produce only %d: the consumer deadlocks",
 				consumed, hw, g.Name, g.Outs[dfgPort].Name, instances, produced)
 		default:
-			c.report(at, residue, SevError,
+			c.report(at, residue, "output-residue", SevError,
 				"output port %d (%s.%s) produces %d bytes over %d instances but streams consume only %d%s",
 				hw, g.Name, g.Outs[dfgPort].Name, produced, instances, consumed, residueNote(reconfig))
 		}

@@ -55,12 +55,16 @@ import (
 	"softbrain/internal/isa"
 )
 
-// Check family IDs, stable across releases.
+// Check family IDs, stable across releases. The first four are
+// machine-scope (one program, one unit); the last two are cluster-scope
+// (see cluster.go and docs/LINT.md).
 const (
 	CheckRace         = "race"
 	CheckPortConflict = "port-conflict"
 	CheckBalance      = "balance"
 	CheckOOB          = "oob"
+	CheckInterUnit    = "inter-unit-race"
+	CheckSharedRegion = "shared-region"
 )
 
 // Severity grades a finding. Errors are hazards that produce undefined
@@ -94,9 +98,24 @@ type Finding struct {
 	Sev   Severity `json:"severity"`
 	Msg   string   `json:"msg"`
 
+	// Code is the stable fine-grained diagnostic ID within the check
+	// family (e.g. "race-mem", "oob-config-space"); consumers filtering
+	// on specific diagnostics should key on it rather than parse Msg.
+	Code string `json:"code"`
+
 	// Other is the trace index of the older access completing a race
 	// pair, or -1 when the finding is not pairwise.
 	Other int `json:"other"`
+
+	// Unit and OtherUnit are the cluster unit indices of the two
+	// accesses for cluster-scope findings, or -1 for machine-scope
+	// analysis (and for non-pairwise cluster findings' OtherUnit).
+	Unit      int `json:"unit"`
+	OtherUnit int `json:"other_unit"`
+
+	// Phase is the pipeline phase of the offending access for
+	// cluster-scope findings over a phased program set, or -1.
+	Phase int `json:"phase"`
 
 	// Barrier is the weakest barrier kind that would order a race pair
 	// when inserted immediately before Index (the lattice of §3.3:
@@ -139,6 +158,20 @@ type Opts struct {
 	Exhaustive bool
 }
 
+// Result is the full outcome of one analysis: the findings plus, per
+// check family, the number of footprint bytes the analysis covered —
+// the static analogue of a coverage counter (how much data movement the
+// symbolic footprints accounted for), reported by sdlint -json.
+type Result struct {
+	Findings []Finding
+	// Bytes maps a check family ID to the saturating total of bytes the
+	// family analyzed: race and inter-unit-race count every byte entered
+	// into an ordering window, oob every byte bounds-checked, balance
+	// every byte accounted through a vector port. Families without a
+	// byte-based measure (port-conflict) are absent.
+	Bytes map[string]uint64
+}
+
 // Check lints the program against the machine configuration that would
 // run it (the fabric defines the vector ports, the config the scratchpad
 // capacity). It returns the findings in trace order. The error return is
@@ -150,11 +183,21 @@ func Check(p *core.Program, cfg core.Config) ([]Finding, error) {
 
 // CheckWith is Check with explicit analysis options.
 func CheckWith(p *core.Program, cfg core.Config, o Opts) ([]Finding, error) {
-	if err := p.Err(); err != nil {
+	r, err := Analyze(p, cfg, o)
+	if err != nil {
 		return nil, err
 	}
+	return r.Findings, nil
+}
+
+// Analyze is CheckWith returning the full Result (findings plus the
+// per-check bytes-checked totals).
+func Analyze(p *core.Program, cfg core.Config, o Opts) (Result, error) {
+	if err := p.Err(); err != nil {
+		return Result{}, err
+	}
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return Result{}, err
 	}
 	c := newChecker(p, cfg, o)
 	for i, op := range p.Trace {
@@ -163,7 +206,7 @@ func CheckWith(p *core.Program, cfg core.Config, o Opts) ([]Finding, error) {
 		}
 	}
 	c.finish()
-	return c.findings, nil
+	return Result{Findings: c.findings, Bytes: c.bytes}, nil
 }
 
 // Errors filters fs to error-severity findings.

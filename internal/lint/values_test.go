@@ -293,3 +293,192 @@ func TestExhaustivePairs(t *testing.T) {
 		t.Fatalf("exhaustive race count = %d, want 2 (write vs both reads)", n)
 	}
 }
+
+// iotaProg builds a program on the iota graph: an accumulator output I
+// producing 1, 2, 3, ... from constant inputs, plus a second output O.
+func iotaProg(t *testing.T) (*core.Program, core.Config, *dfg.Graph) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	b := dfg.NewBuilder("iota")
+	x := b.Input("X", 1)
+	r := b.Input("R", 1)
+	b.Output("I", b.N(dfg.Acc(64), x.W(0), r.W(0)))
+	b.Output("O", b.N(dfg.Add(64), x.W(0), x.W(0)))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewProgram("iota")
+	p.CompileAndConfigure(cfg.Fabric, g)
+	return p, cfg, g
+}
+
+// expectBoundedRace asserts exactly one race finding pairing sc with rd
+// whose message carries the resolved index range.
+func expectBoundedRace(t *testing.T, p *core.Program, cfg core.Config, sc, rd int, rng string) {
+	t.Helper()
+	fs, err := lint.Check(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly the bounded-range race", fs)
+	}
+	f := fs[0]
+	if f.Check != lint.CheckRace || f.Index != sc || f.Other != rd {
+		t.Fatalf("finding = %+v, want race at %d paired with %d", f, sc, rd)
+	}
+	if !strings.Contains(f.Msg, rng) {
+		t.Fatalf("message %q does not show the resolved index range %s", f.Msg, rng)
+	}
+}
+
+// TestScratchRoundTripResolves: indices the fabric computed, drained to
+// the scratchpad with SD_Port_Scratch, and reloaded into the indirect
+// port with SD_Scratch_Port keep their bound across the round trip, so
+// the gather's footprint still participates in the race check
+// (previously a documented soundness gap).
+func TestScratchRoundTripResolves(t *testing.T) {
+	p, cfg, _ := iotaProg(t)
+	ind := indPort(t, p, cfg)
+
+	const n = 4
+	emit(t, p, isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: n, Dst: p.In("X")})
+	emit(t, p, isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: n, Dst: p.In("R")})
+	emit(t, p, isa.PortScratch{Src: p.Out("I"), Elem: isa.Elem64, Count: n, ScratchAddr: 0})
+	emit(t, p, isa.BarrierScratchWr{})
+	emit(t, p, isa.ScratchPort{Src: isa.Linear(0, n*8), Dst: ind})
+	rd := emit(t, p, isa.MemScratch{Src: isa.Linear(0x5000, 64), ScratchAddr: 64})
+	sc := emit(t, p, isa.IndPortMem{
+		Idx: ind, IdxElem: isa.Elem64,
+		Offset: 0x5000, Scale: 8, DataElem: isa.Elem64, Count: n,
+		Src: p.Out("O"),
+	})
+	emit(t, p, isa.BarrierAll{})
+	expectBoundedRace(t, p, cfg, sc, rd, "[1, 4]")
+}
+
+// TestScratchRoundTripAcrossConfig: the scratchpad image persists across
+// SD_Config, so indices parked under one configuration and reloaded
+// under the next stay bounded — the pattern of staged index-generator
+// pipelines.
+func TestScratchRoundTripAcrossConfig(t *testing.T) {
+	p, cfg, g := iotaProg(t)
+	ind := indPort(t, p, cfg)
+
+	const n = 4
+	// Epoch A: generate 1..n and park them in the scratchpad.
+	emit(t, p, isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: n, Dst: p.In("X")})
+	emit(t, p, isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: n, Dst: p.In("R")})
+	emit(t, p, isa.PortScratch{Src: p.Out("I"), Elem: isa.Elem64, Count: n, ScratchAddr: 0})
+	emit(t, p, isa.CleanPort{Src: p.Out("O"), Elem: isa.Elem64, Count: n})
+	// Epoch B: reconfigure (a full fence), reload the parked indices,
+	// and scatter through them.
+	p.CompileAndConfigure(cfg.Fabric, g)
+	emit(t, p, isa.ScratchPort{Src: isa.Linear(0, n*8), Dst: ind})
+	emit(t, p, isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: n, Dst: p.In("X")})
+	emit(t, p, isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: n, Dst: p.In("R")})
+	emit(t, p, isa.CleanPort{Src: p.Out("I"), Elem: isa.Elem64, Count: n})
+	rd := emit(t, p, isa.MemScratch{Src: isa.Linear(0x5000, 64), ScratchAddr: 64})
+	sc := emit(t, p, isa.IndPortMem{
+		Idx: ind, IdxElem: isa.Elem64,
+		Offset: 0x5000, Scale: 8, DataElem: isa.Elem64, Count: n,
+		Src: p.Out("O"),
+	})
+	emit(t, p, isa.BarrierAll{})
+	expectBoundedRace(t, p, cfg, sc, rd, "[1, 4]")
+}
+
+// TestMemRoundTripResolves: DRAM round trips resolve too — values the
+// program stored with SD_Port_Mem and reloaded with SD_Mem_Port keep
+// their bound.
+func TestMemRoundTripResolves(t *testing.T) {
+	p, cfg, _ := iotaProg(t)
+	ind := indPort(t, p, cfg)
+
+	const n = 4
+	emit(t, p, isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: n, Dst: p.In("X")})
+	emit(t, p, isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: n, Dst: p.In("R")})
+	emit(t, p, isa.PortMem{Src: p.Out("I"), Dst: isa.Linear(0x6000, n*8)})
+	emit(t, p, isa.BarrierAll{})
+	emit(t, p, isa.MemPort{Src: isa.Linear(0x6000, n*8), Dst: ind})
+	rd := emit(t, p, isa.MemScratch{Src: isa.Linear(0x5000, 64), ScratchAddr: 0})
+	sc := emit(t, p, isa.IndPortMem{
+		Idx: ind, IdxElem: isa.Elem64,
+		Offset: 0x5000, Scale: 8, DataElem: isa.Elem64, Count: n,
+		Src: p.Out("O"),
+	})
+	emit(t, p, isa.BarrierAll{})
+	expectBoundedRace(t, p, cfg, sc, rd, "[1, 4]")
+}
+
+// strictRaceAt asserts that the default analysis stays silent on the
+// program while strict-indirect mode flags a race at trace index sc —
+// the contract for every unboundable give-up path: never a wrong bound,
+// only an honest "unknown".
+func strictRaceAt(t *testing.T, build func() (*core.Program, core.Config, int)) {
+	t.Helper()
+	p, cfg, _ := build()
+	checkFindings(t, p, cfg, nil) // default: silent
+
+	p, cfg, sc := build()
+	fs, err := lint.CheckWith(p, cfg, lint.Opts{StrictIndirect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.Check == lint.CheckRace && f.Index == sc && f.Sev == lint.SevError {
+			return
+		}
+	}
+	t.Fatalf("strict mode reported no race at the unboundable access %d: %v", sc, fs)
+}
+
+// TestUnboundedInductionUnresolved: a recurrence index stream needing
+// more dataflow instances than the evaluator's cap must report
+// unboundable (silent by default, flagged under strict) rather than a
+// wrong bound.
+func TestUnboundedInductionUnresolved(t *testing.T) {
+	strictRaceAt(t, func() (*core.Program, core.Config, int) {
+		p, cfg, _ := iotaProg(t)
+		ind := indPort(t, p, cfg)
+		const n = 5000 // > maxEvalInstances
+		emit(t, p, isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: n, Dst: p.In("X")})
+		emit(t, p, isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: n, Dst: p.In("R")})
+		emit(t, p, isa.PortPort{Src: p.Out("I"), Elem: isa.Elem64, Count: n, Dst: ind})
+		emit(t, p, isa.MemScratch{Src: isa.Linear(0x5000, 64), ScratchAddr: 0})
+		sc := emit(t, p, isa.IndPortMem{
+			Idx: ind, IdxElem: isa.Elem64,
+			Offset: 0x5000, Scale: 8, DataElem: isa.Elem64, Count: n,
+			Src: p.Out("O"),
+		})
+		emit(t, p, isa.BarrierAll{})
+		return p, cfg, sc
+	})
+}
+
+// TestPartialRoundTripUnresolved: a reload that reads past the bytes the
+// program actually stored must stay unboundable — the known-byte image
+// never invents values for the uncovered tail.
+func TestPartialRoundTripUnresolved(t *testing.T) {
+	strictRaceAt(t, func() (*core.Program, core.Config, int) {
+		p, cfg, _ := iotaProg(t)
+		ind := indPort(t, p, cfg)
+		const n = 5
+		emit(t, p, isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: n, Dst: p.In("X")})
+		emit(t, p, isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: n, Dst: p.In("R")})
+		// Store only the first n-1 indices; the reload reads n.
+		emit(t, p, isa.PortMem{Src: p.Out("I"), Dst: isa.Linear(0x6000, (n-1)*8)})
+		emit(t, p, isa.CleanPort{Src: p.Out("I"), Elem: isa.Elem64, Count: 1})
+		emit(t, p, isa.BarrierAll{})
+		emit(t, p, isa.MemPort{Src: isa.Linear(0x6000, n*8), Dst: ind})
+		emit(t, p, isa.MemScratch{Src: isa.Linear(0x5000, 64), ScratchAddr: 0})
+		sc := emit(t, p, isa.IndPortMem{
+			Idx: ind, IdxElem: isa.Elem64,
+			Offset: 0x5000, Scale: 8, DataElem: isa.Elem64, Count: n,
+			Src: p.Out("O"),
+		})
+		emit(t, p, isa.BarrierAll{})
+		return p, cfg, sc
+	})
+}

@@ -9,6 +9,7 @@
 package progen
 
 import (
+	"fmt"
 	"math/rand"
 
 	"softbrain/internal/core"
@@ -134,6 +135,88 @@ func Rebase(cmds []isa.Command, delta uint64) []isa.Command {
 		}
 	}
 	return out
+}
+
+// UnitSpan is the rebase stride separating cluster units' memory
+// regions: unit u's pools live at MemPools[k] + u*UnitSpan, far enough
+// apart that generated footprints never cross spans by accident.
+const UnitSpan uint64 = 0x10_0000
+
+// ClusterCommands generates one balanced command sequence per unit from
+// a single random base sequence, rebased into disjoint memory spans —
+// the disjoint-partitioning convention the cluster linter verifies.
+// With hazard >= 0, unit hazard%units gains one extra balanced step
+// whose final write lands in the *next* unit's span, on a pool the base
+// sequence provably touches: a seeded inter-unit race with a known unit
+// pair and overlap extent for regression and soak coverage. A negative
+// hazard seeds nothing.
+func ClusterCommands(rng *rand.Rand, p Ports, units, hazard int) [][]isa.Command {
+	base := Commands(rng, p)
+	pool, ok := firstPool(base)
+	if !ok {
+		// The base sequence has no linear memory access; anchor every
+		// unit on pool 0 with a balanced read step so a seeded hazard
+		// always has a victim access to collide with.
+		pool = MemPools[0]
+		n := uint64(1 + rng.Intn(4))
+		base = append(base,
+			isa.MemPort{Src: isa.Linear(pool, 8*n), Dst: p.A},
+			isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: n, Dst: p.B},
+			isa.CleanPort{Src: p.C, Elem: isa.Elem64, Count: n},
+		)
+	}
+	out := make([][]isa.Command, units)
+	for u := 0; u < units; u++ {
+		out[u] = Rebase(base, uint64(u)*UnitSpan)
+	}
+	if hazard >= 0 && units > 1 {
+		u := hazard % units
+		victim := (u + 1) % units
+		n := uint64(1 + rng.Intn(4))
+		out[u] = append(out[u],
+			isa.MemPort{Src: isa.Linear(MemPools[0]+uint64(u)*UnitSpan, 8*n), Dst: p.A},
+			isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: n, Dst: p.B},
+			isa.PortMem{Src: p.C, Dst: isa.Linear(pool+uint64(victim)*UnitSpan, 8*n)},
+			isa.BarrierAll{},
+		)
+	}
+	return out
+}
+
+// firstPool returns the first linearly-accessed DRAM address in the
+// sequence. Indirect accesses don't count: their footprint starts at
+// Offset + index*Scale, so a write seeded at Offset itself might miss.
+func firstPool(cmds []isa.Command) (uint64, bool) {
+	for _, c := range cmds {
+		switch c := c.(type) {
+		case isa.MemPort:
+			return c.Src.Start, true
+		case isa.PortMem:
+			return c.Dst.Start, true
+		}
+	}
+	return 0, false
+}
+
+// ClusterPrograms materializes one program per unit over the addpair
+// graph from per-unit command lists (see ClusterCommands).
+func ClusterPrograms(cfg core.Config, sets [][]isa.Command) ([]*core.Program, error) {
+	progs := make([]*core.Program, len(sets))
+	for u, cmds := range sets {
+		p, _, err := Addpair(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Name = fmt.Sprintf("addpair#%d", u)
+		for _, c := range cmds {
+			p.Emit(c)
+		}
+		if err := p.Err(); err != nil {
+			return nil, err
+		}
+		progs[u] = p
+	}
+	return progs, nil
 }
 
 // Maim removes the i-th (mod count) non-barrier command from cmds,

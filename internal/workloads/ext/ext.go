@@ -26,6 +26,7 @@ func All() []Entry {
 		{"fft", "Log-Strided, Ping-Pong", "Complex Butterfly (4-mul rotate)", BuildFFT},
 		{"nw", "Wavefront Linear, Shifted Reads", "Compare-Select + 3-Way Max", BuildNW},
 		{"backprop", "Linear, Repeating, Two-Phase", "4-Way MAC + Derivative Scale", BuildBackprop},
+		{"lut", "Indirect (Scratch Round-Trip), Linear", "Single Multiply", BuildLUT},
 	}
 }
 

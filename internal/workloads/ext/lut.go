@@ -1,0 +1,134 @@
+package ext
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softbrain/internal/baseline"
+	"softbrain/internal/baseline/asic"
+	"softbrain/internal/core"
+	"softbrain/internal/dfg"
+	"softbrain/internal/isa"
+	"softbrain/internal/mem"
+	"softbrain/internal/workloads"
+)
+
+// lutIotaGraph produces the gather indices on the fabric: an
+// accumulator fed a constant 1 (never reset) emits 1, 2, 3, ...
+func lutIotaGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("lut_iota")
+	x := b.Input("X", 1)
+	r := b.Input("R", 1)
+	b.Output("I", b.N(dfg.Acc(64), x.W(0), r.W(0)))
+	return b.Build()
+}
+
+// lutScaleGraph scales each gathered table value by a constant factor.
+func lutScaleGraph() (*dfg.Graph, error) {
+	b := dfg.NewBuilder("lut_scale")
+	g := b.Input("G", 1)
+	v := b.Input("B", 1)
+	b.Output("O", b.N(dfg.Mul(64), g.W(0), v.W(0)))
+	return b.Build()
+}
+
+// lutScale is the constant factor applied to each gathered value.
+const lutScale = 3
+
+// BuildLUT builds the scratch round-trip gather: the fabric computes
+// the index stream (iota via an accumulator), SD_Port_Scratch parks it
+// in the scratchpad, SD_Config swaps in the scale datapath, and
+// SD_Scratch_Port reloads the indices into the indirect port for an
+// SD_IndPort_Port table gather whose products stream back to memory.
+//
+// The round trip is the point: the gather's footprint is only known if
+// the analysis can follow the computed indices DRAM-ward through the
+// scratchpad and across the reconfiguration (docs/LINT.md). With that
+// tracking the shipped program is provably minimal at one barrier (the
+// trailing write fence); without it the gather is an unbounded access
+// that under strict indirect analysis conflicts with every stream
+// around it, and the serialized variant of the fix study would have to
+// keep its fences.
+func BuildLUT(cfg core.Config, scale int) (*workloads.Instance, error) {
+	n := 64 * scale // gather count; indices are 1..n
+	if 8*n > cfg.ScratchBytes {
+		return nil, fmt.Errorf("lut: %d indices exceed the %d-byte scratchpad", n, cfg.ScratchBytes)
+	}
+	gIota, err := lutIotaGraph()
+	if err != nil {
+		return nil, err
+	}
+	gScale, err := lutScaleGraph()
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(211))
+	table := make([]int64, n+1) // indexed 1..n; entry 0 never gathered
+	for i := range table {
+		table[i] = int64(rng.Intn(1<<12) - 1<<11)
+	}
+
+	lay := workloads.NewLayout()
+	tableAddr := lay.Alloc(uint64(n+1) * 8)
+	outAddr := lay.Alloc(uint64(n) * 8)
+	if err := lay.Err(); err != nil {
+		return nil, err
+	}
+
+	p := core.NewProgram("lut")
+	p.CompileAndConfigure(cfg.Fabric, gIota)
+	p.Emit(isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: uint64(n), Dst: p.In("X")})
+	p.Emit(isa.ConstPort{Value: 0, Elem: isa.Elem64, Count: uint64(n), Dst: p.In("R")})
+	p.Emit(isa.PortScratch{Src: p.Out("I"), Elem: isa.Elem64, Count: uint64(n), ScratchAddr: 0})
+
+	// No scratch barrier before the reload: SD_Config issues only on an
+	// idle machine, so the reconfiguration already orders the reload
+	// after the park.
+	p.CompileAndConfigure(cfg.Fabric, gScale)
+	ind := p.IndirectIn(cfg.Fabric, 0)
+	p.Emit(isa.ScratchPort{Src: isa.Linear(0, uint64(n)*8), Dst: ind})
+	p.Emit(isa.IndPortPort{
+		Idx: ind, IdxElem: isa.Elem64,
+		Offset: tableAddr, Scale: 8, DataElem: isa.Elem64, Count: uint64(n),
+		Dst: p.In("G"),
+	})
+	p.Emit(isa.ConstPort{Value: lutScale, Elem: isa.Elem64, Count: uint64(n), Dst: p.In("B")})
+	p.Emit(isa.PortMem{Src: p.Out("O"), Dst: isa.Linear(outAddr, uint64(n)*8)})
+	p.Emit(isa.BarrierAll{})
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+
+	return &workloads.Instance{
+		Name:  "lut",
+		Progs: []*core.Program{p},
+		Init: func(m *mem.Memory) {
+			for i, v := range table {
+				m.WriteU64(tableAddr+uint64(8*i), uint64(v))
+			}
+		},
+		Check: func(m *mem.Memory) error {
+			for i := 0; i < n; i++ {
+				want := lutScale * table[i+1]
+				if got := int64(m.ReadU64(outAddr + uint64(8*i))); got != want {
+					return fmt.Errorf("lut: out[%d] = %d, want %d", i, got, want)
+				}
+			}
+			return nil
+		},
+		Profile: baseline.Profile{
+			Name:      "lut",
+			KernelOps: uint64(2 * n), // index increment + scale per element
+			MemBytes:  uint64(2*n) * 8,
+			BranchOps: uint64(n), // CPU follows a data-dependent address per element
+		},
+		Kernel: &asic.Kernel{
+			Name: "lut", Graph: gScale, Iters: uint64(n),
+			BytesPerIter: 16, LocalSRAM: 8 * n,
+			SerialFrac: 0.02,
+		},
+		Patterns: "Indirect (Scratch Round-Trip), Linear",
+		Datapath: "Single Multiply",
+	}, nil
+}

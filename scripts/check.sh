@@ -5,19 +5,28 @@
 #   2. go vet        standard static analysis
 #   3. go build      everything compiles, including the example binaries
 #   4. go test -race full test suite under the race detector
-#   5. sdlint        every built-in workload and example program is free
+#   5. golangci-lint supplementary static analysis with the pinned
+#                    .golangci.yml config — runs only when the binary
+#                    is installed; the gate needs nothing beyond the
+#                    Go toolchain
+#   6. sdlint        every built-in workload and example program is free
 #                    of stream races, port conflicts, balance errors and
 #                    out-of-bounds footprints (see docs/LINT.md)
-#   6. sdlint -fix   the barrier synthesis/elimination pass is a no-op
+#   7. sdlint -cluster
+#                    every shipped program *set* passes the cluster
+#                    checks: cross-unit footprints disjoint over the
+#                    whole pipeline, shared regions single-writer and
+#                    phase-ordered (docs/LINT.md)
+#   8. sdlint -fix   the barrier synthesis/elimination pass is a no-op
 #                    on every built-in program: nothing ships with a
 #                    missing or provably redundant barrier
-#   7. fault soak    a short deterministic slice of the fault-injection
+#   9. fault soak    a short deterministic slice of the fault-injection
 #                    soak (see docs/ROBUSTNESS.md); `make soak` runs
 #                    the full breadth
-#   8. bench smoke   sdbench -json on a small workload slice; fails if
+#  10. bench smoke   sdbench -json on a small workload slice; fails if
 #                    simulated cycle counts drift from the committed
 #                    goldens (see docs/SIMKERNEL.md)
-#   9. obs           observability end-to-end (docs/OBSERVABILITY.md):
+#  11. obs           observability end-to-end (docs/OBSERVABILITY.md):
 #                    traced metrics runs of gemm and stencil2d, the
 #                    Perfetto trace validated against the format
 #                    contract and the stall attribution against the
@@ -46,8 +55,18 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== golangci-lint (optional)"
+if command -v golangci-lint >/dev/null 2>&1; then
+	golangci-lint run ./...
+else
+	echo "golangci-lint not installed; skipping (config: .golangci.yml)"
+fi
+
 echo "== sdlint"
 go run ./cmd/sdlint
+
+echo "== sdlint -cluster (inter-unit disjointness + shared regions)"
+go run ./cmd/sdlint -cluster
 
 echo "== sdlint -fix (barrier minimality)"
 go run ./cmd/sdlint -fix

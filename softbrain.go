@@ -192,6 +192,39 @@ func LintProgram(p *Program, cfg Config) ([]LintFinding, error) { return lint.Ch
 //	m.Lint = softbrain.LintHook(m.Config())
 func LintHook(cfg Config) func(*Program) error { return lint.Hook(cfg) }
 
+// LintResult is a full analysis result: findings plus the per-check
+// bytes-checked totals.
+type LintResult = lint.Result
+
+// LintRegion declares one shared DRAM byte range [Lo, Hi) of a checked
+// cluster pipeline: the only bytes where inter-unit overlap involving a
+// writer is legal, under the single-writer phase-ordered rules.
+type LintRegion = lint.Region
+
+// ClusterLintOpts tunes a cluster-scope analysis.
+type ClusterLintOpts = lint.ClusterOpts
+
+// LintCluster statically checks one concurrent program set (one
+// program per unit) for inter-unit hazards over shared DRAM.
+func LintCluster(progs []*Program, cfg Config, o ClusterLintOpts) (LintResult, error) {
+	return lint.CheckCluster(progs, cfg, o)
+}
+
+// LintPipeline statically checks a phased program set: phases run
+// sequentially, units within a phase run concurrently, and the phase
+// boundary is the only inter-unit ordering.
+func LintPipeline(phases [][]*Program, cfg Config, o ClusterLintOpts) (LintResult, error) {
+	return lint.CheckPipeline(phases, cfg, o)
+}
+
+// ClusterLintHook adapts the cluster analysis to Cluster.Lint, for use
+// with Cluster.RunStrict / RunPipelineStrict:
+//
+//	cl.Lint = softbrain.ClusterLintHook(cfg, softbrain.ClusterLintOpts{})
+func ClusterLintHook(cfg Config, o ClusterLintOpts) func([][]*Program) error {
+	return lint.ClusterHook(cfg, o)
+}
+
 // FixReport describes the barrier edits FixProgram made: the inserted
 // and removed barriers with their positions and reasons, plus the
 // before/after barrier counts.
