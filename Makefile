@@ -47,11 +47,16 @@ bench:
 # target cross-checks Extent/Overlaps/IndexFootprint against brute-force
 # byte enumeration. Go runs one -fuzz pattern per invocation, so the
 # targets run sequentially. Override the budget with FUZZTIME=30s.
+# Ends with the barrier-interval slide check (docs/LINT.md): every
+# computed legal placement interval brute-force verified — analysis
+# verdict unchanged at every slot inside, changed one slot outside —
+# over all workloads, examples, and generated barrier-heavy programs.
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	go test ./internal/isa -run '^$$' -fuzz '^FuzzAffineExtent$$' -fuzztime $${FUZZTIME:-10s}
 	go test ./internal/isa -run '^$$' -fuzz '^FuzzAffineOverlaps$$' -fuzztime $${FUZZTIME:-10s}
 	go test ./internal/isa -run '^$$' -fuzz '^FuzzIndexFootprint$$' -fuzztime $${FUZZTIME:-10s}
+	go test ./internal/fix -run '^TestIntervalSlide' -count=1 -v
 
 # Observability end-to-end check (docs/OBSERVABILITY.md): metrics +
 # Perfetto trace runs of two workloads, the trace validated against the

@@ -126,21 +126,25 @@ func printAblations() error {
 }
 
 func printFixStudy() error {
-	fmt.Println("Barrier study: cycles as shipped, fully serialized, and after sdfix")
+	fmt.Println("Barrier study: cycles as shipped, fully serialized, and after sdfix;")
+	fmt.Println("then placement: latest-legal baseline vs profile-guided cost-aware hoisting")
 	rows, err := bench.FixStudy()
 	if err != nil {
 		return err
 	}
 	w := tw()
-	fmt.Fprintln(w, "workload\tbarriers\tserialized\tfixed\tcycles\tserialized\tfixed\trecovered")
+	fmt.Fprintln(w, "workload\tbarriers\tserialized\tfixed\tcycles\tserialized\tfixed\trecovered\thoists\tlatest\thoisted\tdrain\thoisted\tdelta")
 	for _, r := range rows {
 		rec := 0.0
 		if r.SerializedCy > r.FixedCy && r.SerializedCy > r.ShippedCy {
 			rec = 100 * float64(r.SerializedCy-r.FixedCy) / float64(r.SerializedCy-r.ShippedCy)
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f%%\n",
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f%%\t%d\t%d\t%d\t%d\t%d\t%+d\n",
 			r.Workload, r.Shipped, r.Serialized, r.Fixed,
-			r.ShippedCy, r.SerializedCy, r.FixedCy, rec)
+			r.ShippedCy, r.SerializedCy, r.FixedCy, rec,
+			r.Hoists, r.LatestCy, r.HoistedCy,
+			r.LatestDrain, r.HoistedDrain,
+			int64(r.HoistedDrain)-int64(r.LatestDrain))
 	}
 	w.Flush()
 	return nil

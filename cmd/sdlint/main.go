@@ -9,7 +9,7 @@
 // program name contains one of them as a substring. Findings print in
 // go vet style, one per line.
 //
-//	usage: sdlint [-v] [-cluster] [-json | -fix] [name ...]
+//	usage: sdlint [-v] [-cluster] [-json] [-fix [-fix-profile dump.json]] [name ...]
 //
 // -cluster switches from machine scope (each program checked in
 // isolation) to cluster scope: every multi-unit instance is checked as
@@ -36,6 +36,27 @@
 // exit status enforces exactly that, so `sdlint -fix` is a CI gate
 // against redundant or missing barriers creeping into the tree.
 //
+// -fix -fix-profile <dump.json> feeds the pass a metrics dump (the
+// sdsim -metrics format) and enables profile-guided cost-aware barrier
+// placement: barriers with measured drain cycles are hoisted within
+// their legal placement intervals (docs/LINT.md). The dump's unit k
+// section profiles the selected targets' unit-k programs, so restrict
+// the run to the workload the dump was taken from.
+//
+// -fix -json emits a fix report instead of the edit lines:
+//
+//	{
+//	  "scope": "fix",
+//	  "programs": [ {suite, prog, barriers_before, barriers_after,
+//	                 changed, edits: [ {pos, kind, action, reason,
+//	                 interval?: [earliest, latest], chosen?,
+//	                 profile_drain_cycles?}, ... ]}, ... ]
+//	}
+//
+// where action is "insert", "remove", "hoist", or "keep"; keep/hoist
+// rows describe the final program's barriers with their legal placement
+// intervals, and insert/remove rows omit the placement fields.
+//
 // Exit status: 0 when every selected program is clean (no
 // error-severity findings; under -fix, no edits); 1 when any
 // error-severity finding occurs, any program would be rewritten by
@@ -54,6 +75,7 @@ import (
 	"softbrain/internal/core"
 	"softbrain/internal/fix"
 	"softbrain/internal/lint"
+	"softbrain/internal/obs"
 	"softbrain/internal/workloads/dnn"
 	"softbrain/internal/workloads/ext"
 	"softbrain/internal/workloads/machsuite"
@@ -64,6 +86,7 @@ import (
 type target struct {
 	suite string
 	name  string
+	unit  int // unit index within the program's instance
 	prog  *core.Program
 	cfg   core.Config
 }
@@ -128,17 +151,18 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a JSON report object")
 	clusterMode := flag.Bool("cluster", false, "check whole program sets for inter-unit hazards instead of single programs")
 	fixMode := flag.Bool("fix", false, "report the barrier edits the fix pass would make; exit 1 if any")
+	fixProfile := flag.String("fix-profile", "", "with -fix: metrics dump enabling profile-guided cost-aware barrier placement")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sdlint [-v] [-cluster] [-json | -fix] [name ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: sdlint [-v] [-cluster] [-json] [-fix [-fix-profile dump.json]] [name ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if *jsonOut && *fixMode {
-		fmt.Fprintf(os.Stderr, "sdlint: -json and -fix are mutually exclusive\n")
-		os.Exit(1)
-	}
 	if *clusterMode && *fixMode {
 		fmt.Fprintf(os.Stderr, "sdlint: -cluster and -fix are mutually exclusive\n")
+		os.Exit(1)
+	}
+	if *fixProfile != "" && !*fixMode {
+		fmt.Fprintf(os.Stderr, "sdlint: -fix-profile requires -fix\n")
 		os.Exit(1)
 	}
 
@@ -167,7 +191,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sdlint: no programs match %v\n", flag.Args())
 			os.Exit(1)
 		}
-		fail = runFix(targets, *verbose)
+		profiles, err := loadProfiles(*fixProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
+			os.Exit(1)
+		}
+		fail = runFix(targets, *verbose, *jsonOut, profiles)
 	default:
 		targets, err := collect()
 		if err != nil {
@@ -259,29 +288,134 @@ func runCluster(cts []clusterTarget, verbose, jsonOut bool) bool {
 	return fail
 }
 
-func runFix(targets []target, verbose bool) bool {
+// jsonFixEdit is one edit or final-barrier placement in the -fix -json
+// report. Action is "insert", "remove", "hoist", or "keep"; the
+// placement fields (interval, chosen, profile_drain_cycles) describe
+// keep/hoist rows — barriers of the final program — and are absent on
+// insert/remove rows.
+type jsonFixEdit struct {
+	Pos                int    `json:"pos"`
+	Kind               string `json:"kind"`
+	Action             string `json:"action"`
+	Reason             string `json:"reason"`
+	Interval           []int  `json:"interval,omitempty"` // [earliest, latest] legal slots
+	Chosen             *int   `json:"chosen,omitempty"`   // slot the pass settled on
+	ProfileDrainCycles uint64 `json:"profile_drain_cycles,omitempty"`
+}
+
+// jsonFixProg is one program's section of the -fix -json report.
+type jsonFixProg struct {
+	Suite          string        `json:"suite"`
+	Prog           string        `json:"prog"`
+	BarriersBefore int           `json:"barriers_before"`
+	BarriersAfter  int           `json:"barriers_after"`
+	Changed        bool          `json:"changed"`
+	Edits          []jsonFixEdit `json:"edits"`
+}
+
+// jsonFixReport is the -fix -json output.
+type jsonFixReport struct {
+	Scope    string        `json:"scope"`
+	Programs []jsonFixProg `json:"programs"`
+}
+
+// toFixJSON renders one program's fix report: edits first (inserts,
+// then removes, trace order), then every barrier of the final program
+// with its legal placement interval.
+func toFixJSON(t target, rep *fix.Report) jsonFixProg {
+	p := jsonFixProg{
+		Suite: t.suite, Prog: t.name,
+		BarriersBefore: rep.BarriersBefore, BarriersAfter: rep.BarriersAfter,
+		Changed: rep.Changed(), Edits: []jsonFixEdit{},
+	}
+	for _, e := range rep.Inserted {
+		p.Edits = append(p.Edits, jsonFixEdit{Pos: e.Pos, Kind: e.Kind.String(), Action: "insert", Reason: e.Reason})
+	}
+	for _, e := range rep.Removed {
+		p.Edits = append(p.Edits, jsonFixEdit{Pos: e.Pos, Kind: e.Kind.String(), Action: "remove", Reason: e.Reason})
+	}
+	for _, pl := range rep.Placements {
+		action := "keep"
+		if pl.Hoisted {
+			action = "hoist"
+		}
+		chosen := pl.Chosen
+		p.Edits = append(p.Edits, jsonFixEdit{
+			Pos: pl.Pos, Kind: pl.Kind.String(), Action: action, Reason: pl.Reason,
+			Interval: []int{pl.Earliest, pl.Latest}, Chosen: &chosen,
+			ProfileDrainCycles: pl.Drain,
+		})
+	}
+	return p
+}
+
+// loadProfiles reads a metrics dump and extracts each unit's
+// barrier-drain profile, keyed by unit index.
+func loadProfiles(path string) (map[int]fix.Profile, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d obs.Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[int]fix.Profile{}
+	for _, u := range d.Units {
+		if pr := fix.ProfileFromUnit(u); pr != nil {
+			out[u.Unit] = pr
+		}
+	}
+	return out, nil
+}
+
+func runFix(targets []target, verbose, jsonOut bool, profiles map[int]fix.Profile) bool {
 	fail := false
+	rep := jsonFixReport{Scope: "fix", Programs: []jsonFixProg{}}
 	for _, t := range targets {
-		_, rep, err := fix.Fix(t.prog, t.cfg)
+		_, r, err := fix.FixWithOpts(t.prog, t.cfg, fix.HoistOpts{Profile: profiles[t.unit]})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdlint: %s/%s: %v\n", t.suite, t.name, err)
 			fail = true
 			continue
 		}
-		if rep.Changed() {
-			fmt.Printf("%s/%v\n", t.suite, rep)
-			for _, e := range rep.Inserted {
+		if jsonOut {
+			rep.Programs = append(rep.Programs, toFixJSON(t, r))
+		} else if r.Changed() {
+			fmt.Printf("%s/%v\n", t.suite, r)
+			for _, e := range r.Inserted {
 				fmt.Printf("  + trace[%d] %v: %s\n", e.Pos, e.Kind, e.Reason)
 			}
-			for _, e := range rep.Removed {
+			for _, e := range r.Removed {
 				fmt.Printf("  - trace[%d] %v: %s\n", e.Pos, e.Kind, e.Reason)
 			}
-			fail = true
+			for _, h := range r.Hoisted {
+				fmt.Printf("  ~ trace[%d] -> trace[%d] %v: profiled drain %d cycle(s)\n", h.From, h.To, h.Kind, h.Drain)
+			}
 		} else if verbose {
-			fmt.Printf("%s/%s: ok (%d barriers minimal)\n", t.suite, t.name, rep.BarriersAfter)
+			fmt.Printf("%s/%s: ok (%d barriers minimal)\n", t.suite, t.name, r.BarriersAfter)
+		}
+		if r.Changed() {
+			fail = true
 		}
 	}
+	if jsonOut && emitFixJSON(rep) {
+		return true
+	}
 	return fail
+}
+
+func emitFixJSON(rep jsonFixReport) bool {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
+		return true
+	}
+	return false
 }
 
 // collect builds every built-in program under the configuration its
@@ -388,7 +522,7 @@ func instanceTargets(suite, name string, progs []*core.Program, cfg core.Config)
 		if len(progs) > 1 {
 			n = fmt.Sprintf("%s#%d", name, i)
 		}
-		out = append(out, target{suite: suite, name: n, prog: p, cfg: cfg})
+		out = append(out, target{suite: suite, name: n, unit: i, prog: p, cfg: cfg})
 	}
 	return out
 }

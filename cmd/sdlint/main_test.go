@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"softbrain/internal/fix"
 	"softbrain/internal/isa"
 	"softbrain/internal/lint"
 )
@@ -165,5 +166,127 @@ func TestFilterClusters(t *testing.T) {
 			names = append(names, ct.suite+"/"+ct.name)
 		}
 		t.Fatalf("filterClusters(pipeline) = %v, want exactly examples/pipeline", strings.Join(names, ", "))
+	}
+}
+
+// TestFixJSONSchemaGolden locks the -fix -json schema the same way
+// TestJSONSchemaGolden locks -json: edits carry {pos, kind, action,
+// reason}, keep/hoist rows add {interval: [earliest, latest], chosen,
+// profile_drain_cycles}, and insert/remove rows omit the placement
+// fields entirely.
+func TestFixJSONSchemaGolden(t *testing.T) {
+	chosen := 4
+	rep := jsonFixReport{
+		Scope: "fix",
+		Programs: []jsonFixProg{
+			{
+				Suite: "machsuite", Prog: "spmv-crs",
+				BarriersBefore: 2, BarriersAfter: 2, Changed: true,
+				Edits: []jsonFixEdit{
+					{Pos: 9, Kind: "SD_Barrier_Scratch_Wr", Action: "insert",
+						Reason: "orders the scratchpad write at trace[7]"},
+					{Pos: 12, Kind: "SD_Barrier_All", Action: "remove",
+						Reason: "no unordered pair crosses it"},
+					{Pos: 4, Kind: "SD_Barrier_All", Action: "hoist",
+						Reason:   "hoisted from trace[11]: profiled drain of 8 cycle(s) overlaps streams issued behind it",
+						Interval: []int{2, 11}, Chosen: &chosen, ProfileDrainCycles: 8},
+				},
+			},
+			{
+				Suite: "ext", Prog: "lut",
+				BarriersBefore: 1, BarriersAfter: 1, Changed: false,
+				Edits: []jsonFixEdit{},
+			},
+		},
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "scope": "fix",
+  "programs": [
+    {
+      "suite": "machsuite",
+      "prog": "spmv-crs",
+      "barriers_before": 2,
+      "barriers_after": 2,
+      "changed": true,
+      "edits": [
+        {
+          "pos": 9,
+          "kind": "SD_Barrier_Scratch_Wr",
+          "action": "insert",
+          "reason": "orders the scratchpad write at trace[7]"
+        },
+        {
+          "pos": 12,
+          "kind": "SD_Barrier_All",
+          "action": "remove",
+          "reason": "no unordered pair crosses it"
+        },
+        {
+          "pos": 4,
+          "kind": "SD_Barrier_All",
+          "action": "hoist",
+          "reason": "hoisted from trace[11]: profiled drain of 8 cycle(s) overlaps streams issued behind it",
+          "interval": [
+            2,
+            11
+          ],
+          "chosen": 4,
+          "profile_drain_cycles": 8
+        }
+      ]
+    },
+    {
+      "suite": "ext",
+      "prog": "lut",
+      "barriers_before": 1,
+      "barriers_after": 1,
+      "changed": false,
+      "edits": []
+    }
+  ]
+}`
+	if string(got) != want {
+		t.Errorf("-fix -json schema drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestBuiltinsFixKeepRows checks the real -fix -json path over the
+// built-ins: every program is unchanged (the minimality gate), every
+// edit row is therefore a keep, and every keep carries a well-formed
+// interval containing its chosen slot.
+func TestBuiltinsFixKeepRows(t *testing.T) {
+	targets, err := collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keeps := 0
+	for _, tg := range targets {
+		_, r, err := fix.FixWithOpts(tg.prog, tg.cfg, fix.HoistOpts{})
+		if err != nil {
+			t.Errorf("%s/%s: %v", tg.suite, tg.name, err)
+			continue
+		}
+		jp := toFixJSON(tg, r)
+		if jp.Changed {
+			t.Errorf("%s/%s: shipped program not at the fix point", tg.suite, tg.name)
+		}
+		for _, e := range jp.Edits {
+			if e.Action != "keep" {
+				t.Errorf("%s/%s: unexpected %q edit on an unchanged program", tg.suite, tg.name, e.Action)
+				continue
+			}
+			keeps++
+			if len(e.Interval) != 2 || e.Chosen == nil ||
+				*e.Chosen < e.Interval[0] || *e.Chosen > e.Interval[1] || *e.Chosen != e.Pos {
+				t.Errorf("%s/%s: malformed keep row %+v", tg.suite, tg.name, e)
+			}
+		}
+	}
+	if keeps == 0 {
+		t.Error("no keep rows across all built-ins; placement reporting is broken")
 	}
 }

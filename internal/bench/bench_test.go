@@ -201,3 +201,35 @@ func TestAblations(t *testing.T) {
 			spmv.InOrderIssue, spmv.Baseline)
 	}
 }
+
+// TestFixStudyPlacement runs the full barrier study and checks the
+// placement half: the cost-aware chooser must never lose to the
+// latest-legal baseline (it commits only simulated strict
+// improvements), and must actually win — fewer total cycles and fewer
+// barrier-drain stall cycles — on at least two workloads.
+func TestFixStudyPlacement(t *testing.T) {
+	rows, err := FixStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for _, r := range rows {
+		if r.HoistedCy > r.LatestCy {
+			t.Errorf("%s: hoisted placement is slower than latest-legal (%d > %d cycles)",
+				r.Workload, r.HoistedCy, r.LatestCy)
+		}
+		if r.HoistedCy < r.LatestCy {
+			wins++
+			if r.HoistedDrain >= r.LatestDrain {
+				t.Errorf("%s: cycles improved (%d < %d) but barrier drain did not (%d >= %d)",
+					r.Workload, r.HoistedCy, r.LatestCy, r.HoistedDrain, r.LatestDrain)
+			}
+			if r.Hoists == 0 {
+				t.Errorf("%s: cycles improved without any recorded hoist", r.Workload)
+			}
+		}
+	}
+	if wins < 2 {
+		t.Errorf("cost-aware placement beats latest-legal on %d workloads, want >= 2", wins)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"softbrain/internal/core"
 	"softbrain/internal/fix"
 	"softbrain/internal/isa"
+	"softbrain/internal/lint"
+	"softbrain/internal/obs"
 	"softbrain/internal/workloads"
 	"softbrain/internal/workloads/ext"
 	"softbrain/internal/workloads/machsuite"
@@ -16,10 +18,20 @@ import (
 // every command — the conservative program a cautious programmer or a
 // naive compiler writes), and after the fix pass has eliminated the
 // serialization it can prove redundant. Fixed should recover shipped.
+//
+// The placement fields extend the study to where the surviving barriers
+// sit: the fixed programs normalized to the latest-legal placement (the
+// no-profile baseline) versus the profile-guided cost-aware placement
+// of fix.HoistBarriers, with the barrier-drain stall cycles of each —
+// the component of the total the chooser actually optimizes.
 type FixRow struct {
 	Workload                         string
 	Shipped, Serialized, Fixed       int    // barrier counts
 	ShippedCy, SerializedCy, FixedCy uint64 // cycles
+
+	Hoists                    int    // barriers the cost-aware chooser moved
+	LatestCy, HoistedCy       uint64 // cycles at latest-legal vs cost-aware placement
+	LatestDrain, HoistedDrain uint64 // barrier-drain stall cycles at each placement
 }
 
 // fixStudyWorkloads are the kernels of the study: stream-heavy kernels
@@ -30,6 +42,11 @@ var fixStudyWorkloads = []struct{ suite, name string }{
 	{"machsuite", "stencil2d"},
 	{"machsuite", "gemm"},
 	{"machsuite", "bfs"},
+	{"machsuite", "spmv-ellpack"},
+	{"machsuite", "md-knn"},
+	{"machsuite", "stencil3d"},
+	{"machsuite", "viterbi"},
+	{"ext", "nw"},
 	{"ext", "backprop"},
 	{"ext", "fft"},
 	{"ext", "lut"}, // scratch round-trip: bounded only by value tracking
@@ -89,9 +106,73 @@ func FixStudy() ([]FixRow, error) {
 			}
 			*m.out = cy
 		}
+		if err := placementStudy(inst, cfg, fixed, &row); err != nil {
+			return nil, fmt.Errorf("bench: fix study %s: %w", w.name, err)
+		}
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// placementStudy measures the placement half of the study on one
+// workload: normalize the fixed programs to the latest-legal placement,
+// profile that run for per-barrier drain cycles, then let the
+// cost-aware chooser hoist barriers within their legal intervals with a
+// full simulation as the cost oracle (so committed moves are strict
+// improvements by construction). Every candidate run still verifies the
+// workload's golden check.
+func placementStudy(inst *workloads.Instance, cfg core.Config, fixed []*core.Program, row *FixRow) error {
+	latest := make([]*core.Program, len(fixed))
+	for i, p := range fixed {
+		q, _, err := fix.PlaceLatest(p, cfg)
+		if err != nil {
+			return err
+		}
+		latest[i] = q
+	}
+	lStats, dump, err := runMetrics(inst, cfg, latest)
+	if err != nil {
+		return err
+	}
+	row.LatestCy, row.LatestDrain = lStats.Cycles, lStats.BarrierCycles
+
+	hoisted := make([]*core.Program, len(latest))
+	copy(hoisted, latest)
+	for i := range latest {
+		pr := fix.ProfileFromUnit(dump.Units[i])
+		if pr == nil {
+			continue
+		}
+		idx := i
+		evaluate := func(cand *core.Program) (uint64, error) {
+			trial := make([]*core.Program, len(hoisted))
+			copy(trial, hoisted)
+			trial[idx] = cand
+			return runCycles(inst, cfg, trial)
+		}
+		q, moves, err := fix.HoistBarriers(latest[i], cfg, fix.HoistOpts{Profile: pr, Evaluate: evaluate})
+		if err != nil {
+			return err
+		}
+		// A hoisted placement must keep the strictest analysis verdict.
+		fs, err := lint.CheckWith(q, cfg, lint.Opts{Exhaustive: true, StrictIndirect: true})
+		if err != nil {
+			return err
+		}
+		for _, f := range fs {
+			if f.Sev == lint.SevError {
+				return fmt.Errorf("hoisted %s: %v", q.Name, f)
+			}
+		}
+		hoisted[i] = q
+		row.Hoists += len(moves)
+	}
+	hStats, _, err := runMetrics(inst, cfg, hoisted)
+	if err != nil {
+		return err
+	}
+	row.HoistedCy, row.HoistedDrain = hStats.Cycles, hStats.BarrierCycles
+	return nil
 }
 
 // serialize rebuilds p with an SD_Barrier_All after every non-barrier
@@ -132,4 +213,28 @@ func runCycles(inst *workloads.Instance, cfg core.Config, progs []*core.Program)
 		}
 	}
 	return stats.Cycles, nil
+}
+
+// runMetrics is runCycles with per-unit metrics enabled, returning the
+// full run stats and the merged dump (the barrier_drains sections feed
+// the cost-aware chooser).
+func runMetrics(inst *workloads.Instance, cfg core.Config, progs []*core.Program) (*core.Stats, obs.Dump, error) {
+	cl, err := core.NewCluster(cfg, len(progs))
+	if err != nil {
+		return nil, obs.Dump{}, err
+	}
+	cl.EnableMetrics(obs.Options{})
+	if inst.Init != nil {
+		inst.Init(cl.Mem)
+	}
+	stats, err := cl.Run(progs)
+	if err != nil {
+		return nil, obs.Dump{}, err
+	}
+	if inst.Check != nil {
+		if err := inst.Check(cl.Mem); err != nil {
+			return nil, obs.Dump{}, err
+		}
+	}
+	return stats, cl.MetricsDump(), nil
 }

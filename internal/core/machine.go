@@ -353,7 +353,7 @@ func (m *Machine) stepCore(now uint64) {
 		m.coreStall++
 		return
 	}
-	if err := m.disp.Enqueue(op.Cmd); err != nil {
+	if err := m.disp.EnqueueAt(op.Cmd, m.pc); err != nil {
 		// Enqueue validated at CanEnqueue time; a failure here is a
 		// program error surfaced on the next Step.
 		m.configErr = err
@@ -562,6 +562,11 @@ func (s *Stats) Add(other *Stats) {
 // StallBreakdown exposes the dispatcher's per-command stall counters for
 // performance debugging.
 func (m *Machine) StallBreakdown() map[isa.Kind]uint64 { return m.disp.StallByKind }
+
+// BarrierDrains reports per-barrier drain cycles keyed by trace
+// position, sorted by position — the profile the fix pass's cost-aware
+// placement consumes (see internal/fix).
+func (m *Machine) BarrierDrains() []dispatch.BarrierDrain { return m.disp.BarrierDrains() }
 
 // DebugState renders a one-line snapshot of the dispatcher queue and
 // port occupancy for performance debugging.

@@ -239,6 +239,12 @@ func (m *Machine) finishMetrics(cycles uint64) {
 	m.reg.Counter("mem-bytes").Set(m.mse.BytesDelivered + m.mse.BytesStored)
 	m.reg.Counter("scratch-bytes").Set(m.sse.BytesIn + m.sse.BytesOut)
 	m.reg.Counter("recurrence-bytes").Set(m.rse.BytesMoved)
+	ds := m.disp.BarrierDrains()
+	rows := make([]obs.BarrierDrainDump, len(ds))
+	for i, bd := range ds {
+		rows[i] = obs.BarrierDrainDump{Pos: bd.Pos, Kind: bd.Kind.String(), Cycles: bd.Cycles}
+	}
+	m.reg.SetBarrierDrains(rows)
 }
 
 // ProgressReport is a point-in-time view of a running machine for the

@@ -7,6 +7,7 @@ package dispatch
 
 import (
 	"fmt"
+	"sort"
 
 	"softbrain/internal/engine"
 	"softbrain/internal/isa"
@@ -148,6 +149,12 @@ type Dispatcher struct {
 	ResourceStall uint64 // cycles the head command waited on resources
 	StallByKind   map[isa.Kind]uint64
 
+	// Per-barrier drain accounting, keyed by the trace position the
+	// core passed to EnqueueAt (-1 entries are not tracked). A barrier
+	// is recorded at enqueue time so zero-drain barriers appear too.
+	drainByPos map[int]uint64
+	drainKind  map[int]isa.Kind
+
 	// Wake-hint state (see NextWake / OnSkip). tickProgress records
 	// whether the last Tick changed scoreboard or queue state;
 	// queueAfter is the queue length when it returned (the core
@@ -158,8 +165,17 @@ type Dispatcher struct {
 	tickProgress   bool
 	queueAfter     int
 	repeatBarrier  bool
+	repeatPos      int
 	repeatResource bool
 	repeatKind     isa.Kind
+}
+
+// BarrierDrain is one barrier's drain cost: the cycles it held the
+// queue head waiting for in-flight streams, keyed by trace position.
+type BarrierDrain struct {
+	Pos    int
+	Kind   isa.Kind
+	Cycles uint64
 }
 
 // New builds a dispatcher over the three engines.
@@ -189,7 +205,12 @@ func (d *Dispatcher) CanEnqueue() bool { return len(d.queue) < d.queueDepth }
 
 // Enqueue accepts a command from the control core. The command's ports
 // are validated here, at the architectural boundary.
-func (d *Dispatcher) Enqueue(cmd isa.Command) error {
+func (d *Dispatcher) Enqueue(cmd isa.Command) error { return d.EnqueueAt(cmd, -1) }
+
+// EnqueueAt is Enqueue with the command's trace position attached, so
+// barrier-drain cycles can be attributed to the barrier that caused
+// them (see BarrierDrains). Pass -1 when the position is unknown.
+func (d *Dispatcher) EnqueueAt(cmd isa.Command, pos int) error {
 	if !d.CanEnqueue() {
 		return fmt.Errorf("dispatch: command queue full")
 	}
@@ -205,8 +226,31 @@ func (d *Dispatcher) Enqueue(cmd isa.Command) error {
 	if r.outReader >= d.numOut {
 		return fmt.Errorf("dispatch: %v references output port %d of %d", cmd, r.outReader, d.numOut)
 	}
-	d.queue = append(d.queue, queued{cmd: cmd, at: d.now})
+	if r.engine == engBarrier && pos >= 0 {
+		if d.drainByPos == nil {
+			d.drainByPos = map[int]uint64{}
+			d.drainKind = map[int]isa.Kind{}
+		}
+		if _, ok := d.drainByPos[pos]; !ok {
+			d.drainByPos[pos] = 0
+			d.drainKind[pos] = cmd.Kind()
+		}
+	}
+	d.queue = append(d.queue, queued{cmd: cmd, at: d.now, pos: pos})
 	return nil
+}
+
+// BarrierDrains reports the per-barrier drain cycles accumulated so
+// far, sorted by trace position. Only barriers enqueued via EnqueueAt
+// with a non-negative position appear; zero-drain barriers are
+// included so a profile distinguishes "free" from "never executed".
+func (d *Dispatcher) BarrierDrains() []BarrierDrain {
+	out := make([]BarrierDrain, 0, len(d.drainByPos))
+	for pos, cy := range d.drainByPos {
+		out = append(out, BarrierDrain{Pos: pos, Kind: d.drainKind[pos], Cycles: cy})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
 }
 
 // BlocksCore reports whether the core must stall: the queue is full or
@@ -289,7 +333,10 @@ func (d *Dispatcher) Tick(now uint64) error {
 				d.tickProgress = true
 			} else if i == 0 {
 				d.BarrierCycles++
-				d.repeatBarrier = true
+				d.repeatBarrier, d.repeatPos = true, q.pos
+				if q.pos >= 0 {
+					d.drainByPos[q.pos]++
+				}
 			}
 			// Nothing younger may pass a barrier.
 			return nil
@@ -393,6 +440,9 @@ func (d *Dispatcher) OnSkip(from, to uint64) {
 	dc := to - from
 	if d.repeatBarrier {
 		d.BarrierCycles += dc
+		if d.repeatPos >= 0 {
+			d.drainByPos[d.repeatPos] += dc
+		}
 	}
 	if d.repeatResource {
 		d.ResourceStall += dc
@@ -404,6 +454,7 @@ func (d *Dispatcher) OnSkip(from, to uint64) {
 type queued struct {
 	cmd isa.Command
 	at  uint64 // enqueue cycle
+	pos int    // trace position, -1 when unknown
 }
 
 func (d *Dispatcher) start(id int, cmd isa.Command, k engineKind) error {

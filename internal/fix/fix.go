@@ -55,21 +55,46 @@ type Edit struct {
 	Reason string
 }
 
+// Placement describes one barrier of the fixed program: the slot it
+// occupies, its full legal interval (see Intervals), and what the
+// cost-aware chooser did with it. Pos and Chosen are equal — both name
+// the slot the barrier ended at — and are reported separately to keep
+// the JSON schema explicit about original-versus-chosen when a hoist
+// moved the barrier (then Pos still reads as the final slot and the
+// move itself is in Report.Hoisted).
+type Placement struct {
+	Pos              int
+	Kind             isa.Kind
+	Earliest, Latest int
+	Chosen           int
+	Drain            uint64 // profiled drain cycles; 0 without a profile
+	Hoisted          bool
+	Reason           string
+}
+
 // Report summarizes what Fix did to one program.
 type Report struct {
 	Prog           string
 	Inserted       []Edit
 	Removed        []Edit
+	Hoisted        []Hoist     // cost-aware moves, in commit order
+	Placements     []Placement // every barrier of the final program, in trace order
 	BarriersBefore int
 	BarriersAfter  int
 }
 
 // Changed reports whether Fix rewrote the trace at all.
-func (r *Report) Changed() bool { return len(r.Inserted)+len(r.Removed) > 0 }
+func (r *Report) Changed() bool {
+	return len(r.Inserted)+len(r.Removed)+len(r.Hoisted) > 0
+}
 
 func (r *Report) String() string {
-	return fmt.Sprintf("%s: inserted %d, removed %d barrier(s) (%d -> %d)",
+	s := fmt.Sprintf("%s: inserted %d, removed %d barrier(s) (%d -> %d)",
 		r.Prog, len(r.Inserted), len(r.Removed), r.BarriersBefore, r.BarriersAfter)
+	if len(r.Hoisted) > 0 {
+		s += fmt.Sprintf(", hoisted %d", len(r.Hoisted))
+	}
+	return s
 }
 
 // CountBarriers counts the barrier commands in the trace.
@@ -88,6 +113,18 @@ func CountBarriers(p *core.Program) int {
 // error return mirrors lint.Check: programs that cannot be analyzed at
 // all (construction errors, invalid configuration).
 func Fix(p *core.Program, cfg core.Config) (*core.Program, *Report, error) {
+	return FixWithOpts(p, cfg, HoistOpts{})
+}
+
+// FixWithOpts is Fix with the cost-aware chooser enabled: after
+// synthesis and elimination, barriers are hoisted within their legal
+// intervals according to o (a no-op without o.Profile). The report's
+// Placements cover every barrier of the final program. Profile
+// positions must index the fixed trace, so a profile is only
+// meaningful for programs the structural phases leave unchanged —
+// shipped programs are pinned at that fixpoint by the sdlint -fix
+// gate; for anything else, fix first, profile the result, then hoist.
+func FixWithOpts(p *core.Program, cfg core.Config, o HoistOpts) (*core.Program, *Report, error) {
 	q := clone(p)
 	rep := &Report{Prog: p.Name, BarriersBefore: CountBarriers(p)}
 	if err := synthesize(q, cfg, rep); err != nil {
@@ -96,8 +133,49 @@ func Fix(p *core.Program, cfg core.Config) (*core.Program, *Report, error) {
 	if err := eliminate(q, cfg, rep); err != nil {
 		return nil, nil, err
 	}
+	q, bars, moves, err := hoist(q, cfg, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Hoisted = moves
+	if err := placements(q, cfg, bars, rep); err != nil {
+		return nil, nil, err
+	}
 	rep.BarriersAfter = CountBarriers(q)
 	return q, rep, nil
+}
+
+// placements fills the report's per-barrier placement rows from the
+// final program's intervals and the hoist phase's barrier tracking.
+func placements(q *core.Program, cfg core.Config, bars []barState, rep *Report) error {
+	ivs, err := Intervals(q, cfg)
+	if err != nil {
+		return err
+	}
+	state := map[int]barState{} // final trace index -> tracked identity
+	for _, b := range bars {
+		state[b.cur] = b
+	}
+	for _, iv := range ivs {
+		pl := Placement{Pos: iv.Pos, Kind: iv.Kind,
+			Earliest: iv.Earliest, Latest: iv.Latest, Chosen: iv.Pos}
+		b, tracked := state[iv.Pos]
+		if tracked {
+			pl.Drain, pl.Hoisted = b.drain, b.moved
+		}
+		switch {
+		case pl.Hoisted:
+			pl.Reason = fmt.Sprintf("hoisted from trace[%d]: profiled drain of %d cycle(s) overlaps streams issued behind it", b.orig, b.drain)
+		case iv.Width() == 0:
+			pl.Reason = "pinned: every slot but this one changes a race pair's orderedness"
+		case tracked && b.drain > 0:
+			pl.Reason = fmt.Sprintf("kept: profiled drain of %d cycle(s), no cheaper slot in interval", b.drain)
+		default:
+			pl.Reason = "kept: no profiled drain to recover"
+		}
+		rep.Placements = append(rep.Placements, pl)
+	}
+	return nil
 }
 
 // clone copies the program's architectural content (name, configuration

@@ -1,0 +1,216 @@
+package fix
+
+import (
+	"sort"
+
+	"softbrain/internal/core"
+	"softbrain/internal/isa"
+	"softbrain/internal/lint"
+	"softbrain/internal/obs"
+)
+
+// Cost-aware barrier placement: the closed loop between the stall
+// attribution (internal/obs) and the static analysis. A profiled run
+// reports how many cycles each barrier spent draining (holding the
+// dispatch queue head); the chooser hoists expensive barriers within
+// their legal interval so the drain overlaps unrelated in-flight
+// streams instead of serializing behind them. Placement never changes
+// the analysis verdict — every candidate slot comes from the barrier's
+// interval — so the chooser is free to pick purely by cost.
+
+// Profile carries measured per-barrier drain cycles keyed by trace
+// position — the barrier_drains section of an obs metrics dump. The
+// positions must index the same trace the profile is applied to:
+// profile the program you intend to hoist (for shipped programs, which
+// are already at the fix pass's fixpoint, any sdsim -metrics run
+// qualifies).
+type Profile map[int]uint64
+
+// ProfileFromUnit extracts one unit's barrier-drain profile from a
+// metrics dump, or nil when the dump has none.
+func ProfileFromUnit(u obs.UnitDump) Profile {
+	if len(u.BarrierDrains) == 0 {
+		return nil
+	}
+	pr := make(Profile, len(u.BarrierDrains))
+	for _, b := range u.BarrierDrains {
+		pr[b.Pos] = b.Cycles
+	}
+	return pr
+}
+
+// HoistOpts configures the cost-aware chooser.
+type HoistOpts struct {
+	// Profile is the measured per-barrier drain. Without one the
+	// chooser does nothing: latest-legal (the synthesis placement) is
+	// the no-profile fallback.
+	Profile Profile
+
+	// MinDrain is the profiled drain below which a barrier is left
+	// where it is (hoisting a free barrier cannot win). Zero means 1.
+	MinDrain uint64
+
+	// Evaluate, when set, prices a candidate program (total simulated
+	// cycles); the chooser tries every slot in each barrier's interval
+	// and commits only strict improvements, so the result is never
+	// slower than the input. When nil the chooser uses the static
+	// heuristic instead: hoist to the earliest legal slot, which
+	// minimizes the stream set the barrier waits on and lets everything
+	// between the old and new slot issue after the barrier, overlapping
+	// its drain.
+	Evaluate func(*core.Program) (uint64, error)
+}
+
+// Hoist is one committed move of the chooser.
+type Hoist struct {
+	From, To     int // trace index at move time -> final trace index
+	Kind         isa.Kind
+	Drain        uint64 // profiled drain that motivated the move
+	CyclesBefore uint64 // Evaluate cost before/after; 0/0 when heuristic
+	CyclesAfter  uint64
+}
+
+// barState tracks one barrier's identity through the hoist phase.
+type barState struct {
+	orig, cur int
+	drain     uint64
+	moved     bool
+}
+
+// HoistBarriers applies the cost-aware chooser to every barrier of p,
+// most expensive first, and returns the rewritten program plus the
+// committed moves (with To in final-trace coordinates). p is never
+// modified.
+func HoistBarriers(p *core.Program, cfg core.Config, o HoistOpts) (*core.Program, []Hoist, error) {
+	q, _, moves, err := hoist(p, cfg, o)
+	return q, moves, err
+}
+
+func hoist(p *core.Program, cfg core.Config, o HoistOpts) (*core.Program, []barState, []Hoist, error) {
+	q := clone(p)
+	var bars []barState
+	for i, op := range q.Trace {
+		if op.Cmd != nil && isa.IsBarrier(op.Cmd) {
+			bars = append(bars, barState{orig: i, cur: i, drain: o.Profile[i]})
+		}
+	}
+	if len(o.Profile) == 0 {
+		return q, bars, nil, nil
+	}
+	minDrain := o.MinDrain
+	if minDrain == 0 {
+		minDrain = 1
+	}
+	// Most expensive barrier first; position breaks ties for
+	// determinism.
+	order := make([]int, len(bars))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := bars[order[i]], bars[order[j]]
+		if a.drain != b.drain {
+			return a.drain > b.drain
+		}
+		return a.orig < b.orig
+	})
+	var moves []Hoist
+	for _, bi := range order {
+		b := &bars[bi]
+		if b.drain < minDrain {
+			continue
+		}
+		g, err := lint.Dependences(q, cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		iv := intervalFor(q, g, b.cur, q.Trace[b.cur].Cmd.Kind())
+		if iv.Width() == 0 {
+			continue
+		}
+		shift := q.Trace[b.cur].Delay == 0
+		chosen := b.cur
+		var best *core.Program
+		var cyBefore, cyAfter uint64
+		if o.Evaluate == nil {
+			if iv.Earliest < b.cur {
+				chosen = iv.Earliest
+				if best, err = MoveBarrier(q, b.cur, chosen); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		} else {
+			if cyBefore, err = o.Evaluate(q); err != nil {
+				return nil, nil, nil, err
+			}
+			cyAfter = cyBefore
+			for s := iv.Earliest; s <= iv.Latest; s++ {
+				if s == b.cur {
+					continue
+				}
+				cand, err := MoveBarrier(q, b.cur, s)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				cy, err := o.Evaluate(cand)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				if cy < cyAfter {
+					cyAfter, chosen, best = cy, s, cand
+				}
+			}
+		}
+		if best == nil {
+			continue
+		}
+		from := b.cur
+		q = best
+		moves = append(moves, Hoist{From: from, To: chosen, Kind: iv.Kind,
+			Drain: b.drain, CyclesBefore: cyBefore, CyclesAfter: cyAfter})
+		b.moved = true
+		// Remap every tracked position past the splice.
+		b.cur = chosen
+		for j := range bars {
+			if j != bi {
+				bars[j].cur = shiftAfterMove(bars[j].cur, from, chosen, shift)
+			}
+		}
+		for k := range moves[:len(moves)-1] {
+			moves[k].To = shiftAfterMove(moves[k].To, from, chosen, shift)
+		}
+	}
+	return q, bars, moves, nil
+}
+
+// PlaceLatest returns a copy of p with every barrier pushed to the
+// latest slot of its legal interval — the canonical placement the
+// synthesis pass produces for missing barriers, and the baseline the
+// cost-aware chooser is scored against — plus how many barriers moved.
+// One right-to-left pass: moving a barrier right never disturbs the
+// positions left of it.
+func PlaceLatest(p *core.Program, cfg core.Config) (*core.Program, int, error) {
+	q := clone(p)
+	moved := 0
+	for i := len(q.Trace) - 1; i >= 0; i-- {
+		op := q.Trace[i]
+		if op.Cmd == nil || !isa.IsBarrier(op.Cmd) {
+			continue
+		}
+		g, err := lint.Dependences(q, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		iv := intervalFor(q, g, i, op.Cmd.Kind())
+		if iv.Latest == i {
+			continue
+		}
+		nq, err := MoveBarrier(q, i, iv.Latest)
+		if err != nil {
+			return nil, 0, err
+		}
+		q = nq
+		moved++
+	}
+	return q, moved, nil
+}

@@ -1,0 +1,188 @@
+package fix
+
+import (
+	"fmt"
+
+	"softbrain/internal/core"
+	"softbrain/internal/isa"
+	"softbrain/internal/lint"
+)
+
+// This file turns the point answer of the synthesis pass ("the latest
+// legal position") into an interval answer: for every barrier, the
+// full contiguous range of placements that leaves the program's
+// analysis verdict unchanged — every race pair it orders stays
+// ordered, no pair it leaves unordered becomes spuriously ordered (the
+// eliminate pass's minimality argument depends on that), and the
+// end-of-trace visibility warning keeps its value. Legality is decided
+// against the placement-independent dependence set of
+// lint.Dependences, so sliding a barrier costs index arithmetic, not a
+// re-analysis.
+//
+// Coordinates: an interval's endpoints are *insertion slots* of the
+// trace with that barrier removed (its skeleton). A barrier at trace
+// index i occupies skeleton slot i, so Earliest <= Pos <= Latest reads
+// naturally as trace positions; re-inserting at slot i reproduces the
+// original program, and MoveBarrier(p, i, s) realizes any other slot.
+
+// Interval is one barrier's legal placement range.
+type Interval struct {
+	Pos              int      // the barrier's trace index in p
+	Kind             isa.Kind // its barrier kind
+	Earliest, Latest int      // legal insertion slots, skeleton coordinates
+}
+
+// Width is the number of alternative placements (0 means pinned).
+func (iv Interval) Width() int { return iv.Latest - iv.Earliest }
+
+// Intervals computes the legal placement interval of every barrier in
+// p, in trace order. Each barrier is analyzed against the others held
+// fixed.
+func Intervals(p *core.Program, cfg core.Config) ([]Interval, error) {
+	g, err := lint.Dependences(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []Interval
+	for i, op := range p.Trace {
+		if op.Cmd != nil && isa.IsBarrier(op.Cmd) {
+			out = append(out, intervalFor(p, g, i, op.Cmd.Kind()))
+		}
+	}
+	return out, nil
+}
+
+// intervalFor computes one barrier's interval from the dependence set.
+//
+// The rules (see lint.Dep): a barrier inserted before skeleton slot q
+// orders pair (o, y) iff o < q <= y in skeleton coordinates, and
+// covers a trailing write w iff q > w. A slot is legal iff every
+// pair's orderedness equals its orderedness at the original position
+// and the trailing-warning bit is unchanged; the interval is the
+// maximal contiguous legal range containing the original slot.
+func intervalFor(p *core.Program, g *lint.DepGraph, bpos int, bk isa.Kind) Interval {
+	// The skeleton drops the barrier command; a host delay on its op
+	// stays in place (removeOp's rule), in which case indices do not
+	// shift.
+	shift := p.Trace[bpos].Delay == 0
+	skLen := len(p.Trace)
+	if shift {
+		skLen--
+	}
+	sk := func(x int) int {
+		if shift && x > bpos {
+			return x - 1
+		}
+		return x
+	}
+
+	legal := make([]bool, skLen+1)
+	for q := range legal {
+		legal[q] = true
+	}
+	requireIn := func(lo, hi int) {
+		for q := 0; q <= skLen; q++ {
+			if q < lo || q > hi {
+				legal[q] = false
+			}
+		}
+	}
+	requireOut := func(lo, hi int) {
+		for q := max(lo, 0); q <= hi && q <= skLen; q++ {
+			legal[q] = false
+		}
+	}
+
+	var trailing []lint.Dep // trailing deps no other fence covers
+	for _, d := range g.Deps {
+		if d.Trailing {
+			if !g.OrderedByFences(d, bpos) {
+				trailing = append(trailing, d)
+			}
+			continue
+		}
+		covers := lint.FenceOrders(bk, d.Need)
+		base := g.OrderedByFences(d, bpos)
+		orig := base || (covers && d.Older < bpos && bpos < d.Younger)
+		switch {
+		case base || !covers:
+			// Ordered (or unorderable by this barrier) at every slot.
+		case orig:
+			requireIn(sk(d.Older)+1, sk(d.Younger))
+		default:
+			requireOut(sk(d.Older)+1, sk(d.Younger))
+		}
+	}
+
+	// Trailing-warning bit: the checker warns iff some trailing write
+	// has no covering fence behind it. Of the writes only this barrier
+	// could cover, the warning clears exactly when the barrier covers
+	// all of them — q past the youngest — and they are all coverable
+	// by its kind.
+	if len(trailing) > 0 {
+		allCover, maxOlder := true, -1
+		for _, d := range trailing {
+			if !lint.FenceOrders(bk, d.Need) {
+				allCover = false
+			}
+			if s := sk(d.Older); s > maxOlder {
+				maxOlder = s
+			}
+		}
+		if allCover {
+			if bpos <= maxOlder { // warning set at the original slot
+				requireIn(0, maxOlder)
+			} else {
+				requireIn(maxOlder+1, skLen)
+			}
+		}
+		// !allCover: the warning is set at every slot; no constraint.
+	}
+
+	iv := Interval{Pos: bpos, Kind: bk, Earliest: bpos, Latest: bpos}
+	if !legal[bpos] {
+		// The original slot satisfies every constraint by construction;
+		// reaching this is an analysis bug, but a pinned interval is
+		// always a safe answer.
+		return iv
+	}
+	for iv.Earliest > 0 && legal[iv.Earliest-1] {
+		iv.Earliest--
+	}
+	for iv.Latest < skLen && legal[iv.Latest+1] {
+		iv.Latest++
+	}
+	return iv
+}
+
+// MoveBarrier returns a copy of p with the barrier at trace index pos
+// re-inserted at the given skeleton slot (the coordinates Intervals
+// reports). A host delay attached to the barrier's op stays at the
+// original position, mirroring removeOp.
+func MoveBarrier(p *core.Program, pos, slot int) (*core.Program, error) {
+	if pos < 0 || pos >= len(p.Trace) || p.Trace[pos].Cmd == nil || !isa.IsBarrier(p.Trace[pos].Cmd) {
+		return nil, fmt.Errorf("fix: %s: trace[%d] is not a barrier", p.Name, pos)
+	}
+	kind := p.Trace[pos].Cmd.Kind()
+	q := clone(p)
+	removeOp(q, pos)
+	if slot < 0 || slot > len(q.Trace) {
+		return nil, fmt.Errorf("fix: %s: slot %d outside [0, %d]", p.Name, slot, len(q.Trace))
+	}
+	insertBarrier(q, slot, kind)
+	return q, nil
+}
+
+// shiftAfterMove maps a trace index x of the pre-move program (x !=
+// pos, e.g. another barrier) to its index after MoveBarrier(p, pos,
+// slot). shift tells whether the removal spliced the trace (no host
+// delay on the moved op).
+func shiftAfterMove(x, pos, slot int, shift bool) int {
+	if shift && x > pos {
+		x--
+	}
+	if x >= slot {
+		x++
+	}
+	return x
+}

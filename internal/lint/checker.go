@@ -43,6 +43,12 @@ type checker struct {
 	findings []Finding
 	bytes    map[string]uint64 // check family -> bytes analyzed
 
+	// ignoreBarriers suppresses the window clearing of the barrier
+	// commands (SD_Config still fences), so every conflicting pair is
+	// enumerated regardless of placement — the dependence query behind
+	// Dependences (deps.go). Never set by the public entry points.
+	ignoreBarriers bool
+
 	// Active configuration (nil before the first SD_Config).
 	sched  *cgra.Schedule
 	inMap  map[int]int // hardware input port -> DFG input port
@@ -176,11 +182,17 @@ func (c *checker) command(idx int, cmd isa.Command) {
 		c.outPortRead(idx, k.Src, satMul(k.Count, uint64(k.DataElem)))
 		c.indAccess(idx, true, int(k.Src), k.Offset, k.Scale, k.DataElem, k.Count, "SD_IndPort_Mem scatter")
 	case isa.BarrierScratchRd:
-		c.padRd = nil
+		if !c.ignoreBarriers {
+			c.padRd = nil
+		}
 	case isa.BarrierScratchWr:
-		c.padWr = nil
+		if !c.ignoreBarriers {
+			c.padWr = nil
+		}
 	case isa.BarrierAll:
-		c.mem, c.padRd, c.padWr = nil, nil, nil
+		if !c.ignoreBarriers {
+			c.mem, c.padRd, c.padWr = nil, nil, nil
+		}
 	}
 }
 

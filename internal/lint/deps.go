@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"softbrain/internal/core"
+	"softbrain/internal/isa"
+)
+
+// This file answers the interval question behind cost-aware barrier
+// placement (internal/fix): not "is this pair ordered?" but "which
+// placements of a barrier keep every pair's orderedness unchanged?".
+// Dependences runs the race checker with barrier window-clearing
+// suppressed, so it enumerates every conflicting access pair the
+// program could ever race on, independent of where its barriers sit.
+// A barrier placement is then scored against this fixed pair set with
+// pure index arithmetic — no re-analysis per candidate position.
+
+// Dep is one conflicting access pair: without an intervening fence of
+// at least Need strength, the accesses at trace indices Older and
+// Younger race. A fence at trace index f orders the pair iff
+// Older < f < Younger; a barrier *inserted before* index p orders it
+// iff Older < p <= Younger.
+//
+// Trailing deps model the end-of-trace visibility rule (the checker's
+// trailing-unordered-write warning): Younger is len(trace), a
+// pseudo-position one past the last command, and the dep is "ordered"
+// when any covering fence follows the write.
+type Dep struct {
+	Older, Younger int
+	Need           isa.Kind // weakest barrier kind ordering the pair
+	StrictOnly     bool     // reported only under Opts.StrictIndirect
+	Trailing       bool     // end-of-trace visibility pseudo-pair
+	Msg            string   // sample diagnosis from the checker
+}
+
+// Fence is one ordering point fixed in the trace: a barrier command or
+// an SD_Config (a full fence at dispatch).
+type Fence struct {
+	Pos  int
+	Kind isa.Kind
+}
+
+// DepGraph is the program's placement-independent dependence set: all
+// conflicting pairs (as if no barrier existed), plus where the actual
+// fences sit.
+type DepGraph struct {
+	TraceLen int
+	Deps     []Dep
+	Fences   []Fence
+}
+
+// FenceOrders reports whether a fence of kind k closes a race window
+// that needs a barrier of kind need: SD_Barrier_All and SD_Config
+// close every window, the scratch barriers only their own.
+func FenceOrders(k, need isa.Kind) bool {
+	return k == isa.KindConfig || k == isa.KindBarrierAll || k == need
+}
+
+// Dependences enumerates every conflicting access pair of p with the
+// barrier commands treated as no-ops, under the exhaustive
+// strict-indirect analysis (the strictest the fix pass uses; pairs
+// visible only to it carry StrictOnly). The index value pre-pass
+// (values.go) never consults barrier placement — barriers move no
+// data — so the pair set is valid for every placement of every
+// barrier.
+func Dependences(p *core.Program, cfg core.Config) (*DepGraph, error) {
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := newChecker(p, cfg, Opts{Exhaustive: true, StrictIndirect: true})
+	c.ignoreBarriers = true
+	g := &DepGraph{TraceLen: len(p.Trace)}
+	for i, op := range p.Trace {
+		if op.Cmd == nil {
+			continue
+		}
+		switch k := op.Cmd.Kind(); k {
+		case isa.KindConfig, isa.KindBarrierScratchRd, isa.KindBarrierScratchWr, isa.KindBarrierAll:
+			g.Fences = append(g.Fences, Fence{Pos: i, Kind: k})
+		}
+		c.command(i, op.Cmd)
+	}
+	for _, f := range c.findings {
+		if f.Check != CheckRace || f.Sev != SevError || f.Other < 0 {
+			continue
+		}
+		g.Deps = append(g.Deps, Dep{
+			Older: f.Other, Younger: f.Index, Need: f.Barrier,
+			StrictOnly: f.Code == "race-indirect-strict", Msg: f.Msg,
+		})
+	}
+	// Trailing pseudo-pairs: every write still in a window at the end
+	// of the walk (SD_Config cleared earlier regions; barriers were
+	// ignored). The checker's finish() warning fires iff at least one
+	// of these has no covering fence behind it.
+	end := len(p.Trace)
+	for _, a := range c.mem {
+		if a.write {
+			g.Deps = append(g.Deps, Dep{
+				Older: a.idx, Younger: end, Need: isa.KindBarrierAll, Trailing: true,
+				Msg: a.what + " is not ordered by a barrier before the program ends",
+			})
+		}
+	}
+	for _, a := range c.padWr {
+		g.Deps = append(g.Deps, Dep{
+			Older: a.idx, Younger: end, Need: isa.KindBarrierScratchWr, Trailing: true,
+			Msg: a.what + " is not ordered by a barrier before the program ends",
+		})
+	}
+	return g, nil
+}
+
+// OrderedByFences reports whether the program's fixed fences, with the
+// fence at trace index skip removed (pass -1 to keep all), order dep d.
+func (g *DepGraph) OrderedByFences(d Dep, skip int) bool {
+	for _, f := range g.Fences {
+		if f.Pos == skip || !FenceOrders(f.Kind, d.Need) {
+			continue
+		}
+		if d.Older < f.Pos && f.Pos < d.Younger {
+			return true
+		}
+	}
+	return false
+}

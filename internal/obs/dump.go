@@ -26,17 +26,30 @@ type HistogramDump struct {
 	Max     uint64   `json:"max"`
 }
 
+// BarrierDrainDump is one barrier's drain cost in a dump: the cycles
+// the barrier at trace position Pos held the dispatch queue head
+// waiting for in-flight streams. This is the per-barrier refinement of
+// the dispatcher's barrier-drain attribution (which additionally
+// counts SD_Config quiesce cycles), and the profile format consumed by
+// the fix pass's cost-aware placement (internal/fix.Profile).
+type BarrierDrainDump struct {
+	Pos    int    `json:"pos"`
+	Kind   string `json:"kind"`
+	Cycles uint64 `json:"cycles"`
+}
+
 // UnitDump is one unit's full metrics: the simulated cycle count, each
-// component's attribution, registered scalar metrics, and per-stream
-// data movement.
+// component's attribution, registered scalar metrics, per-stream data
+// movement, and per-barrier drain costs.
 type UnitDump struct {
-	Unit       int               `json:"unit"`
-	Cycles     uint64            `json:"cycles"`
-	Components []ComponentDump   `json:"components"`
-	Counters   map[string]uint64 `json:"counters,omitempty"`
-	Gauges     map[string]uint64 `json:"gauges,omitempty"`
-	Histograms []HistogramDump   `json:"histograms,omitempty"`
-	Streams    []StreamBW        `json:"streams,omitempty"`
+	Unit          int                `json:"unit"`
+	Cycles        uint64             `json:"cycles"`
+	Components    []ComponentDump    `json:"components"`
+	Counters      map[string]uint64  `json:"counters,omitempty"`
+	Gauges        map[string]uint64  `json:"gauges,omitempty"`
+	Histograms    []HistogramDump    `json:"histograms,omitempty"`
+	Streams       []StreamBW         `json:"streams,omitempty"`
+	BarrierDrains []BarrierDrainDump `json:"barrier_drains,omitempty"`
 }
 
 // Dump is the machine-level metrics dump: per-unit sections plus a
@@ -91,6 +104,7 @@ func (r *Registry) Dump() UnitDump {
 		})
 	}
 	d.Streams = r.Streams()
+	d.BarrierDrains = append([]BarrierDrainDump(nil), r.barriers...)
 	return d
 }
 
@@ -124,6 +138,8 @@ func Merge(units []UnitDump) Dump {
 			d.Total.Counters[k] += v
 		}
 		d.Total.Streams = append(d.Total.Streams, u.Streams...)
+		// BarrierDrains stay per-unit: positions index each unit's own
+		// trace, so a cross-unit total would conflate programs.
 	}
 	for _, name := range order {
 		d.Total.Components = append(d.Total.Components, *comp[name])

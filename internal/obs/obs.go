@@ -232,6 +232,7 @@ type Registry struct {
 	gauges   []*Gauge
 	hists    []*Histogram
 	streams  []StreamBW
+	barriers []BarrierDrainDump
 
 	opts Options
 }
@@ -332,6 +333,18 @@ func (r *Registry) Stream(id int, kind string, bytes uint64) {
 		return
 	}
 	r.streams = append(r.streams, StreamBW{ID: id, Kind: kind, Bytes: bytes})
+}
+
+// SetBarrierDrains replaces the per-barrier drain section (cycles each
+// barrier held the dispatch queue head, keyed by trace position).
+// Callers pass rows in ascending position order so dumps stay
+// deterministic; replacement keeps repeated stats collection
+// idempotent, matching Counter.Set.
+func (r *Registry) SetBarrierDrains(ds []BarrierDrainDump) {
+	if r == nil {
+		return
+	}
+	r.barriers = append(r.barriers[:0], ds...)
 }
 
 // Streams returns the recorded stream rows sorted by stream ID.

@@ -108,6 +108,68 @@ func Commands(rng *rand.Rand, p Ports) []isa.Command {
 	return cmds
 }
 
+// BarrierCommands generates a barrier-heavy balanced sequence with
+// nontrivial placement intervals — the shipped workloads carry 0–2
+// barriers each, too few to exercise the interval analysis of
+// internal/fix. Each block writes a region (memory or scratchpad),
+// issues unrelated const→clean filler steps, then the matching barrier,
+// then reads the region back: the barrier is load-bearing (the
+// write/read pair pins it) but movable across every filler. Blocks
+// reuse pools and scratch lines, so cross-block hazards remain for the
+// fix pass to repair with additional barriers — run the generated
+// program through fix.Fix before asserting cleanliness.
+func BarrierCommands(rng *rand.Rand, p Ports) []isa.Command {
+	var cmds []isa.Command
+	blocks := 3 + rng.Intn(4)
+	for b := 0; b < blocks; b++ {
+		n := uint64(1 + rng.Intn(4))
+		bytes := 8 * n
+		pool := MemPools[rng.Intn(len(MemPools))]
+		pad := PadBases[rng.Intn(len(PadBases))]
+		scratch := rng.Intn(2) == 0
+
+		// Producer: compute n sums from constants into the region.
+		cmds = append(cmds,
+			isa.ConstPort{Value: rng.Uint64(), Elem: isa.Elem64, Count: n, Dst: p.A},
+			isa.ConstPort{Value: uint64(rng.Intn(1 << 12)), Elem: isa.Elem64, Count: n, Dst: p.B},
+		)
+		if scratch {
+			cmds = append(cmds, isa.PortScratch{Src: p.C, Elem: isa.Elem64, Count: n, ScratchAddr: pad})
+		} else {
+			cmds = append(cmds, isa.PortMem{Src: p.C, Dst: isa.Linear(pool, bytes)})
+		}
+
+		// Unrelated fillers the barrier can legally slide across.
+		for f, fillers := 0, 1+rng.Intn(3); f < fillers; f++ {
+			fn := uint64(1 + rng.Intn(4))
+			cmds = append(cmds,
+				isa.ConstPort{Value: rng.Uint64(), Elem: isa.Elem64, Count: fn, Dst: p.A},
+				isa.ConstPort{Value: rng.Uint64(), Elem: isa.Elem64, Count: fn, Dst: p.B},
+				isa.CleanPort{Src: p.C, Elem: isa.Elem64, Count: fn},
+			)
+		}
+
+		// The barrier ordering producer against consumer, then the
+		// consumer reading the region back.
+		if scratch {
+			cmds = append(cmds,
+				isa.BarrierScratchWr{},
+				isa.ScratchPort{Src: isa.Linear(pad, bytes), Dst: p.A},
+			)
+		} else {
+			cmds = append(cmds,
+				isa.BarrierAll{},
+				isa.MemPort{Src: isa.Linear(pool, bytes), Dst: p.A},
+			)
+		}
+		cmds = append(cmds,
+			isa.ConstPort{Value: 1, Elem: isa.Elem64, Count: n, Dst: p.B},
+			isa.CleanPort{Src: p.C, Elem: isa.Elem64, Count: n},
+		)
+	}
+	return append(cmds, isa.BarrierAll{})
+}
+
 // Rebase returns a copy of cmds with every memory address shifted by
 // delta bytes. Scratchpad addresses stay put (each unit owns its
 // scratchpad). Running the same generated program rebased to disjoint

@@ -31,6 +31,10 @@
 #                    Perfetto trace validated against the format
 #                    contract and the stall attribution against the
 #                    conservation invariant
+#  12. fuzz smoke    a short slice of `make fuzz-smoke`: the footprint-
+#                    algebra fuzz targets plus the barrier-interval
+#                    slide verification (docs/LINT.md); `make
+#                    fuzz-smoke` runs the full budget
 #
 # Run it from the repository root (or via `make check`). Exits non-zero
 # on the first failing stage.
@@ -83,5 +87,8 @@ for w in gemm stencil2d; do
 		-metrics "/tmp/obs_$w.json" -trace-out "/tmp/obs_$w.trace.json" >/dev/null
 	go run ./cmd/sdobs -validate-trace "/tmp/obs_$w.trace.json" -check "/tmp/obs_$w.json"
 done
+
+echo "== fuzz smoke (short slice; make fuzz-smoke for full budget)"
+FUZZTIME=5s make fuzz-smoke
 
 echo "== all checks passed"

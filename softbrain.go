@@ -59,6 +59,10 @@ type (
 	// Program is a stream-dataflow program: configurations plus the
 	// command trace the control core replays.
 	Program = core.Program
+
+	// TraceOp is one step of a Program's control trace: a stream
+	// command or a host-side delay.
+	TraceOp = core.TraceOp
 	// Stats aggregates a run's cycle counts and activity.
 	Stats = core.Stats
 	// DeadlockError reports a run that stopped making progress, with
@@ -235,6 +239,35 @@ type FixReport = fix.Report
 // barrier whose removal provably creates no new hazard is deleted. The
 // input program is not modified. See internal/fix and docs/LINT.md.
 func FixProgram(p *Program, cfg Config) (*Program, *FixReport, error) { return fix.Fix(p, cfg) }
+
+// FixOpts configures FixProgramWithOpts: a measured per-barrier drain
+// profile (the barrier_drains section of a metrics dump; see
+// BarrierProfile) enables profile-guided cost-aware barrier placement.
+type FixOpts = fix.HoistOpts
+
+// BarrierProfile is per-barrier drain cycles keyed by trace position;
+// extract one from a metrics dump unit with fix.ProfileFromUnit.
+type BarrierProfile = fix.Profile
+
+// FixProgramWithOpts is FixProgram plus cost-aware placement: barriers
+// with profiled drain cycles are hoisted within their legal placement
+// intervals so the drain overlaps unrelated in-flight streams. With a
+// zero FixOpts it is exactly FixProgram. See docs/LINT.md ("Placement
+// intervals & cost-aware hoisting").
+func FixProgramWithOpts(p *Program, cfg Config, o FixOpts) (*Program, *FixReport, error) {
+	return fix.FixWithOpts(p, cfg, o)
+}
+
+// BarrierInterval is one barrier's legal placement range: the
+// contiguous slots where it still orders every race pair it protects
+// and creates no new hazard.
+type BarrierInterval = fix.Interval
+
+// BarrierIntervals computes the legal placement interval of every
+// barrier in p, in trace order.
+func BarrierIntervals(p *Program, cfg Config) ([]BarrierInterval, error) {
+	return fix.Intervals(p, cfg)
+}
 
 // Fault injection (see internal/faults and docs/ROBUSTNESS.md).
 
