@@ -68,3 +68,19 @@ obs-check:
 	go run ./cmd/sdobs -validate-trace /tmp/obs_gemm.trace.json -check /tmp/obs_gemm.json
 	go run ./cmd/sdsim -w stencil2d -scale 2 -metrics /tmp/obs_stencil2d.json -trace-out /tmp/obs_stencil2d.trace.json >/dev/null
 	go run ./cmd/sdobs -validate-trace /tmp/obs_stencil2d.trace.json -check /tmp/obs_stencil2d.json
+
+# sdserve self-test (docs/SERVE.md): start the service on a loopback
+# port, submit a workload, verify the cache hit on resubmission, the
+# typed rejection of a bad submission, and a clean drain with a request
+# in flight. check.sh runs this as stage 13.
+.PHONY: serve-smoke
+serve-smoke:
+	go run ./cmd/sdserve -smoke
+
+# sdserve load generator (docs/SERVE.md): an in-process server soaked
+# by concurrent clients with chaos cancellations; writes the
+# throughput/latency table to BENCH_serve.json and fails if any panic
+# escaped a request. Override the shape with LOADGEN_ARGS.
+.PHONY: serve-loadgen
+serve-loadgen:
+	go run ./cmd/sdserve -loadgen $${LOADGEN_ARGS:-}

@@ -10,10 +10,12 @@
 //	sdbench -fig 11      # one figure (12-15 run the same study)
 //	sdbench -fix         # barrier-elimination study (docs/LINT.md)
 //	sdbench -json        # simulator host-performance study -> BENCH_sim.json
-//	sdbench -json -smoke # CI smoke slice, checked against the goldens
+//	sdbench -json -smoke # CI smoke slice, checked against the goldens\n//	sdbench -timeout 10m # bound the whole run by wall clock
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +23,7 @@ import (
 	"text/tabwriter"
 
 	"softbrain/internal/bench"
+	"softbrain/internal/core"
 )
 
 func main() {
@@ -33,23 +36,32 @@ func main() {
 	out := flag.String("out", "BENCH_sim.json", "with -json: output path")
 	goldens := flag.String("goldens", "scripts/bench_goldens.json", "with -json -smoke: golden cycle counts")
 	updateGoldens := flag.Bool("update-goldens", false, "with -json: rewrite the goldens from this run")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run, e.g. 10m (0 = none; the cycle watchdog still applies)")
 	flag.Parse()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, *timeout,
+			fmt.Errorf("sdbench: -timeout %v exceeded", *timeout))
+		defer cancel()
+	}
+
 	if *jsonOut {
-		if err := runSimBench(*smoke, *out, *goldens, *updateGoldens); err != nil {
-			log.Fatal(err)
+		if err := runSimBench(ctx, *smoke, *out, *goldens, *updateGoldens); err != nil {
+			fail(err)
 		}
 		return
 	}
 	if *ablate {
-		if err := printAblations(); err != nil {
-			log.Fatal(err)
+		if err := printAblations(ctx); err != nil {
+			fail(err)
 		}
 		return
 	}
 	if *fixStudy {
-		if err := printFixStudy(); err != nil {
-			log.Fatal(err)
+		if err := printFixStudy(ctx); err != nil {
+			fail(err)
 		}
 		return
 	}
@@ -58,26 +70,38 @@ func main() {
 		printTable3()
 	}
 	if all || *fig == 11 {
-		if err := printFig11(); err != nil {
-			log.Fatal(err)
+		if err := printFig11(ctx); err != nil {
+			fail(err)
 		}
 	}
 	if all || *table == 4 {
 		printTable4()
 	}
 	if all || (*fig >= 12 && *fig <= 15) {
-		if err := printMachSuite(*fig); err != nil {
-			log.Fatal(err)
+		if err := printMachSuite(ctx, *fig); err != nil {
+			fail(err)
 		}
 	}
+}
+
+// fail reports an execution error and exits. A wall-clock cancellation
+// (-timeout) arrives as a core.CanceledError; print it on one line
+// rather than the full machine-state rendering.
+func fail(err error) {
+	var ce *core.CanceledError
+	if errors.As(err, &ce) {
+		fmt.Fprintf(os.Stderr, "sdbench: %v\n", err)
+		os.Exit(1)
+	}
+	log.Fatal(err)
 }
 
 // runSimBench measures simulated cycles and host wall time per workload
 // (skip-ahead off and on), writes the JSON artifact, and — for the
 // smoke slice — fails if simulated cycle counts drift from the
 // committed goldens.
-func runSimBench(smoke bool, out, goldens string, update bool) error {
-	rows, err := bench.SimBench(smoke)
+func runSimBench(ctx context.Context, smoke bool, out, goldens string, update bool) error {
+	rows, err := bench.SimBenchContext(ctx, smoke)
 	if err != nil {
 		return err
 	}
@@ -107,9 +131,9 @@ func runSimBench(smoke bool, out, goldens string, update bool) error {
 	return nil
 }
 
-func printAblations() error {
+func printAblations(ctx context.Context) error {
 	fmt.Println("Ablation study: warm-run cycles with features disabled")
-	rows, err := bench.Ablations()
+	rows, err := bench.AblationsContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -125,10 +149,10 @@ func printAblations() error {
 	return nil
 }
 
-func printFixStudy() error {
+func printFixStudy(ctx context.Context) error {
 	fmt.Println("Barrier study: cycles as shipped, fully serialized, and after sdfix;")
 	fmt.Println("then placement: latest-legal baseline vs profile-guided cost-aware hoisting")
-	rows, err := bench.FixStudy()
+	rows, err := bench.FixStudyContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -170,9 +194,9 @@ func printTable3() {
 	fmt.Println()
 }
 
-func printFig11() error {
+func printFig11(ctx context.Context) error {
 	fmt.Println("Figure 11: Performance on DNN Workloads (speedup vs 1-thread CPU)")
-	rows, err := bench.Fig11()
+	rows, err := bench.Fig11Context(ctx)
 	if err != nil {
 		return err
 	}
@@ -213,8 +237,8 @@ func printTable4() {
 	fmt.Println()
 }
 
-func printMachSuite(fig int) error {
-	rows, err := bench.MachSuiteStudy()
+func printMachSuite(ctx context.Context, fig int) error {
+	rows, err := bench.MachSuiteStudyContext(ctx)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,166 @@
+// sdserve runs the simulator as a hardened HTTP service: bounded
+// worker pool, admission control with load shedding, per-request
+// wall-clock deadlines, content-addressed result caching, and
+// graceful drain on SIGTERM.
+//
+//	sdserve                      # serve on :8475 until SIGTERM/SIGINT
+//	sdserve -addr :9000          # another port
+//	sdserve -smoke               # in-process end-to-end self test (CI gate)
+//	sdserve -loadgen             # in-process load generation -> BENCH_serve.json
+//
+// Endpoints: POST /v1/run (submission), GET /healthz, /readyz, /statusz.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"softbrain/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8475", "listen address")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = host cores)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 2x workers)")
+	cacheN := flag.Int("cache", 256, "result cache entries (-1 disables)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request wall-clock budget")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "ceiling on client-requested budgets")
+	grace := flag.Duration("drain-grace", 15*time.Second, "how long SIGTERM lets in-flight runs finish")
+	smoke := flag.Bool("smoke", false, "run the in-process self test and exit")
+
+	loadgen := flag.Bool("loadgen", false, "run in-process load generation and exit")
+	lgClients := flag.Int("loadgen-clients", 8, "with -loadgen: concurrent clients")
+	lgRequests := flag.Int("loadgen-requests", 400, "with -loadgen: total requests")
+	lgChaos := flag.Int("loadgen-chaos", 9, "with -loadgen: abandon every Nth request mid-run (0 = never)")
+	lgOut := flag.String("out", "BENCH_serve.json", "with -loadgen: output path")
+	flag.Parse()
+
+	opts := serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheN,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DrainGrace:     *grace,
+	}
+
+	switch {
+	case *smoke:
+		if err := serve.SelfTest(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sdserve:", err)
+			os.Exit(1)
+		}
+	case *loadgen:
+		if err := runLoadgen(opts, *lgClients, *lgRequests, *lgChaos, *lgOut); err != nil {
+			fmt.Fprintln(os.Stderr, "sdserve:", err)
+			os.Exit(1)
+		}
+	default:
+		if err := run(*addr, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "sdserve:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// run serves until SIGTERM or SIGINT, then drains: admission stops
+// (fresh submissions get 503 + Retry-After), in-flight and queued runs
+// get the grace window to finish, stragglers are canceled with a typed
+// draining error, and the final counters are flushed to stderr.
+func run(addr string, opts serve.Options) error {
+	s := serve.New(opts)
+	hs := &http.Server{Addr: addr, Handler: s}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sdserve: listening on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "sdserve: %v: draining\n", got)
+	}
+
+	s.Drain() // every accepted run responds before this returns
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(ctx) // best effort; idle keep-alive conns may linger
+	hs.Close()
+
+	c := s.Counters()
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sdserve: final counters:\n%s\n", data)
+	if c.Panics != 0 {
+		return fmt.Errorf("%d panics were contained during this run", c.Panics)
+	}
+	return nil
+}
+
+// runLoadgen starts an in-process server on a loopback port, drives it
+// with the shared load generator, and writes the throughput/latency
+// summary published next to BENCH_sim.json.
+func runLoadgen(opts serve.Options, clients, requests, chaos int, out string) error {
+	s := serve.New(opts)
+	hs := &http.Server{Handler: s}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+	defer s.Drain()
+
+	cfg := serve.LoadConfig{
+		Clients:  clients,
+		Requests: requests,
+		Workloads: []string{
+			"gemm", "fft", "spmv-crs", "stencil2d", "gemm", "lut", "bfs", "gemm",
+		},
+		Seed:        1,
+		CancelEvery: chaos,
+		CancelAfter: 2 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	res, err := serve.RunLoad(ctx, "http://"+ln.Addr().String(), cfg)
+	if err != nil {
+		return err
+	}
+
+	report := struct {
+		Config   serve.LoadConfig  `json:"config"`
+		Result   *serve.LoadResult `json:"result"`
+		Counters serve.Counters    `json:"server_counters"`
+	}{cfg, res, s.Counters()}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("sdserve loadgen: %d clients, %d requests (chaos every %d)\n", clients, requests, chaos)
+	fmt.Printf("  ok %d (cached %d, deduped %d)  shed %d  canceled %d  failed %d  retries %d\n",
+		res.OK, res.CacheHits, res.Deduped, res.Shed, res.Canceled, res.Failed, res.Retries)
+	fmt.Printf("  %.1f sims/sec   p50 %v   p90 %v   p99 %v\n", res.SimsPerSec, res.P50, res.P90, res.P99)
+	fmt.Printf("  wrote %s\n", out)
+	if c := s.Counters(); c.Panics != 0 {
+		return fmt.Errorf("%d panics were contained during load generation", c.Panics)
+	}
+	return nil
+}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -42,7 +43,16 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file (load in ui.perfetto.dev)")
 	progress := flag.Duration("progress", 0, "print a heartbeat (cycle, commands, stall mix) to stderr every interval, e.g. 2s")
 	faultSpec := flag.String("faults", "", "fault profile \"name\" or \"name:seed\" ("+strings.Join(faults.Profiles(), ", ")+")")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run, e.g. 30s (0 = none; the cycle watchdog still applies)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, *timeout,
+			fmt.Errorf("sdsim: -timeout %v exceeded", *timeout))
+		defer cancel()
+	}
 
 	if *list || *name == "" {
 		fmt.Println("MachSuite workloads (single unit, broadly provisioned):")
@@ -71,26 +81,26 @@ func main() {
 			log.Fatal(err)
 		}
 		cfg.Faults = &fc
-		runFaulted(inst, cfg, units, *warm)
+		runFaulted(ctx, inst, cfg, units, *warm)
 		return
 	}
 	if *metricsPath != "" || *traceOut != "" || *progress > 0 {
-		if err := runObserved(inst, cfg, units, *warm, *metricsPath, *traceOut, *progress); err != nil {
+		if err := runObserved(ctx, inst, cfg, units, *warm, *metricsPath, *traceOut, *progress); err != nil {
 			fail(err)
 		}
 		return
 	}
 	if *doTrace && units == 1 {
-		if err := runTraced(inst, cfg); err != nil {
-			log.Fatal(err)
+		if err := runTraced(ctx, inst, cfg); err != nil {
+			fail(err)
 		}
 		return
 	}
-	run := inst.Run
+	run := inst.RunContext
 	if *warm {
-		run = inst.RunWarm
+		run = inst.RunWarmContext
 	}
-	stats, err := run(cfg)
+	stats, err := run(ctx, cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -118,6 +128,11 @@ func main() {
 // state, so they go to stderr verbatim rather than through log's
 // single-line prefix.
 func fail(err error) {
+	var ce *core.CanceledError
+	if errors.As(err, &ce) {
+		fmt.Fprintf(os.Stderr, "sdsim: %v\n", err)
+		os.Exit(1)
+	}
 	var de *core.DeadlockError
 	var me *core.MachineError
 	if errors.As(err, &de) || errors.As(err, &me) {
@@ -132,7 +147,7 @@ func fail(err error) {
 // can be reported. Corrupting profiles may legitimately end in a
 // verification mismatch or a classified hang; both are reported as
 // structured errors, never a panic.
-func runFaulted(inst *workloads.Instance, cfg core.Config, units int, warm bool) {
+func runFaulted(ctx context.Context, inst *workloads.Instance, cfg core.Config, units int, warm bool) {
 	cl, err := core.NewCluster(cfg, inst.Units())
 	if err != nil {
 		log.Fatal(err)
@@ -146,7 +161,7 @@ func runFaulted(inst *workloads.Instance, cfg core.Config, units int, warm bool)
 	}
 	var stats *core.Stats
 	for i := 0; i < runs; i++ {
-		if stats, err = cl.Run(inst.Progs); err != nil {
+		if stats, err = cl.RunContext(ctx, inst.Progs); err != nil {
 			fmt.Fprintf(os.Stderr, "sdsim: faults delivered: %v\n", cl.FaultStats())
 			fail(err)
 		}
@@ -171,7 +186,7 @@ func runFaulted(inst *workloads.Instance, cfg core.Config, units int, warm bool)
 // bandwidth), optionally the span recorder feeding the Perfetto
 // export, and optionally the heartbeat. Mirrors Instance.Run but keeps
 // the cluster so the collected metrics can be exported.
-func runObserved(inst *workloads.Instance, cfg core.Config, units int, warm bool,
+func runObserved(ctx context.Context, inst *workloads.Instance, cfg core.Config, units int, warm bool,
 	metricsPath, tracePath string, progress time.Duration) error {
 	cl, err := core.NewCluster(cfg, inst.Units())
 	if err != nil {
@@ -198,7 +213,7 @@ func runObserved(inst *workloads.Instance, cfg core.Config, units int, warm bool
 	}
 	var stats *core.Stats
 	for i := 0; i < runs; i++ {
-		if stats, err = cl.Run(inst.Progs); err != nil {
+		if stats, err = cl.RunContext(ctx, inst.Progs); err != nil {
 			return err
 		}
 	}
@@ -243,7 +258,7 @@ func runObserved(inst *workloads.Instance, cfg core.Config, units int, warm bool
 
 // runTraced executes a single-unit instance with the timeline recorder
 // attached and prints the Figure 4(b)-style Gantt chart.
-func runTraced(inst *workloads.Instance, cfg core.Config) error {
+func runTraced(ctx context.Context, inst *workloads.Instance, cfg core.Config) error {
 	m, err := core.NewMachine(cfg)
 	if err != nil {
 		return err
@@ -252,7 +267,7 @@ func runTraced(inst *workloads.Instance, cfg core.Config) error {
 		inst.Init(m.Sys.Mem)
 	}
 	m.EnableTrace(4096)
-	stats, err := m.Run(inst.Progs[0])
+	stats, err := m.RunContext(ctx, inst.Progs[0])
 	if err != nil {
 		return err
 	}

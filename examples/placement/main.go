@@ -19,6 +19,7 @@ import (
 	"softbrain/internal/fix"
 	"softbrain/internal/isa"
 	"softbrain/internal/obs"
+	"softbrain/internal/wire"
 )
 
 func main() {
@@ -70,6 +71,30 @@ func main() {
 	fmt.Printf("cost-aware placement: %d cycles (%+d), barrier drain %d (%+d)\n",
 		hStats.Cycles, int64(hStats.Cycles)-int64(lStats.Cycles),
 		hStats.BarrierCycles, int64(hStats.BarrierCycles)-int64(lStats.BarrierCycles))
+
+	// The tuned placement is what a deployment would ship — for example
+	// as a submission to sdserve — so round-trip it through the wire
+	// serializer and prove the decoded program still simulates
+	// identically. internal/wire's fuzz tests cover this encode/decode
+	// pair on arbitrary programs; this is the same contract on a real one.
+	blob, err := wire.EncodeProgram(hoisted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decoded, err := wire.DecodeProgram(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dStats, _, err := run(ex, decoded, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dStats.Cycles != hStats.Cycles {
+		log.Fatalf("wire round-trip changed the simulation: %d -> %d cycles",
+			hStats.Cycles, dStats.Cycles)
+	}
+	fmt.Printf("wire round-trip: %d-byte JSON, decoded program verified at %d cycles\n",
+		len(blob), dStats.Cycles)
 }
 
 // run executes one placement variant against the example's inputs and

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -39,6 +40,11 @@ var ablationWorkloads = []string{"spmv-crs", "stencil2d", "gemm", "md-knn"}
 // MachSuite kernels. Rows report warm-run cycles; higher than Baseline
 // means the feature was load-bearing.
 func Ablations() ([]AblationRow, error) {
+	return AblationsContext(context.Background())
+}
+
+// AblationsContext is Ablations bounded by a context (sdbench -timeout).
+func AblationsContext(ctx context.Context) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, name := range ablationWorkloads {
 		e, err := machsuite.Find(name)
@@ -55,7 +61,7 @@ func Ablations() ([]AblationRow, error) {
 			if err != nil {
 				return 0, fmt.Errorf("bench: ablation %s: %w", name, err)
 			}
-			stats, err := runAblation(inst, cfg, warm)
+			stats, err := runAblation(ctx, inst, cfg, warm)
 			if err != nil {
 				return 0, fmt.Errorf("bench: ablation %s: %w", name, err)
 			}
@@ -116,12 +122,12 @@ func halfDepthFabric(f *cgra.Fabric) *cgra.Fabric {
 
 // runAblation runs warm and tolerates deadlocks (an ablated machine may
 // legitimately deadlock; report max cycles instead of failing).
-func runAblation(inst *workloads.Instance, cfg core.Config, warm bool) (*core.Stats, error) {
-	run := inst.Run
+func runAblation(ctx context.Context, inst *workloads.Instance, cfg core.Config, warm bool) (*core.Stats, error) {
+	run := inst.RunContext
 	if warm {
-		run = inst.RunWarm
+		run = inst.RunWarmContext
 	}
-	stats, err := run(cfg)
+	stats, err := run(ctx, cfg)
 	if err != nil {
 		var dl *core.DeadlockError
 		if errors.As(err, &dl) {

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -94,6 +95,11 @@ type Fig11Row struct {
 // against the analytic CPU, GPU and DianNao models. The final row is the
 // geometric mean.
 func Fig11() ([]Fig11Row, error) {
+	return Fig11Context(context.Background())
+}
+
+// Fig11Context is Fig11 bounded by a context (sdbench -timeout).
+func Fig11Context(ctx context.Context) ([]Fig11Row, error) {
 	cfg := dnn.Config()
 	cpu := baseline.SingleThreadCPU()
 	gpu := baseline.KeplerGPU()
@@ -107,7 +113,7 @@ func Fig11() ([]Fig11Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		stats, err := inst.RunWarm(cfg)
+		stats, err := inst.RunWarmContext(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -198,6 +204,12 @@ var machScale = map[string]int{
 // provisioned Softbrain, generates its iso-performance ASIC, and
 // produces the rows behind Figures 12-15, ending with the GM row.
 func MachSuiteStudy() ([]MachRow, error) {
+	return MachSuiteStudyContext(context.Background())
+}
+
+// MachSuiteStudyContext is MachSuiteStudy bounded by a context
+// (sdbench -timeout).
+func MachSuiteStudyContext(ctx context.Context) ([]MachRow, error) {
 	cfg := core.DefaultConfig()
 	model := power.NewModel(cfg)
 	ooo := baseline.OOO4()
@@ -214,7 +226,7 @@ func MachSuiteStudy() ([]MachRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: building %s: %w", e.Name, err)
 		}
-		stats, err := inst.RunWarm(cfg)
+		stats, err := inst.RunWarmContext(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("bench: running %s: %w", e.Name, err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"softbrain/internal/core"
@@ -55,6 +56,11 @@ var fixStudyWorkloads = []struct{ suite, name string }{
 // FixStudy measures the cost of over-serialization and how much of it
 // the barrier-elimination pass recovers.
 func FixStudy() ([]FixRow, error) {
+	return FixStudyContext(context.Background())
+}
+
+// FixStudyContext is FixStudy bounded by a context (sdbench -timeout).
+func FixStudyContext(ctx context.Context) ([]FixRow, error) {
 	var rows []FixRow
 	for _, w := range fixStudyWorkloads {
 		cfg := core.DefaultConfig()
@@ -100,13 +106,13 @@ func FixStudy() ([]FixRow, error) {
 			{serialized, &row.SerializedCy},
 			{fixed, &row.FixedCy},
 		} {
-			cy, err := runCycles(inst, cfg, m.progs)
+			cy, err := runCycles(ctx, inst, cfg, m.progs)
 			if err != nil {
 				return nil, fmt.Errorf("bench: fix study %s: %w", w.name, err)
 			}
 			*m.out = cy
 		}
-		if err := placementStudy(inst, cfg, fixed, &row); err != nil {
+		if err := placementStudy(ctx, inst, cfg, fixed, &row); err != nil {
 			return nil, fmt.Errorf("bench: fix study %s: %w", w.name, err)
 		}
 		rows = append(rows, row)
@@ -121,7 +127,7 @@ func FixStudy() ([]FixRow, error) {
 // full simulation as the cost oracle (so committed moves are strict
 // improvements by construction). Every candidate run still verifies the
 // workload's golden check.
-func placementStudy(inst *workloads.Instance, cfg core.Config, fixed []*core.Program, row *FixRow) error {
+func placementStudy(ctx context.Context, inst *workloads.Instance, cfg core.Config, fixed []*core.Program, row *FixRow) error {
 	latest := make([]*core.Program, len(fixed))
 	for i, p := range fixed {
 		q, _, err := fix.PlaceLatest(p, cfg)
@@ -130,7 +136,7 @@ func placementStudy(inst *workloads.Instance, cfg core.Config, fixed []*core.Pro
 		}
 		latest[i] = q
 	}
-	lStats, dump, err := runMetrics(inst, cfg, latest)
+	lStats, dump, err := runMetrics(ctx, inst, cfg, latest)
 	if err != nil {
 		return err
 	}
@@ -148,7 +154,7 @@ func placementStudy(inst *workloads.Instance, cfg core.Config, fixed []*core.Pro
 			trial := make([]*core.Program, len(hoisted))
 			copy(trial, hoisted)
 			trial[idx] = cand
-			return runCycles(inst, cfg, trial)
+			return runCycles(ctx, inst, cfg, trial)
 		}
 		q, moves, err := fix.HoistBarriers(latest[i], cfg, fix.HoistOpts{Profile: pr, Evaluate: evaluate})
 		if err != nil {
@@ -167,7 +173,7 @@ func placementStudy(inst *workloads.Instance, cfg core.Config, fixed []*core.Pro
 		hoisted[i] = q
 		row.Hoists += len(moves)
 	}
-	hStats, _, err := runMetrics(inst, cfg, hoisted)
+	hStats, _, err := runMetrics(ctx, inst, cfg, hoisted)
 	if err != nil {
 		return err
 	}
@@ -195,7 +201,7 @@ func serialize(p *core.Program) *core.Program {
 // fresh cluster, verifies the golden check still passes, and reports
 // the run's cycles. Runs are cold: some study workloads (backprop)
 // update their inputs in place, so a warm re-run would not verify.
-func runCycles(inst *workloads.Instance, cfg core.Config, progs []*core.Program) (uint64, error) {
+func runCycles(ctx context.Context, inst *workloads.Instance, cfg core.Config, progs []*core.Program) (uint64, error) {
 	cl, err := core.NewCluster(cfg, len(progs))
 	if err != nil {
 		return 0, err
@@ -203,7 +209,7 @@ func runCycles(inst *workloads.Instance, cfg core.Config, progs []*core.Program)
 	if inst.Init != nil {
 		inst.Init(cl.Mem)
 	}
-	stats, err := cl.Run(progs)
+	stats, err := cl.RunContext(ctx, progs)
 	if err != nil {
 		return 0, err
 	}
@@ -218,7 +224,7 @@ func runCycles(inst *workloads.Instance, cfg core.Config, progs []*core.Program)
 // runMetrics is runCycles with per-unit metrics enabled, returning the
 // full run stats and the merged dump (the barrier_drains sections feed
 // the cost-aware chooser).
-func runMetrics(inst *workloads.Instance, cfg core.Config, progs []*core.Program) (*core.Stats, obs.Dump, error) {
+func runMetrics(ctx context.Context, inst *workloads.Instance, cfg core.Config, progs []*core.Program) (*core.Stats, obs.Dump, error) {
 	cl, err := core.NewCluster(cfg, len(progs))
 	if err != nil {
 		return nil, obs.Dump{}, err
@@ -227,7 +233,7 @@ func runMetrics(inst *workloads.Instance, cfg core.Config, progs []*core.Program
 	if inst.Init != nil {
 		inst.Init(cl.Mem)
 	}
-	stats, err := cl.Run(progs)
+	stats, err := cl.RunContext(ctx, progs)
 	if err != nil {
 		return nil, obs.Dump{}, err
 	}

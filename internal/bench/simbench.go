@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -102,6 +103,11 @@ func simSuite() []simEntry {
 // or the row is an error — this doubles as an end-to-end equivalence
 // check on every benchmarked workload.
 func SimBench(smokeOnly bool) ([]SimRow, error) {
+	return SimBenchContext(context.Background(), smokeOnly)
+}
+
+// SimBenchContext is SimBench bounded by a context (sdbench -timeout).
+func SimBenchContext(ctx context.Context, smokeOnly bool) ([]SimRow, error) {
 	var rows []SimRow
 	for _, e := range simSuite() {
 		if smokeOnly && !e.smoke {
@@ -120,7 +126,7 @@ func SimBench(smokeOnly bool) ([]SimRow, error) {
 				}
 				cfg.NoSkipAhead = noSkip
 				start := time.Now()
-				stats, err := inst.Run(cfg)
+				stats, err := inst.RunContext(ctx, cfg)
 				if err != nil {
 					return 0, 0, err
 				}
@@ -165,7 +171,7 @@ func SimBench(smokeOnly bool) ([]SimRow, error) {
 		// One extra, untimed run with the observability layer attached
 		// fills the stall and bandwidth columns. Its cycle count must
 		// agree — metrics are read-only by contract.
-		mStats, dump, err := inst.RunMetrics(cfg, obs.Options{})
+		mStats, dump, err := inst.RunMetricsContext(ctx, cfg, obs.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s (metrics): %w", e.name, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -169,7 +170,15 @@ func (c *Cluster) UnitStats() []*Stats { return c.unitStats }
 // statistics (Cycles is the wall-clock of the slowest unit). Like
 // Machine.Run, it never lets an invariant panic escape: the recovered
 // MachineError names the unit whose Step failed.
-func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
+func (c *Cluster) Run(progs []*Program) (*Stats, error) {
+	return c.RunContext(context.Background(), progs)
+}
+
+// RunContext is Run bounded by a context: cancellation or deadline
+// expiry mid-run stops the coordinator within one heartbeat stride,
+// releases the worker goroutines, and returns a *CanceledError
+// wrapping the context cause. See Machine.RunContext.
+func (c *Cluster) RunContext(ctx context.Context, progs []*Program) (stats *Stats, err error) {
 	if err := c.validateUnits(); err != nil {
 		return nil, err
 	}
@@ -253,6 +262,9 @@ func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
 			anyFaults = true
 		}
 	}
+	if ce := canceled(ctx, now); ce != nil {
+		return nil, ce
+	}
 	var lastProgress, lastChange uint64
 	var skipHold, failedSkips uint64
 	var hbIter uint64
@@ -272,6 +284,9 @@ func (c *Cluster) Run(progs []*Program) (stats *Stats, err error) {
 			return nil, err
 		}
 		if hbIter++; hbIter&(heartbeatStride-1) == 0 {
+			if ce := canceled(ctx, now); ce != nil {
+				return nil, ce
+			}
 			c.heartbeat(now)
 		}
 		var pr uint64
@@ -407,6 +422,13 @@ func (c *Cluster) RunStrict(progs []*Program) (*Stats, error) {
 // so the pipeline's wall-clock is the sum of the phase wall-clocks.
 // UnitStats aggregates the same way per unit.
 func (c *Cluster) RunPipeline(phases [][]*Program) (*Stats, error) {
+	return c.RunPipelineContext(context.Background(), phases)
+}
+
+// RunPipelineContext is RunPipeline bounded by a context; cancellation
+// between or within phases returns a *CanceledError and runs no
+// further phase.
+func (c *Cluster) RunPipelineContext(ctx context.Context, phases [][]*Program) (*Stats, error) {
 	if len(phases) == 0 {
 		return nil, fmt.Errorf("core: pipeline has no phases")
 	}
@@ -414,7 +436,7 @@ func (c *Cluster) RunPipeline(phases [][]*Program) (*Stats, error) {
 	var cycles uint64
 	var unitTotals []*Stats
 	for pi, progs := range phases {
-		s, err := c.Run(progs)
+		s, err := c.RunContext(ctx, progs)
 		if err != nil {
 			return nil, fmt.Errorf("core: pipeline phase %d: %w", pi, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -241,7 +242,7 @@ func (m *Machine) RunStrict(p *Program) (*Stats, error) {
 	if err := m.LoadStrict(p); err != nil {
 		return nil, err
 	}
-	return m.run()
+	return m.run(context.Background())
 }
 
 // Done reports whether the program has fully completed.
@@ -397,16 +398,27 @@ const defaultWatchdog = 50_000
 
 // Run executes the program to completion and returns statistics.
 func (m *Machine) Run(p *Program) (*Stats, error) {
+	return m.RunContext(context.Background(), p)
+}
+
+// RunContext is Run bounded by a context: when ctx is canceled or its
+// deadline expires mid-run, the loop stops within one heartbeat stride
+// and returns a *CanceledError wrapping the context cause. The cycle
+// watchdog bounds simulated time; the context bounds host wall-clock
+// time — a hung simulation is caught by the former, a slow host by the
+// latter. The machine's partial state is abandoned; load a fresh
+// machine to re-run.
+func (m *Machine) RunContext(ctx context.Context, p *Program) (*Stats, error) {
 	if err := m.Load(p); err != nil {
 		return nil, err
 	}
-	return m.run()
+	return m.run(ctx)
 }
 
 // run executes the loaded program to completion. Invariant panics from
 // any component are recovered into a MachineError — the execution
 // contract is that Run returns, it never takes the host process down.
-func (m *Machine) run() (stats *Stats, err error) {
+func (m *Machine) run(ctx context.Context) (stats *Stats, err error) {
 	base := snapshotSys(m.Sys)
 	watchdog := m.cfg.WatchdogCycles
 	if watchdog == 0 {
@@ -418,6 +430,9 @@ func (m *Machine) run() (stats *Stats, err error) {
 			stats, err = nil, m.recoverPanic(r, now)
 		}
 	}()
+	if ce := canceled(ctx, now); ce != nil {
+		return nil, ce
+	}
 	var lastProgress, lastChange uint64
 	var skipHold, failedSkips uint64
 	var hbIter uint64
@@ -427,6 +442,9 @@ func (m *Machine) run() (stats *Stats, err error) {
 			return nil, err
 		}
 		if hbIter++; hbIter&(heartbeatStride-1) == 0 {
+			if ce := canceled(ctx, now); ce != nil {
+				return nil, ce
+			}
 			m.heartbeat(now)
 		}
 		progressed := false

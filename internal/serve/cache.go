@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// cache is the content-addressed result cache: completed deterministic
+// outcomes keyed by the submission hash, evicted LRU. A hit serves the
+// stored response without touching a worker — identical submissions
+// (and identical DFG→CGRA schedules, the expensive part of a load)
+// cost one map lookup.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key  string
+	resp *Response
+	err  *apiError // deterministic failures are cached too
+}
+
+func newCache(capacity int) *cache {
+	return &cache{cap: capacity, entries: make(map[string]*list.Element), order: list.New()}
+}
+
+func (c *cache) get(key string) (*Response, *apiError, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, nil, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.resp, e.err, true
+}
+
+func (c *cache) put(key string, resp *Response, err *apiError) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value = &cacheEntry{key: key, resp: resp, err: err}
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp, err: err})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flight is one in-progress simulation shared by every request that
+// submitted the same content hash (singleflight dedup). The flight
+// owns its own context, detached from any single request: a waiter
+// that disconnects just leaves, and only when the last waiter is gone
+// is the simulation itself canceled — one client's impatience never
+// cancels another's result.
+type flight struct {
+	key string
+	req *runRequest
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	timer  *time.Timer // wall-clock deadline; stopped on finish
+
+	mu      sync.Mutex
+	waiters int
+
+	done chan struct{} // closed when resp/err are set
+	resp *Response
+	err  *apiError
+}
+
+// addWaiter registers one more request waiting on the flight.
+func (f *flight) addWaiter() {
+	f.mu.Lock()
+	f.waiters++
+	f.mu.Unlock()
+}
+
+// dropWaiter removes a departed request; the last one out cancels the
+// simulation with the given cause.
+func (f *flight) dropWaiter(cause error) {
+	f.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	f.mu.Unlock()
+	if last {
+		f.cancel(cause)
+	}
+}
+
+// finish publishes the outcome and wakes every waiter.
+func (f *flight) finish(resp *Response, err *apiError) {
+	f.resp, f.err = resp, err
+	close(f.done)
+	if f.timer != nil {
+		f.timer.Stop()
+	}
+	f.cancel(nil) // release the context resources
+}
+
+// flightGroup is the singleflight table: at most one live flight per
+// submission key.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// join returns the live flight for key, or registers fresh as it and
+// returns nil. Either way the caller is a waiter on the returned or
+// registered flight.
+func (g *flightGroup) join(key string, fresh *flight) *flight {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		f.addWaiter()
+		return f
+	}
+	fresh.addWaiter()
+	g.flights[key] = fresh
+	return nil
+}
+
+// forget removes the flight once it completed (or was shed before
+// starting), so later submissions start a new one (or hit the cache).
+func (g *flightGroup) forget(key string) {
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// SelfTest is the in-process end-to-end smoke the check.sh gate runs:
+// start a real server on a loopback port, submit gemm, resubmit and
+// require a cache hit, reject an invalid body with a typed error, then
+// drain and require /readyz to flip unhealthy and in-flight work to
+// finish. It returns nil only if every step behaved.
+func SelfTest(w io.Writer) error {
+	s := New(Options{Workers: 2, QueueDepth: 4, DrainGrace: 10 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	cl := &Client{BaseURL: base}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	step := func(name string, f func() error) error {
+		if err := f(); err != nil {
+			return fmt.Errorf("smoke %s: %w", name, err)
+		}
+		fmt.Fprintf(w, "smoke %-14s ok\n", name)
+		return nil
+	}
+
+	if err := step("healthz", func() error {
+		return expectStatus(ctx, base+"/healthz", http.StatusOK)
+	}); err != nil {
+		return err
+	}
+	if err := step("readyz", func() error {
+		return expectStatus(ctx, base+"/readyz", http.StatusOK)
+	}); err != nil {
+		return err
+	}
+	var first *Response
+	if err := step("run gemm", func() error {
+		resp, _, err := cl.SubmitRetry(ctx, Request{Workload: "gemm"})
+		if err != nil {
+			return err
+		}
+		if !resp.Verified {
+			return fmt.Errorf("gemm not verified against golden model")
+		}
+		if resp.Cached {
+			return fmt.Errorf("first run reported cached")
+		}
+		first = resp
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("cache hit", func() error {
+		resp, _, err := cl.SubmitRetry(ctx, Request{Workload: "gemm"})
+		if err != nil {
+			return err
+		}
+		if !resp.Cached {
+			return fmt.Errorf("resubmission missed the cache")
+		}
+		if resp.Cycles != first.Cycles {
+			return fmt.Errorf("cached cycles %d != first run %d", resp.Cycles, first.Cycles)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("typed reject", func() error {
+		_, err := cl.Submit(ctx, Request{Workload: "no-such-kernel"})
+		var ae *apiError
+		if !errors.As(err, &ae) || ae.Kind != KindUnknown {
+			return fmt.Errorf("want unknown-workload rejection, got %v", err)
+		}
+		if ae.Kind.Retryable() {
+			return fmt.Errorf("unknown workload marked retryable")
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("drain", func() error {
+		// Kick off a fresh (uncached) run, then drain while it is in
+		// flight: drain must finish it, and readyz must flip unhealthy.
+		inflight := make(chan error, 1)
+		go func() {
+			resp, _, err := cl.SubmitRetry(ctx, Request{Workload: "fft"})
+			if err == nil && resp == nil {
+				err = fmt.Errorf("nil response")
+			}
+			inflight <- err
+		}()
+		time.Sleep(20 * time.Millisecond) // let it reach a worker
+		s.Drain()
+		if err := expectStatus(ctx, base+"/readyz", http.StatusServiceUnavailable); err != nil {
+			return fmt.Errorf("readyz after drain: %w", err)
+		}
+		if _, err := cl.Submit(ctx, Request{Workload: "gemm", Options: RunOptions{Metrics: true}}); err == nil {
+			return fmt.Errorf("post-drain submission accepted")
+		}
+		select {
+		case err := <-inflight:
+			if err != nil {
+				// The drain grace is generous; the in-flight run should
+				// have completed, not been shed.
+				return fmt.Errorf("in-flight run during drain: %w", err)
+			}
+		case <-ctx.Done():
+			return fmt.Errorf("in-flight run never returned after drain")
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Graceful drain already happened at the serve layer (every accepted
+	// run finished and responded); the listener teardown can be abrupt.
+	// http.Server.Shutdown would wait forever on a pooled keep-alive
+	// connection that never sends another request.
+	if err := hs.Close(); err != nil {
+		return fmt.Errorf("smoke shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("smoke serve: %w", err)
+	}
+	c := s.Counters()
+	fmt.Fprintf(w, "smoke counters: accepted=%d completed=%d cache_hits=%d rejected=%d\n",
+		c.Accepted, c.Completed, c.CacheHits, c.Rejected)
+	if c.CacheHits == 0 {
+		return fmt.Errorf("smoke: no cache hit recorded")
+	}
+	if c.Panics != 0 {
+		return fmt.Errorf("smoke: %d panics escaped into the counters", c.Panics)
+	}
+	return nil
+}
+
+func expectStatus(ctx context.Context, url string, want int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s: status %d, want %d", url, resp.StatusCode, want)
+	}
+	return nil
+}

@@ -1,0 +1,386 @@
+// Package serve turns the simulator into a hardened network service:
+// bounded-concurrency simulation-as-a-service with admission control,
+// per-request deadlines layered on the cycle watchdog, content-
+// addressed result caching with singleflight dedup, panic isolation,
+// and graceful drain.
+//
+// The degradation ladder is explicit. A healthy server simulates; a
+// busy server queues; a full server sheds with 429 + Retry-After
+// (never an unbounded goroutine pile-up); a draining server rejects
+// new work with 503 while finishing what it accepted.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel cancellation causes. They flow through context.Cause into
+// core.CanceledError.Err, where classify maps them back to API kinds.
+var (
+	errDeadline   = errors.New("serve: request wall-clock budget exhausted")
+	errDraining   = errors.New("serve: server draining")
+	errClientGone = errors.New("serve: every waiting client disconnected")
+)
+
+// Options sizes the service. Zero values take the defaults noted on
+// each field.
+type Options struct {
+	Workers        int           // simulation worker pool size (default: GOMAXPROCS)
+	QueueDepth     int           // admission queue bound (default: 2×Workers)
+	MaxBodyBytes   int64         // request body cap (default: 8 MiB)
+	DefaultTimeout time.Duration // per-request wall budget when unspecified (default: 30s)
+	MaxTimeout     time.Duration // ceiling on client-requested budgets (default: 2m)
+	CacheEntries   int           // result cache capacity (default: 256; negative disables)
+	DrainGrace     time.Duration // how long Drain lets in-flight runs finish (default: 10s)
+	RetryAfter     time.Duration // hint attached to 429/503 (default: 1s)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 2 * o.Workers
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout == 0 {
+		o.MaxTimeout = 2 * time.Minute
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 256
+	}
+	if o.DrainGrace == 0 {
+		o.DrainGrace = 10 * time.Second
+	}
+	if o.RetryAfter == 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// Counters is a snapshot of the service counters, published at
+// /statusz and asserted by the soak test.
+type Counters struct {
+	Accepted  uint64 `json:"accepted"`   // admitted into the queue
+	Completed uint64 `json:"completed"`  // finished with a 200
+	Failed    uint64 `json:"failed"`     // finished with a typed failure
+	Shed      uint64 `json:"shed"`       // 429: queue full
+	Rejected  uint64 `json:"rejected"`   // 503: draining
+	CacheHits uint64 `json:"cache_hits"` // served from the result cache
+	Deduped   uint64 `json:"deduped"`    // joined an identical in-flight run
+	Canceled  uint64 `json:"canceled"`   // flights canceled before completing
+	Panics    uint64 `json:"panics"`     // panics contained by worker isolation
+}
+
+// Server is the simulation service. Create with New, mount as an
+// http.Handler, and call Drain on shutdown.
+type Server struct {
+	opts    Options
+	cache   *cache
+	flights *flightGroup
+	queue   chan *flight
+	mux     *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+	wg         sync.WaitGroup
+
+	drainMu  sync.RWMutex
+	draining bool
+
+	accepted, completed, failed   atomic.Uint64
+	shed, rejected                atomic.Uint64
+	cacheHits, dedupWaits         atomic.Uint64
+	canceledRuns, panicsContained atomic.Uint64
+}
+
+// New builds the server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		cache:   newCache(opts.CacheEntries),
+		flights: newFlightGroup(),
+		queue:   make(chan *flight, opts.QueueDepth),
+		mux:     http.NewServeMux(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Counters returns a snapshot of the service counters.
+func (s *Server) Counters() Counters {
+	return Counters{
+		Accepted:  s.accepted.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Shed:      s.shed.Load(),
+		Rejected:  s.rejected.Load(),
+		CacheHits: s.cacheHits.Load(),
+		Deduped:   s.dedupWaits.Load(),
+		Canceled:  s.canceledRuns.Load(),
+		Panics:    s.panicsContained.Load(),
+	}
+}
+
+// Drain performs graceful shutdown: stop admitting, let in-flight and
+// queued runs finish within the grace window, then cancel whatever is
+// left and wait for the workers to exit. It is safe to call once.
+func (s *Server) Drain() {
+	s.drainMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.drainMu.Unlock()
+	if already {
+		return
+	}
+	// No admission can race this close: enqueue holds drainMu.RLock and
+	// re-checks the flag before sending.
+	close(s.queue)
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(s.opts.DrainGrace):
+		s.baseCancel(errDraining)
+		<-done
+	}
+	s.baseCancel(errDraining) // release the base context in the prompt path too
+}
+
+// enqueue admits a flight or reports why it cannot: draining (503) or
+// queue full (429). The read lock orders admission against Drain's
+// close of the queue, so there is never a send on a closed channel.
+func (s *Server) enqueue(f *flight) *apiError {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		s.rejected.Add(1)
+		return &apiError{Status: 503, Kind: KindDraining, Msg: "server is draining; retry against another instance"}
+	}
+	select {
+	case s.queue <- f:
+		s.accepted.Add(1)
+		return nil
+	default:
+		s.shed.Add(1)
+		return &apiError{Status: 429, Kind: KindOverload,
+			Msg: fmt.Sprintf("admission queue full (%d queued, %d workers)", s.opts.QueueDepth, s.opts.Workers)}
+	}
+}
+
+// worker executes queued flights until the queue closes. Each run is
+// panic-isolated: a fault in one request becomes that request's 500,
+// never the process's crash.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for f := range s.queue {
+		s.runFlight(f)
+	}
+}
+
+func (s *Server) runFlight(f *flight) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsContained.Add(1)
+			s.flights.forget(f.key)
+			f.finish(nil, &apiError{Status: 500, Kind: KindPanic,
+				Msg: fmt.Sprintf("panic: %v\n%s", r, debug.Stack())})
+		}
+	}()
+	if f.ctx.Err() != nil {
+		// Canceled while queued: deadline passed, all waiters left, or
+		// the drain grace expired. Don't burn a worker on it.
+		cause := context.Cause(f.ctx)
+		ae := &apiError{Status: 499, Kind: KindCanceled, Msg: fmt.Sprintf("canceled while queued: %v", cause)}
+		switch {
+		case errors.Is(cause, errDeadline):
+			ae = &apiError{Status: 504, Kind: KindDeadline, Msg: "wall-clock budget exhausted while queued"}
+		case errors.Is(cause, errDraining):
+			ae = &apiError{Status: 503, Kind: KindDraining, Msg: "server draining; queued run canceled"}
+		}
+		s.finishFlight(f, nil, ae)
+		return
+	}
+	resp, aerr := s.execute(f.ctx, f.req)
+	s.finishFlight(f, resp, aerr)
+}
+
+// finishFlight publishes an outcome: cache deterministic results,
+// retire the singleflight entry, wake the waiters, bump counters.
+func (s *Server) finishFlight(f *flight, resp *Response, aerr *apiError) {
+	if cacheable(aerr) {
+		s.cache.put(f.key, resp, aerr)
+	}
+	s.flights.forget(f.key)
+	f.finish(resp, aerr)
+	switch {
+	case aerr == nil:
+		s.completed.Add(1)
+	case aerr.Kind == KindCanceled || aerr.Kind == KindDeadline || aerr.Kind == KindDraining:
+		s.canceledRuns.Add(1)
+	default:
+		s.failed.Add(1)
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	body, rerr := readBody(w, r, s.opts.MaxBodyBytes)
+	if rerr != nil {
+		s.writeError(w, rerr)
+		return
+	}
+	rr, aerr := s.decodeRequest(body)
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	key, kerr := rr.cacheKey()
+	if kerr != nil {
+		s.writeError(w, &apiError{Status: 400, Kind: KindInvalid, Msg: kerr.Error()})
+		return
+	}
+
+	if resp, cerr, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		if cerr != nil {
+			s.writeError(w, cerr)
+			return
+		}
+		out := *resp
+		out.Cached = true
+		s.writeJSON(w, http.StatusOK, &out)
+		return
+	}
+
+	fctx, fcancel := context.WithCancelCause(s.baseCtx)
+	fresh := &flight{key: key, req: rr, ctx: fctx, cancel: fcancel, done: make(chan struct{})}
+	fresh.timer = time.AfterFunc(rr.timeout, func() { fcancel(errDeadline) })
+
+	f := s.flights.join(key, fresh)
+	deduped := f != nil
+	if deduped {
+		s.dedupWaits.Add(1)
+		fcancel(nil) // the fresh flight never runs; release its context
+		fresh.timer.Stop()
+	} else {
+		f = fresh
+		if qerr := s.enqueue(f); qerr != nil {
+			s.flights.forget(key)
+			f.dropWaiter(errClientGone)
+			s.writeError(w, qerr)
+			return
+		}
+	}
+
+	select {
+	case <-f.done:
+		f.dropWaiter(nil) // flight already finished; bookkeeping only
+		if f.err != nil {
+			s.writeError(w, f.err)
+			return
+		}
+		out := *f.resp
+		out.Deduped = deduped
+		s.writeJSON(w, http.StatusOK, &out)
+	case <-r.Context().Done():
+		// This client is gone. Leave the flight to any other waiters;
+		// the last one out cancels the simulation itself.
+		f.dropWaiter(errClientGone)
+	}
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, *apiError) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, &apiError{Status: http.StatusRequestEntityTooLarge, Kind: KindInvalid,
+				Msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return nil, &apiError{Status: 400, Kind: KindInvalid, Msg: err.Error()}
+	}
+	return body, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	if draining {
+		w.Header().Set("Retry-After", retryAfter(s.opts.RetryAfter))
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	type status struct {
+		Counters Counters `json:"counters"`
+		Queue    int      `json:"queue_len"`
+		Workers  int      `json:"workers"`
+		Cache    int      `json:"cache_entries"`
+	}
+	s.writeJSON(w, http.StatusOK, status{
+		Counters: s.Counters(),
+		Queue:    len(s.queue),
+		Workers:  s.opts.Workers,
+		Cache:    s.cache.len(),
+	})
+}
+
+func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
+	if e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfter(s.opts.RetryAfter))
+	}
+	s.writeJSON(w, e.Status, errBody(e))
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client hung up; nothing useful to do
+}
+
+func retryAfter(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

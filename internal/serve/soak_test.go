@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSoak is the progen-issue soak: concurrent clients hammer the
+// service with a mixed workload census, a chaos slice abandons its
+// requests mid-run, and the acceptance bars are absolute — zero panics
+// escape a request, nothing hangs, shed requests got a typed 429/503
+// (they are *counted*, not lost), cache hits happen, and the server
+// drains to zero goroutines afterwards.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+
+	s := New(Options{Workers: 4, QueueDepth: 4, DrainGrace: 30 * time.Second})
+	hs := httptest.NewServer(s)
+
+	cfg := LoadConfig{
+		Clients:  8,
+		Requests: 120,
+		Workloads: []string{
+			"gemm", "fft", "spmv-crs", "stencil2d", "gemm", "lut", "bfs", "gemm",
+		},
+		Seed:        1,
+		CancelEvery: 9, // every 9th request is abandoned mid-flight
+		CancelAfter: 2 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := RunLoad(ctx, hs.URL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %d sent, %d ok (%d cached, %d deduped), %d shed, %d canceled, %d failed, %d retries, %.1f sims/sec, p99 %v",
+		res.Sent, res.OK, res.CacheHits, res.Deduped, res.Shed, res.Canceled, res.Failed, res.Retries, res.SimsPerSec, res.P99)
+
+	if got := res.OK + res.Shed + res.Canceled + res.Failed; got != res.Sent {
+		t.Errorf("outcome census %d != sent %d: every request must be accounted for", got, res.Sent)
+	}
+	if res.Failed != 0 {
+		t.Errorf("%d deterministic failures from a census of valid workloads", res.Failed)
+	}
+	if res.OK == 0 {
+		t.Error("no request succeeded")
+	}
+	if res.CacheHits == 0 {
+		t.Error("no cache hit across repeated identical submissions")
+	}
+
+	c := s.Counters()
+	if c.Panics != 0 {
+		t.Errorf("%d panics escaped into requests", c.Panics)
+	}
+
+	// Graceful drain, then the goroutine census must return to the
+	// pre-server baseline: no leaked workers, flights, or timers.
+	s.Drain()
+	hs.Close()
+	hs.Client().CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after drain: before=%d now=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -6,6 +6,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 
 	"softbrain/internal/baseline"
@@ -49,7 +50,14 @@ func (i *Instance) Units() int { return len(i.Progs) }
 // given per-unit configuration, verifies the result, and returns the
 // statistics.
 func (i *Instance) Run(cfg core.Config) (*core.Stats, error) {
-	return i.run(cfg, false)
+	return i.run(context.Background(), cfg, false)
+}
+
+// RunContext is Run bounded by a context: cancellation or deadline
+// expiry mid-run returns a *core.CanceledError (the cycle watchdog
+// bounds simulated time; the context bounds host wall-clock time).
+func (i *Instance) RunContext(ctx context.Context, cfg core.Config) (*core.Stats, error) {
+	return i.run(ctx, cfg, false)
 }
 
 // RunWarm runs the instance twice on the same machine and reports the
@@ -57,7 +65,13 @@ func (i *Instance) Run(cfg core.Config) (*core.Stats, error) {
 // the regime the paper's accelerator comparisons operate in. Workload
 // programs are idempotent, so verification still holds.
 func (i *Instance) RunWarm(cfg core.Config) (*core.Stats, error) {
-	return i.run(cfg, true)
+	return i.run(context.Background(), cfg, true)
+}
+
+// RunWarmContext is RunWarm bounded by a context; the deadline covers
+// both the cold and the measured warm run.
+func (i *Instance) RunWarmContext(ctx context.Context, cfg core.Config) (*core.Stats, error) {
+	return i.run(ctx, cfg, true)
 }
 
 // RunMetrics is Run with the observability layer attached: it returns
@@ -65,21 +79,26 @@ func (i *Instance) RunWarm(cfg core.Config) (*core.Stats, error) {
 // bandwidth — see internal/obs) alongside the statistics. Enabling
 // metrics never changes the simulated schedule, so Cycles matches Run.
 func (i *Instance) RunMetrics(cfg core.Config, opts obs.Options) (*core.Stats, obs.Dump, error) {
-	cl, stats, err := i.runOn(cfg, false, func(cl *core.Cluster) { cl.EnableMetrics(opts) })
+	return i.RunMetricsContext(context.Background(), cfg, opts)
+}
+
+// RunMetricsContext is RunMetrics bounded by a context; see RunContext.
+func (i *Instance) RunMetricsContext(ctx context.Context, cfg core.Config, opts obs.Options) (*core.Stats, obs.Dump, error) {
+	cl, stats, err := i.runOn(ctx, cfg, false, func(cl *core.Cluster) { cl.EnableMetrics(opts) })
 	if err != nil {
 		return nil, obs.Dump{}, err
 	}
 	return stats, cl.MetricsDump(), nil
 }
 
-func (i *Instance) run(cfg core.Config, warm bool) (*core.Stats, error) {
-	_, stats, err := i.runOn(cfg, warm, nil)
+func (i *Instance) run(ctx context.Context, cfg core.Config, warm bool) (*core.Stats, error) {
+	_, stats, err := i.runOn(ctx, cfg, warm, nil)
 	return stats, err
 }
 
 // runOn builds the cluster, lets prepare instrument it, and executes
 // (twice when warm, reporting the cache-warm second run).
-func (i *Instance) runOn(cfg core.Config, warm bool, prepare func(*core.Cluster)) (*core.Cluster, *core.Stats, error) {
+func (i *Instance) runOn(ctx context.Context, cfg core.Config, warm bool, prepare func(*core.Cluster)) (*core.Cluster, *core.Stats, error) {
 	if len(i.Progs) == 0 {
 		return nil, nil, fmt.Errorf("workloads: %s has no programs", i.Name)
 	}
@@ -93,12 +112,12 @@ func (i *Instance) runOn(cfg core.Config, warm bool, prepare func(*core.Cluster)
 	if i.Init != nil {
 		i.Init(cl.Mem)
 	}
-	stats, err := cl.Run(i.Progs)
+	stats, err := cl.RunContext(ctx, i.Progs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("workloads: running %s: %w", i.Name, err)
 	}
 	if warm {
-		stats, err = cl.Run(i.Progs)
+		stats, err = cl.RunContext(ctx, i.Progs)
 		if err != nil {
 			return nil, nil, fmt.Errorf("workloads: warm-running %s: %w", i.Name, err)
 		}

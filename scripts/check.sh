@@ -35,6 +35,11 @@
 #                    algebra fuzz targets plus the barrier-interval
 #                    slide verification (docs/LINT.md); `make
 #                    fuzz-smoke` runs the full budget
+#  13. serve smoke   sdserve's in-process self-test (docs/SERVE.md):
+#                    start the server on a loopback port, submit gemm,
+#                    assert the resubmission is a cache hit, reject a
+#                    malformed submission with a typed error, and drain
+#                    cleanly with a request in flight
 #
 # Run it from the repository root (or via `make check`). Exits non-zero
 # on the first failing stage.
@@ -90,5 +95,8 @@ done
 
 echo "== fuzz smoke (short slice; make fuzz-smoke for full budget)"
 FUZZTIME=5s make fuzz-smoke
+
+echo "== serve smoke (submit, cache hit, typed reject, graceful drain)"
+go run ./cmd/sdserve -smoke
 
 echo "== all checks passed"

@@ -75,6 +75,11 @@ type (
 	// machine is wedged, but the failure arrives as an error naming the
 	// component and cycle, never as a panic.
 	MachineError = core.MachineError
+	// CanceledError is a run ended early by its context (caller cancel
+	// or wall-clock deadline): the machine was healthy, the host gave
+	// up. Returned by the RunContext family; unwraps to the context
+	// cause, so errors.Is(err, context.Canceled) works.
+	CanceledError = core.CanceledError
 	// Memory is the byte-addressable functional backing store.
 	Memory = mem.Memory
 )
