@@ -32,20 +32,29 @@ soak:
 	SOAK_SEEDS=$${SOAK_SEEDS:-50} go test -race -run 'TestSoakFaultInjection|TestClusterDeterminism' -count=1 ./internal/core
 
 # Simulator host-performance smoke benchmark (docs/SIMKERNEL.md): runs
-# sdbench -json on a small workload slice and fails if simulated cycle
-# counts drift from scripts/bench_goldens.json. Wall times are reported
-# but not checked. Full suite: go run ./cmd/sdbench -json.
+# sdbench -json on a small workload slice, fails if simulated cycle
+# counts drift from scripts/bench_goldens.json, and ratchets host
+# performance against the committed BENCH_sim.json — geomean ns/cycle
+# regression past bench.PerfTolerance fails the run. One retry absorbs
+# transient host load (the ratchet measures wall time; a co-tenant
+# spike is not a regression). Full suite: go run ./cmd/sdbench -json.
 .PHONY: bench-smoke
 bench-smoke:
-	go run ./cmd/sdbench -json -smoke -out /tmp/BENCH_sim_smoke.json
+	go run ./cmd/sdbench -json -smoke -out /tmp/BENCH_sim_smoke.json -ratchet BENCH_sim.json || \
+		{ echo "bench-smoke: retrying once (transient host load?)"; sleep 2; \
+		  go run ./cmd/sdbench -json -smoke -out /tmp/BENCH_sim_smoke.json -ratchet BENCH_sim.json; }
 
 .PHONY: bench
 bench:
 	go test -bench=. -run=^$$ .
 
-# Short randomized fuzz of the footprint algebra (internal/isa): each
-# target cross-checks Extent/Overlaps/IndexFootprint against brute-force
-# byte enumeration. Go runs one -fuzz pattern per invocation, so the
+# Short randomized fuzz of the footprint algebra (internal/isa) and the
+# scheduling-mode equivalence property (internal/core): the isa targets
+# cross-check Extent/Overlaps/IndexFootprint against brute-force byte
+# enumeration; FuzzSpanEquivalence runs a seeded generated program —
+# optionally under a fault profile — in per-cycle, wake-set, and
+# span-retirement modes and demands identical statistics and memory
+# (docs/SIMKERNEL.md). Go runs one -fuzz pattern per invocation, so the
 # targets run sequentially. Override the budget with FUZZTIME=30s.
 # Ends with the barrier-interval slide check (docs/LINT.md): every
 # computed legal placement interval brute-force verified — analysis
@@ -56,6 +65,7 @@ fuzz-smoke:
 	go test ./internal/isa -run '^$$' -fuzz '^FuzzAffineExtent$$' -fuzztime $${FUZZTIME:-10s}
 	go test ./internal/isa -run '^$$' -fuzz '^FuzzAffineOverlaps$$' -fuzztime $${FUZZTIME:-10s}
 	go test ./internal/isa -run '^$$' -fuzz '^FuzzIndexFootprint$$' -fuzztime $${FUZZTIME:-10s}
+	go test ./internal/core -run '^$$' -fuzz '^FuzzSpanEquivalence$$' -fuzztime $${FUZZTIME:-10s}
 	go test ./internal/fix -run '^TestIntervalSlide' -count=1 -v
 
 # Observability end-to-end check (docs/OBSERVABILITY.md): metrics +

@@ -36,6 +36,7 @@ func main() {
 	out := flag.String("out", "BENCH_sim.json", "with -json: output path")
 	goldens := flag.String("goldens", "scripts/bench_goldens.json", "with -json -smoke: golden cycle counts")
 	updateGoldens := flag.Bool("update-goldens", false, "with -json: rewrite the goldens from this run")
+	ratchet := flag.String("ratchet", "", "with -json: committed BENCH_sim.json to ratchet ns/cycle against (fail on geomean regression past bench.PerfTolerance)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run, e.g. 10m (0 = none; the cycle watchdog still applies)")
 	flag.Parse()
 
@@ -48,7 +49,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := runSimBench(ctx, *smoke, *out, *goldens, *updateGoldens); err != nil {
+		if err := runSimBench(ctx, *smoke, *out, *goldens, *updateGoldens, *ratchet); err != nil {
 			fail(err)
 		}
 		return
@@ -97,21 +98,31 @@ func fail(err error) {
 }
 
 // runSimBench measures simulated cycles and host wall time per workload
-// (skip-ahead off and on), writes the JSON artifact, and — for the
-// smoke slice — fails if simulated cycle counts drift from the
-// committed goldens.
-func runSimBench(ctx context.Context, smoke bool, out, goldens string, update bool) error {
+// (per-cycle ticking vs the event-driven scheduler), writes the JSON
+// artifact, and — for the smoke slice — fails if simulated cycle counts
+// drift from the committed goldens. With -ratchet it also fails if the
+// geomean of the per-workload ns/cycle ratios against the committed
+// BENCH_sim.json regressed more than bench.PerfTolerance.
+func runSimBench(ctx context.Context, smoke bool, out, goldens string, update bool, ratchet string) error {
 	rows, err := bench.SimBenchContext(ctx, smoke)
 	if err != nil {
 		return err
 	}
 	w := tw()
-	fmt.Fprintln(w, "workload\tunits\tcycles\twall ms (no skip)\twall ms\tns/cycle\tspeedup")
+	fmt.Fprintln(w, "workload\tunits\tcycles\twall ms (no skip)\twall ms\tns/cycle\tspeedup\tticks/cycle\tspans")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.2fx\n",
+		if r.Workload == bench.GeomeanWorkload {
+			fmt.Fprintf(w, "%s\t\t\t\t\t%.1f\t%.2fx\t\t\n", r.Workload, r.NsPerCycle, r.Speedup)
+			continue
+		}
+		spans, ticksPerCycle := uint64(0), 0.0
+		if r.Sched != nil {
+			spans, ticksPerCycle = r.Sched.Spans, r.Sched.TicksPerCycle
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.2fx\t%.2f\t%d\n",
 			r.Workload, r.Units, r.Cycles,
 			float64(r.WallNsNoSkip)/1e6, float64(r.WallNs)/1e6,
-			r.NsPerCycle, r.Speedup)
+			r.NsPerCycle, r.Speedup, ticksPerCycle, spans)
 	}
 	w.Flush()
 	if err := bench.WriteSimJSON(rows, out); err != nil {
@@ -126,7 +137,15 @@ func runSimBench(ctx context.Context, smoke bool, out, goldens string, update bo
 		return nil
 	}
 	if smoke {
-		return bench.CheckSimGoldens(rows, goldens)
+		if err := bench.CheckSimGoldens(rows, goldens); err != nil {
+			return err
+		}
+	}
+	if ratchet != "" {
+		if err := bench.CheckSimPerf(rows, ratchet, bench.PerfTolerance); err != nil {
+			return err
+		}
+		fmt.Printf("host-performance ratchet ok (geomean within %.0f%% of %s)\n", 100*bench.PerfTolerance, ratchet)
 	}
 	return nil
 }

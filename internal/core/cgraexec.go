@@ -33,6 +33,16 @@ type cgraExec struct {
 	outRes      []int       // reserved bytes per machine output port
 	pipe        [][]pipeOut // per DFG output port, in flight
 
+	// Hot-path scratch: per-input-port word buffers reused across fires,
+	// and a freelist of drained pipeOut data buffers (Queue.Push copies,
+	// so a delivered buffer is immediately reusable).
+	inBuf [][]uint64
+	free  [][]byte
+
+	// cfgGen counts configuration installs: the wake signal that lets a
+	// sleeping unconfigured fabric notice an SD_Config completing.
+	cfgGen sim.Signal
+
 	// Statistics.
 	Instances uint64
 	FUOps     uint64
@@ -60,6 +70,8 @@ func (x *cgraExec) Install(s *cgra.Schedule) error {
 	x.inHW = append(x.inHW[:0], s.InPortMap...)
 	x.outHW = append(x.outHW[:0], s.OutPortMap...)
 	x.pipe = make([][]pipeOut, len(s.Graph.Outs))
+	x.inBuf = make([][]uint64, len(s.Graph.Ins))
+	x.cfgGen.Raise()
 	return nil
 }
 
@@ -89,6 +101,23 @@ func (x *cgraExec) PendingTimed(now uint64) bool {
 	return false
 }
 
+// WatchSig sums the external signals the fabric's wake hint depends on
+// (see sim.Watcher): every mapped port's traffic counters plus the
+// configuration generation. The port map changes only in Install, which
+// raises cfgGen, so the sum stays monotone between snapshots.
+func (x *cgraExec) WatchSig() uint64 {
+	sig := x.cfgGen.Value()
+	for _, hw := range x.inHW {
+		q := x.ports.In[hw]
+		sig += q.TotalIn() + q.TotalOut()
+	}
+	for _, hw := range x.outHW {
+		q := x.ports.Out[hw]
+		sig += q.TotalIn() + q.TotalOut()
+	}
+	return sig
+}
+
 // NextWake implements the sim.Component wake-hint contract (see
 // docs/SIMKERNEL.md): Ready when an output can drain or an instance can
 // fire, the earliest pipeline-emergence cycle when results are in
@@ -107,10 +136,28 @@ func (x *cgraExec) NextWake(now uint64) sim.Hint {
 			}
 		}
 	}
-	if starved, blocked := x.blockers(); len(starved) == 0 && len(blocked) == 0 {
+	if x.canFire() {
 		return sim.ReadyNow() // can fire an instance
 	}
 	return h
+}
+
+// canFire reports whether a full instance of input data and output
+// space is available — blockers() without the diagnostic allocation.
+func (x *cgraExec) canFire() bool {
+	g := x.sched.Graph
+	for p, in := range g.Ins {
+		if !x.ports.In[x.inHW[p]].HasWords(in.Width) {
+			return false
+		}
+	}
+	for p := range g.Outs {
+		hw := x.outHW[p]
+		if x.ports.Out[hw].Space()-x.outRes[hw] < g.Outs[p].BytesPerInstance() {
+			return false
+		}
+	}
+	return true
 }
 
 // StallCause classifies the fabric's state on a cycle it neither fired
@@ -188,40 +235,37 @@ func (x *cgraExec) Tick(now uint64) error {
 		hw := x.outHW[p]
 		for len(x.pipe[p]) > 0 && x.pipe[p][0].ready <= now {
 			out := x.pipe[p][0]
-			x.pipe[p] = x.pipe[p][1:]
+			n := copy(x.pipe[p], x.pipe[p][1:]) // pop-front in place: keeps capacity
+			x.pipe[p] = x.pipe[p][:n]
 			x.ports.Out[hw].Push(out.data)
 			x.outRes[hw] -= len(out.data)
 			x.Drained += uint64(len(out.data))
+			x.free = append(x.free, out.data[:0]) // Push copied; recycle
 		}
 	}
 
 	// Dataflow firing: one instance worth of data on every input port,
 	// and space (net of in-flight reservations) on every output port.
+	if !x.canFire() {
+		return nil
+	}
 	g := x.sched.Graph
 	for p, in := range g.Ins {
-		if !x.ports.In[x.inHW[p]].HasWords(in.Width) {
-			return nil
-		}
+		x.inBuf[p] = x.ports.In[x.inHW[p]].PopWordsInto(x.inBuf[p], in.Width)
 	}
-	for p := range g.Outs {
-		hw := x.outHW[p]
-		if x.ports.Out[hw].Space()-x.outRes[hw] < g.Outs[p].BytesPerInstance() {
-			return nil
-		}
-	}
-
-	inputs := make([][]uint64, len(g.Ins))
-	for p, in := range g.Ins {
-		inputs[p] = x.ports.In[x.inHW[p]].PopWords(in.Width)
-	}
-	outs, err := x.eval.Eval(inputs)
+	outs, err := x.eval.Eval(x.inBuf)
 	if err != nil {
 		return err
 	}
 	for p := range g.Outs {
 		hw := x.outHW[p]
 		elem := g.Outs[p].ElemBytes
-		data := make([]byte, 0, g.Outs[p].BytesPerInstance())
+		var data []byte
+		if n := len(x.free); n > 0 {
+			data, x.free = x.free[n-1], x.free[:n-1]
+		} else {
+			data = make([]byte, 0, g.Outs[p].BytesPerInstance())
+		}
 		for _, w := range outs[p] {
 			var buf [8]byte
 			binary.LittleEndian.PutUint64(buf[:], w)

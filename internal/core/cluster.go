@@ -70,6 +70,28 @@ func (c *Cluster) MetricsDump() obs.Dump {
 	return obs.Merge(units)
 }
 
+// SchedStats sums the wake-set scheduler counters across the units
+// (see Machine.SchedStats). Valid after a completed Run.
+func (c *Cluster) SchedStats() sim.SchedStats {
+	var total sim.SchedStats
+	for _, u := range c.Units {
+		total.Add(u.SchedStats())
+	}
+	return total
+}
+
+// SchedTickBy sums the executed tick counts per component name across
+// the units, the per-component view behind SchedStats().CompTicks.
+func (c *Cluster) SchedTickBy() map[string]uint64 {
+	total := map[string]uint64{}
+	for _, u := range c.Units {
+		for name, n := range u.SchedTickBy() {
+			total[name] += n
+		}
+	}
+	return total
+}
+
 // SetHeartbeat installs a progress callback on the cluster's run loop,
 // reporting aggregate progress across the units.
 func (c *Cluster) SetHeartbeat(every time.Duration, fn func(ProgressReport)) {
@@ -266,7 +288,6 @@ func (c *Cluster) RunContext(ctx context.Context, progs []*Program) (stats *Stat
 		return nil, ce
 	}
 	var lastProgress, lastChange uint64
-	var skipHold, failedSkips uint64
 	var hbIter uint64
 	diagnosed := false
 	for {
@@ -335,22 +356,17 @@ func (c *Cluster) RunContext(ctx context.Context, progs []*Program) (stats *Stat
 			}
 		}
 		next := now + 1
-		if stillRunning && !progressed && skipHold > 0 {
-			skipHold--
-		} else if stillRunning && !progressed {
+		if stillRunning {
 			// Idle skip-ahead across the cluster: only when every running
-			// unit is idle or timed-waiting (a unit with skipping disabled
-			// reports Ready and vetoes), and only on cycles with no
-			// progress anywhere. Capped at the watchdog deadline, like
-			// Machine.run, with the same brief backoff after repeated
-			// failed hint sweeps.
+			// unit is asleep until a known future cycle (a unit with wake
+			// scheduling disabled reports Ready and vetoes). Capped at the
+			// watchdog deadline, like Machine.run.
 			h := sim.Idle()
 			for _, u := range c.Units {
 				if !u.Done() {
 					h = h.Earliest(u.NextWake(now))
 				}
 			}
-			skipped := false
 			if h.Kind == sim.WakeTimed && h.At > next {
 				target := h.At
 				if deadline := lastChange + watchdog + 1; target > deadline {
@@ -363,17 +379,21 @@ func (c *Cluster) RunContext(ctx context.Context, progs []*Program) (stats *Stat
 						}
 					}
 					next = target
-					skipped = true
-					failedSkips = 0
 				}
-			}
-			if !skipped {
-				if failedSkips++; failedSkips > 2 {
-					skipHold = failedSkips - 2
-					if skipHold > 8 {
-						skipHold = 8
+			} else if len(c.Units) == 1 {
+				// Span retirement (single-unit clusters only: peers would
+				// share DRAM arbitration, which a batched unit could
+				// reorder): when one component of the unit is due and the
+				// rest sleep, its ticks batch in one call. See
+				// Machine.retireSpan.
+				n, err := c.Units[0].retireSpan(next, lastChange+watchdog+1)
+				if err != nil {
+					if me, ok := err.(*MachineError); ok {
+						me.Unit = 0
 					}
+					return nil, err
 				}
+				next += n
 			}
 		}
 		now = next

@@ -21,6 +21,7 @@ type cgraComp struct{ m *Machine }
 func (c cgraComp) Name() string                 { return "cgra" }
 func (c cgraComp) Tick(now uint64) error        { return c.m.exec.Tick(now) }
 func (c cgraComp) NextWake(now uint64) sim.Hint { return c.m.exec.NextWake(now) }
+func (c cgraComp) WatchSig() uint64             { return c.m.exec.WatchSig() }
 func (c cgraComp) Progress() uint64             { return c.m.exec.Instances }
 
 // mseComp adapts the memory stream engine behind the fault-stall gate.
@@ -34,6 +35,7 @@ func (c mseComp) Tick(now uint64) error {
 	return c.m.mse.Tick(now)
 }
 func (c mseComp) NextWake(now uint64) sim.Hint { return c.m.mse.NextWake(now) }
+func (c mseComp) WatchSig() uint64             { return c.m.mse.WatchSig() }
 func (c mseComp) OnSkip(from, to uint64)       { c.m.mse.OnSkip(from, to) }
 func (c mseComp) Progress() uint64 {
 	return c.m.mse.BytesDelivered + c.m.mse.BytesStored + c.m.mse.LinesWritten
@@ -51,6 +53,7 @@ func (c sseComp) Tick(now uint64) error {
 	return c.m.sse.Tick(now)
 }
 func (c sseComp) NextWake(now uint64) sim.Hint { return c.m.sse.NextWake(now) }
+func (c sseComp) WatchSig() uint64             { return c.m.sse.WatchSig() }
 func (c sseComp) OnSkip(from, to uint64)       { c.m.sse.OnSkip(from, to) }
 func (c sseComp) Progress() uint64             { return c.m.sse.BytesIn + c.m.sse.BytesOut }
 
@@ -66,6 +69,7 @@ func (c rseComp) Tick(now uint64) error {
 	return c.m.rse.Tick(now)
 }
 func (c rseComp) NextWake(now uint64) sim.Hint { return c.m.rse.NextWake(now) }
+func (c rseComp) WatchSig() uint64             { return c.m.rse.WatchSig() }
 func (c rseComp) OnSkip(from, to uint64)       { c.m.rse.OnSkip(from, to) }
 func (c rseComp) Progress() uint64             { return c.m.rse.BytesMoved }
 
@@ -79,6 +83,24 @@ func (c dispComp) Tick(now uint64) error        { return c.m.disp.Tick(now) }
 func (c dispComp) NextWake(now uint64) sim.Hint { return c.m.disp.NextWake(now) }
 func (c dispComp) Progress() uint64             { return c.m.disp.Issued }
 func (c dispComp) OnSkip(from, to uint64)       { c.m.disp.OnSkip(from, to) }
+
+// WatchSig composes the dispatcher's wake sources: its own enqueue
+// stream, each engine's lifecycle counter (completions and drained
+// announcements unblock scoreboard entries), and the pad-write
+// buffer's emptied signal (a scratch-write barrier clears only once
+// every pad write has landed, and the last landing empties the
+// buffer). Watching only the emptied transition — not every fill and
+// pop — keeps steady-state MSE→SSE traffic from waking the
+// dispatcher. The dispatcher itself has no padBuf pointer, so the
+// composition lives here at the machine level.
+func (c dispComp) WatchSig() uint64 {
+	m := c.m
+	return m.disp.EnqSeq.Value() +
+		m.mse.Lifecycle.Value() +
+		m.sse.Lifecycle.Value() +
+		m.rse.Lifecycle.Value() +
+		m.padBuf.EmptiedVer()
+}
 
 // coreComp adapts the control core's trace replay. Its Tick never
 // fails: enqueue errors park in configErr and surface from Step.
@@ -105,6 +127,17 @@ func (c coreComp) NextWake(now uint64) sim.Hint {
 	return sim.ReadyNow()
 }
 func (c coreComp) Progress() uint64 { return uint64(c.m.pc) }
+
+// WatchSig: a core blocked on the dispatcher (queue full or barrier
+// pending) can only unblock when the dispatcher's state changes. Once
+// the trace is exhausted the core can never act again, so the signal
+// pins to a constant and dispatcher churn stops waking it.
+func (c coreComp) WatchSig() uint64 {
+	if c.m.prog == nil || c.m.pc >= len(c.m.prog.Trace) {
+		return 0
+	}
+	return c.m.disp.StateVer.Value()
+}
 
 // OnSkip replays the core's stall counter: a skip happens only while
 // the machine is frozen, so every elided cycle would have repeated the

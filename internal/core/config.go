@@ -55,6 +55,16 @@ type Config struct {
 	// tests and benchmarking, not a behavioral one. Skip-ahead also
 	// turns itself off under fault profiles with per-cycle draws.
 	NoSkipAhead bool
+
+	// NoSpanRetire disables batched span retirement (see
+	// Machine.retireSpan and sim.Kernel.RetireSpan) while keeping the
+	// wake-set scheduler. Like NoSkipAhead it is a host-performance
+	// switch, not a behavioral one: a retired span runs the same
+	// component ticks at the same cycles as per-cycle stepping, so
+	// results are cycle-identical either way. NoSkipAhead implies it
+	// (spans ride on the wake-set machinery). Kept for the equivalence
+	// tests and benchmarking.
+	NoSpanRetire bool
 }
 
 // DefaultConfig is the broadly provisioned Softbrain of Section 7.2.

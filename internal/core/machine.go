@@ -75,11 +75,14 @@ type Machine struct {
 	faults *faults.Injector
 
 	// kern sequences the unit's components (see internal/sim and
-	// components.go); Step is a loop over its registry, and run() uses
-	// its wake hints for idle skip-ahead.
+	// components.go); Step ticks only the components the kernel's wake
+	// hints and watch signals say could act, and run() uses the combined
+	// hint for idle skip-ahead.
 	kern        sim.Kernel
-	noSkip      bool // skip-ahead disabled (config or per-cycle fault draws)
-	coreStalled bool // last core tick stalled on the dispatcher
+	noSkip      bool  // wake scheduling disabled (config or per-cycle fault draws)
+	spans       bool  // batched span retirement enabled
+	lastStepped int64 // last cycle Step actually ran, -1 before the first
+	coreStalled bool  // last core tick stalled on the dispatcher
 
 	prog      *Program
 	pc        int
@@ -161,6 +164,8 @@ func NewMachineShared(cfg Config, sys *mem.System) (*Machine, error) {
 	// Per-cycle fault draws (stall, throttle) consume randomness every
 	// ticked cycle, so skipping would change the fault schedule.
 	m.noSkip = cfg.NoSkipAhead || (m.faults != nil && m.faults.PerCycleDraws())
+	m.spans = !m.noSkip && !cfg.NoSpanRetire
+	m.lastStepped = -1
 	m.kern.Register(cgraComp{m})
 	m.kern.Register(mseComp{m})
 	m.kern.Register(sseComp{m})
@@ -220,6 +225,11 @@ func (m *Machine) Load(p *Program) error {
 	m.prog = p
 	m.pc = 0
 	m.busyUntil = 0
+	// A reused machine restarts at cycle 0: rewind the wake-set state so
+	// the previous run's cached "everything idle" hints cannot put the
+	// new run to sleep before its first tick.
+	m.kern.Reset()
+	m.lastStepped = -1
 	return nil
 }
 
@@ -250,11 +260,63 @@ func (m *Machine) Done() bool {
 	return m.prog != nil && m.pc >= len(m.prog.Trace) && m.disp.Idle() && m.exec.InFlight() == 0
 }
 
-// Step advances one cycle: a thin loop over the kernel's component
-// registry, in tick order. Component errors come back wrapped in a
-// MachineError naming the component and cycle; a fault-injected stall
-// freezes the affected stream engine for the cycle (see components.go).
+// Step advances one cycle. In the default wake-set mode it ticks only
+// the components whose cached wake hint, timed deadline, or watch
+// signal says they could act this cycle (see sim.Kernel); a skipped
+// component's per-cycle bookkeeping is replayed lazily by BeforeTick
+// just before its next real tick. With wake scheduling disabled
+// (NoSkipAhead, or per-cycle fault draws) every component ticks every
+// cycle. Component errors come back wrapped in a MachineError naming
+// the component and cycle; a fault-injected stall freezes the affected
+// stream engine for the cycle (see components.go).
 func (m *Machine) Step(now uint64) error {
+	if m.noSkip {
+		return m.stepAll(now)
+	}
+	// A deferred program error set by the core (the last component) on
+	// the previous cycle surfaces here — the same cycle the legacy
+	// tick-everything loop would have surfaced it.
+	if m.configErr != nil {
+		return m.stepError("program", now, m.configErr)
+	}
+	comps := m.kern.Components()
+	ticked := 0
+	for i, c := range comps {
+		if !m.kern.ShouldTick(i, now) {
+			m.kern.Stats.CompSleeps++
+			continue
+		}
+		m.kern.BeforeTick(i, now)
+		if err := c.Tick(now); err != nil {
+			return m.stepError(c.Name(), now, err)
+		}
+		m.kern.AfterTick(i, now)
+		ticked++
+		// A deferred program error (config decode, enqueue validation)
+		// set by this cycle's MSE tick surfaces here; one set by the
+		// core surfaces next Step.
+		if i < len(comps)-1 && m.configErr != nil {
+			return m.stepError("program", now, m.configErr)
+		}
+	}
+	m.kern.Stats.Cycles++
+	if ticked >= len(m.kern.Stats.TickHist) {
+		ticked = len(m.kern.Stats.TickHist) - 1
+	}
+	m.kern.Stats.TickHist[ticked]++
+	m.lastStepped = int64(now)
+	m.mark(now)
+	if m.attr != nil {
+		m.classifyCycle(now)
+	}
+	return nil
+}
+
+// stepAll is the legacy per-cycle path: every component ticks, no wake
+// bookkeeping. Used when wake scheduling is disabled and as the
+// reference semantics the wake-set path must reproduce exactly (see
+// TestSkipAheadWorkloads and the fuzz equivalence suite).
+func (m *Machine) stepAll(now uint64) error {
 	comps := m.kern.Components()
 	for i, c := range comps {
 		if err := c.Tick(now); err != nil {
@@ -267,11 +329,73 @@ func (m *Machine) Step(now uint64) error {
 			return m.stepError("program", now, m.configErr)
 		}
 	}
+	m.kern.Stats.Cycles++
+	m.kern.Stats.CompTicks += uint64(len(comps))
+	b := len(comps)
+	if b >= len(m.kern.Stats.TickHist) {
+		b = len(m.kern.Stats.TickHist) - 1
+	}
+	m.kern.Stats.TickHist[b]++
+	m.lastStepped = int64(now)
 	m.mark(now)
 	if m.attr != nil {
 		m.classifyCycle(now)
 	}
 	return nil
+}
+
+// retireSpan attempts to retire a batched span of cycles starting at
+// cycle now: when exactly one component is due and every peer sleeps,
+// that component's ticks run in a tight loop — identical Tick calls at
+// identical cycles, so the span is bit-exact with per-cycle stepping —
+// until a peer's watch signature moves, the component goes quiet, a
+// peer's timed wake arrives, or the exclusive deadline is reached (the
+// cycle the caller's watchdog would fire, mirroring the idle-jump
+// cap). The fast path skips the per-cycle run-loop and scheduler
+// machinery: no Step dispatch, no ShouldTick scan, no progress or
+// hang probes per cycle. It returns the number of cycles retired, 0
+// when no span is eligible.
+//
+// Spans are skipped entirely under per-cycle obligations the batch
+// loop does not replay: cycle attribution (m.attr) and the execution
+// tracer's per-cycle marks.
+func (m *Machine) retireSpan(now, deadline uint64) (uint64, error) {
+	if !m.spans || m.attr != nil || m.tracer != nil || m.configErr != nil || m.prog == nil {
+		return 0, nil
+	}
+	sole, limit := m.kern.SoloReady(now)
+	if sole < 0 {
+		return 0, nil
+	}
+	if limit > deadline {
+		limit = deadline
+	}
+	if limit <= now+1 {
+		return 0, nil // a span of one cycle is just a Step
+	}
+	comps := m.kern.Components()
+	m.kern.BeforeTick(sole, now)
+	n, err := m.kern.RetireSpan(sole, now, limit, func(i int, t uint64) error {
+		// Mirror Step's deferred-error protocol exactly: an error set by
+		// the last component (the core) surfaces at the next cycle's
+		// top-of-step check — which for a span cycle is the moment just
+		// before the sole component's tick; one set by an earlier
+		// component surfaces the same cycle.
+		if i == sole && m.configErr != nil {
+			return m.stepError("program", t, m.configErr)
+		}
+		if err := comps[i].Tick(t); err != nil {
+			return m.stepError(comps[i].Name(), t, err)
+		}
+		if i < len(comps)-1 && m.configErr != nil {
+			return m.stepError("program", t, m.configErr)
+		}
+		return nil
+	})
+	if n > 0 {
+		m.lastStepped = int64(now + n - 1)
+	}
+	return n, err
 }
 
 // NextWake combines the components' wake hints; a machine running with
@@ -284,7 +408,22 @@ func (m *Machine) NextWake(now uint64) sim.Hint {
 }
 
 // SkippedCycles is the number of idle cycles the run loop elided.
-func (m *Machine) SkippedCycles() uint64 { return m.kern.Skipped }
+func (m *Machine) SkippedCycles() uint64 { return m.kern.Skipped() }
+
+// SchedStats reports the wake-set scheduler's counters for this unit:
+// cycles simulated, components ticked and slept, signal-triggered
+// wakes, whole-machine jumps, and retired-span shape.
+func (m *Machine) SchedStats() sim.SchedStats { return m.kern.Stats }
+
+// SchedTickBy reports the executed tick count per component name, the
+// per-component view behind SchedStats().CompTicks.
+func (m *Machine) SchedTickBy() map[string]uint64 {
+	out := map[string]uint64{}
+	for i, c := range m.kern.Components() {
+		out[c.Name()] += m.kern.TickBy[i]
+	}
+	return out
+}
 
 // ResolveGrants resolves deferred DRAM grants at the cluster's epoch
 // barrier and patches the provisional completion times held by the
@@ -354,7 +493,7 @@ func (m *Machine) stepCore(now uint64) {
 		m.coreStall++
 		return
 	}
-	if err := m.disp.EnqueueAt(op.Cmd, m.pc); err != nil {
+	if err := m.disp.EnqueueAt(op.Cmd, m.pc, now); err != nil {
 		// Enqueue validated at CanEnqueue time; a failure here is a
 		// program error surfaced on the next Step.
 		m.configErr = err
@@ -434,7 +573,6 @@ func (m *Machine) run(ctx context.Context) (stats *Stats, err error) {
 		return nil, ce
 	}
 	var lastProgress, lastChange uint64
-	var skipHold, failedSkips uint64
 	var hbIter uint64
 	diagnosed := false
 	for !m.Done() {
@@ -447,11 +585,9 @@ func (m *Machine) run(ctx context.Context) (stats *Stats, err error) {
 			}
 			m.heartbeat(now)
 		}
-		progressed := false
 		if pr := m.progress(); pr != lastProgress {
 			lastProgress, lastChange = pr, now
 			diagnosed = false
-			progressed = true
 		} else if !m.Done() { // Step may have just finished the program
 			idle := now - lastChange
 			// Quiescence: no progress for the grace period and no timed
@@ -476,27 +612,36 @@ func (m *Machine) run(ctx context.Context) (stats *Stats, err error) {
 			}
 		}
 		next := now + 1
-		if !m.noSkip && !progressed && !m.Done() {
-			// Idle skip-ahead: when every component is idle or waiting on
-			// a known future cycle, jump there. The target is capped at
-			// the cycle the watchdog would fire so a hung run diagnoses
-			// at exactly the cycle the unskipped run would; skipped
-			// spans contain no quiescent cycle (a timed event is pending
-			// throughout), so no quiescence check is bypassed. Cycles
-			// that advanced the progress counter skip the hint sweep
-			// entirely, and repeated failed sweeps back off briefly —
-			// both are sound, not skipping never changes results.
-			if skipHold > 0 {
-				skipHold--
-			} else if target := m.kern.SkipTarget(now, lastChange+watchdog+1); target > next {
-				m.onSkip(next, target)
-				next = target
-				failedSkips = 0
-			} else if failedSkips++; failedSkips > 2 {
-				skipHold = failedSkips - 2
-				if skipHold > 8 {
-					skipHold = 8
+		if !m.noSkip && !m.Done() {
+			// Idle skip-ahead: when every component is asleep and the
+			// earliest wake is a known future cycle, jump there — the
+			// machine is frozen (nothing Ready, no watch signal moved),
+			// so the elided cycles are provably no-ops and the kernel
+			// only records them; the slept components replay their
+			// bookkeeping lazily before their next tick. The target is
+			// capped at the cycle the watchdog would fire so a hung run
+			// diagnoses at exactly the cycle the unskipped run would;
+			// skipped spans contain no quiescent cycle (a timed event is
+			// pending throughout), so no quiescence check is bypassed.
+			if h := m.kern.NextWake(now); h.Kind == sim.WakeTimed && h.At > next {
+				target := h.At
+				if deadline := lastChange + watchdog + 1; target > deadline {
+					target = deadline
 				}
+				if target > next {
+					m.onSkip(next, target)
+					next = target
+				}
+			} else {
+				// Span retirement: the machine is not frozen, but if a
+				// single component is due it can batch its solo ticks
+				// (see retireSpan). Capped at the watchdog deadline like
+				// the idle jump above.
+				n, err := m.retireSpan(next, lastChange+watchdog+1)
+				if err != nil {
+					return nil, err
+				}
+				next += n
 			}
 		}
 		now = next
@@ -519,6 +664,13 @@ func snapshotSys(s *mem.System) sysCounters {
 }
 
 func (m *Machine) collect(cycles uint64, base sysCounters) *Stats {
+	if !m.noSkip {
+		// Replay any still-outstanding slept spans so per-cycle stall
+		// counters are complete through the unit's last stepped cycle.
+		// (In per-cycle mode nothing slept; the kernel's replay cursors
+		// were never advanced, so flushing would double-count.)
+		m.kern.Flush(uint64(m.lastStepped + 1))
+	}
 	m.finishMetrics(cycles)
 	cur := snapshotSys(m.Sys)
 	s := m.localStats(cycles)

@@ -209,11 +209,12 @@ func (m *Machine) classifySpan(from, to uint64) {
 	a.ports.Account(m.portsStallCause(), from, to)
 }
 
-// onSkip replays a skipped span into the kernel's components and the
-// stall attribution. Both run loops (Machine.run, Cluster.Run) call
-// this instead of kern.OnSkip directly.
+// onSkip records an elided span [from, to) — the kernel only counts it
+// (slept components replay their own bookkeeping lazily, see
+// sim.Kernel) — and attributes its stall causes. Both run loops
+// (Machine.run, Cluster.Run) call this for whole-machine jumps.
 func (m *Machine) onSkip(from, to uint64) {
-	m.kern.OnSkip(from, to)
+	m.kern.Jump(from, to)
 	if m.attr != nil {
 		m.classifySpan(from, to)
 	}

@@ -9,8 +9,9 @@ import "fmt"
 type Evaluator struct {
 	g     *Graph
 	order []NodeID
-	state []uint64 // per-node accumulator state
-	vals  []uint64 // per-node scratch for the current instance
+	state []uint64   // per-node accumulator state
+	vals  []uint64   // per-node scratch for the current instance
+	outs  [][]uint64 // per-port result buffers, reused across instances
 }
 
 // NewEvaluator returns an evaluator for g, which must be valid.
@@ -24,6 +25,10 @@ func NewEvaluator(g *Graph) (*Evaluator, error) {
 		order: order,
 		state: make([]uint64, len(g.Nodes)),
 		vals:  make([]uint64, len(g.Nodes)),
+		outs:  make([][]uint64, len(g.Outs)),
+	}
+	for p := range g.Outs {
+		e.outs[p] = make([]uint64, g.Outs[p].Width())
 	}
 	e.Reset()
 	return e, nil
@@ -68,13 +73,11 @@ func (e *Evaluator) Eval(inputs [][]uint64) ([][]uint64, error) {
 		}
 		e.vals[id], e.state[id] = n.Op.Eval(args[:len(n.Args)], e.state[id])
 	}
-	outs := make([][]uint64, len(g.Outs))
 	for p := range g.Outs {
-		words := make([]uint64, g.Outs[p].Width())
+		words := e.outs[p]
 		for w, r := range g.Outs[p].Sources {
 			words[w] = deref(r)
 		}
-		outs[p] = words
 	}
-	return outs, nil
+	return e.outs, nil
 }

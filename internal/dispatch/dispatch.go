@@ -168,6 +168,21 @@ type Dispatcher struct {
 	repeatPos      int
 	repeatResource bool
 	repeatKind     isa.Kind
+
+	// Wake signals (see sim.Signal). EnqSeq counts accepted enqueues —
+	// the dispatcher's own watch includes it so a command arriving from
+	// the core wakes a sleeping dispatcher. StateVer counts every
+	// scoreboard or queue change — the control core watches it, since
+	// BlocksCore can only clear when the dispatcher changes state.
+	EnqSeq   sim.Signal
+	StateVer sim.Signal
+
+	// Scan stamps for the dispatch window's port-conflict check: a port
+	// stamped with the current generation is referenced by an older
+	// unissued command. Replaces a per-Tick map allocation.
+	touchIn  []uint64
+	touchOut []uint64
+	touchGen uint64
 }
 
 // BarrierDrain is one barrier's drain cost: the cycles it held the
@@ -189,6 +204,8 @@ func New(mse *engine.MSE, sse *engine.SSE, rse *engine.RSE, numIn, numOut, queue
 		active:      map[int]resources{},
 		nextID:      1,
 		StallByKind: map[isa.Kind]uint64{},
+		touchIn:     make([]uint64, numIn),
+		touchOut:    make([]uint64, numOut),
 	}
 }
 
@@ -205,12 +222,15 @@ func (d *Dispatcher) CanEnqueue() bool { return len(d.queue) < d.queueDepth }
 
 // Enqueue accepts a command from the control core. The command's ports
 // are validated here, at the architectural boundary.
-func (d *Dispatcher) Enqueue(cmd isa.Command) error { return d.EnqueueAt(cmd, -1) }
+func (d *Dispatcher) Enqueue(cmd isa.Command) error { return d.EnqueueAt(cmd, -1, d.now) }
 
-// EnqueueAt is Enqueue with the command's trace position attached, so
-// barrier-drain cycles can be attributed to the barrier that caused
-// them (see BarrierDrains). Pass -1 when the position is unknown.
-func (d *Dispatcher) EnqueueAt(cmd isa.Command, pos int) error {
+// EnqueueAt is Enqueue with the command's trace position and the
+// current cycle attached: the position keys barrier-drain attribution
+// (see BarrierDrains), and the cycle stamps the command's enqueue time
+// for the trace — the core may enqueue on a cycle the dispatcher slept
+// through, so the dispatcher's own clock can be stale. Pass -1 when the
+// position is unknown.
+func (d *Dispatcher) EnqueueAt(cmd isa.Command, pos int, now uint64) error {
 	if !d.CanEnqueue() {
 		return fmt.Errorf("dispatch: command queue full")
 	}
@@ -218,7 +238,12 @@ func (d *Dispatcher) EnqueueAt(cmd isa.Command, pos int) error {
 	if err != nil {
 		return err
 	}
-	for _, p := range append(append([]int{}, r.inWriters...), r.inReaders...) {
+	for _, p := range r.inWriters {
+		if p < 0 || p >= d.numIn {
+			return fmt.Errorf("dispatch: %v references input port %d of %d", cmd, p, d.numIn)
+		}
+	}
+	for _, p := range r.inReaders {
 		if p < 0 || p >= d.numIn {
 			return fmt.Errorf("dispatch: %v references input port %d of %d", cmd, p, d.numIn)
 		}
@@ -236,7 +261,8 @@ func (d *Dispatcher) EnqueueAt(cmd isa.Command, pos int) error {
 			d.drainKind[pos] = cmd.Kind()
 		}
 	}
-	d.queue = append(d.queue, queued{cmd: cmd, at: d.now, pos: pos})
+	d.queue = append(d.queue, queued{cmd: cmd, res: r, at: now, pos: pos})
+	d.EnqSeq.Raise()
 	return nil
 }
 
@@ -294,13 +320,12 @@ func (d *Dispatcher) Tick(now uint64) error {
 		// command may issue under it.
 		return nil
 	}
-	touched := map[int]bool{} // ports referenced by older unissued commands
-	for i, q := range d.queue {
+	d.touchGen++
+	gen := d.touchGen // ports stamped gen: referenced by older unissued commands
+	for i := range d.queue {
+		q := &d.queue[i]
 		cmd := q.cmd
-		r, err := classify(cmd)
-		if err != nil {
-			return err
-		}
+		r := q.res
 		if cmd.Kind() == isa.KindConfig {
 			// Reconfiguration serializes: it issues only once the fabric
 			// is idle, and nothing younger may start before it finishes.
@@ -313,13 +338,16 @@ func (d *Dispatcher) Tick(now uint64) error {
 				d.active[id] = r
 				d.configActive = true
 				d.configID = id
-				d.Tracer.Issued(id, cmd.String(), q.at, now)
+				if d.Tracer != nil {
+					d.Tracer.Issued(id, cmd.String(), q.at, now)
+				}
 				if d.issuedAt != nil {
 					d.issuedAt[id] = now
 				}
 				d.queue = d.queue[1:]
 				d.Issued++
 				d.tickProgress = true
+				d.StateVer.Raise()
 			} else if i == 0 {
 				d.ResourceStall++
 				d.StallByKind[cmd.Kind()]++
@@ -331,6 +359,7 @@ func (d *Dispatcher) Tick(now uint64) error {
 			if i == 0 && d.barrierMet(cmd.Kind()) {
 				d.queue = d.queue[1:]
 				d.tickProgress = true
+				d.StateVer.Raise()
 			} else if i == 0 {
 				d.BarrierCycles++
 				d.repeatBarrier, d.repeatPos = true, q.pos
@@ -342,17 +371,23 @@ func (d *Dispatcher) Tick(now uint64) error {
 			return nil
 		}
 		conflict := false
-		for _, p := range append(append([]int{}, r.inWriters...), r.inReaders...) {
-			if touched[p] {
+		for _, p := range r.inWriters {
+			if d.touchIn[p] == gen {
 				conflict = true
 			}
-			touched[p] = true
+			d.touchIn[p] = gen
+		}
+		for _, p := range r.inReaders {
+			if d.touchIn[p] == gen {
+				conflict = true
+			}
+			d.touchIn[p] = gen
 		}
 		if r.outReader >= 0 {
-			if touched[^r.outReader] {
+			if d.touchOut[r.outReader] == gen {
 				conflict = true
 			}
-			touched[^r.outReader] = true // output ports keyed separately
+			d.touchOut[r.outReader] = gen
 		}
 		if conflict || !d.resourcesFree(r) {
 			if i == 0 {
@@ -380,13 +415,16 @@ func (d *Dispatcher) Tick(now uint64) error {
 			d.outReader[r.outReader] = id
 		}
 		d.active[id] = r
-		d.Tracer.Issued(id, cmd.String(), q.at, now)
+		if d.Tracer != nil {
+			d.Tracer.Issued(id, cmd.String(), q.at, now)
+		}
 		if d.issuedAt != nil {
 			d.issuedAt[id] = now
 		}
 		d.queue = append(d.queue[:i], d.queue[i+1:]...)
 		d.Issued++
 		d.tickProgress = true
+		d.StateVer.Raise()
 		return nil
 	}
 	return nil
@@ -453,8 +491,9 @@ func (d *Dispatcher) OnSkip(from, to uint64) {
 // queued is one command waiting in the dispatch window.
 type queued struct {
 	cmd isa.Command
-	at  uint64 // enqueue cycle
-	pos int    // trace position, -1 when unknown
+	res resources // classified once at enqueue
+	at  uint64    // enqueue cycle
+	pos int       // trace position, -1 when unknown
 }
 
 func (d *Dispatcher) start(id int, cmd isa.Command, k engineKind) error {
@@ -550,6 +589,7 @@ func (d *Dispatcher) retire(now uint64) {
 				continue
 			}
 			d.tickProgress = true
+			d.StateVer.Raise()
 			for _, p := range r.inWriters {
 				hs := d.inWriter[p][:0]
 				for _, h := range d.inWriter[p] {
@@ -589,6 +629,7 @@ func (d *Dispatcher) retire(now uint64) {
 			continue
 		}
 		d.tickProgress = true
+		d.StateVer.Raise()
 		for _, p := range r.inWriters {
 			for i := range d.inWriter[p] {
 				if d.inWriter[p][i].id == id {

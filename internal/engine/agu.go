@@ -20,10 +20,13 @@ const LineBytes = isa.LineBytes
 
 // LineReq is one coalesced, line-aligned request produced by an AGU.
 // Offsets lists the byte offsets within the line in stream order; offsets
-// may repeat (overlapped and repeating patterns re-read bytes).
+// may repeat (overlapped and repeating patterns re-read bytes). Contig
+// marks the common fast case — Offsets is one consecutive increasing
+// run — letting data movement use a single copy instead of a byte loop.
 type LineReq struct {
 	Line    uint64 // line-aligned base address
 	Offsets []uint8
+	Contig  bool
 }
 
 // Bytes is the payload size of the request.
@@ -41,20 +44,34 @@ func (r LineReq) Mask() uint64 {
 
 // nextAffineLine pulls the longest same-line run of bytes (up to max)
 // from the cursor, forming the minimal next request for the stream. It
-// returns a zero request when the cursor is exhausted.
-func nextAffineLine(c *isa.AffineCursor, max int) (LineReq, bool) {
+// returns a zero request when the cursor is exhausted. Offsets are
+// appended into scratch (reset to length 0) — the caller owns the
+// request only until its next call with the same scratch.
+func nextAffineLine(c *isa.AffineCursor, max int, scratch []uint8) (LineReq, bool) {
 	if c.Done() {
 		return LineReq{}, false
 	}
 	first := c.Peek()
-	req := LineReq{Line: first &^ (LineBytes - 1)}
+	req := LineReq{Line: first &^ (LineBytes - 1), Offsets: scratch[:0], Contig: true}
+	prev := -1
 	for !c.Done() && len(req.Offsets) < max {
 		a := c.Peek()
 		if a&^(LineBytes-1) != req.Line {
 			break
 		}
-		req.Offsets = append(req.Offsets, uint8(a&(LineBytes-1)))
-		c.Next()
+		off := a & (LineBytes - 1)
+		if prev >= 0 && int(off) != prev {
+			req.Contig = false
+		}
+		room := uint64(max - len(req.Offsets))
+		if lineRoom := LineBytes - off; lineRoom < room {
+			room = lineRoom
+		}
+		_, n := c.Take(room)
+		for i := uint64(0); i < n; i++ {
+			req.Offsets = append(req.Offsets, uint8(off+i))
+		}
+		prev = int(off + n)
 	}
 	return req, true
 }
@@ -86,19 +103,24 @@ func (g *indirectAGU) pending() int { return len(g.queue) }
 func (g *indirectAGU) peekAddr() uint64 { return g.queue[0] }
 
 // next forms one line request from the head of the queue: the longest
-// same-line prefix, capped at max bytes.
-func (g *indirectAGU) next(max int) (LineReq, bool) {
+// same-line prefix, capped at max bytes. Offsets append into scratch
+// (reset to length 0), like nextAffineLine.
+func (g *indirectAGU) next(max int, scratch []uint8) (LineReq, bool) {
 	if len(g.queue) == 0 {
 		return LineReq{}, false
 	}
-	req := LineReq{Line: g.queue[0] &^ (LineBytes - 1)}
+	req := LineReq{Line: g.queue[0] &^ (LineBytes - 1), Offsets: scratch[:0], Contig: true}
 	n := 0
 	for n < len(g.queue) && n < max {
 		a := g.queue[n]
 		if a&^(LineBytes-1) != req.Line {
 			break
 		}
-		req.Offsets = append(req.Offsets, uint8(a&(LineBytes-1)))
+		off := uint8(a & (LineBytes - 1))
+		if n > 0 && off != req.Offsets[n-1]+1 {
+			req.Contig = false
+		}
+		req.Offsets = append(req.Offsets, off)
 		n++
 	}
 	g.queue = g.queue[n:]

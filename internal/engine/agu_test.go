@@ -26,7 +26,7 @@ func TestAffineAGUCoversPatternExactly(t *testing.T) {
 		var got []uint64
 		for {
 			max := 1 + rng.Intn(LineBytes) // vary the budget per request
-			req, ok := nextAffineLine(cur, max)
+			req, ok := nextAffineLine(cur, max, nil)
 			if !ok {
 				break
 			}
@@ -78,7 +78,7 @@ func TestAffineAGUMinimalRequests(t *testing.T) {
 		prevLine := ^uint64(0)
 		prevFull := true
 		for {
-			req, ok := nextAffineLine(cur, LineBytes)
+			req, ok := nextAffineLine(cur, LineBytes, nil)
 			if !ok {
 				break
 			}
@@ -125,7 +125,7 @@ func TestIndirectAGUOrderAndCoalescing(t *testing.T) {
 		}
 		var got []uint64
 		for {
-			req, ok := g.next(LineBytes)
+			req, ok := g.next(LineBytes, nil)
 			if !ok {
 				break
 			}
@@ -157,7 +157,7 @@ func TestIndirectAGUCoalescesSameLine(t *testing.T) {
 	g.pushElem(128, 8)
 	g.pushElem(136, 8)
 	g.pushElem(144, 8)
-	req, ok := g.next(LineBytes)
+	req, ok := g.next(LineBytes, nil)
 	if !ok || req.Bytes() != 24 || req.Line != 128 {
 		t.Errorf("coalesced request = %+v, ok=%v", req, ok)
 	}
@@ -170,8 +170,8 @@ func TestIndirectAGUCoalescesSameLine(t *testing.T) {
 func TestIndirectAGUSplitsAtLineBoundary(t *testing.T) {
 	var g indirectAGU
 	g.pushElem(60, 8) // bytes 60..67: spans two lines
-	r1, _ := g.next(LineBytes)
-	r2, _ := g.next(LineBytes)
+	r1, _ := g.next(LineBytes, nil)
+	r2, _ := g.next(LineBytes, nil)
 	if r1.Line != 0 || r1.Bytes() != 4 {
 		t.Errorf("first half = %+v", r1)
 	}

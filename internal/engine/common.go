@@ -5,6 +5,7 @@ import (
 
 	"softbrain/internal/isa"
 	"softbrain/internal/port"
+	"softbrain/internal/sim"
 )
 
 // Invariant is the panic value raised when engine-internal bookkeeping
@@ -143,7 +144,34 @@ type PadWriteBuf struct {
 	entries  []PadWrite
 	capacity int
 	reserved int // slots promised to issued-but-undelivered requests
+
+	// free recycles drained Data buffers back to the producing MSE
+	// (the SSE copies bytes into the pad before PopHead).
+	free [][]byte
+
+	// The buffer's state changes split into three wake signals so each
+	// watcher subscribes only to the transitions that can unblock it
+	// (see sim.Watcher). A reservation raises nothing: taking capacity
+	// cannot unblock anyone, and the reserving MSE's own snapshot is
+	// refreshed after its tick.
+	fillVer    sim.Signal // Fill: a queued write the SSE can drain
+	drainVer   sim.Signal // PopHead: a slot the MSE can re-reserve
+	emptiedVer sim.Signal // entries hit zero: a scratch-write barrier can clear
 }
+
+// FillVer counts entry arrivals — the consumer-side (SSE) wake signal.
+func (b *PadWriteBuf) FillVer() uint64 { return b.fillVer.Value() }
+
+// DrainVer counts entry departures — the producer-side (MSE) wake
+// signal: a pop both frees a slot and decrements the producing
+// stream's outstanding-write counter.
+func (b *PadWriteBuf) DrainVer() uint64 { return b.drainVer.Value() }
+
+// EmptiedVer counts transitions to fully drained. The dispatcher
+// watches this one: a scratch-write barrier clears only when every
+// outstanding pad write has landed, and the last landing is always the
+// pop that empties the buffer.
+func (b *PadWriteBuf) EmptiedVer() uint64 { return b.emptiedVer.Value() }
 
 // NewPadWriteBuf returns a buffer of the given entry capacity.
 func NewPadWriteBuf(capacity int) *PadWriteBuf {
@@ -174,6 +202,7 @@ func (b *PadWriteBuf) Fill(w PadWrite) {
 	}
 	b.reserved--
 	b.entries = append(b.entries, w)
+	b.fillVer.Raise()
 }
 
 // Head returns the oldest queued write, if any.
@@ -185,13 +214,29 @@ func (b *PadWriteBuf) Head() (PadWrite, bool) {
 }
 
 // PopHead removes the oldest queued write and decrements its producer's
-// outstanding counter.
+// outstanding counter. The drained Data buffer moves to the freelist.
 func (b *PadWriteBuf) PopHead() {
 	w := b.entries[0]
 	b.entries = b.entries[1:]
 	if w.notify != nil {
 		*w.notify--
 	}
+	b.free = append(b.free, w.Data[:0])
+	b.drainVer.Raise()
+	if len(b.entries) == 0 {
+		b.emptiedVer.Raise()
+	}
+}
+
+// TakeFree hands back one recycled Data buffer, or nil when none is
+// available.
+func (b *PadWriteBuf) TakeFree() []byte {
+	if n := len(b.free); n > 0 {
+		var d []byte
+		d, b.free = b.free[n-1], b.free[:n-1]
+		return d
+	}
+	return nil
 }
 
 // Len is the number of queued (filled) writes.

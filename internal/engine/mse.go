@@ -25,7 +25,16 @@ type MSE struct {
 	reads  []*memRead
 	writes []*memWrite
 	done   []int
-	rr     int // round-robin pointer for response delivery
+	doneFb []int // spare done buffer (Done double-buffers)
+	rr     int   // round-robin pointer for response delivery
+	joined int   // reads appended since the last Tick (see OnSkip)
+
+	// Hot-path scratch: line-offset buffer for the AGUs (one request is
+	// in flight at a time inside a tick) and a freelist of delivered
+	// response buffers (Queue.Push copies, so they recycle; buffers
+	// handed to the pad write buffer do not — the SSE holds them).
+	offScratch [LineBytes]uint8
+	freeData   [][]byte
 
 	onConfig func(addr uint64)
 
@@ -41,6 +50,13 @@ type MSE struct {
 	// Retired, when non-nil, reports each stream's total data movement
 	// as it leaves the table (see internal/obs).
 	Retired func(id int, kind isa.Kind, bytes uint64)
+
+	// Wake signals (see sim.Signal). Kicks counts streams entering the
+	// table (and deferred-grant resolutions); Lifecycle counts streams
+	// completing or reaching all-requests-in-flight — the events the
+	// dispatcher's scoreboards care about.
+	Kicks     sim.Signal
+	Lifecycle sim.Signal
 
 	// Statistics.
 	LinesRead      uint64
@@ -174,6 +190,8 @@ func (e *MSE) StartRead(id int, cmd isa.Command) error {
 		return fmt.Errorf("engine: MSE cannot read for %v", cmd)
 	}
 	e.reads = append(e.reads, s)
+	e.joined++
+	e.Kicks.Raise()
 	return nil
 }
 
@@ -199,13 +217,15 @@ func (e *MSE) StartWrite(id int, cmd isa.Command) error {
 		return fmt.Errorf("engine: MSE cannot write for %v", cmd)
 	}
 	e.writes = append(e.writes, s)
+	e.Kicks.Raise()
 	return nil
 }
 
-// Done drains the list of streams completed since the last call.
+// Done drains the list of streams completed since the last call. The
+// returned slice is valid until the next call (double-buffered).
 func (e *MSE) Done() []int {
 	d := e.done
-	e.done = nil
+	e.done, e.doneFb = e.doneFb[:0], d
 	return d
 }
 
@@ -244,6 +264,7 @@ func (e *MSE) ActiveScratchWrites() int {
 
 // Tick advances the engine one cycle.
 func (e *MSE) Tick(now uint64) error {
+	e.joined = 0
 	busy := false
 	if e.deliver(now) {
 		busy = true
@@ -267,14 +288,6 @@ func (e *MSE) Tick(now uint64) error {
 // target the same port (the all-requests-in-flight overlap), only the
 // oldest may deliver, preserving stream order into the port.
 func (e *MSE) deliver(now uint64) bool {
-	oldest := map[int]int{} // port -> smallest active stream id
-	for _, s := range e.reads {
-		if s.dstPort >= 0 {
-			if cur, ok := oldest[s.dstPort]; !ok || s.id < cur {
-				oldest[s.dstPort] = s.id
-			}
-		}
-	}
 	budget := LineBytes
 	if e.Faults != nil {
 		budget = e.Faults.BusBudget(faults.EngMSE, budget)
@@ -283,7 +296,7 @@ func (e *MSE) deliver(now uint64) bool {
 	n := len(e.reads)
 	for i := 0; i < n && budget > 0; i++ {
 		s := e.reads[(e.rr+i)%n]
-		if s.dstPort >= 0 && oldest[s.dstPort] != s.id {
+		if s.dstPort >= 0 && !e.oldestFor(s) {
 			continue
 		}
 		for len(s.pending) > 0 && budget > 0 {
@@ -294,6 +307,7 @@ func (e *MSE) deliver(now uint64) bool {
 			switch {
 			case s.dstPort >= 0:
 				e.ports.Deliver(s.dstPort, head.data)
+				e.freeData = append(e.freeData, head.data[:0]) // Deliver copied
 			case s.dstPort == dstScratch:
 				e.padBuf.Fill(PadWrite{Addr: head.padAddr, Data: head.data, notify: &s.padOutstanding})
 				s.padOutstanding++
@@ -301,7 +315,8 @@ func (e *MSE) deliver(now uint64) bool {
 			budget -= len(head.data)
 			e.BytesDelivered += uint64(len(head.data))
 			s.bytes += uint64(len(head.data))
-			s.pending = s.pending[1:]
+			k := copy(s.pending, s.pending[1:]) // pop-front in place: keeps capacity
+			s.pending = s.pending[:k]
 			moved = true
 		}
 	}
@@ -309,6 +324,19 @@ func (e *MSE) deliver(now uint64) bool {
 		e.rr = (e.rr + 1) % n
 	}
 	return moved
+}
+
+// oldestFor reports whether s is the oldest (smallest-id) active stream
+// targeting its destination port; only the oldest may deliver, so
+// overlapped successors stay in stream order. The table is tiny, so a
+// scan beats building a port map each cycle.
+func (e *MSE) oldestFor(s *memRead) bool {
+	for _, o := range e.reads {
+		if o.dstPort == s.dstPort && o.id < s.id {
+			return false
+		}
+	}
+	return true
 }
 
 // refillIndirect models the indirect AGU path: each indirect stream pops
@@ -329,29 +357,28 @@ func (e *MSE) refillIndirect() {
 		}
 	}
 	// With overlapped streams, only the oldest consumer of each indirect
-	// port that still needs indices may pop, preserving index order.
-	oldestIdx := map[int]int{}
-	for _, s := range e.reads {
-		if s.kind == isa.KindIndPortPort && s.idxRemaining > 0 {
-			if cur, ok := oldestIdx[s.idxPort]; !ok || s.id < cur {
-				oldestIdx[s.idxPort] = s.id
+	// port that still needs indices may pop, preserving index order. The
+	// tables are tiny, so a per-stream scan beats a per-cycle port map.
+	oldestIdx := func(port, id int) bool {
+		for _, o := range e.reads {
+			if o.kind == isa.KindIndPortPort && o.idxRemaining > 0 && o.idxPort == port && o.id < id {
+				return false
 			}
 		}
-	}
-	for _, s := range e.writes {
-		if s.kind == isa.KindIndPortMem && s.idxRemaining > 0 {
-			if cur, ok := oldestIdx[s.idxPort]; !ok || s.id < cur {
-				oldestIdx[s.idxPort] = s.id
+		for _, o := range e.writes {
+			if o.kind == isa.KindIndPortMem && o.idxRemaining > 0 && o.idxPort == port && o.id < id {
+				return false
 			}
 		}
+		return true
 	}
 	for _, s := range e.reads {
-		if s.kind == isa.KindIndPortPort && oldestIdx[s.idxPort] == s.id {
+		if s.kind == isa.KindIndPortPort && s.idxRemaining > 0 && oldestIdx(s.idxPort, s.id) {
 			refill(s.idxPort, s.idxElem, &s.idxRemaining, &s.agu, s.offset, s.scale, s.dataElem)
 		}
 	}
 	for _, s := range e.writes {
-		if s.kind == isa.KindIndPortMem && oldestIdx[s.idxPort] == s.id {
+		if s.kind == isa.KindIndPortMem && s.idxRemaining > 0 && oldestIdx(s.idxPort, s.id) {
 			refill(s.idxPort, s.idxElem, &s.idxRemaining, &s.agu, s.offset, s.scale, s.dataElem)
 		}
 	}
@@ -410,7 +437,7 @@ func (e *MSE) issueRead(now uint64) bool {
 	var ok bool
 	if best.cur != nil {
 		saved := *best.cur
-		req, ok = nextAffineLine(best.cur, maxBytes)
+		req, ok = nextAffineLine(best.cur, maxBytes, e.offScratch[:])
 		if ok {
 			if ready, accepted := e.sys.Request(now, req.Line, false, req.Bytes()); accepted {
 				e.commitRead(best, req, ready)
@@ -421,7 +448,7 @@ func (e *MSE) issueRead(now uint64) bool {
 		return false
 	}
 	saved := best.agu.queue
-	req, ok = best.agu.next(maxBytes)
+	req, ok = best.agu.next(maxBytes, e.offScratch[:])
 	if ok {
 		if ready, accepted := e.sys.Request(now, req.Line, false, req.Bytes()); accepted {
 			e.commitRead(best, req, ready)
@@ -436,9 +463,19 @@ func (e *MSE) issueRead(now uint64) bool {
 func (e *MSE) commitRead(s *memRead, req LineReq, ready uint64) {
 	var line [LineBytes]byte
 	e.sys.Mem.Read(req.Line, line[:])
-	data := make([]byte, len(req.Offsets))
-	for i, off := range req.Offsets {
-		data[i] = line[off]
+	var data []byte
+	if n := len(e.freeData); n > 0 {
+		data, e.freeData = e.freeData[n-1][:0], e.freeData[:n-1]
+	} else if d := e.padBuf.TakeFree(); d != nil {
+		data = d[:0]
+	}
+	if req.Contig {
+		o := int(req.Offsets[0])
+		data = append(data, line[o:o+len(req.Offsets)]...)
+	} else {
+		for _, off := range req.Offsets {
+			data = append(data, line[off])
+		}
 	}
 	if e.Faults != nil {
 		ready += e.Faults.MemDelay()
@@ -454,6 +491,11 @@ func (e *MSE) commitRead(s *memRead, req LineReq, ready uint64) {
 	}
 	s.pending = append(s.pending, p)
 	e.LinesRead++
+	if s.issuedAll() {
+		// The stream just reached all-requests-in-flight: Drained() will
+		// announce it, which can unblock a sleeping dispatcher.
+		e.Lifecycle.Raise()
+	}
 }
 
 // issueWrite selects the write stream with the most data available (the
@@ -487,7 +529,7 @@ func (e *MSE) issueWrite(now uint64, busy *bool) error {
 	var ok bool
 	if best.cur != nil {
 		saved := *best.cur
-		req, ok = nextAffineLine(best.cur, maxBytes)
+		req, ok = nextAffineLine(best.cur, maxBytes, e.offScratch[:])
 		if !ok {
 			return nil
 		}
@@ -501,7 +543,7 @@ func (e *MSE) issueWrite(now uint64, busy *bool) error {
 		return nil
 	}
 	saved := best.agu.queue
-	req, ok = best.agu.next(maxBytes)
+	req, ok = best.agu.next(maxBytes, e.offScratch[:])
 	if !ok {
 		return nil
 	}
@@ -522,8 +564,12 @@ func (e *MSE) commitWrite(s *memWrite, req LineReq, ready uint64) {
 		ready += e.Faults.MemDelay()
 	}
 	data := e.ports.Out[s.srcPort].Pop(req.Bytes())
-	for i, off := range req.Offsets {
-		e.sys.Mem.StoreByte(req.Line+uint64(off), data[i])
+	if req.Contig {
+		e.sys.Mem.Write(req.Line+uint64(req.Offsets[0]), data)
+	} else {
+		for i, off := range req.Offsets {
+			e.sys.Mem.StoreByte(req.Line+uint64(off), data[i])
+		}
 	}
 	if mem.IsProvisional(ready) {
 		// The real completion time is unknown until the epoch barrier;
@@ -541,6 +587,7 @@ func (e *MSE) commitWrite(s *memWrite, req LineReq, ready uint64) {
 // under deferred DRAM grants with its resolved cycle. The cluster calls
 // it at the epoch barrier, after mem.System.ResolveGrants.
 func (e *MSE) ResolveDeferred(resolve func(uint64) uint64) {
+	e.Kicks.Raise() // ready times change outside a tick: re-validate hints
 	for _, s := range e.reads {
 		for i := range s.pending {
 			s.pending[i].ready = resolve(s.pending[i].ready)
@@ -568,6 +615,7 @@ func (e *MSE) retire(now uint64) {
 				e.Retired(s.id, s.kind, s.bytes)
 			}
 			e.done = append(e.done, s.id)
+			e.Lifecycle.Raise()
 		} else {
 			reads = append(reads, s)
 		}
@@ -580,6 +628,7 @@ func (e *MSE) retire(now uint64) {
 				e.Retired(s.id, s.kind, s.bytes)
 			}
 			e.done = append(e.done, s.id)
+			e.Lifecycle.Raise()
 		} else {
 			writes = append(writes, s)
 		}
@@ -722,10 +771,13 @@ func (e *MSE) PendingTimed(now uint64) bool {
 
 // OnSkip replays the per-tick state an elided idle span would have
 // accumulated: the delivery round-robin pointer rotates once per tick
-// whenever any read stream is active, even when nothing moves, and the
-// active set cannot change while the machine is frozen.
+// whenever any read stream is active, even when nothing moves. The
+// dispatcher ticks after this engine, so a stream it started during
+// the span's final cycle (forcing the wake that ends the span) was
+// never part of the elided arbitration set — the rotation replays
+// modulo the set as it stood during the span, excluding joiners.
 func (e *MSE) OnSkip(from, to uint64) {
-	if n := len(e.reads); n > 0 {
+	if n := len(e.reads) - e.joined; n > 0 {
 		e.rr = (e.rr + int((to-from)%uint64(n))) % n
 	}
 }
@@ -745,6 +797,34 @@ func (e *MSE) nextLineAccept(now, addr uint64) uint64 {
 		return now // a hit needs no MSHR
 	}
 	return at
+}
+
+// WatchSig sums the external signals the engine's wake hint depends on
+// (see sim.Watcher): the ports its active streams read or write, the
+// pad write buffer, and the stream-kick counter. The stream set itself
+// changes only inside the engine's own tick or under a Kicks raise, so
+// between two snapshots every term is monotone.
+func (e *MSE) WatchSig() uint64 {
+	sig := e.Kicks.Value() + e.padBuf.DrainVer()
+	for _, s := range e.reads {
+		if s.dstPort >= 0 {
+			q := e.ports.In[s.dstPort]
+			sig += q.TotalIn() + q.TotalOut()
+		}
+		if s.kind == isa.KindIndPortPort {
+			q := e.ports.In[s.idxPort]
+			sig += q.TotalIn() + q.TotalOut()
+		}
+	}
+	for _, s := range e.writes {
+		q := e.ports.Out[s.srcPort]
+		sig += q.TotalIn() + q.TotalOut()
+		if s.kind == isa.KindIndPortMem {
+			qi := e.ports.In[s.idxPort]
+			sig += qi.TotalIn() + qi.TotalOut()
+		}
+	}
+	return sig
 }
 
 // NextWake implements the sim.Component wake-hint contract (see

@@ -21,7 +21,12 @@ type RSE struct {
 
 	streams []*rseStream
 	done    []int
+	doneFb  []int // spare done buffer (Done double-buffers)
 	rr      int
+	joined  int // streams appended since the last Tick (see OnSkip)
+
+	// Hot-path scratch for constant generation (Queue.Push copies).
+	constScratch [LineBytes]byte
 
 	// Faults, when non-nil, perturbs the bus bandwidth.
 	Faults *faults.Injector
@@ -29,6 +34,10 @@ type RSE struct {
 	// Retired, when non-nil, reports each stream's total data movement
 	// as it leaves the table (see internal/obs).
 	Retired func(id int, kind isa.Kind, bytes uint64)
+
+	// Wake signals (see sim.Signal and MSE's counterparts).
+	Kicks     sim.Signal
+	Lifecycle sim.Signal
 
 	// Statistics.
 	BytesMoved uint64
@@ -80,13 +89,16 @@ func (e *RSE) Start(id int, cmd isa.Command) error {
 		return fmt.Errorf("engine: RSE cannot execute %v", cmd)
 	}
 	e.streams = append(e.streams, s)
+	e.joined++
+	e.Kicks.Raise()
 	return nil
 }
 
-// Done drains completed stream IDs.
+// Done drains completed stream IDs. The returned slice is valid until
+// the next call (double-buffered).
 func (e *RSE) Done() []int {
 	d := e.done
-	e.done = nil
+	e.done, e.doneFb = e.doneFb[:0], d
 	return d
 }
 
@@ -95,6 +107,7 @@ func (e *RSE) Active() int { return len(e.streams) }
 
 // Tick moves data for the active streams under the shared bus budget.
 func (e *RSE) Tick(now uint64) error {
+	e.joined = 0
 	budget := LineBytes
 	if e.Faults != nil {
 		budget = e.Faults.BusBudget(faults.EngRSE, budget)
@@ -146,7 +159,7 @@ func (e *RSE) step(s *rseStream, budget int) int {
 		if n <= 0 {
 			return 0
 		}
-		data := make([]byte, n)
+		data := e.constScratch[:n]
 		for i := range data {
 			data[i] = s.pattern[s.phase]
 			s.phase = (s.phase + 1) % len(s.pattern)
@@ -227,11 +240,32 @@ func (e *RSE) StallCause(uint64) obs.Cause {
 }
 
 // OnSkip replays the per-tick arbitration round-robin rotation over an
-// elided idle span (see MSE.OnSkip).
+// elided idle span, excluding streams that joined at the span's final
+// cycle (see MSE.OnSkip).
 func (e *RSE) OnSkip(from, to uint64) {
-	if n := len(e.streams); n > 0 {
+	if n := len(e.streams) - e.joined; n > 0 {
 		e.rr = (e.rr + int((to-from)%uint64(n))) % n
 	}
+}
+
+// WatchSig sums the external signals the engine's wake hint depends on
+// (see sim.Watcher and MSE.WatchSig).
+func (e *RSE) WatchSig() uint64 {
+	sig := e.Kicks.Value()
+	for _, s := range e.streams {
+		switch s.kind {
+		case isa.KindPortPort:
+			qo, qi := e.ports.Out[s.srcPort], e.ports.In[s.dstPort]
+			sig += qo.TotalIn() + qo.TotalOut() + qi.TotalIn() + qi.TotalOut()
+		case isa.KindConstPort:
+			q := e.ports.In[s.dstPort]
+			sig += q.TotalIn() + q.TotalOut()
+		case isa.KindCleanPort:
+			q := e.ports.Out[s.srcPort]
+			sig += q.TotalIn() + q.TotalOut()
+		}
+	}
+	return sig
 }
 
 // NextWake implements the sim.Component wake-hint contract (see
@@ -265,6 +299,7 @@ func (e *RSE) retire() {
 				e.Retired(s.id, s.kind, s.bytes)
 			}
 			e.done = append(e.done, s.id)
+			e.Lifecycle.Raise()
 		} else {
 			live = append(live, s)
 		}

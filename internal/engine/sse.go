@@ -26,7 +26,14 @@ type SSE struct {
 	reads  []*sseRead
 	writes []*sseWrite
 	done   []int
+	doneFb []int // spare done buffer (Done double-buffers)
 	rr     int
+	joined int // reads appended since the last Tick (see OnSkip)
+
+	// Hot-path scratch: line-offset buffer for the AGU and a freelist of
+	// delivered response buffers (Queue.Push copies, so they recycle).
+	offScratch [LineBytes]uint8
+	freeData   [][]byte
 
 	// Faults, when non-nil, perturbs bus bandwidth and read line
 	// contents (see internal/faults).
@@ -35,6 +42,10 @@ type SSE struct {
 	// Retired, when non-nil, reports each stream's total data movement
 	// as it leaves the table (see internal/obs).
 	Retired func(id int, kind isa.Kind, bytes uint64)
+
+	// Wake signals (see sim.Signal and MSE's counterparts).
+	Kicks     sim.Signal
+	Lifecycle sim.Signal
 
 	// Statistics.
 	ReadGrants  uint64
@@ -77,6 +88,8 @@ func (e *SSE) StartRead(id int, c isa.ScratchPort) error {
 		return fmt.Errorf("engine: SSE read table full")
 	}
 	e.reads = append(e.reads, &sseRead{id: id, cur: isa.NewAffineCursor(c.Src), dstPort: int(c.Dst)})
+	e.joined++
+	e.Kicks.Raise()
 	return nil
 }
 
@@ -89,13 +102,15 @@ func (e *SSE) StartWrite(id int, c isa.PortScratch) error {
 		id: id, srcPort: int(c.Src), addr: c.ScratchAddr,
 		remaining: c.Count * uint64(c.Elem),
 	})
+	e.Kicks.Raise()
 	return nil
 }
 
-// Done drains completed stream IDs.
+// Done drains completed stream IDs. The returned slice is valid until
+// the next call (double-buffered).
 func (e *SSE) Done() []int {
 	d := e.done
-	e.done = nil
+	e.done, e.doneFb = e.doneFb[:0], d
 	return d
 }
 
@@ -120,6 +135,7 @@ func (e *SSE) ActiveScratchWrites() int {
 // read port to one stream, grant the write port to the MSE buffer or a
 // port-to-scratch stream.
 func (e *SSE) Tick(now uint64) error {
+	e.joined = 0
 	busy := false
 	if e.deliver(now) {
 		busy = true
@@ -152,10 +168,12 @@ func (e *SSE) deliver(now uint64) bool {
 				break
 			}
 			e.ports.Deliver(s.dstPort, head.data)
+			e.freeData = append(e.freeData, head.data[:0]) // Deliver copied
 			budget -= len(head.data)
 			e.BytesOut += uint64(len(head.data))
 			s.bytes += uint64(len(head.data))
-			s.pending = s.pending[1:]
+			k := copy(s.pending, s.pending[1:]) // pop-front in place: keeps capacity
+			s.pending = s.pending[:k]
 			moved = true
 		}
 	}
@@ -189,7 +207,7 @@ func (e *SSE) issueRead(now uint64) error {
 	if avail := e.ports.InAvail(best.dstPort); avail < maxBytes {
 		maxBytes = avail
 	}
-	req, ok := nextAffineLine(best.cur, maxBytes)
+	req, ok := nextAffineLine(best.cur, maxBytes, e.offScratch[:])
 	if !ok {
 		return nil
 	}
@@ -200,9 +218,17 @@ func (e *SSE) issueRead(now uint64) error {
 			return err2
 		}
 	}
-	data := make([]byte, len(req.Offsets))
-	for i, off := range req.Offsets {
-		data[i] = line[off]
+	var data []byte
+	if n := len(e.freeData); n > 0 {
+		data, e.freeData = e.freeData[n-1][:0], e.freeData[:n-1]
+	}
+	if req.Contig {
+		o := int(req.Offsets[0])
+		data = append(data, line[o:o+len(req.Offsets)]...)
+	} else {
+		for _, off := range req.Offsets {
+			data = append(data, line[off])
+		}
 	}
 	if e.Faults != nil {
 		e.Faults.CorruptLine(data)
@@ -327,11 +353,27 @@ func (e *SSE) StallCause(now uint64) obs.Cause {
 }
 
 // OnSkip replays the per-tick delivery round-robin rotation over an
-// elided idle span (see MSE.OnSkip).
+// elided idle span, excluding streams that joined at the span's final
+// cycle (see MSE.OnSkip).
 func (e *SSE) OnSkip(from, to uint64) {
-	if n := len(e.reads); n > 0 {
+	if n := len(e.reads) - e.joined; n > 0 {
 		e.rr = (e.rr + int((to-from)%uint64(n))) % n
 	}
+}
+
+// WatchSig sums the external signals the engine's wake hint depends on
+// (see sim.Watcher and MSE.WatchSig).
+func (e *SSE) WatchSig() uint64 {
+	sig := e.Kicks.Value() + e.padBuf.FillVer()
+	for _, s := range e.reads {
+		q := e.ports.In[s.dstPort]
+		sig += q.TotalIn() + q.TotalOut()
+	}
+	for _, s := range e.writes {
+		q := e.ports.Out[s.srcPort]
+		sig += q.TotalIn() + q.TotalOut()
+	}
+	return sig
 }
 
 // NextWake implements the sim.Component wake-hint contract (see
@@ -384,6 +426,7 @@ func (e *SSE) retire() {
 				e.Retired(s.id, isa.KindScratchPort, s.bytes)
 			}
 			e.done = append(e.done, s.id)
+			e.Lifecycle.Raise()
 		} else {
 			reads = append(reads, s)
 		}
@@ -396,6 +439,7 @@ func (e *SSE) retire() {
 				e.Retired(s.id, isa.KindPortScratch, s.bytes)
 			}
 			e.done = append(e.done, s.id)
+			e.Lifecycle.Raise()
 		} else {
 			writes = append(writes, s)
 		}

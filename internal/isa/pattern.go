@@ -280,3 +280,33 @@ func (c *AffineCursor) Remaining() uint64 {
 	}
 	return (c.pat.Strides-c.stride)*c.pat.AccessSize - c.off
 }
+
+// Take returns the start address of the longest contiguous byte run at
+// the cursor's position, capped at max, and advances past it. The run
+// covers the rest of the current access — or the rest of the pattern
+// when consecutive accesses abut (Stride == AccessSize). It must not be
+// called when Done or with max == 0.
+func (c *AffineCursor) Take(max uint64) (start, n uint64) {
+	start = c.Peek()
+	if c.pat.Stride == c.pat.AccessSize {
+		n = c.Remaining()
+		if n > max {
+			n = max
+		}
+		// Contiguous across accesses: plain byte arithmetic advances.
+		off := c.off + n
+		c.stride += off / c.pat.AccessSize
+		c.off = off % c.pat.AccessSize
+		return start, n
+	}
+	n = c.pat.AccessSize - c.off
+	if n > max {
+		n = max
+	}
+	c.off += n
+	if c.off == c.pat.AccessSize {
+		c.off = 0
+		c.stride++
+	}
+	return start, n
+}

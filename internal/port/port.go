@@ -129,12 +129,18 @@ func (q *Queue) Discard(n int) { q.Pop(n) }
 // PopWords removes and returns n 64-bit words (little-endian), the unit
 // in which the CGRA consumes port data.
 func (q *Queue) PopWords(n int) []uint64 {
+	return q.PopWordsInto(make([]uint64, 0, n), n)
+}
+
+// PopWordsInto is PopWords appending into dst (reset to length 0),
+// letting a hot caller reuse one buffer across cycles.
+func (q *Queue) PopWordsInto(dst []uint64, n int) []uint64 {
 	raw := q.Pop(n * WordBytes)
-	words := make([]uint64, n)
-	for i := range words {
-		words[i] = binary.LittleEndian.Uint64(raw[i*WordBytes:])
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, binary.LittleEndian.Uint64(raw[i*WordBytes:]))
 	}
-	return words
+	return dst
 }
 
 // PushWords appends n 64-bit words (little-endian).

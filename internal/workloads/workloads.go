@@ -14,6 +14,7 @@ import (
 	"softbrain/internal/core"
 	"softbrain/internal/mem"
 	"softbrain/internal/obs"
+	"softbrain/internal/sim"
 )
 
 // Instance is one concrete, sized workload ready to run.
@@ -89,6 +90,19 @@ func (i *Instance) RunMetricsContext(ctx context.Context, cfg core.Config, opts 
 		return nil, obs.Dump{}, err
 	}
 	return stats, cl.MetricsDump(), nil
+}
+
+// RunSchedContext is RunContext returning the wake-set scheduler's
+// aggregate counters and per-component tick totals alongside the
+// statistics (see core.Cluster.SchedStats). The counters describe how
+// the simulator ran, not what it simulated, so unlike the obs dump
+// they legitimately differ across scheduling modes.
+func (i *Instance) RunSchedContext(ctx context.Context, cfg core.Config) (*core.Stats, sim.SchedStats, map[string]uint64, error) {
+	cl, stats, err := i.runOn(ctx, cfg, false, nil)
+	if err != nil {
+		return nil, sim.SchedStats{}, nil, err
+	}
+	return stats, cl.SchedStats(), cl.SchedTickBy(), nil
 }
 
 func (i *Instance) run(ctx context.Context, cfg core.Config, warm bool) (*core.Stats, error) {
