@@ -10,7 +10,9 @@
 //	sdbench -fig 11      # one figure (12-15 run the same study)
 //	sdbench -fix         # barrier-elimination study (docs/LINT.md)
 //	sdbench -json        # simulator host-performance study -> BENCH_sim.json
-//	sdbench -json -smoke # CI smoke slice, checked against the goldens\n//	sdbench -timeout 10m # bound the whole run by wall clock
+//	sdbench -json -smoke # CI smoke slice, checked against the goldens
+//	sdbench -json -progress 2s # heartbeat lines to stderr while it runs
+//	sdbench -timeout 10m # bound the whole run by wall clock
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"log"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"softbrain/internal/bench"
 	"softbrain/internal/core"
@@ -37,6 +40,7 @@ func main() {
 	goldens := flag.String("goldens", "scripts/bench_goldens.json", "with -json -smoke: golden cycle counts")
 	updateGoldens := flag.Bool("update-goldens", false, "with -json: rewrite the goldens from this run")
 	ratchet := flag.String("ratchet", "", "with -json: committed BENCH_sim.json to ratchet ns/cycle against (fail on geomean regression past bench.PerfTolerance)")
+	progress := flag.Duration("progress", 0, "with -json: print a heartbeat line per workload to stderr every interval, e.g. 2s (0 = off; heartbeats ride the timed runs, so host timings include their cost)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run, e.g. 10m (0 = none; the cycle watchdog still applies)")
 	flag.Parse()
 
@@ -49,7 +53,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := runSimBench(ctx, *smoke, *out, *goldens, *updateGoldens, *ratchet); err != nil {
+		if err := runSimBench(ctx, *smoke, *out, *goldens, *updateGoldens, *ratchet, *progress); err != nil {
 			fail(err)
 		}
 		return
@@ -103,8 +107,14 @@ func fail(err error) {
 // drift from the committed goldens. With -ratchet it also fails if the
 // geomean of the per-workload ns/cycle ratios against the committed
 // BENCH_sim.json regressed more than bench.PerfTolerance.
-func runSimBench(ctx context.Context, smoke bool, out, goldens string, update bool, ratchet string) error {
-	rows, err := bench.SimBenchContext(ctx, smoke)
+func runSimBench(ctx context.Context, smoke bool, out, goldens string, update bool, ratchet string, progress time.Duration) error {
+	var hb func(string, core.ProgressReport)
+	if progress > 0 {
+		hb = func(workload string, r core.ProgressReport) {
+			fmt.Fprintf(os.Stderr, "sdbench: %s: %s\n", workload, r.Line())
+		}
+	}
+	rows, err := bench.SimBenchHeartbeatContext(ctx, smoke, progress, hb)
 	if err != nil {
 		return err
 	}

@@ -8,9 +8,11 @@
 //	sdobs -validate-trace out.trace.json
 //	sdobs -check out.json
 //	sdobs -bw out.json [-peak 16]
+//	sdobs -prom out.json        # Prometheus text exposition to stdout
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +27,7 @@ func main() {
 	check := flag.String("check", "", "check the conservation invariant on a metrics dump")
 	bw := flag.String("bw", "", "render the bandwidth table from a metrics dump")
 	peak := flag.Float64("peak", 16, "peak memory bandwidth in bytes/cycle for the -bw table")
+	prom := flag.String("prom", "", "render a metrics dump as Prometheus text exposition")
 	flag.Parse()
 
 	ran := false
@@ -50,6 +53,19 @@ func main() {
 	if *bw != "" {
 		ran = true
 		fmt.Print(obs.BandwidthTable(readDump(*bw), *peak))
+	}
+	if *prom != "" {
+		ran = true
+		var buf bytes.Buffer
+		if err := obs.WritePrometheus(&buf, readDump(*prom)); err != nil {
+			log.Fatalf("sdobs: %s: %v", *prom, err)
+		}
+		// The exporter's output must pass its own scrape lint before it
+		// reaches stdout — same gate the sdserve /metrics endpoint uses.
+		if err := obs.CheckExposition(buf.Bytes()); err != nil {
+			log.Fatalf("sdobs: %s: exposition lint: %v", *prom, err)
+		}
+		os.Stdout.Write(buf.Bytes())
 	}
 	if !ran {
 		flag.Usage()

@@ -5,10 +5,15 @@
 //
 //	sdserve                      # serve on :8475 until SIGTERM/SIGINT
 //	sdserve -addr :9000          # another port
+//	sdserve -pprof               # also mount /debug/pprof/
 //	sdserve -smoke               # in-process end-to-end self test (CI gate)
 //	sdserve -loadgen             # in-process load generation -> BENCH_serve.json
 //
-// Endpoints: POST /v1/run (submission), GET /healthz, /readyz, /statusz.
+// Endpoints: POST /v1/run (submission; ?stream=1 for SSE progress),
+// GET /v1/runs/{id}/events (attach to an in-flight run), GET /healthz,
+// /readyz, /statusz (live run introspection), /metrics (Prometheus
+// text exposition). Every request is logged structured to stderr with
+// a request ID joinable to its run's events.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -34,12 +40,16 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request wall-clock budget")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "ceiling on client-requested budgets")
 	grace := flag.Duration("drain-grace", 15*time.Second, "how long SIGTERM lets in-flight runs finish")
+	progress := flag.Duration("progress-every", 250*time.Millisecond, "heartbeat interval for streamed progress events")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "request log level (debug logs every progress heartbeat)")
 	smoke := flag.Bool("smoke", false, "run the in-process self test and exit")
 
 	loadgen := flag.Bool("loadgen", false, "run in-process load generation and exit")
 	lgClients := flag.Int("loadgen-clients", 8, "with -loadgen: concurrent clients")
 	lgRequests := flag.Int("loadgen-requests", 400, "with -loadgen: total requests")
 	lgChaos := flag.Int("loadgen-chaos", 9, "with -loadgen: abandon every Nth request mid-run (0 = never)")
+	lgStream := flag.Int("loadgen-stream", 4, "with -loadgen: stream every Nth request over SSE (0 = never)")
 	lgOut := flag.String("out", "BENCH_serve.json", "with -loadgen: output path")
 	flag.Parse()
 
@@ -50,6 +60,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		DrainGrace:     *grace,
+		ProgressEvery:  *progress,
+		EnablePprof:    *pprofFlag,
 	}
 
 	switch {
@@ -59,11 +71,17 @@ func main() {
 			os.Exit(1)
 		}
 	case *loadgen:
-		if err := runLoadgen(opts, *lgClients, *lgRequests, *lgChaos, *lgOut); err != nil {
+		if err := runLoadgen(opts, *lgClients, *lgRequests, *lgChaos, *lgStream, *lgOut); err != nil {
 			fmt.Fprintln(os.Stderr, "sdserve:", err)
 			os.Exit(1)
 		}
 	default:
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			fmt.Fprintf(os.Stderr, "sdserve: bad -log-level %q: %v\n", *logLevel, err)
+			os.Exit(2)
+		}
+		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 		if err := run(*addr, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "sdserve:", err)
 			os.Exit(1)
@@ -113,7 +131,7 @@ func run(addr string, opts serve.Options) error {
 // runLoadgen starts an in-process server on a loopback port, drives it
 // with the shared load generator, and writes the throughput/latency
 // summary published next to BENCH_sim.json.
-func runLoadgen(opts serve.Options, clients, requests, chaos int, out string) error {
+func runLoadgen(opts serve.Options, clients, requests, chaos, stream int, out string) error {
 	s := serve.New(opts)
 	hs := &http.Server{Handler: s}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -133,6 +151,7 @@ func runLoadgen(opts serve.Options, clients, requests, chaos int, out string) er
 		Seed:        1,
 		CancelEvery: chaos,
 		CancelAfter: 2 * time.Millisecond,
+		StreamEvery: stream,
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
@@ -158,6 +177,10 @@ func runLoadgen(opts serve.Options, clients, requests, chaos int, out string) er
 	fmt.Printf("  ok %d (cached %d, deduped %d)  shed %d  canceled %d  failed %d  retries %d\n",
 		res.OK, res.CacheHits, res.Deduped, res.Shed, res.Canceled, res.Failed, res.Retries)
 	fmt.Printf("  %.1f sims/sec   p50 %v   p90 %v   p99 %v\n", res.SimsPerSec, res.P50, res.P90, res.P99)
+	if res.StreamOK > 0 {
+		fmt.Printf("  streamed: ok %d  progress frames %d  p50 %v  p99 %v\n",
+			res.StreamOK, res.StreamProgress, res.StreamP50, res.StreamP99)
+	}
 	fmt.Printf("  wrote %s\n", out)
 	if c := s.Counters(); c.Panics != 0 {
 		return fmt.Errorf("%d panics were contained during load generation", c.Panics)

@@ -201,8 +201,7 @@ func runObserved(ctx context.Context, inst *workloads.Instance, cfg core.Config,
 	}
 	if progress > 0 {
 		cl.SetHeartbeat(progress, func(r core.ProgressReport) {
-			fmt.Fprintf(os.Stderr, "sdsim: cycle %d, %d commands issued, stall mix: %s\n",
-				r.Cycle, r.Commands, r.StallMix)
+			fmt.Fprintf(os.Stderr, "sdsim: %s\n", r.Line())
 		})
 	}
 	if inst.Init != nil {

@@ -205,10 +205,27 @@ func SimBench(smokeOnly bool) ([]SimRow, error) {
 
 // SimBenchContext is SimBench bounded by a context (sdbench -timeout).
 func SimBenchContext(ctx context.Context, smokeOnly bool) ([]SimRow, error) {
+	return SimBenchHeartbeatContext(ctx, smokeOnly, 0, nil)
+}
+
+// SimBenchHeartbeatContext is SimBenchContext with a progress heartbeat
+// (sdbench -progress): when hb is non-nil it is attached to every timed
+// simulation and fires from inside the run loop at most every `every`,
+// carrying the workload's name. The callback executes on the
+// simulator's critical path, so the measured host timings include its
+// (small) cost; simulated cycle counts are unaffected by contract.
+func SimBenchHeartbeatContext(ctx context.Context, smokeOnly bool, every time.Duration, hb func(workload string, r core.ProgressReport)) ([]SimRow, error) {
 	var rows []SimRow
 	for _, e := range simSuite() {
 		if smokeOnly && !e.smoke {
 			continue
+		}
+		var prep func(*core.Cluster)
+		if hb != nil {
+			name := e.name
+			prep = func(cl *core.Cluster) {
+				cl.SetHeartbeat(every, func(r core.ProgressReport) { hb(name, r) })
+			}
 		}
 		// Best-of-N repetitions per mode with an adaptive N: single runs
 		// are at the millisecond scale (some below it), where scheduler
@@ -234,7 +251,7 @@ func SimBenchContext(ctx context.Context, smokeOnly bool) ([]SimRow, error) {
 				}
 				cfg.NoSkipAhead = noSkip
 				start := time.Now()
-				stats, err := inst.RunContext(ctx, cfg)
+				stats, err := inst.RunPreparedContext(ctx, cfg, prep)
 				if err != nil {
 					return 0, 0, err
 				}

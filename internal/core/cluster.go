@@ -106,11 +106,17 @@ func (c *Cluster) report(now uint64) ProgressReport {
 	for _, u := range c.Units {
 		r.Commands += u.disp.Issued
 		r.Progress += u.kern.Progress()
+		r.RetiredBytes += u.retiredBytes()
 		attrs = append(attrs, u.reg.Attributions()...)
 	}
 	r.StallMix = stallMix(attrs)
 	return r
 }
+
+// Progress is the point-in-time aggregate report at cycle now — what a
+// heartbeat would deliver — exported so callers can snapshot final run
+// telemetry (retired bytes, stall mix) after a completed Run.
+func (c *Cluster) Progress(now uint64) ProgressReport { return c.report(now) }
 
 // heartbeat fires the cluster callback when the interval elapsed.
 func (c *Cluster) heartbeat(now uint64) {

@@ -249,21 +249,46 @@ func (m *Machine) finishMetrics(cycles uint64) {
 }
 
 // ProgressReport is a point-in-time view of a running machine for the
-// heartbeat (sdsim -progress).
+// heartbeat (sdsim -progress, sdbench -progress, sdserve streaming).
 type ProgressReport struct {
-	Cycle    uint64
-	Commands uint64 // stream commands issued so far
-	Progress uint64 // the machine's monotone progress counter
-	StallMix string // current attribution mix, "" when metrics are off
+	Cycle        uint64
+	Commands     uint64 // stream commands issued so far
+	Progress     uint64 // the machine's monotone progress counter
+	RetiredBytes uint64 // bytes moved by the engines so far (mem + scratch + recurrence)
+	StallMix     string // current attribution mix, "" when metrics are off
 }
 
 // Report snapshots the machine's progress at cycle now.
 func (m *Machine) Report(now uint64) ProgressReport {
-	r := ProgressReport{Cycle: now, Commands: m.disp.Issued, Progress: m.kern.Progress()}
+	r := ProgressReport{
+		Cycle:        now,
+		Commands:     m.disp.Issued,
+		Progress:     m.kern.Progress(),
+		RetiredBytes: m.retiredBytes(),
+	}
 	if m.reg != nil {
 		r.StallMix = stallMix(m.reg.Attributions())
 	}
 	return r
+}
+
+// retiredBytes sums the engines' monotone data-movement counters: the
+// "how much work has the machine actually completed" number behind the
+// heartbeat's retired-bytes field.
+func (m *Machine) retiredBytes() uint64 {
+	return m.mse.BytesDelivered + m.mse.BytesStored +
+		m.sse.BytesIn + m.sse.BytesOut + m.rse.BytesMoved
+}
+
+// Line renders the report as the one-line heartbeat shared by
+// sdsim -progress and sdbench -progress (callers prefix their own
+// context, e.g. the tool or workload name).
+func (r ProgressReport) Line() string {
+	s := fmt.Sprintf("cycle %d, %d commands issued, %d bytes retired", r.Cycle, r.Commands, r.RetiredBytes)
+	if r.StallMix != "" {
+		s += ", stall mix: " + r.StallMix
+	}
+	return s
 }
 
 // stallMix renders the aggregate cause distribution across the given

@@ -4,7 +4,10 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"softbrain/internal/core"
 )
 
 // cache is the content-addressed result cache: completed deterministic
@@ -72,9 +75,18 @@ func (c *cache) len() int {
 // that disconnects just leaves, and only when the last waiter is gone
 // is the simulation itself canceled — one client's impatience never
 // cancels another's result.
+//
+// A flight is also the unit of run telemetry: it carries a run ID, the
+// lifecycle event hub streamed over SSE, and the latest heartbeat
+// snapshot rendered by /statusz.
 type flight struct {
 	key string
+	id  string // run ID, joinable across events, logs, and /statusz
 	req *runRequest
+
+	reqID     string    // request ID of the originating submission
+	submitted time.Time // when the flight was created (admission time)
+	deadline  time.Time // wall-clock budget expiry
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -83,9 +95,30 @@ type flight struct {
 	mu      sync.Mutex
 	waiters int
 
+	events    *eventHub                           // run lifecycle events (SSE)
+	startedNS atomic.Int64                        // unix ns the run left the queue (0 = still queued)
+	progress  atomic.Pointer[core.ProgressReport] // latest heartbeat snapshot
+
 	done chan struct{} // closed when resp/err are set
 	resp *Response
 	err  *apiError
+}
+
+// started reports when the flight left the queue, or false while
+// queued.
+func (f *flight) started() (time.Time, bool) {
+	ns := f.startedNS.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
+
+// waiterCount is the current number of requests waiting on the flight.
+func (f *flight) waiterCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.waiters
 }
 
 // addWaiter registers one more request waiting on the flight.
@@ -107,9 +140,18 @@ func (f *flight) dropWaiter(cause error) {
 	}
 }
 
-// finish publishes the outcome and wakes every waiter.
+// finish publishes the outcome and wakes every waiter. The terminal
+// stream event goes out before done closes, so SSE subscribers always
+// observe it ahead of the done signal.
 func (f *flight) finish(resp *Response, err *apiError) {
 	f.resp, f.err = resp, err
+	if f.events != nil {
+		if err != nil {
+			f.events.publish(eventError, errBody(err))
+		} else {
+			f.events.publish(eventResult, resp)
+		}
+	}
 	close(f.done)
 	if f.timer != nil {
 		f.timer.Stop()

@@ -3,7 +3,9 @@ package serve
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"softbrain/internal/core"
+	"softbrain/internal/faults"
 	"softbrain/internal/obs"
 	"softbrain/internal/wire"
 	"softbrain/internal/workloads"
@@ -29,7 +32,20 @@ type Request struct {
 	Program *wire.Program `json:"program,omitempty"` // raw program submission
 	Config  *wire.Config  `json:"config,omitempty"`  // machine knobs (raw submissions; knobs-only for named)
 
+	Faults *FaultsBlock `json:"faults,omitempty"` // per-request fault injection
+
 	Options RunOptions `json:"options,omitempty"`
+}
+
+// FaultsBlock requests fault injection for one run. With an explicit
+// seed the run is deterministic — identical resubmissions reach the
+// identical outcome, so caching and dedup apply as usual. Without one
+// the server draws a fresh seed, reports it in the response, and the
+// run bypasses the cache: two identical-looking submissions would not
+// reach the same outcome, so neither may answer for the other.
+type FaultsBlock struct {
+	Profile string `json:"profile"`        // named profile (see internal/faults)
+	Seed    *int64 `json:"seed,omitempty"` // omitted = server draws one
 }
 
 // RunOptions select what the response carries and how long the run may
@@ -43,16 +59,17 @@ type RunOptions struct {
 
 // Response is a completed simulation.
 type Response struct {
-	Name     string          `json:"name"`
-	Units    int             `json:"units"`
-	Cycles   uint64          `json:"cycles"`
-	Verified bool            `json:"verified"`          // golden-model check ran and passed
-	Cached   bool            `json:"cached"`            // served from the result cache
-	Deduped  bool            `json:"deduped,omitempty"` // shared an in-flight identical run
-	Stats    *core.Stats     `json:"stats"`
-	Metrics  json.RawMessage `json:"metrics,omitempty"`
-	Trace    json.RawMessage `json:"trace,omitempty"`
-	SimMS    float64         `json:"sim_ms"` // host wall time of the simulation itself
+	Name      string          `json:"name"`
+	Units     int             `json:"units"`
+	Cycles    uint64          `json:"cycles"`
+	Verified  bool            `json:"verified"`          // golden-model check ran and passed
+	Cached    bool            `json:"cached"`            // served from the result cache
+	Deduped   bool            `json:"deduped,omitempty"` // shared an in-flight identical run
+	Stats     *core.Stats     `json:"stats"`
+	Metrics   json.RawMessage `json:"metrics,omitempty"`
+	Trace     json.RawMessage `json:"trace,omitempty"`
+	SimMS     float64         `json:"sim_ms"`               // host wall time of the simulation itself
+	FaultSeed int64           `json:"fault_seed,omitempty"` // server-drawn fault seed (unseeded faults block)
 }
 
 // ErrKind classifies a request failure for the retry policy: transient
@@ -124,6 +141,9 @@ type runRequest struct {
 	cfg     core.Config
 	opts    RunOptions
 	timeout time.Duration
+
+	bypassCache bool  // unseeded faults: outcome is not content-addressed
+	faultSeed   int64 // server-drawn seed to report back
 }
 
 // decodeRequest strictly parses and validates a submission body.
@@ -163,7 +183,7 @@ func (s *Server) decodeRequest(body []byte) (*runRequest, *apiError) {
 			return nil, &apiError{Status: 400, Kind: KindInvalid, Msg: err.Error()}
 		}
 		rr.name, rr.prog, rr.cfg = prog.Name, prog, cfg
-		return rr, nil
+		return rr, applyFaults(&req, rr)
 	}
 
 	if req.Scale == 0 {
@@ -192,7 +212,46 @@ func (s *Server) decodeRequest(body []byte) (*runRequest, *apiError) {
 		}
 	}
 	rr.name, rr.scale, rr.inst, rr.cfg = inst.Name, req.Scale, inst, cfg
-	return rr, nil
+	return rr, applyFaults(&req, rr)
+}
+
+// applyFaults resolves a top-level faults block onto the run config.
+func applyFaults(req *Request, rr *runRequest) *apiError {
+	if req.Faults == nil {
+		return nil
+	}
+	if req.Config != nil && req.Config.Faults != nil {
+		return &apiError{Status: 400, Kind: KindInvalid,
+			Msg: "faults and config.faults are mutually exclusive; set one"}
+	}
+	var seed int64
+	if req.Faults.Seed != nil {
+		seed = *req.Faults.Seed
+	} else {
+		seed = drawSeed()
+		rr.bypassCache = true
+		rr.faultSeed = seed
+	}
+	fc, err := faults.Profile(req.Faults.Profile, seed)
+	if err != nil {
+		return &apiError{Status: 400, Kind: KindInvalid, Msg: err.Error()}
+	}
+	if verr := fc.Validate(); verr != nil {
+		return &apiError{Status: 400, Kind: KindInvalid, Msg: verr.Error()}
+	}
+	rr.cfg.Faults = &fc
+	return nil
+}
+
+// drawSeed draws a nonzero random fault seed.
+func drawSeed() int64 {
+	var b [8]byte
+	_, _ = crand.Read(b[:]) // crypto/rand.Read does not fail on supported platforms
+	seed := int64(binary.LittleEndian.Uint64(b[:]) >> 1)
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
 }
 
 // buildWorkload resolves a named built-in workload exactly as sdsim
@@ -272,21 +331,22 @@ func cacheable(err *apiError) bool {
 // execute runs one validated submission under its flight context and
 // classifies the outcome. It never panics: simulation invariants are
 // recovered inside core, and the worker loop recovers anything else.
-func (s *Server) execute(ctx context.Context, rr *runRequest) (*Response, *apiError) {
+func (s *Server) execute(ctx context.Context, f *flight) (*Response, *apiError) {
+	rr := f.req
 	if testHookExecute != nil {
 		testHookExecute(rr)
 	}
 	start := time.Now()
-	resp := &Response{Name: rr.name, Units: 1}
+	resp := &Response{Name: rr.name, Units: 1, FaultSeed: rr.faultSeed}
 
 	var stats *core.Stats
 	var err error
 	switch {
 	case rr.inst != nil:
 		resp.Units = rr.inst.Units()
-		stats, err = s.executeInstance(ctx, rr, resp)
+		stats, err = s.executeInstance(ctx, f, rr, resp)
 	default:
-		stats, err = s.executeProgram(ctx, rr, resp)
+		stats, err = s.executeProgram(ctx, f, rr, resp)
 	}
 	if err != nil {
 		return nil, classify(err)
@@ -300,12 +360,13 @@ func (s *Server) execute(ctx context.Context, rr *runRequest) (*Response, *apiEr
 // executeInstance runs a named workload, verifying against the golden
 // model (except under corrupting fault profiles, where a mismatch is
 // the expected fault effect, not an error).
-func (s *Server) executeInstance(ctx context.Context, rr *runRequest, resp *Response) (*core.Stats, error) {
+func (s *Server) executeInstance(ctx context.Context, f *flight, rr *runRequest, resp *Response) (*core.Stats, error) {
 	inst := rr.inst
 	cl, err := core.NewCluster(rr.cfg, inst.Units())
 	if err != nil {
 		return nil, err
 	}
+	s.installHeartbeat(cl, f)
 	if rr.opts.Metrics || rr.opts.Trace {
 		cl.EnableMetrics(obs.Options{Slices: obs.DefaultSlices})
 	}
@@ -336,16 +397,18 @@ func (s *Server) executeInstance(ctx context.Context, rr *runRequest, resp *Resp
 			resp.Verified = true
 		}
 	}
+	s.recordRun(cl, stats)
 	return stats, s.attachObs(cl, stats, rr, resp)
 }
 
 // executeProgram runs a raw single-unit program submission. There is
 // no golden model; the deliverables are stats, metrics, and trace.
-func (s *Server) executeProgram(ctx context.Context, rr *runRequest, resp *Response) (*core.Stats, error) {
+func (s *Server) executeProgram(ctx context.Context, f *flight, rr *runRequest, resp *Response) (*core.Stats, error) {
 	cl, err := core.NewCluster(rr.cfg, 1)
 	if err != nil {
 		return nil, err
 	}
+	s.installHeartbeat(cl, f)
 	if rr.opts.Metrics || rr.opts.Trace {
 		cl.EnableMetrics(obs.Options{Slices: obs.DefaultSlices})
 	}
@@ -356,7 +419,23 @@ func (s *Server) executeProgram(ctx context.Context, rr *runRequest, resp *Respo
 	if err != nil {
 		return nil, err
 	}
+	s.recordRun(cl, stats)
 	return stats, s.attachObs(cl, stats, rr, resp)
+}
+
+// installHeartbeat routes the cluster's progress heartbeat into the
+// flight's telemetry (stream events, /statusz snapshot, debug logs).
+func (s *Server) installHeartbeat(cl *core.Cluster, f *flight) {
+	if f == nil || f.events == nil {
+		return
+	}
+	cl.SetHeartbeat(s.opts.ProgressEvery, func(r core.ProgressReport) { s.onProgress(f, r) })
+}
+
+// recordRun folds a completed simulation into the /metrics aggregates.
+func (s *Server) recordRun(cl *core.Cluster, stats *core.Stats) {
+	pr := cl.Progress(stats.Cycles)
+	s.metrics.addRun(stats.Cycles, pr.RetiredBytes, cl.SchedStats())
 }
 
 // attachObs renders the requested metrics dump and Perfetto trace into
@@ -367,6 +446,7 @@ func (s *Server) attachObs(cl *core.Cluster, stats *core.Stats, rr *runRequest, 
 		if err := obs.CheckConservation(dump); err != nil {
 			return err
 		}
+		s.metrics.addStalls(dump)
 		data, err := json.Marshal(dump)
 		if err != nil {
 			return err

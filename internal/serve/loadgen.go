@@ -121,6 +121,7 @@ type LoadConfig struct {
 	CancelEvery int           `json:"cancel_every"` // every Nth request is abandoned mid-run (0 = never)
 	CancelAfter time.Duration `json:"cancel_after"` // how long a chaos request lives before abandonment
 	TimeoutMS   uint64        `json:"timeout_ms"`   // per-request server-side budget (0 = server default)
+	StreamEvery int           `json:"stream_every"` // every Nth request uses the SSE streaming path (0 = never)
 }
 
 // LoadResult summarizes a load run: the throughput/latency numbers
@@ -140,6 +141,12 @@ type LoadResult struct {
 	P50        time.Duration `json:"p50_ns"`
 	P90        time.Duration `json:"p90_ns"`
 	P99        time.Duration `json:"p99_ns"`
+
+	StreamOK       int           `json:"stream_ok"`       // streamed requests that reached a terminal result
+	StreamProgress int           `json:"stream_progress"` // progress frames observed across streamed requests
+	StreamP50      time.Duration `json:"stream_p50_ns"`   // streamed-path latency percentiles
+	StreamP90      time.Duration `json:"stream_p90_ns"`
+	StreamP99      time.Duration `json:"stream_p99_ns"`
 }
 
 // RunLoad drives the service at baseURL with cfg.Clients concurrent
@@ -154,6 +161,8 @@ func RunLoad(ctx context.Context, baseURL string, cfg LoadConfig) (*LoadResult, 
 
 	type outcome struct {
 		ok, cached, deduped, shed, canceled, failed bool
+		streamed                                    bool
+		progress                                    int
 		retries                                     int
 		latency                                     time.Duration
 	}
@@ -182,8 +191,22 @@ func RunLoad(ctx context.Context, baseURL string, cfg LoadConfig) (*LoadResult, 
 					}
 					rctx, rcancel = context.WithTimeout(ctx, after)
 				}
+				streamed := cfg.StreamEvery > 0 && n%cfg.StreamEvery == cfg.StreamEvery-1
+				o.streamed = streamed
 				reqStart := time.Now()
-				resp, retries, err := cl.SubmitRetry(rctx, req)
+				var resp *Response
+				var retries int
+				var err error
+				if streamed {
+					var out *StreamOutcome
+					out, retries, err = cl.submitStreamRetry(rctx, req)
+					if out != nil {
+						o.progress = out.Progress
+						resp = out.Resp
+					}
+				} else {
+					resp, retries, err = cl.SubmitRetry(rctx, req)
+				}
 				abandoned := rctx.Err() != nil // read before rcancel poisons it
 				rcancel()
 				o.retries = retries
@@ -220,14 +243,19 @@ func RunLoad(ctx context.Context, baseURL string, cfg LoadConfig) (*LoadResult, 
 	elapsed := time.Since(start)
 
 	res := &LoadResult{Sent: cfg.Requests, Elapsed: elapsed}
-	var okLatencies []time.Duration
+	var okLatencies, streamLatencies []time.Duration
 	for i := range outcomes {
 		o := &outcomes[i]
 		res.Retries += o.retries
+		res.StreamProgress += o.progress
 		switch {
 		case o.ok:
 			res.OK++
 			okLatencies = append(okLatencies, o.latency)
+			if o.streamed {
+				res.StreamOK++
+				streamLatencies = append(streamLatencies, o.latency)
+			}
 			if o.cached {
 				res.CacheHits++
 			}
@@ -245,13 +273,48 @@ func RunLoad(ctx context.Context, baseURL string, cfg LoadConfig) (*LoadResult, 
 	if elapsed > 0 {
 		res.SimsPerSec = float64(res.OK) / elapsed.Seconds()
 	}
-	if len(okLatencies) > 0 {
-		sort.Slice(okLatencies, func(i, j int) bool { return okLatencies[i] < okLatencies[j] })
-		pick := func(q float64) time.Duration {
-			idx := int(q * float64(len(okLatencies)-1))
-			return okLatencies[idx]
+	percentiles := func(lats []time.Duration) (p50, p90, p99 time.Duration) {
+		if len(lats) == 0 {
+			return
 		}
-		res.P50, res.P90, res.P99 = pick(0.50), pick(0.90), pick(0.99)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pick := func(q float64) time.Duration { return lats[int(q*float64(len(lats)-1))] }
+		return pick(0.50), pick(0.90), pick(0.99)
 	}
+	res.P50, res.P90, res.P99 = percentiles(okLatencies)
+	res.StreamP50, res.StreamP90, res.StreamP99 = percentiles(streamLatencies)
 	return res, nil
+}
+
+// submitStreamRetry is SubmitStream under the same retry policy as
+// SubmitRetry: pre-stream shedding (429/503) retries with backoff;
+// anything in-band is final.
+func (c *Client) submitStreamRetry(ctx context.Context, req Request) (*StreamOutcome, int, error) {
+	maxRetries := c.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 4
+	}
+	backoff := c.BaseBackoff
+	if backoff == 0 {
+		backoff = 50 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		out, err := c.SubmitStream(ctx, req)
+		if err == nil {
+			return out, attempt, nil
+		}
+		var ae *apiError
+		if !errors.As(err, &ae) || !ae.Kind.Retryable() || attempt >= maxRetries {
+			return out, attempt, err
+		}
+		wait := backoff << attempt
+		if ae.RetryAfter > wait {
+			wait = ae.RetryAfter
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return out, attempt, context.Cause(ctx)
+		}
+	}
 }

@@ -32,6 +32,7 @@ func TestSoak(t *testing.T) {
 		Seed:        1,
 		CancelEvery: 9, // every 9th request is abandoned mid-flight
 		CancelAfter: 2 * time.Millisecond,
+		StreamEvery: 4, // every 4th request takes the SSE streaming path
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -41,6 +42,7 @@ func TestSoak(t *testing.T) {
 	}
 	t.Logf("soak: %d sent, %d ok (%d cached, %d deduped), %d shed, %d canceled, %d failed, %d retries, %.1f sims/sec, p99 %v",
 		res.Sent, res.OK, res.CacheHits, res.Deduped, res.Shed, res.Canceled, res.Failed, res.Retries, res.SimsPerSec, res.P99)
+	t.Logf("soak stream: %d ok, %d progress frames, p99 %v", res.StreamOK, res.StreamProgress, res.StreamP99)
 
 	if got := res.OK + res.Shed + res.Canceled + res.Failed; got != res.Sent {
 		t.Errorf("outcome census %d != sent %d: every request must be accounted for", got, res.Sent)
@@ -53,6 +55,9 @@ func TestSoak(t *testing.T) {
 	}
 	if res.CacheHits == 0 {
 		t.Error("no cache hit across repeated identical submissions")
+	}
+	if res.StreamOK == 0 {
+		t.Error("no streamed request reached a terminal result")
 	}
 
 	c := s.Counters()

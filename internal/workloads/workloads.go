@@ -75,6 +75,16 @@ func (i *Instance) RunWarmContext(ctx context.Context, cfg core.Config) (*core.S
 	return i.run(ctx, cfg, true)
 }
 
+// RunPreparedContext is RunContext with a caller hook that runs after
+// the cluster is built and before the memory image is initialized — the
+// seam for attaching instrumentation (heartbeats, metrics, tracing)
+// without reimplementing the build/run/verify sequence. A nil prepare
+// is identical to RunContext.
+func (i *Instance) RunPreparedContext(ctx context.Context, cfg core.Config, prepare func(*core.Cluster)) (*core.Stats, error) {
+	_, stats, err := i.runOn(ctx, cfg, false, prepare)
+	return stats, err
+}
+
 // RunMetrics is Run with the observability layer attached: it returns
 // the per-unit metrics dump (stall attribution, counters, per-stream
 // bandwidth — see internal/obs) alongside the statistics. Enabling

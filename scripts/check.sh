@@ -33,8 +33,9 @@
 #  11. obs           observability end-to-end (docs/OBSERVABILITY.md):
 #                    traced metrics runs of gemm and stencil2d, the
 #                    Perfetto trace validated against the format
-#                    contract and the stall attribution against the
-#                    conservation invariant
+#                    contract, the stall attribution against the
+#                    conservation invariant, and the dump rendered as
+#                    Prometheus exposition through the scrape lint
 #  12. fuzz smoke    a short slice of `make fuzz-smoke`: the footprint-
 #                    algebra fuzz targets, the three-mode scheduling
 #                    equivalence fuzz (docs/SIMKERNEL.md), plus the
@@ -42,9 +43,13 @@
 #                    `make fuzz-smoke` runs the full budget
 #  13. serve smoke   sdserve's in-process self-test (docs/SERVE.md):
 #                    start the server on a loopback port, submit gemm,
-#                    assert the resubmission is a cache hit, reject a
-#                    malformed submission with a typed error, and drain
-#                    cleanly with a request in flight
+#                    assert the resubmission is a cache hit, stream a
+#                    run over SSE (progress frames precede a terminal
+#                    result byte-identical to the unary response),
+#                    scrape /metrics through the exposition lint and
+#                    check it agrees with /statusz, reject a malformed
+#                    submission with a typed error, and drain cleanly
+#                    with a request in flight
 #
 # Run it from the repository root (or via `make check`). Exits non-zero
 # on the first failing stage.
@@ -100,12 +105,13 @@ for w in gemm stencil2d; do
 	go run ./cmd/sdsim -w "$w" -scale 2 \
 		-metrics "/tmp/obs_$w.json" -trace-out "/tmp/obs_$w.trace.json" >/dev/null
 	go run ./cmd/sdobs -validate-trace "/tmp/obs_$w.trace.json" -check "/tmp/obs_$w.json"
+	go run ./cmd/sdobs -prom "/tmp/obs_$w.json" >/dev/null
 done
 
 echo "== fuzz smoke (short slice; make fuzz-smoke for full budget)"
 FUZZTIME=5s make fuzz-smoke
 
-echo "== serve smoke (submit, cache hit, typed reject, graceful drain)"
+echo "== serve smoke (submit, cache hit, stream, metrics, typed reject, graceful drain)"
 go run ./cmd/sdserve -smoke
 
 echo "== all checks passed"
